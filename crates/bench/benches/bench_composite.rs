@@ -1,0 +1,64 @@
+//! Criterion benches for the compositing algorithms (paper §4.4): SLIC vs
+//! direct-send vs binary-swap, with and without RLE compression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quakeviz_composite::{binary_swap, direct_send, slic, CompositeOptions, FrameInfo};
+use quakeviz_render::{Fragment, Rgba, ScreenRect};
+use quakeviz_rt::World;
+
+const W: u32 = 256;
+const H: u32 = 256;
+const RANKS: usize = 4;
+
+fn synth_frags(rank: usize) -> Vec<Fragment> {
+    let mk = |block: u32, rect: ScreenRect| {
+        let pixels: Vec<Rgba> = (0..rect.area())
+            .map(|i| {
+                let v = ((i / 61 + block as u64) % 7) as f32 / 10.0;
+                if (i / 23) % 4 == 0 {
+                    [0.0; 4]
+                } else {
+                    [v * 0.6, v * 0.2, v * 0.1, v]
+                }
+            })
+            .collect();
+        Fragment { block, rect, pixels }
+    };
+    let x = rank as u32 * 32;
+    vec![
+        mk(rank as u32, ScreenRect::new(x, 0, x + 128, 192)),
+        mk(
+            (rank + RANKS) as u32,
+            ScreenRect::new(64, rank as u32 * 24, 192, rank as u32 * 24 + 128),
+        ),
+    ]
+}
+
+fn run(algo: &str, compress: bool) {
+    let order: Vec<u32> = (0..2 * RANKS as u32).collect();
+    World::run(RANKS, |comm| {
+        let local = synth_frags(comm.rank());
+        let info = FrameInfo::exchange(&comm, &local, &order, W, H);
+        let opts = CompositeOptions { compress };
+        match algo {
+            "direct" => direct_send(&comm, &local, &info, 0, opts),
+            "slic" => slic(&comm, &local, &info, 0, opts),
+            "bswap" => binary_swap(&comm, &local, &info, 0, opts),
+            _ => unreachable!(),
+        }
+    });
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("composite_256");
+    g.sample_size(20);
+    g.bench_function("direct_send", |b| b.iter(|| run("direct", false)));
+    g.bench_function("slic", |b| b.iter(|| run("slic", false)));
+    g.bench_function("binary_swap", |b| b.iter(|| run("bswap", false)));
+    g.bench_function("direct_send_rle", |b| b.iter(|| run("direct", true)));
+    g.bench_function("slic_rle", |b| b.iter(|| run("slic", true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches for the parallel-file-system layer: contiguous vs
+//! indexed vs sieved reads, and the collective two-phase read (§5.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quakeviz_parfs::{CostModel, Disk, IndexedBlockType, PFile};
+use quakeviz_rt::World;
+use std::sync::Arc;
+
+fn disk_with_file(len: usize) -> Arc<Disk> {
+    let disk = Disk::new(CostModel::free());
+    disk.write_file("step", (0..len).map(|i| (i % 251) as u8).collect());
+    disk
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let disk = disk_with_file(4 << 20);
+    let f = PFile::open(Arc::clone(&disk), "step");
+    // a scattered pattern: every 16th element of a 12-byte node array
+    let ids: Vec<u32> = (0..20_000u32).map(|i| i * 16).collect();
+    let dt = IndexedBlockType::from_node_ids(&ids, 12);
+
+    let mut g = c.benchmark_group("parfs_read");
+    g.bench_function("contiguous_4mb", |b| b.iter(|| f.read_contiguous(0, 4 << 20)));
+    g.bench_function("indexed_unsieved", |b| b.iter(|| f.read_indexed(&dt, 0)));
+    g.bench_function("indexed_sieved_64k", |b| b.iter(|| f.read_indexed(&dt, 1 << 16)));
+    g.finish();
+}
+
+fn bench_collective(c: &mut Criterion) {
+    let disk = disk_with_file(4 << 20);
+    let mut g = c.benchmark_group("parfs_collective");
+    g.sample_size(15);
+    g.bench_function("read_all_4ranks", |b| {
+        b.iter(|| {
+            let disk = Arc::clone(&disk);
+            World::run(4, move |comm| {
+                let f = PFile::open(Arc::clone(&disk), "step");
+                let ids: Vec<u32> =
+                    (0..5000u32).map(|i| i * 64 + comm.rank() as u32 * 16).collect();
+                let dt = IndexedBlockType::from_node_ids(&ids, 12);
+                f.read_all(&comm, &dt, 1 << 14).useful_bytes
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reads, bench_collective);
+criterion_main!(benches);

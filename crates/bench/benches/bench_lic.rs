@@ -1,0 +1,46 @@
+//! Criterion benches for LIC: field extraction and convolution (the
+//! preprocessing cost the input processors hide, Figure 12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quakeviz_lic::{compute_lic, extract_surface_field, white_noise, LicParams, RegularField2D};
+use quakeviz_mesh::{HexMesh, Octree, Quadtree, UniformRefinement, Vec3, VectorField};
+
+fn swirl_field(n: u32) -> RegularField2D {
+    RegularField2D::from_fn(n, n, (1.0, 1.0), |x, y| {
+        let (dx, dy) = (x - 0.5, y - 0.5);
+        (-dy as f32, dx as f32)
+    })
+}
+
+fn bench_lic_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lic_convolve");
+    for n in [128u32, 256, 512] {
+        let field = swirl_field(n);
+        let noise = white_noise(n, n, 1);
+        g.bench_with_input(BenchmarkId::new("px", n), &n, |b, _| {
+            b.iter(|| compute_lic(&field, &noise, &LicParams::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mesh = HexMesh::from_octree(Octree::build(
+        Vec3::new(100.0, 100.0, 50.0),
+        &UniformRefinement(4),
+    ));
+    let field = VectorField::new(
+        (0..mesh.node_count())
+            .map(|i| [i as f32 % 7.0, i as f32 % 3.0, 0.0])
+            .collect(),
+    );
+    let (qt, _) = Quadtree::from_surface_nodes(&mesh);
+    let mut g = c.benchmark_group("lic_extract");
+    g.bench_function("surface_256", |b| {
+        b.iter(|| extract_surface_field(&mesh, &field, &qt, 256, 256))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lic_sizes, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches for the spatial substrate: Morton codes, octree
+//! construction, hexahedral mesh derivation, and partitioning — the
+//! one-time preprocessing the pipeline amortizes over all time steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quakeviz_mesh::morton::{demorton3, morton3};
+use quakeviz_mesh::{HexMesh, Octree, Partition, UniformRefinement, Vec3, WorkloadModel};
+
+fn bench_morton(c: &mut Criterion) {
+    let mut g = c.benchmark_group("morton");
+    g.bench_function("encode_decode_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u32 {
+                let m = morton3(i, i.wrapping_mul(7) & 0xfffff, i.wrapping_mul(13) & 0xfffff);
+                let (x, _, _) = demorton3(m);
+                acc = acc.wrapping_add(x as u64);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_octree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("octree_build");
+    g.sample_size(10);
+    for level in [3u8, 4, 5] {
+        g.bench_with_input(BenchmarkId::new("uniform_level", level), &level, |b, &l| {
+            b.iter(|| Octree::build(Vec3::ONE, &UniformRefinement(l)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hexmesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hexmesh");
+    g.sample_size(10);
+    let tree = Octree::build(Vec3::ONE, &UniformRefinement(4));
+    g.bench_function("from_octree_4096_cells", |b| {
+        b.iter(|| HexMesh::from_octree(tree.clone()))
+    });
+    let mesh = HexMesh::from_octree(tree);
+    let blocks = mesh.octree().blocks(2);
+    g.bench_function("partition_64_blocks_8_ranks", |b| {
+        b.iter(|| Partition::balanced(&mesh, &blocks, 8, WorkloadModel::CellCount))
+    });
+    g.bench_function("block_nodes", |b| b.iter(|| mesh.block_nodes(&blocks[7])));
+    g.finish();
+}
+
+criterion_group!(benches, bench_morton, bench_octree_build, bench_hexmesh);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the pipeline: the discrete-event simulator's
+//! throughput and a small end-to-end real pipeline run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quakeviz_core::des::{simulate, CostTable, DesStrategy, FigureOptions};
+use quakeviz_core::{IoStrategy, PipelineBuilder};
+use quakeviz_seismic::SimulationBuilder;
+
+fn bench_des(c: &mut Criterion) {
+    let cost = CostTable::lemieux(64, 512, 512, FigureOptions::default());
+    let mut g = c.benchmark_group("des");
+    g.bench_function("onedip_m12_1000steps", |b| {
+        b.iter(|| simulate(DesStrategy::OneDip { m: 12 }, &cost, 1000))
+    });
+    g.bench_function("twodip_n12m2_1000steps", |b| {
+        b.iter(|| simulate(DesStrategy::TwoDip { n: 12, m: 2 }, &cost, 1000))
+    });
+    g.finish();
+}
+
+fn bench_real_pipeline(c: &mut Criterion) {
+    let ds = SimulationBuilder::new()
+        .resolution(16)
+        .steps(4)
+        .run_to_dataset()
+        .expect("dataset");
+    let mut g = c.benchmark_group("real_pipeline");
+    g.sample_size(10);
+    g.bench_function("4steps_2ip_2r_64px", |b| {
+        b.iter(|| {
+            PipelineBuilder::new(&ds)
+                .renderers(2)
+                .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+                .image_size(64, 64)
+                .keep_frames(false)
+                .run()
+                .expect("pipeline")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_des, bench_real_pipeline);
+criterion_main!(benches);

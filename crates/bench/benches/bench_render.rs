@@ -1,0 +1,85 @@
+//! Criterion benches for the volume renderer: brick resampling and ray
+//! casting across adaptive levels and lighting (the cost structure behind
+//! Figures 3, 10, 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quakeviz_mesh::{Aabb, Vec3};
+use quakeviz_render::{
+    render_brick, Brick, Camera, LightingParams, RenderParams, TransferFunction,
+};
+
+fn synthetic_brick(n: usize) -> Brick {
+    let dims = (n + 1, n + 1, n + 1);
+    let mut values = Vec::with_capacity(dims.0 * dims.1 * dims.2);
+    for k in 0..dims.2 {
+        for j in 0..dims.1 {
+            for i in 0..dims.0 {
+                let (x, y, z) = (
+                    i as f32 / n as f32 - 0.5,
+                    j as f32 / n as f32 - 0.5,
+                    k as f32 / n as f32 - 0.5,
+                );
+                // an expanding shell, like a wavefront
+                let r = (x * x + y * y + z * z).sqrt();
+                values.push((1.0 - (r - 0.3).abs() * 6.0).clamp(0.0, 1.0));
+            }
+        }
+    }
+    Brick::from_values(0, Aabb::UNIT, dims, values)
+}
+
+fn cam(size: u32) -> Camera {
+    Camera::look_at(
+        Vec3::new(0.5, 0.5, -2.5),
+        Vec3::new(0.5, 0.5, 0.5),
+        Vec3::new(0.0, 1.0, 0.0),
+        0.7,
+        size,
+        size,
+    )
+}
+
+fn bench_raycast_levels(c: &mut Criterion) {
+    let tf = TransferFunction::seismic();
+    let camera = cam(256);
+    let mut g = c.benchmark_group("raycast_brick");
+    for n in [4usize, 8, 16, 32] {
+        let brick = synthetic_brick(n);
+        g.bench_with_input(BenchmarkId::new("level_cells", n), &brick, |b, brick| {
+            b.iter(|| render_brick(brick, &camera, &tf, &RenderParams::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lighting_cost(c: &mut Criterion) {
+    let tf = TransferFunction::seismic();
+    let camera = cam(256);
+    let brick = synthetic_brick(16);
+    let mut g = c.benchmark_group("lighting");
+    g.bench_function("unlit", |b| {
+        b.iter(|| render_brick(&brick, &camera, &tf, &RenderParams::default()))
+    });
+    g.bench_function("lit", |b| {
+        let p = RenderParams { lighting: Some(LightingParams::default()), ..Default::default() };
+        b.iter(|| render_brick(&brick, &camera, &tf, &p))
+    });
+    g.finish();
+}
+
+fn bench_image_size(c: &mut Criterion) {
+    let tf = TransferFunction::seismic();
+    let brick = synthetic_brick(16);
+    let mut g = c.benchmark_group("image_size");
+    g.sample_size(20);
+    for size in [128u32, 256, 512] {
+        let camera = cam(size);
+        g.bench_with_input(BenchmarkId::new("px", size), &camera, |b, camera| {
+            b.iter(|| render_brick(&brick, camera, &tf, &RenderParams::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_raycast_levels, bench_lighting_cost, bench_image_size);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 3 — adaptive rendering: images rendered at the full octree
+//! level vs coarser levels. The paper reports the coarse image "reveals
+//! almost the same details … while being generated 3–4 times faster".
+//!
+//! Output columns: level, cells rendered, render seconds/frame (pooled
+//! across renderers), speedup vs full level, RMS difference vs the
+//! full-level image. Images land in `out/fig03_level*.ppm`.
+
+use quakeviz_bench::{deep_dataset, header, row, s3, write_ppm};
+use quakeviz_core::{IoStrategy, PipelineBuilder};
+use quakeviz_render::RgbaImage;
+
+fn main() {
+    let ds = deep_dataset();
+    let max = ds.mesh().octree().max_leaf_level();
+    eprintln!(
+        "dataset: {} cells, {} nodes, levels 0..={max}",
+        ds.mesh().cell_count(),
+        ds.mesh().node_count()
+    );
+
+    header(&["level", "cells", "render_s", "speedup", "rms_vs_full"]);
+    let mut reference: Option<RgbaImage> = None;
+    let mut full_render = 0.0f64;
+    for level in (max.saturating_sub(3)..=max).rev() {
+        let report = PipelineBuilder::new(&ds)
+            .renderers(4)
+            .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+            .image_size(1024, 1024)
+            .level(level)
+            .adaptive_fetch(true)
+            .max_steps(6)
+            .run()
+            .expect("pipeline");
+        let render_s = report.mean_render_seconds();
+        let frame = report.frames.last().unwrap().clone();
+        let cells = ds.mesh().octree().cell_count_at_level(level);
+        let (speedup, rms) = match &reference {
+            None => {
+                full_render = render_s;
+                (1.0, 0.0)
+            }
+            Some(r) => (full_render / render_s, frame.rms_difference(r)),
+        };
+        if reference.is_none() {
+            reference = Some(frame.clone());
+        }
+        row(&[
+            level.to_string(),
+            cells.to_string(),
+            s3(render_s),
+            format!("{speedup:.2}"),
+            format!("{rms:.5}"),
+        ]);
+        write_ppm(&format!("fig03_level{level}"), &frame);
+    }
+    eprintln!("paper: level-8 vs level-13 rendering, 3-4x faster, visually equivalent");
+}

@@ -1,0 +1,47 @@
+//! Figure 4 — temporal-domain enhancement: a late time step rendered with
+//! and without the enhancement filter. The paper's claim: without it,
+//! "direct volume rendering reveals very little variation" late in the
+//! sequence; enhancement "brings out the wave propagation".
+//!
+//! Metric: luminance entropy and opacity-weighted content of the late
+//! frames. Images: `out/fig04_{plain,enhanced}.ppm`.
+
+use quakeviz_bench::{header, row, s3, standard_dataset, write_ppm};
+use quakeviz_core::{IoStrategy, PipelineBuilder};
+use quakeviz_render::RgbaImage;
+
+fn energy(img: &RgbaImage) -> f64 {
+    img.pixels().iter().map(|p| p[3] as f64).sum::<f64>()
+}
+
+fn main() {
+    let ds = standard_dataset();
+    let run = |enh: bool| {
+        PipelineBuilder::new(&ds)
+            .renderers(4)
+            .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+            .image_size(512, 512)
+            .enhancement(enh)
+            .run()
+            .expect("pipeline")
+    };
+    let plain = run(false);
+    let enhanced = run(true);
+
+    header(&["step", "entropy_plain", "entropy_enh", "alpha_plain", "alpha_enh"]);
+    for t in 0..ds.steps() {
+        let (p, e) = (&plain.frames[t], &enhanced.frames[t]);
+        row(&[
+            t.to_string(),
+            s3(p.entropy()),
+            s3(e.entropy()),
+            format!("{:.0}", energy(p)),
+            format!("{:.0}", energy(e)),
+        ]);
+    }
+    let late = ds.steps() - 1;
+    write_ppm("fig04_plain", &plain.frames[late]);
+    write_ppm("fig04_enhanced", &enhanced.frames[late]);
+    let gain = energy(&enhanced.frames[late]) / energy(&plain.frames[late]).max(1e-9);
+    eprintln!("late-frame content gain from enhancement: {gain:.2}x (paper: qualitative, Figure 4)");
+}

@@ -1,0 +1,314 @@
+//! The view-dependent compositing schedule (SLIC's core idea).
+//!
+//! Before compositing, every rank learns the screen rectangle, owner and
+//! visibility rank of **every** fragment in the frame (one small
+//! allgather — the paper reports the schedule precompute at "generally
+//! under 10 milliseconds"). From that shared knowledge each rank derives,
+//! without further communication, the full schedule:
+//!
+//! * the scanlines are cut into elementary [`Run`]s wherever the set of
+//!   covering fragments changes;
+//! * a run covered by a single fragment needs **no compositing** — its
+//!   owner ships it straight to the collector;
+//! * a run covered by `k > 1` fragments is assigned to one *compositor*
+//!   (the owner of the front-most fragment), so exactly `k − 1` pixel
+//!   spans cross the network for it;
+//! * all spans travelling between one (source, destination) pair are
+//!   batched into a single message.
+
+use quakeviz_render::{Fragment, ScreenRect};
+use quakeviz_rt::Comm;
+
+/// Globally shared description of one frame's fragments.
+#[derive(Debug, Clone)]
+pub struct FrameInfo {
+    /// `(block id, screen rect, owner rank)` for every fragment produced
+    /// this frame, sorted front-to-back.
+    pub frags: Vec<(u32, ScreenRect, u32)>,
+    pub width: u32,
+    pub height: u32,
+}
+
+/// An elementary rectangular run: a screen rect over which the set of
+/// covering fragments is constant. Scanline runs with identical coverage
+/// on consecutive lines are merged vertically, which shrinks the
+/// schedule and the per-span bookkeeping by roughly the rect height.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Run {
+    pub y0: u32,
+    pub y1: u32,
+    pub x0: u32,
+    pub x1: u32,
+    /// Indices into [`FrameInfo::frags`], front-to-back.
+    pub frags: Vec<usize>,
+}
+
+impl Run {
+    /// Pixel count of the run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        ((self.x1 - self.x0) * (self.y1 - self.y0)) as usize
+    }
+
+    #[inline]
+    pub fn width(&self) -> usize {
+        (self.x1 - self.x0) as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.x1 <= self.x0 || self.y1 <= self.y0
+    }
+}
+
+impl FrameInfo {
+    /// Collective: allgather the local fragments' rectangles and order
+    /// them by `order` (front-to-back block ids).
+    pub fn exchange(
+        comm: &Comm,
+        local: &[Fragment],
+        order: &[u32],
+        width: u32,
+        height: u32,
+    ) -> FrameInfo {
+        let mine: Vec<(u32, ScreenRect)> = local.iter().map(|f| (f.block, f.rect)).collect();
+        let all: Vec<Vec<(u32, ScreenRect)>> = comm.allgather(mine);
+        let mut frags: Vec<(u32, ScreenRect, u32)> = all
+            .into_iter()
+            .enumerate()
+            .flat_map(|(rank, v)| v.into_iter().map(move |(b, r)| (b, r, rank as u32)))
+            .collect();
+        let pos: std::collections::HashMap<u32, usize> =
+            order.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        frags.sort_by_key(|&(b, _, _)| pos.get(&b).copied().unwrap_or(usize::MAX));
+        FrameInfo { frags, width, height }
+    }
+
+    /// Build directly (tests, sequential harnesses).
+    pub fn from_sorted(frags: Vec<(u32, ScreenRect, u32)>, width: u32, height: u32) -> FrameInfo {
+        FrameInfo { frags, width, height }
+    }
+
+    /// Index of the fragment with block id `b`.
+    pub fn index_of(&self, b: u32) -> Option<usize> {
+        self.frags.iter().position(|&(fb, _, _)| fb == b)
+    }
+
+    /// The elementary runs of scanline `y` (non-covered spans omitted),
+    /// each one line tall.
+    pub fn runs_of_line(&self, y: u32) -> Vec<Run> {
+        // fragments covering this scanline
+        let live: Vec<usize> = self
+            .frags
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, r, _))| y >= r.y0 && y < r.y1)
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            return Vec::new();
+        }
+        let mut xs: Vec<u32> = live
+            .iter()
+            .flat_map(|&i| [self.frags[i].1.x0, self.frags[i].1.x1])
+            .collect();
+        xs.sort_unstable();
+        xs.dedup();
+        let mut runs = Vec::new();
+        for w in xs.windows(2) {
+            let (x0, x1) = (w[0], w[1]);
+            if x1 <= x0 {
+                continue;
+            }
+            let cover: Vec<usize> = live
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let r = &self.frags[i].1;
+                    x0 >= r.x0 && x1 <= r.x1
+                })
+                .collect();
+            if !cover.is_empty() {
+                runs.push(Run { y0: y, y1: y + 1, x0, x1, frags: cover });
+            }
+        }
+        runs
+    }
+
+    /// All runs of the frame, vertically merged: consecutive scanlines
+    /// with the same `(x0, x1, coverage)` collapse into one rect run.
+    pub fn runs(&self) -> Vec<Run> {
+        // Coverage only changes at fragment-rect top/bottom edges, so
+        // whole y-bands share identical line structure.
+        let mut ys: Vec<u32> = self.frags.iter().flat_map(|&(_, r, _)| [r.y0, r.y1]).collect();
+        ys.push(self.height);
+        ys.sort_unstable();
+        ys.dedup();
+        let mut out = Vec::new();
+        for w in ys.windows(2) {
+            let (y0, y1) = (w[0], w[1].min(self.height));
+            if y1 <= y0 {
+                continue;
+            }
+            for mut run in self.runs_of_line(y0) {
+                run.y1 = y1;
+                out.push(run);
+            }
+        }
+        out
+    }
+
+    /// The compositor rank of a run: owner of its front-most fragment.
+    pub fn compositor_of(&self, run: &Run) -> u32 {
+        self.frags[run.frags[0]].2
+    }
+
+    /// Predicted message count for SLIC with `collector`: the number of
+    /// distinct (source → destination) pairs with traffic.
+    pub fn slic_message_count(&self, ranks: usize, collector: u32) -> u64 {
+        let mut pairs = std::collections::HashSet::new();
+        for run in self.runs() {
+            let comp = self.compositor_of(&run);
+            if run.frags.len() > 1 {
+                for &fi in &run.frags {
+                    let owner = self.frags[fi].2;
+                    if owner != comp {
+                        pairs.insert((owner, comp));
+                    }
+                }
+            }
+            let src = comp;
+            if src != collector {
+                pairs.insert((src, collector));
+            }
+        }
+        let _ = ranks;
+        pairs.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fi(frags: Vec<(u32, ScreenRect, u32)>) -> FrameInfo {
+        FrameInfo::from_sorted(frags, 16, 4)
+    }
+
+    #[test]
+    fn no_fragments_no_runs() {
+        let f = fi(vec![]);
+        assert!(f.runs().is_empty());
+    }
+
+    #[test]
+    fn single_fragment_merges_to_one_rect_run() {
+        let f = fi(vec![(7, ScreenRect::new(2, 1, 10, 3), 0)]);
+        let runs = f.runs();
+        assert_eq!(runs.len(), 1); // lines 1 and 2 merge vertically
+        assert_eq!(runs[0], Run { y0: 1, y1: 3, x0: 2, x1: 10, frags: vec![0] });
+        assert_eq!(runs[0].len(), 16);
+        // per-line view still available
+        assert_eq!(f.runs_of_line(1).len(), 1);
+        assert_eq!(f.runs_of_line(0).len(), 0);
+    }
+
+    #[test]
+    fn overlap_splits_into_three_runs() {
+        // two fragments overlapping in the middle of line 0
+        let f = fi(vec![
+            (0, ScreenRect::new(0, 0, 8, 1), 0),
+            (1, ScreenRect::new(4, 0, 12, 1), 1),
+        ]);
+        let runs = f.runs_of_line(0);
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].frags, vec![0]);
+        assert_eq!(runs[1].frags, vec![0, 1]); // front-to-back order kept
+        assert_eq!(runs[2].frags, vec![1]);
+        assert_eq!((runs[1].x0, runs[1].x1), (4, 8));
+        assert_eq!((runs[1].y0, runs[1].y1), (0, 1));
+    }
+
+    #[test]
+    fn vertical_merge_respects_fragment_edges() {
+        // two stacked fragments: runs must break at the horizontal seam
+        let f = fi(vec![
+            (0, ScreenRect::new(0, 0, 4, 2), 0),
+            (1, ScreenRect::new(0, 2, 4, 4), 1),
+        ]);
+        let runs = f.runs();
+        assert_eq!(runs.len(), 2);
+        assert_eq!((runs[0].y0, runs[0].y1), (0, 2));
+        assert_eq!((runs[1].y0, runs[1].y1), (2, 4));
+        assert_eq!(runs[0].frags, vec![0]);
+        assert_eq!(runs[1].frags, vec![1]);
+    }
+
+    #[test]
+    fn compositor_is_front_owner() {
+        let f = fi(vec![
+            (0, ScreenRect::new(0, 0, 8, 1), 3),
+            (1, ScreenRect::new(0, 0, 8, 1), 5),
+        ]);
+        let runs = f.runs_of_line(0);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(f.compositor_of(&runs[0]), 3);
+    }
+
+    #[test]
+    fn order_respected_in_runs() {
+        // deliberately list back fragment first in input: from_sorted
+        // trusts caller order, so front-to-back must be the given order
+        let f = fi(vec![
+            (9, ScreenRect::new(0, 0, 4, 1), 1),
+            (2, ScreenRect::new(0, 0, 4, 1), 0),
+        ]);
+        let runs = f.runs_of_line(0);
+        assert_eq!(runs[0].frags, vec![0, 1]);
+        assert_eq!(f.frags[runs[0].frags[0]].0, 9);
+    }
+
+    #[test]
+    fn slic_message_count_zero_when_alone() {
+        // one rank owns everything and is the collector
+        let f = fi(vec![
+            (0, ScreenRect::new(0, 0, 4, 2), 0),
+            (1, ScreenRect::new(2, 0, 6, 2), 0),
+        ]);
+        assert_eq!(f.slic_message_count(1, 0), 0);
+    }
+
+    #[test]
+    fn slic_message_count_pairs() {
+        // rank1's fragment overlaps rank0's; rank0 is front, collector 0:
+        // rank1 -> rank0 (composite traffic) is the only pair
+        let f = fi(vec![
+            (0, ScreenRect::new(0, 0, 8, 1), 0),
+            (1, ScreenRect::new(0, 0, 8, 1), 1),
+        ]);
+        assert_eq!(f.slic_message_count(2, 0), 1);
+        // with collector 1 instead: rank1->rank0 and rank0->rank1
+        assert_eq!(f.slic_message_count(2, 1), 2);
+    }
+
+    #[test]
+    fn runs_cover_exactly_fragment_pixels() {
+        let rects = vec![
+            (0u32, ScreenRect::new(0, 0, 5, 3), 0u32),
+            (1, ScreenRect::new(3, 1, 9, 4), 1),
+            (2, ScreenRect::new(8, 0, 12, 2), 0),
+        ];
+        let f = fi(rects.clone());
+        // total run pixels == area of union (each pixel in exactly 1 run)
+        let mut covered = std::collections::HashSet::new();
+        for r in &rects {
+            for y in r.1.y0..r.1.y1 {
+                for x in r.1.x0..r.1.x1 {
+                    covered.insert((x, y));
+                }
+            }
+        }
+        let run_pixels: usize = f.runs().iter().map(|r| r.len()).sum();
+        assert_eq!(run_pixels, covered.len());
+    }
+}

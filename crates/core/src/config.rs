@@ -1,0 +1,230 @@
+//! Pipeline configuration and the builder API.
+
+use quakeviz_render::{AdaptivePolicy, Camera, TransferFunction};
+use quakeviz_seismic::Dataset;
+
+/// The input-processor arrangement (paper §5.1–§5.2, Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoStrategy {
+    /// Each input processor fetches complete time steps; `input_procs`
+    /// steps are in flight concurrently.
+    OneDip { input_procs: usize },
+    /// `groups` groups of `per_group` input processors; each group shares
+    /// one time step, cutting its delivery time by `per_group`.
+    TwoDip { groups: usize, per_group: usize },
+}
+
+impl IoStrategy {
+    /// Total input-processor ranks the strategy needs.
+    pub fn total_input_procs(&self) -> usize {
+        match *self {
+            IoStrategy::OneDip { input_procs } => input_procs,
+            IoStrategy::TwoDip { groups, per_group } => groups * per_group,
+        }
+    }
+}
+
+/// How a time step is pulled off the parallel file system (paper §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStrategy {
+    /// §5.3.2: each input processor reads a contiguous `1/m` slice of the
+    /// node array and routes pieces to renderers, which merge.
+    IndependentContiguous,
+    /// §5.3.1: derived datatypes + collective read (two-phase with data
+    /// sieving over the given window).
+    CollectiveNoncontiguous { sieve_window: u64 },
+}
+
+/// Full pipeline configuration. Construct through [`PipelineBuilder`].
+#[derive(Clone)]
+pub struct PipelineConfig {
+    pub renderers: usize,
+    pub io: IoStrategy,
+    pub read: ReadStrategy,
+    pub width: u32,
+    pub height: u32,
+    /// Octree level to render/fetch at; `None` lets [`AdaptivePolicy`]
+    /// choose from the image size.
+    pub level: Option<u8>,
+    pub adaptive: AdaptivePolicy,
+    /// Fetch only the nodes of the selected level (paper §6).
+    pub adaptive_fetch: bool,
+    pub lighting: bool,
+    pub enhancement: bool,
+    pub lic: bool,
+    /// Quantize node values to 8 bits on the input processors before
+    /// distribution (paper §4: "quantization (from 32-bit to 8-bit)") —
+    /// quarters the block-distribution traffic for a ≤1/255 value error.
+    pub quantize: bool,
+    /// Partition blocks with view-dependent weights (projected area ×
+    /// marching depth) instead of static cell counts — the paper's
+    /// future-work "fine-grain load redistribution".
+    pub view_balance: bool,
+    /// Octree level at which blocks are cut for distribution.
+    pub block_level: u8,
+    /// Keep the rendered frames in the report (memory!).
+    pub keep_frames: bool,
+    /// Sleep `sim_seconds × scale` after each disk read, so the real
+    /// threaded pipeline physically exhibits the simulated I/O cost
+    /// (used by tests/examples to demonstrate I/O hiding live).
+    pub io_delay_scale: Option<f64>,
+    /// Camera; `None` uses the default three-quarter basin view.
+    pub camera: Option<Camera>,
+    pub transfer: TransferFunction,
+    /// Render only the first `max_steps` steps of the dataset, if set.
+    pub max_steps: Option<usize>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            renderers: 4,
+            io: IoStrategy::OneDip { input_procs: 2 },
+            read: ReadStrategy::IndependentContiguous,
+            width: 256,
+            height: 256,
+            level: None,
+            adaptive: AdaptivePolicy::default(),
+            adaptive_fetch: false,
+            lighting: false,
+            enhancement: false,
+            lic: false,
+            quantize: false,
+            view_balance: false,
+            block_level: 2,
+            keep_frames: true,
+            io_delay_scale: None,
+            camera: None,
+            transfer: TransferFunction::seismic(),
+            max_steps: None,
+        }
+    }
+}
+
+/// Fluent builder over a dataset.
+pub struct PipelineBuilder {
+    dataset: Dataset,
+    config: PipelineConfig,
+}
+
+impl PipelineBuilder {
+    pub fn new(dataset: &Dataset) -> PipelineBuilder {
+        PipelineBuilder { dataset: dataset.clone(), config: PipelineConfig::default() }
+    }
+
+    pub fn renderers(mut self, n: usize) -> Self {
+        self.config.renderers = n;
+        self
+    }
+
+    pub fn io_strategy(mut self, io: IoStrategy) -> Self {
+        self.config.io = io;
+        self
+    }
+
+    pub fn read_strategy(mut self, read: ReadStrategy) -> Self {
+        self.config.read = read;
+        self
+    }
+
+    pub fn image_size(mut self, w: u32, h: u32) -> Self {
+        self.config.width = w;
+        self.config.height = h;
+        self
+    }
+
+    /// Fix the octree rendering level (otherwise adaptive).
+    pub fn level(mut self, level: u8) -> Self {
+        self.config.level = Some(level);
+        self
+    }
+
+    pub fn adaptive_policy(mut self, p: AdaptivePolicy) -> Self {
+        self.config.adaptive = p;
+        self
+    }
+
+    pub fn adaptive_fetch(mut self, on: bool) -> Self {
+        self.config.adaptive_fetch = on;
+        self
+    }
+
+    pub fn lighting(mut self, on: bool) -> Self {
+        self.config.lighting = on;
+        self
+    }
+
+    pub fn enhancement(mut self, on: bool) -> Self {
+        self.config.enhancement = on;
+        self
+    }
+
+    pub fn lic(mut self, on: bool) -> Self {
+        self.config.lic = on;
+        self
+    }
+
+    pub fn quantize(mut self, on: bool) -> Self {
+        self.config.quantize = on;
+        self
+    }
+
+    pub fn view_balance(mut self, on: bool) -> Self {
+        self.config.view_balance = on;
+        self
+    }
+
+    pub fn block_level(mut self, level: u8) -> Self {
+        self.config.block_level = level;
+        self
+    }
+
+    pub fn keep_frames(mut self, keep: bool) -> Self {
+        self.config.keep_frames = keep;
+        self
+    }
+
+    pub fn io_delay_scale(mut self, scale: f64) -> Self {
+        self.config.io_delay_scale = Some(scale);
+        self
+    }
+
+    pub fn camera(mut self, cam: Camera) -> Self {
+        self.config.camera = Some(cam);
+        self
+    }
+
+    pub fn transfer(mut self, tf: TransferFunction) -> Self {
+        self.config.transfer = tf;
+        self
+    }
+
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.config.max_steps = Some(n);
+        self
+    }
+
+    /// Run the real threaded pipeline end-to-end.
+    pub fn run(self) -> Result<crate::pipeline::PipelineReport, String> {
+        crate::pipeline::run_pipeline(&self.dataset, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_totals() {
+        assert_eq!(IoStrategy::OneDip { input_procs: 5 }.total_input_procs(), 5);
+        assert_eq!(IoStrategy::TwoDip { groups: 3, per_group: 4 }.total_input_procs(), 12);
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let c = PipelineConfig::default();
+        assert!(c.renderers > 0);
+        assert!(c.io.total_input_procs() > 0);
+        assert!(c.width > 0 && c.height > 0);
+    }
+}

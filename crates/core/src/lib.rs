@@ -1,0 +1,47 @@
+//! # quakeviz-core
+//!
+//! The SC'04 parallel visualization pipeline — the paper's primary
+//! contribution.
+//!
+//! The pipeline partitions processors into three groups (Figure 2):
+//! **input processors** fetch time steps from the parallel file system and
+//! preprocess them (quantization, temporal enhancement, LIC texture
+//! synthesis), **rendering processors** volume-render and composite, and an
+//! **output processor** assembles and delivers frames. Because all three
+//! groups run concurrently, I/O and preprocessing hide behind rendering —
+//! the interframe delay collapses to the rendering time once enough input
+//! processors are used.
+//!
+//! * [`model`] — the closed-form processor-count formulas of §5.1/§5.2:
+//!   `m = (Tf+Tp)/Ts + 1` for 1DIP, `m ≥ Ts/Tr` and
+//!   `n = (Tf'+Tp')/Ts' + 1` for 2DIP.
+//! * [`des`] — a discrete-event simulator executing the exact 1DIP/2DIP
+//!   schedules of Figures 5–6 over a parametric [`des::CostTable`];
+//!   the LeMieux-calibrated table regenerates the paper's Figures 8–12
+//!   at terascale, while small-scale tables are validated against the
+//!   real pipeline.
+//! * [`reader`] — the two §5.3 reading strategies implemented over the
+//!   MPI-IO layer: *single collective noncontiguous read* and
+//!   *independent contiguous read* (with renderer-side merge, Figure 7),
+//!   plus adaptive fetching (§6).
+//! * [`pipeline`] — the real threaded pipeline: spawns input/render/output
+//!   ranks over [`quakeviz_rt`], runs every frame end-to-end (read →
+//!   preprocess → distribute → render → SLIC-composite → deliver) and
+//!   reports per-stage timings.
+//! * [`config`] — [`PipelineBuilder`] and friends.
+
+pub mod balance;
+pub mod config;
+pub mod des;
+pub mod insitu;
+pub mod model;
+pub mod pipeline;
+pub mod reader;
+
+pub use config::{IoStrategy, PipelineBuilder, PipelineConfig, ReadStrategy};
+pub use insitu::{run_insitu, InsituConfig, InsituReport};
+pub use des::{simulate, CostTable, DesResult, DesStrategy};
+pub use model::{
+    onedip_optimal_m, onedip_steady_delay, twodip_n, twodip_optimal_m, twodip_steady_delay,
+};
+pub use pipeline::{run_pipeline, PipelineReport};

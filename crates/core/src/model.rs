@@ -1,0 +1,167 @@
+//! The analytic processor-count model (paper §5.1–§5.2).
+//!
+//! Notation, per *full time step*:
+//!
+//! * `Tf` — time for one input processor to fetch the step from disk,
+//! * `Tp` — time to preprocess it,
+//! * `Ts` — time to deliver it into the rendering group,
+//! * `Tr` — time for the rendering group to render one frame.
+//!
+//! **1DIP** (each input processor owns whole time steps): the renderers
+//! never starve when `Tf + Tp = Ts (m − 1)`, i.e. `m = (Tf+Tp)/Ts + 1`.
+//! When `Ts < Tr` (the usual case) delivery is not the bottleneck and
+//! `m = (Tf+Tp)/Tr + 1` suffices. Either way the interframe delay floor
+//! is `max(Ts, Tr)` — 1DIP cannot beat the serial delivery time.
+//!
+//! **2DIP** (`n` groups of `m` input processors share each step): the
+//! per-step delivery time becomes `Ts' = Ts/m`, so `m ≥ Ts/Tr` makes
+//! delivery beat rendering, and `n = (Tf'+Tp')/Ts' + 1` groups keep the
+//! pipe full (which algebraically equals the 1DIP count,
+//! `(Tf+Tp)/Ts + 1`). The floor drops to `max(Ts/m, Tr)` — with enough
+//! input processors, **interframe delay is completely determined by the
+//! rendering cost**, the paper's headline claim.
+
+/// `m = (Tf+Tp)/Tx + 1` rounded to the nearest whole processor (at least
+/// 1), where `Tx` is the stage that must hide the fetch+preprocess time:
+/// `Ts` in the strict §5.1 form, `Tr` in the relaxed form used when
+/// `Ts < Tr`.
+fn pipeline_depth(tf_plus_tp: f64, tx: f64) -> usize {
+    assert!(tx > 0.0, "stage time must be positive");
+    ((tf_plus_tp / tx) + 1.0).round().max(1.0) as usize
+}
+
+/// Optimal 1DIP input-processor count. Uses the relaxed `Tr` form when
+/// `Ts < Tr` ("which allows us to use fewer input processors but still
+/// keep the rendering processors busy"), the strict `Ts` form otherwise.
+pub fn onedip_optimal_m(tf: f64, tp: f64, ts: f64, tr: f64) -> usize {
+    pipeline_depth(tf + tp, ts.max(tr))
+}
+
+/// Steady-state 1DIP interframe delay with `m` input processors.
+pub fn onedip_steady_delay(tf: f64, tp: f64, ts: f64, tr: f64, m: usize) -> f64 {
+    let m = m.max(1) as f64;
+    ((tf + tp + ts) / m).max(ts).max(tr)
+}
+
+/// 2DIP group width: the smallest `m` with `Ts/m ≤ Tr`.
+pub fn twodip_optimal_m(ts: f64, tr: f64) -> usize {
+    assert!(tr > 0.0);
+    (ts / tr).ceil().max(1.0) as usize
+}
+
+/// 2DIP group count for a given group width `m`:
+/// `n = (Tf' + Tp')/Ts' + 1` with `Tf' = Tf/m` etc., which reduces to the
+/// 1DIP expression `(Tf+Tp)/Ts + 1`.
+pub fn twodip_n(tf: f64, tp: f64, ts: f64, m: usize) -> usize {
+    let m = m.max(1) as f64;
+    pipeline_depth(tf / m + tp / m, ts / m)
+}
+
+/// Steady-state 2DIP interframe delay with `n` groups of `m`.
+pub fn twodip_steady_delay(tf: f64, tp: f64, ts: f64, tr: f64, n: usize, m: usize) -> f64 {
+    let (n, m) = (n.max(1) as f64, m.max(1) as f64);
+    ((tf / m + tp / m + ts / m) / n).max(ts / m).max(tr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // the paper-scale anchor costs (see des::CostTable::lemieux)
+    const TF: f64 = 20.0;
+    const TP: f64 = 2.0;
+    const TS: f64 = 1.2;
+    const TR64: f64 = 2.0; // 64 renderers, 512x512
+    const TR128: f64 = 1.0;
+
+    #[test]
+    fn paper_figure8_twelve_input_processors() {
+        // Fig 8: 64 renderers, 512²: 12 input processors hide I/O
+        assert_eq!(onedip_optimal_m(TF, TP, TS, TR64), 12);
+    }
+
+    #[test]
+    fn strict_form_when_ts_dominates() {
+        // if Ts > Tr the strict §5.1 form applies
+        let m = onedip_optimal_m(10.0, 2.0, 3.0, 1.0);
+        assert_eq!(m, 5); // 12/3 + 1
+    }
+
+    #[test]
+    fn onedip_floor_is_max_ts_tr() {
+        // with many input processors the delay floors at max(Ts, Tr)
+        let d = onedip_steady_delay(TF, TP, TS, TR128, 100);
+        assert!((d - TS).abs() < 1e-12, "floor should be Ts=1.2, got {d}");
+        let d64 = onedip_steady_delay(TF, TP, TS, TR64, 100);
+        assert!((d64 - TR64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn onedip_delay_decreases_with_m() {
+        let mut prev = f64::INFINITY;
+        for m in 1..=16 {
+            let d = onedip_steady_delay(TF, TP, TS, TR64, m);
+            assert!(d <= prev + 1e-12);
+            prev = d;
+        }
+        // single input processor: the full serial chain
+        assert!((onedip_steady_delay(TF, TP, TS, TR64, 1) - 23.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_figure9_twodip_reaches_render_floor() {
+        // 128 renderers: Ts=1.2 > Tr=1.0 — 1DIP can never reach Tr
+        let m1 = 22; // arbitrarily many 1DIP input processors
+        assert!(onedip_steady_delay(TF, TP, TS, TR128, m1) > TR128);
+        // 2DIP with m=2: floor Ts/2=0.6 < Tr -> delay reaches Tr
+        let m = twodip_optimal_m(TS, TR128);
+        assert_eq!(m, 2);
+        let n = twodip_n(TF, TP, TS, m);
+        let d = twodip_steady_delay(TF, TP, TS, TR128, n + 2, m);
+        assert!((d - TR128).abs() < 1e-9, "2DIP should reach Tr, got {d}");
+    }
+
+    #[test]
+    fn twodip_n_equals_onedip_expression() {
+        // n = (Tf'+Tp')/Ts' + 1 == (Tf+Tp)/Ts + 1 for any m
+        for m in 1..=8 {
+            assert_eq!(twodip_n(TF, TP, TS, m), pipeline_depth(TF + TP, TS));
+        }
+    }
+
+    #[test]
+    fn twodip_m_one_degenerates_to_onedip() {
+        for total in 1..=20 {
+            let a = onedip_steady_delay(TF, TP, TS, TR64, total);
+            let b = twodip_steady_delay(TF, TP, TS, TR64, total, 1);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn adaptive_fetch_cuts_required_input_processors() {
+        // §6: adaptive fetching at level 8 needs only 4 input processors
+        // instead of 12 — the fetch (and delivery) shrink to ~25%
+        let frac = 0.25;
+        let m = onedip_optimal_m(TF * frac, TP * frac, TS * frac, TR64);
+        assert_eq!(m, 4, "adaptive fetching should need ~4 input processors");
+    }
+
+    #[test]
+    fn figure10_lighting_needs_three_and_four() {
+        // 256² + lighting (×7 render cost) + adaptive fetching (×0.25):
+        // m = 3 at 64 renderers, 4 at 128 (paper Figure 10)
+        let quarter = 256.0 * 256.0 / (512.0 * 512.0);
+        let tr64 = TR64 * quarter * 7.0;
+        let tr128 = TR128 * quarter * 7.0;
+        let (tf, tp, ts) = (TF * 0.25, TP * 0.25, TS * 0.25);
+        assert_eq!(onedip_optimal_m(tf, tp, ts, tr64), 3);
+        assert_eq!(onedip_optimal_m(tf, tp, ts, tr128), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_stage_time_panics() {
+        onedip_optimal_m(1.0, 1.0, 0.0, 0.0);
+    }
+}

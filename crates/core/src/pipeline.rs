@@ -1,0 +1,818 @@
+//! The real threaded pipeline: input / rendering / output processors.
+//!
+//! This is Figure 2 of the paper, executed over [`quakeviz_rt`] thread
+//! ranks: with `I` input processors, `R` rendering processors and one
+//! output processor, world ranks are laid out `[inputs | renderers |
+//! output]`. Every stage of every frame really happens — parallel reads
+//! through the MPI-IO layer, preprocessing (magnitude, temporal
+//! enhancement, LIC synthesis) on the input processors, block
+//! distribution with per-step tags, brick resampling and ray casting on
+//! the rendering processors, SLIC compositing across them, and final
+//! assembly at the output processor.
+//!
+//! Because sends are buffered and each group runs its own loop, I/O and
+//! preprocessing genuinely overlap rendering: with `io_delay_scale` set
+//! (sleeping out the simulated disk time), the wall-clock behaviour of
+//! the paper's Figures 8–9 can be reproduced *physically* at small scale.
+
+use crate::config::{IoStrategy, PipelineConfig, ReadStrategy};
+use crate::reader::{
+    self, block_level_nodes, level_node_ids, member_node_range, ReadStats,
+};
+use quakeviz_composite::{slic, CompositeOptions, FrameInfo};
+use quakeviz_lic::{colorize, compute_lic, extract_surface_field, white_noise, LicParams};
+use quakeviz_mesh::{
+    Aabb, HexMesh, NodeField, NodeId, OctreeBlock, Partition, Quadtree, WorkloadModel,
+};
+use quakeviz_render::{
+    front_to_back_order, Camera, Fragment, LightingParams, RenderParams,
+    RgbaImage, TemporalEnhance,
+};
+use quakeviz_rt::{Comm, World};
+use quakeviz_seismic::Dataset;
+use std::sync::Arc;
+use std::time::Instant;
+
+const TAG_DATA: u64 = 0x2000_0000_0000;
+const TAG_LIC: u64 = 0x2100_0000_0000;
+const TAG_VOL: u64 = 0x2200_0000_0000;
+
+/// Block data on the wire: raw `f32` values or 8-bit quantized (paper §4
+/// lists quantization among the input-processor preprocessing tasks).
+#[derive(Debug, Clone)]
+enum Payload {
+    F32(Vec<f32>),
+    U8(Vec<u8>),
+}
+
+impl Payload {
+    fn from_values(values: Vec<f32>, quantize: bool, scale: f32) -> Payload {
+        if quantize {
+            let s = if scale > 0.0 { 255.0 / scale } else { 0.0 };
+            Payload::U8(values.iter().map(|&v| (v * s).clamp(0.0, 255.0) as u8).collect())
+        } else {
+            Payload::F32(values)
+        }
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            Payload::F32(v) => v.len() as u64 * 4,
+            Payload::U8(v) => v.len() as u64,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Payload::F32(v) => v.len(),
+            Payload::U8(v) => v.len(),
+        }
+    }
+
+    /// Value at index `k`, dequantized with `scale` when needed.
+    #[inline]
+    fn get(&self, k: usize, scale: f32) -> f32 {
+        match self {
+            Payload::F32(v) => v[k],
+            Payload::U8(v) => v[k] as f32 / 255.0 * scale,
+        }
+    }
+}
+
+/// One per-renderer data message: `(block id, offset into the block's id
+/// list, values)`.
+type BlockBatch = Vec<(u32, u32, Payload)>;
+
+/// Per-step timing recorded by an input processor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InputStepTiming {
+    pub read: ReadStats,
+    pub preprocess_s: f64,
+    pub lic_s: f64,
+    pub send_s: f64,
+}
+
+/// Per-frame timing recorded by a rendering processor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RenderFrameTiming {
+    pub receive_s: f64,
+    pub render_s: f64,
+    pub composite_s: f64,
+}
+
+/// What one rank hands back at the end of the run.
+enum RankResult {
+    Input(Vec<InputStepTiming>),
+    Render(Vec<RenderFrameTiming>),
+    Output { frames: Vec<RgbaImage>, done_at: Vec<f64> },
+}
+
+/// The assembled outcome of a pipeline run.
+pub struct PipelineReport {
+    /// Rendered frames (empty unless `keep_frames`).
+    pub frames: Vec<RgbaImage>,
+    /// Completion time of each frame, seconds since the synchronized start.
+    pub frame_done: Vec<f64>,
+    /// Per-step input timings, pooled across input processors.
+    pub input_steps: Vec<InputStepTiming>,
+    /// Per-frame render timings, pooled across rendering processors.
+    pub render_frames: Vec<RenderFrameTiming>,
+    /// Echo of the configuration's processor counts.
+    pub renderers: usize,
+    pub input_procs: usize,
+    /// The octree level actually rendered at.
+    pub level: u8,
+    /// Total messages exchanged between ranks during the run.
+    pub messages: u64,
+    /// Total payload bytes exchanged between ranks during the run.
+    pub bytes_sent: u64,
+    /// Per-rendering-rank total *pure render* seconds (no compositing —
+    /// compositing is collective and absorbs the wait for the slowest
+    /// rank), in render-rank order. The load-balance ablation reads this.
+    pub render_rank_seconds: Vec<f64>,
+}
+
+impl PipelineReport {
+    /// Interframe delays (first frame counts from the start barrier).
+    pub fn interframe(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.frame_done.len());
+        let mut prev = 0.0;
+        for &t in &self.frame_done {
+            out.push(t - prev);
+            prev = t;
+        }
+        out
+    }
+
+    /// Mean interframe delay.
+    pub fn mean_interframe_delay(&self) -> f64 {
+        let d = self.interframe();
+        d.iter().sum::<f64>() / d.len().max(1) as f64
+    }
+
+    /// Total wall-clock of the frame loop.
+    pub fn total_seconds(&self) -> f64 {
+        self.frame_done.last().copied().unwrap_or(0.0)
+    }
+
+    /// Mean per-step read wall-clock on one input processor (`Tf`-like,
+    /// including any injected simulated delay).
+    pub fn mean_read_seconds(&self) -> f64 {
+        let n = self.input_steps.len().max(1);
+        self.input_steps.iter().map(|s| s.read.real_seconds).sum::<f64>() / n as f64
+    }
+
+    /// Mean per-step preprocessing wall-clock (`Tp`-like).
+    pub fn mean_preprocess_seconds(&self) -> f64 {
+        let n = self.input_steps.len().max(1);
+        self.input_steps.iter().map(|s| s.preprocess_s + s.lic_s).sum::<f64>() / n as f64
+    }
+
+    /// Mean per-frame render+composite wall-clock (`Tr`-like).
+    pub fn mean_render_seconds(&self) -> f64 {
+        let n = self.render_frames.len().max(1);
+        self.render_frames.iter().map(|f| f.render_s + f.composite_s).sum::<f64>() / n as f64
+    }
+
+    /// Pooled simulated disk seconds per step (what the file-system cost
+    /// model charged, before any delay injection).
+    pub fn mean_sim_read_seconds(&self) -> f64 {
+        let n = self.input_steps.len().max(1);
+        self.input_steps.iter().map(|s| s.read.sim_seconds).sum::<f64>() / n as f64
+    }
+}
+
+/// Everything precomputed once and shared read-only by all ranks — the
+/// paper's one-time octree/partition setup.
+struct Shared {
+    mesh: Arc<HexMesh>,
+    disk: Arc<quakeviz_parfs::Disk>,
+    cfg: PipelineConfig,
+    steps: usize,
+    level: u8,
+    vmag_max: f32,
+    blocks: Vec<OctreeBlock>,
+    partition: Partition,
+    camera: Camera,
+    /// Block ids front-to-back for the camera.
+    order_ids: Vec<u32>,
+    /// Node ids each block needs at the fetch level, indexed by block id.
+    ids_per_block: Vec<Arc<Vec<NodeId>>>,
+    /// Node ids of the whole mesh at the fetch level (adaptive fetch).
+    level_ids: Option<Arc<Vec<NodeId>>>,
+    /// Surface structures for LIC.
+    surface: Option<(Arc<Quadtree>, Arc<Vec<NodeId>>, Arc<Vec<f32>>)>,
+    n_inputs: usize,
+    n_renderers: usize,
+    opacity_unit: f64,
+}
+
+/// Run the pipeline for `dataset` under `config`.
+pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<PipelineReport, String> {
+    let n_inputs = config.io.total_input_procs();
+    if n_inputs == 0 || config.renderers == 0 {
+        return Err("need at least one input and one rendering processor".into());
+    }
+    let steps = config.max_steps.map_or(dataset.steps(), |m| m.min(dataset.steps()));
+    if steps == 0 {
+        return Err("dataset has no time steps".into());
+    }
+    if let IoStrategy::TwoDip { groups, per_group } = config.io {
+        if groups == 0 || per_group == 0 {
+            return Err("2DIP needs at least one group of one processor".into());
+        }
+    }
+
+    let mesh = Arc::clone(dataset.mesh());
+    let octree = mesh.octree();
+    let max_level = octree.max_leaf_level();
+    let level = config
+        .level
+        .unwrap_or_else(|| config.adaptive.choose_level(octree, config.width, config.height))
+        .min(max_level);
+    let block_level = config.block_level.min(max_level);
+    let blocks = octree.blocks(block_level);
+    let extent = octree.extent();
+    let camera = config
+        .camera
+        .clone()
+        .unwrap_or_else(|| Camera::default_for(&Aabb::from_extent(extent), config.width, config.height));
+    let partition = if config.view_balance {
+        crate::balance::view_balanced(&mesh, &blocks, config.renderers, &camera, level)
+    } else {
+        Partition::balanced(&mesh, &blocks, config.renderers, WorkloadModel::CellCount)
+    };
+    let order_ids: Vec<u32> = front_to_back_order(&blocks, extent, camera.eye)
+        .into_iter()
+        .map(|i| blocks[i].id)
+        .collect();
+
+    let fetch_level = config.adaptive_fetch.then_some(level);
+    let ids_per_block: Vec<Arc<Vec<NodeId>>> =
+        blocks.iter().map(|b| Arc::new(block_level_nodes(&mesh, b, fetch_level))).collect();
+    let level_ids = config
+        .adaptive_fetch
+        .then(|| Arc::new(level_node_ids(&mesh, level)));
+    let surface = config.lic.then(|| {
+        let (qt, ids) = Quadtree::from_surface_nodes(&mesh);
+        let noise = white_noise(config.width, config.height, 0x5eed);
+        (Arc::new(qt), Arc::new(ids), Arc::new(noise))
+    });
+
+    let shared = Shared {
+        mesh,
+        disk: Arc::clone(dataset.disk()),
+        steps,
+        level,
+        vmag_max: dataset.vmag_max(),
+        blocks,
+        partition,
+        camera,
+        order_ids,
+        ids_per_block,
+        level_ids,
+        surface,
+        n_inputs,
+        n_renderers: config.renderers,
+        opacity_unit: extent.max_component() / 64.0,
+        cfg: config,
+    };
+
+    let world = n_inputs + shared.n_renderers + 1;
+    let shared = &shared;
+    let stats = quakeviz_rt::TrafficStats::new();
+    let results =
+        World::run_traced(world, Arc::clone(&stats), move |comm| rank_main(comm, shared));
+
+    // assemble
+    let mut input_steps = Vec::new();
+    let mut render_frames = Vec::new();
+    let mut render_rank_seconds = Vec::new();
+    let mut frames = Vec::new();
+    let mut frame_done = Vec::new();
+    for r in results {
+        match r {
+            RankResult::Input(v) => input_steps.extend(v),
+            RankResult::Render(v) => {
+                render_rank_seconds.push(v.iter().map(|f| f.render_s).sum::<f64>());
+                render_frames.extend(v);
+            }
+            RankResult::Output { frames: f, done_at } => {
+                frames = f;
+                frame_done = done_at;
+            }
+        }
+    }
+    Ok(PipelineReport {
+        frames,
+        frame_done,
+        input_steps,
+        render_frames,
+        renderers: shared.n_renderers,
+        input_procs: n_inputs,
+        level: shared.level,
+        messages: stats.messages(),
+        bytes_sent: stats.bytes(),
+        render_rank_seconds,
+    })
+}
+
+fn rank_main(comm: Comm, s: &Shared) -> RankResult {
+    // every rank constructs the same sub-communicators in the same order
+    let render_ranks: Vec<usize> = (s.n_inputs..s.n_inputs + s.n_renderers).collect();
+    let render_comm = comm.group(&render_ranks);
+    let mut group_comm = None;
+    if let IoStrategy::TwoDip { groups, per_group } = s.cfg.io {
+        for g in 0..groups {
+            let members: Vec<usize> = (g * per_group..(g + 1) * per_group).collect();
+            let gc = comm.group(&members);
+            if gc.is_some() {
+                group_comm = gc;
+            }
+        }
+    }
+    comm.barrier();
+    let start = Instant::now();
+
+    let me = comm.rank();
+    if me < s.n_inputs {
+        RankResult::Input(input_main(&comm, group_comm.as_ref(), s))
+    } else if me < s.n_inputs + s.n_renderers {
+        RankResult::Render(render_main(&comm, render_comm.as_ref().unwrap(), s))
+    } else {
+        output_main(&comm, s, start)
+    }
+}
+
+// ---------------------------------------------------------------------
+// input processors
+// ---------------------------------------------------------------------
+
+/// Dense per-node vectors for the step plus the stats of getting them.
+fn fetch_step(
+    comm_group: Option<&Comm>,
+    s: &Shared,
+    t: usize,
+    my_ids: Option<&[NodeId]>,
+    my_range: Option<(usize, usize)>,
+) -> (Vec<[f32; 3]>, ReadStats) {
+    let mesh = &s.mesh;
+    let (dense, mut stats) = match (my_ids, my_range) {
+        // adaptive or chunked indexed fetch
+        (Some(ids), _) => match (&s.cfg.read, comm_group) {
+            (ReadStrategy::CollectiveNoncontiguous { sieve_window }, Some(gc)) => {
+                reader::read_step_ids_collective(&s.disk, mesh, t, ids, gc, *sieve_window)
+            }
+            _ => reader::read_step_ids(&s.disk, mesh, t, ids, 1 << 16),
+        },
+        // contiguous slice (2DIP full resolution)
+        (None, Some(range)) => reader::read_step_range(&s.disk, mesh, t, range),
+        // whole step (1DIP full resolution)
+        (None, None) => reader::read_step_full(&s.disk, mesh, t),
+    };
+    if let Some(scale) = s.cfg.io_delay_scale {
+        let d = stats.sim_seconds * scale;
+        if d > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(d));
+            // the injected delay stands in for real disk time: count it
+            stats.real_seconds += d;
+        }
+    }
+    (dense, stats)
+}
+
+fn magnitudes(dense: &[[f32; 3]]) -> Vec<f32> {
+    dense.iter().map(|v| (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()).collect()
+}
+
+fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputStepTiming> {
+    let me = comm.rank();
+    let output_rank = s.n_inputs + s.n_renderers;
+    let mut timings = Vec::new();
+
+    // which steps do I work on, and which part of each?
+    let (my_steps, member, group_size): (Vec<usize>, usize, usize) = match s.cfg.io {
+        IoStrategy::OneDip { input_procs } => {
+            ((0..s.steps).filter(|t| t % input_procs == me).collect(), 0, 1)
+        }
+        IoStrategy::TwoDip { groups, per_group } => {
+            let g = me / per_group;
+            ((0..s.steps).filter(|t| t % groups == g).collect(), me % per_group, per_group)
+        }
+    };
+
+    // my fetch pattern (constant across steps)
+    let node_count = s.mesh.node_count();
+    let my_ids: Option<Vec<NodeId>> = match (&s.level_ids, group_size) {
+        (Some(lvl), 1) => Some(lvl.as_ref().clone()),
+        (Some(lvl), m) => {
+            let (a, b) = member_node_range(lvl.len(), member, m);
+            Some(lvl[a..b].to_vec())
+        }
+        (None, 1) => None,
+        (None, m) => {
+            // contiguous slice — materialize ids only for the collective path
+            match s.cfg.read {
+                ReadStrategy::CollectiveNoncontiguous { .. } => {
+                    let (a, b) = member_node_range(node_count, member, m);
+                    Some((a as NodeId..b as NodeId).collect())
+                }
+                ReadStrategy::IndependentContiguous => None,
+            }
+        }
+    };
+    let my_range = if group_size > 1 && my_ids.is_none() {
+        Some(member_node_range(node_count, member, group_size))
+    } else {
+        None
+    };
+    // value range of my node ids, for piece extraction; a solo reader
+    // (1DIP) holds every needed node and sends full per-block values
+    let my_span: Option<(NodeId, NodeId)> = if group_size == 1 {
+        None
+    } else {
+        match (&my_ids, my_range) {
+            (Some(ids), _) if !ids.is_empty() => Some((ids[0], *ids.last().unwrap() + 1)),
+            (Some(_), _) => Some((0, 0)),
+            (None, Some((a, b))) => Some((a as NodeId, b as NodeId)),
+            (None, None) => None,
+        }
+    };
+    let enhance = TemporalEnhance::default();
+
+    for &t in &my_steps {
+        let mut timing = InputStepTiming::default();
+        let (dense, stats) = fetch_step(group_comm, s, t, my_ids.as_deref(), my_range);
+        timing.read = stats;
+
+        // preprocessing: magnitude + optional temporal enhancement
+        let pp = Instant::now();
+        let mut mag = magnitudes(&dense);
+        if s.cfg.enhancement && t > 0 {
+            let (prev_dense, prev_stats) =
+                fetch_step(group_comm, s, t - 1, my_ids.as_deref(), my_range);
+            timing.read.accumulate(&prev_stats);
+            let prev_mag = magnitudes(&prev_dense);
+            mag = enhance
+                .apply(&NodeField::new(mag), Some(&NodeField::new(prev_mag)), None)
+                .values()
+                .to_vec();
+        }
+        timing.preprocess_s = pp.elapsed().as_secs_f64();
+
+        // LIC: synthesized by the step's lead input processor
+        if let Some((qt, surf_ids, noise)) = &s.surface {
+            if member == 0 {
+                let lic_t = Instant::now();
+                // surface vectors: read explicitly (they may not be in the
+                // adaptive fetch set or my slice)
+                let (surf_dense, surf_stats) =
+                    reader::read_step_ids(&s.disk, &s.mesh, t, surf_ids, 1 << 16);
+                timing.read.accumulate(&surf_stats);
+                if let Some(scale) = s.cfg.io_delay_scale {
+                    let d = surf_stats.sim_seconds * scale;
+                    if d > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(d));
+                    }
+                }
+                let field = quakeviz_mesh::VectorField::new(surf_dense);
+                let reg = extract_surface_field(&s.mesh, &field, qt, s.cfg.width, s.cfg.height);
+                let phase = (t as f64 * 0.08) % 1.0;
+                let gray = compute_lic(
+                    &reg,
+                    noise,
+                    &LicParams { phase: Some(phase), ..Default::default() },
+                );
+                // normalize by the surface maximum (surface motion is far
+                // weaker than the 3D peak at the hypocentre)
+                let img = colorize(&reg, &gray, &s.cfg.transfer, reg.max_magnitude());
+                timing.lic_s = lic_t.elapsed().as_secs_f64();
+                let bytes = (img.width() * img.height() * 16) as u64;
+                comm.send_with_size(output_rank, TAG_LIC + t as u64, img, bytes);
+            }
+        }
+
+        // distribute block data to the renderers: every message is a
+        // batch of (block, offset-into-id-list, values) pieces — whole
+        // blocks (offset 0) for solo readers, slice intersections for
+        // 2DIP group members
+        let send_t = Instant::now();
+        for r in 0..s.n_renderers {
+            let dst = s.n_inputs + r;
+            let mut batch: BlockBatch = Vec::new();
+            for &bid in s.partition.blocks_of(r) {
+                let ids = &s.ids_per_block[bid as usize];
+                let (a, b) = match my_span {
+                    None => (0, ids.len()),
+                    Some((lo, hi)) => {
+                        (ids.partition_point(|&id| id < lo), ids.partition_point(|&id| id < hi))
+                    }
+                };
+                if a < b {
+                    let values: Vec<f32> =
+                        ids[a..b].iter().map(|&id| mag[id as usize]).collect();
+                    batch.push((
+                        bid,
+                        a as u32,
+                        Payload::from_values(values, s.cfg.quantize, s.vmag_max),
+                    ));
+                }
+            }
+            let bytes: u64 = batch.iter().map(|(_, _, p)| p.wire_bytes()).sum();
+            comm.send_with_size(dst, TAG_DATA + t as u64, batch, bytes);
+        }
+        timing.send_s = send_t.elapsed().as_secs_f64();
+        timings.push(timing);
+    }
+    timings
+}
+
+// ---------------------------------------------------------------------
+// rendering processors
+// ---------------------------------------------------------------------
+
+fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTiming> {
+    let me = comm.rank();
+    let rr = me - s.n_inputs; // render-group rank
+    let output_rank = s.n_inputs + s.n_renderers;
+    let my_blocks = s.partition.blocks_of(rr);
+    let mut field = NodeField::zeros(&s.mesh);
+    let params = RenderParams {
+        lighting: s.cfg.lighting.then(LightingParams::default),
+        opacity_unit: Some(s.opacity_unit),
+        ..Default::default()
+    };
+    let norm = (0.0f32, s.vmag_max);
+    let mut timings = Vec::with_capacity(s.steps);
+
+    for t in 0..s.steps {
+        let mut timing = RenderFrameTiming::default();
+        let recv_t = Instant::now();
+        let sources: Vec<usize> = match s.cfg.io {
+            IoStrategy::OneDip { input_procs } => vec![t % input_procs],
+            IoStrategy::TwoDip { groups, per_group } => {
+                let g = t % groups;
+                (g * per_group..(g + 1) * per_group).collect()
+            }
+        };
+        for src in sources {
+            let batch: BlockBatch = comm.recv(src, TAG_DATA + t as u64);
+            for (bid, offset, payload) in batch {
+                let ids = &s.ids_per_block[bid as usize];
+                for k in 0..payload.len() {
+                    field.set(ids[offset as usize + k], payload.get(k, s.vmag_max));
+                }
+            }
+        }
+        timing.receive_s = recv_t.elapsed().as_secs_f64();
+
+        // render my blocks
+        let render_t = Instant::now();
+        let mut frags: Vec<Fragment> = Vec::new();
+        for &bid in my_blocks {
+            let block = &s.blocks[bid as usize];
+            if let Some(f) = quakeviz_render::render_block(
+                &s.mesh,
+                &field,
+                block,
+                s.level,
+                norm,
+                &s.camera,
+                &s.cfg.transfer,
+                &params,
+            ) {
+                frags.push(f);
+            }
+        }
+        timing.render_s = render_t.elapsed().as_secs_f64();
+
+        // composite across the render group with SLIC; root delivers
+        let comp_t = Instant::now();
+        let info =
+            FrameInfo::exchange(render_comm, &frags, &s.order_ids, s.cfg.width, s.cfg.height);
+        let result = slic(render_comm, &frags, &info, 0, CompositeOptions::default());
+        if let Some(img) = result.image {
+            let bytes = (img.width() * img.height() * 16) as u64;
+            comm.send_with_size(output_rank, TAG_VOL + t as u64, img, bytes);
+        }
+        timing.composite_s = comp_t.elapsed().as_secs_f64();
+        timings.push(timing);
+    }
+    timings
+}
+
+// ---------------------------------------------------------------------
+// output processor
+// ---------------------------------------------------------------------
+
+fn output_main(comm: &Comm, s: &Shared, start: Instant) -> RankResult {
+    let render_root = s.n_inputs;
+    let mut frames = Vec::new();
+    let mut done_at = Vec::with_capacity(s.steps);
+    for t in 0..s.steps {
+        let mut vol: RgbaImage = comm.recv(render_root, TAG_VOL + t as u64);
+        if s.surface.is_some() {
+            let lic_src = match s.cfg.io {
+                IoStrategy::OneDip { input_procs } => t % input_procs,
+                IoStrategy::TwoDip { groups, per_group } => (t % groups) * per_group,
+            };
+            let lic_img: RgbaImage = comm.recv(lic_src, TAG_LIC + t as u64);
+            // the volume rendering sits in front of the surface texture
+            vol.over_inplace(&lic_img);
+        }
+        done_at.push(start.elapsed().as_secs_f64());
+        if s.cfg.keep_frames {
+            frames.push(vol);
+        }
+    }
+    RankResult::Output { frames, done_at }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineBuilder;
+    use quakeviz_seismic::SimulationBuilder;
+
+    fn dataset() -> Dataset {
+        SimulationBuilder::new().resolution(16).steps(4).run_to_dataset().unwrap()
+    }
+
+    #[test]
+    fn quickstart_pipeline_produces_frames() {
+        let ds = dataset();
+        let report = PipelineBuilder::new(&ds)
+            .renderers(3)
+            .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+            .image_size(96, 96)
+            .run()
+            .expect("pipeline");
+        assert_eq!(report.frames.len(), 4);
+        assert_eq!(report.frame_done.len(), 4);
+        assert!(report.mean_interframe_delay() > 0.0);
+        // frames must not all be empty: late steps carry waves
+        let busy = report.frames.iter().any(|f| {
+            f.pixels().iter().any(|p| p[3] > 0.01)
+        });
+        assert!(busy, "no frame shows any volume contribution");
+    }
+
+    #[test]
+    fn onedip_and_twodip_render_identical_frames() {
+        let ds = dataset();
+        let run = |io: IoStrategy, renderers: usize| {
+            PipelineBuilder::new(&ds)
+                .renderers(renderers)
+                .io_strategy(io)
+                .image_size(64, 64)
+                .run()
+                .expect("pipeline")
+        };
+        let a = run(IoStrategy::OneDip { input_procs: 1 }, 2);
+        let b = run(IoStrategy::OneDip { input_procs: 3 }, 4);
+        let c = run(IoStrategy::TwoDip { groups: 2, per_group: 2 }, 3);
+        for t in 0..ds.steps() {
+            let d_ab = a.frames[t].rms_difference(&b.frames[t]);
+            let d_ac = a.frames[t].rms_difference(&c.frames[t]);
+            assert!(d_ab < 1e-6, "frame {t}: 1DIP configs differ (rms {d_ab})");
+            assert!(d_ac < 1e-6, "frame {t}: 2DIP differs from 1DIP (rms {d_ac})");
+        }
+    }
+
+    #[test]
+    fn collective_read_strategy_matches_independent() {
+        let ds = dataset();
+        let run = |read: ReadStrategy| {
+            PipelineBuilder::new(&ds)
+                .renderers(2)
+                .io_strategy(IoStrategy::TwoDip { groups: 1, per_group: 3 })
+                .read_strategy(read)
+                .image_size(64, 64)
+                .max_steps(2)
+                .run()
+                .expect("pipeline")
+        };
+        let a = run(ReadStrategy::IndependentContiguous);
+        let b = run(ReadStrategy::CollectiveNoncontiguous { sieve_window: 4096 });
+        for t in 0..2 {
+            assert!(a.frames[t].rms_difference(&b.frames[t]) < 1e-6, "frame {t} differs");
+        }
+    }
+
+    #[test]
+    fn adaptive_fetch_close_to_full_at_coarse_level() {
+        let ds = dataset();
+        let level = ds.mesh().octree().max_leaf_level() - 1;
+        let run = |fetch: bool| {
+            PipelineBuilder::new(&ds)
+                .renderers(2)
+                .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+                .image_size(64, 64)
+                .level(level)
+                .adaptive_fetch(fetch)
+                .max_steps(3)
+                .run()
+                .expect("pipeline")
+        };
+        let full = run(false);
+        let adaptive = run(true);
+        // identical pixels: the coarse level only touches the fetched nodes
+        for t in 0..3 {
+            let d = full.frames[t].rms_difference(&adaptive.frames[t]);
+            assert!(d < 1e-6, "frame {t}: adaptive fetch changed the image (rms {d})");
+        }
+        // and read strictly less
+        let full_bytes: u64 = full.input_steps.iter().map(|s| s.read.useful_bytes).sum();
+        let adaptive_bytes: u64 =
+            adaptive.input_steps.iter().map(|s| s.read.useful_bytes).sum();
+        assert!(
+            adaptive_bytes < full_bytes,
+            "adaptive fetch must read fewer bytes ({adaptive_bytes} vs {full_bytes})"
+        );
+    }
+
+    #[test]
+    fn enhancement_and_lighting_and_lic_run() {
+        let ds = dataset();
+        let report = PipelineBuilder::new(&ds)
+            .renderers(2)
+            .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+            .image_size(64, 64)
+            .enhancement(true)
+            .lighting(true)
+            .lic(true)
+            .max_steps(3)
+            .run()
+            .expect("pipeline");
+        assert_eq!(report.frames.len(), 3);
+        // LIC overlay gives every pixel some alpha on the surface rect
+        let last = &report.frames[2];
+        let covered = last.pixels().iter().filter(|p| p[3] > 0.0).count();
+        assert!(covered > 0);
+        // lic timing recorded on lead input processors
+        assert!(report.input_steps.iter().any(|s| s.lic_s > 0.0));
+    }
+
+    #[test]
+    fn io_hiding_more_input_procs_faster() {
+        // inject simulated I/O delay so the real pipeline becomes
+        // I/O-bound, then verify more input processors hide it (Fig 8)
+        let ds = dataset();
+        let run = |m: usize| {
+            PipelineBuilder::new(&ds)
+                .renderers(2)
+                .io_strategy(IoStrategy::OneDip { input_procs: m })
+                .image_size(48, 48)
+                .keep_frames(false)
+                .io_delay_scale(50.0)
+                .run()
+                .expect("pipeline")
+                .total_seconds()
+        };
+        let t1 = run(1);
+        let t3 = run(3);
+        assert!(
+            t3 < t1 * 0.75,
+            "3 input processors should hide I/O: {t3:.3}s vs {t1:.3}s with 1"
+        );
+    }
+
+    #[test]
+    fn quantization_shrinks_traffic_with_tiny_image_error() {
+        let ds = dataset();
+        let run = |q: bool| {
+            PipelineBuilder::new(&ds)
+                .renderers(2)
+                .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+                .image_size(64, 64)
+                .quantize(q)
+                .run()
+                .expect("pipeline")
+        };
+        let full = run(false);
+        let quant = run(true);
+        // value error ≤ 1/255 of the range: imperceptible in the frame
+        for t in 0..ds.steps() {
+            let d = full.frames[t].rms_difference(&quant.frames[t]);
+            assert!(d < 0.01, "frame {t}: quantization error too visible (rms {d})");
+        }
+        // block-distribution traffic shrinks towards 1/4 (other traffic —
+        // images, FrameInfo — is shared, so total is between 1/4 and 1)
+        assert!(
+            quant.bytes_sent < full.bytes_sent * 9 / 10,
+            "quantization should cut traffic: {} vs {}",
+            quant.bytes_sent,
+            full.bytes_sent
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let ds = dataset();
+        assert!(PipelineBuilder::new(&ds).renderers(0).run().is_err());
+        assert!(PipelineBuilder::new(&ds)
+            .io_strategy(IoStrategy::TwoDip { groups: 0, per_group: 2 })
+            .run()
+            .is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! The §5.3 reading strategies and adaptive fetching (§6).
+//!
+//! A time step on disk is a flat `3 × f32` node array. What each input
+//! processor actually pulls off the file system depends on the strategy:
+//!
+//! * **full step** — 1DIP's "each processor reading … a complete, single
+//!   time step";
+//! * **contiguous slice** — §5.3.2's independent contiguous read (each of
+//!   `m` group members takes `1/m` of the node array);
+//! * **indexed pattern** — §5.3.1's derived-datatype read, independent or
+//!   collective (two-phase `read_all` with data sieving);
+//! * **adaptive fetch** — §6: "only data cells at the selected level are
+//!   fetched from the disk": the node set shrinks to the corners of the
+//!   level-ℓ cell tiling, cutting fetch bytes by the same factor as the
+//!   rendering work.
+
+use quakeviz_mesh::{HexMesh, NodeId, OctreeBlock};
+use quakeviz_parfs::{Disk, IndexedBlockType, PFile};
+use quakeviz_rt::Comm;
+use quakeviz_seismic::Dataset;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Accounting for one read operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReadStats {
+    /// Simulated parallel-file-system seconds (from the disk cost model).
+    pub sim_seconds: f64,
+    /// Bytes pulled off disk (including sieving waste).
+    pub disk_bytes: u64,
+    /// Bytes the caller asked for.
+    pub useful_bytes: u64,
+    /// Disk requests issued.
+    pub requests: u64,
+    /// Real wall-clock seconds spent in the read call.
+    pub real_seconds: f64,
+}
+
+impl ReadStats {
+    pub fn accumulate(&mut self, o: &ReadStats) {
+        self.sim_seconds += o.sim_seconds;
+        self.disk_bytes += o.disk_bytes;
+        self.useful_bytes += o.useful_bytes;
+        self.requests += o.requests;
+        self.real_seconds += o.real_seconds;
+    }
+}
+
+/// Sorted unique node ids needed to render the whole mesh at `level`: the
+/// corners of every cell in the level-ℓ tiling (all of which exist as
+/// mesh nodes — coarse leaves keep their own corners).
+pub fn level_node_ids(mesh: &HexMesh, level: u8) -> Vec<NodeId> {
+    let octree = mesh.octree();
+    let max = octree.max_leaf_level();
+    let cells = octree.extract_level(level);
+    let mut ids = Vec::with_capacity(cells.len() * 8);
+    for cell in &cells {
+        let (ax, ay, az) = cell.anchor_at_level(max);
+        let size = 1u32 << (max - cell.level);
+        for i in 0..8u32 {
+            let (gx, gy, gz) = (ax + (i & 1) * size, ay + ((i >> 1) & 1) * size, az + ((i >> 2) & 1) * size);
+            ids.push(
+                mesh.node_at(gx, gy, gz)
+                    .expect("level tiling corner must exist as a mesh node"),
+            );
+        }
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// Sorted unique node ids a renderer needs for `block` when fetching /
+/// rendering at `level` (`None` = full resolution: every block node).
+pub fn block_level_nodes(mesh: &HexMesh, block: &OctreeBlock, level: Option<u8>) -> Vec<NodeId> {
+    match level {
+        None => mesh.block_nodes(block),
+        Some(level) => {
+            let octree = mesh.octree();
+            let max = octree.max_leaf_level();
+            let mut ids = Vec::new();
+            for leaf in &octree.leaves()[block.leaf_start..block.leaf_end] {
+                let cell = if leaf.level > level { leaf.ancestor_at(level) } else { *leaf };
+                let (ax, ay, az) = cell.anchor_at_level(max);
+                let size = 1u32 << (max - cell.level);
+                for i in 0..8u32 {
+                    let (gx, gy, gz) =
+                        (ax + (i & 1) * size, ay + ((i >> 1) & 1) * size, az + ((i >> 2) & 1) * size);
+                    ids.push(mesh.node_at(gx, gy, gz).expect("level corner must be a node"));
+                }
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        }
+    }
+}
+
+fn parse_vectors_into(dense: &mut [[f32; 3]], ids: Option<&[NodeId]>, bytes: &[u8]) {
+    assert_eq!(bytes.len() % 12, 0);
+    let n = bytes.len() / 12;
+    let read3 = |k: usize| -> [f32; 3] {
+        let o = k * 12;
+        [
+            f32::from_le_bytes(bytes[o..o + 4].try_into().unwrap()),
+            f32::from_le_bytes(bytes[o + 4..o + 8].try_into().unwrap()),
+            f32::from_le_bytes(bytes[o + 8..o + 12].try_into().unwrap()),
+        ]
+    };
+    match ids {
+        None => {
+            assert_eq!(n, dense.len());
+            for k in 0..n {
+                dense[k] = read3(k);
+            }
+        }
+        Some(ids) => {
+            assert_eq!(n, ids.len());
+            for (k, &id) in ids.iter().enumerate() {
+                dense[id as usize] = read3(k);
+            }
+        }
+    }
+}
+
+fn stats_from(outcome: &quakeviz_parfs::ReadOutcome, start: Instant) -> ReadStats {
+    ReadStats {
+        sim_seconds: outcome.sim_seconds,
+        disk_bytes: outcome.disk_bytes,
+        useful_bytes: outcome.useful_bytes,
+        requests: outcome.requests,
+        real_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Read the complete step `t` into a dense per-node vector buffer.
+pub fn read_step_full(disk: &Arc<Disk>, mesh: &HexMesh, t: usize) -> (Vec<[f32; 3]>, ReadStats) {
+    let start = Instant::now();
+    let f = PFile::open(Arc::clone(disk), Dataset::step_path(t));
+    let out = f.read_contiguous(0, f.len());
+    let mut dense = vec![[0.0f32; 3]; mesh.node_count()];
+    parse_vectors_into(&mut dense, None, &out.data);
+    (dense, stats_from(&out, start))
+}
+
+/// Independent indexed read of the given node ids of step `t` (dense
+/// buffer; unfetched nodes stay zero).
+pub fn read_step_ids(
+    disk: &Arc<Disk>,
+    mesh: &HexMesh,
+    t: usize,
+    ids: &[NodeId],
+    sieve_window: u64,
+) -> (Vec<[f32; 3]>, ReadStats) {
+    let start = Instant::now();
+    let f = PFile::open(Arc::clone(disk), Dataset::step_path(t));
+    let dt = IndexedBlockType::from_node_ids(ids, 12);
+    let out = f.read_indexed(&dt, sieve_window);
+    let mut dense = vec![[0.0f32; 3]; mesh.node_count()];
+    parse_vectors_into(&mut dense, Some(ids), &out.data);
+    (dense, stats_from(&out, start))
+}
+
+/// Collective two-phase read of the given node ids over `comm`
+/// (paper §5.3.1). All ranks of `comm` must call it with their own ids.
+pub fn read_step_ids_collective(
+    disk: &Arc<Disk>,
+    mesh: &HexMesh,
+    t: usize,
+    ids: &[NodeId],
+    comm: &Comm,
+    sieve_window: u64,
+) -> (Vec<[f32; 3]>, ReadStats) {
+    let start = Instant::now();
+    let f = PFile::open(Arc::clone(disk), Dataset::step_path(t));
+    let dt = IndexedBlockType::new(12, 1, ids.iter().map(|&i| i as u64).collect());
+    let out = f.read_all(comm, &dt, sieve_window);
+    let mut dense = vec![[0.0f32; 3]; mesh.node_count()];
+    parse_vectors_into(&mut dense, Some(ids), &out.data);
+    (dense, stats_from(&out, start))
+}
+
+/// Contiguous node-range read (paper §5.3.2): nodes `[range.0, range.1)`.
+pub fn read_step_range(
+    disk: &Arc<Disk>,
+    mesh: &HexMesh,
+    t: usize,
+    range: (usize, usize),
+) -> (Vec<[f32; 3]>, ReadStats) {
+    let start = Instant::now();
+    let f = PFile::open(Arc::clone(disk), Dataset::step_path(t));
+    let (a, b) = range;
+    let out = f.read_contiguous(a as u64 * 12, (b - a) as u64 * 12);
+    let mut dense = vec![[0.0f32; 3]; mesh.node_count()];
+    let ids: Vec<NodeId> = (a as NodeId..b as NodeId).collect();
+    parse_vectors_into(&mut dense, Some(&ids), &out.data);
+    (dense, stats_from(&out, start))
+}
+
+/// The contiguous node range of group member `j` of `m` (node-aligned).
+pub fn member_node_range(node_count: usize, j: usize, m: usize) -> (usize, usize) {
+    let a = j * node_count / m;
+    let b = (j + 1) * node_count / m;
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quakeviz_rt::World;
+    use quakeviz_seismic::SimulationBuilder;
+
+    fn dataset() -> Dataset {
+        SimulationBuilder::new().resolution(16).steps(3).run_to_dataset().unwrap()
+    }
+
+    #[test]
+    fn full_read_matches_dataset() {
+        let ds = dataset();
+        let (dense, stats) = read_step_full(ds.disk(), ds.mesh(), 1);
+        let want = ds.load_step(1);
+        assert_eq!(dense.len(), want.len());
+        for (a, b) in dense.iter().zip(want.values()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(stats.useful_bytes, ds.bytes_per_step());
+        assert!(stats.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn level_ids_subset_and_monotone() {
+        let ds = dataset();
+        let mesh = ds.mesh();
+        let max = mesh.octree().max_leaf_level();
+        let mut prev = 0usize;
+        for level in 0..=max {
+            let ids = level_node_ids(mesh, level);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]));
+            assert!(ids.len() >= prev, "coarser level cannot have more nodes");
+            prev = ids.len();
+        }
+        assert_eq!(level_node_ids(mesh, max).len(), mesh.node_count());
+    }
+
+    #[test]
+    fn indexed_read_scatters_correctly() {
+        let ds = dataset();
+        let mesh = ds.mesh();
+        let level = mesh.octree().max_leaf_level().saturating_sub(1);
+        let ids = level_node_ids(mesh, level);
+        let (dense, stats) = read_step_ids(ds.disk(), mesh, 2, &ids, 256);
+        let want = ds.load_step(2);
+        for &id in &ids {
+            assert_eq!(dense[id as usize], want.get(id));
+        }
+        assert!(stats.useful_bytes < ds.bytes_per_step(), "adaptive fetch must read less");
+        assert_eq!(stats.useful_bytes, ids.len() as u64 * 12);
+    }
+
+    #[test]
+    fn range_read_covers_exactly_range() {
+        let ds = dataset();
+        let mesh = ds.mesh();
+        let n = mesh.node_count();
+        let (a, b) = member_node_range(n, 1, 3);
+        let (dense, _) = read_step_range(ds.disk(), mesh, 0, (a, b));
+        let want = ds.load_step(0);
+        for id in a..b {
+            assert_eq!(dense[id], want.get(id as NodeId));
+        }
+        // outside the range: zeros
+        if a > 0 {
+            assert_eq!(dense[0], [0.0; 3]);
+        }
+    }
+
+    #[test]
+    fn member_ranges_tile_node_array() {
+        for (n, m) in [(100usize, 3usize), (17, 4), (64, 64), (5, 8)] {
+            let mut covered = 0;
+            for j in 0..m {
+                let (a, b) = member_node_range(n, j, m);
+                assert_eq!(a, covered);
+                covered = b;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn collective_read_agrees_with_independent() {
+        let ds = dataset();
+        let mesh = Arc::clone(ds.mesh());
+        let disk = Arc::clone(ds.disk());
+        let results = World::run(3, |comm| {
+            let n = mesh.node_count();
+            let (a, b) = member_node_range(n, comm.rank(), comm.size());
+            let ids: Vec<NodeId> = (a as NodeId..b as NodeId).collect();
+            let (dense, stats) =
+                read_step_ids_collective(&disk, &mesh, 1, &ids, &comm, 1 << 16);
+            (dense, stats, (a, b))
+        });
+        let want = ds.load_step(1);
+        for (dense, stats, (a, b)) in results {
+            for id in a..b {
+                assert_eq!(dense[id], want.get(id as NodeId));
+            }
+            assert!(stats.sim_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn block_level_nodes_subset_of_block_nodes() {
+        let ds = dataset();
+        let mesh = ds.mesh();
+        let blocks = mesh.octree().blocks(2);
+        let max = mesh.octree().max_leaf_level();
+        for b in &blocks {
+            let full = block_level_nodes(mesh, b, None);
+            assert_eq!(full, mesh.block_nodes(b));
+            for level in 0..=max {
+                let sub = block_level_nodes(mesh, b, Some(level));
+                assert!(sub.windows(2).all(|w| w[0] < w[1]));
+                assert!(sub.len() <= full.len());
+                // level == max gives the full set
+                if level == max {
+                    assert_eq!(sub, full);
+                }
+            }
+        }
+    }
+}

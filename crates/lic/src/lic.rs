@@ -1,0 +1,260 @@
+//! Line Integral Convolution (Cabral & Leedom 1993).
+//!
+//! For each output pixel, a streamline of the 2D field is traced forward
+//! and backward with fixed-step RK2; the white-noise texture is convolved
+//! along it. A periodic (Hanning-windowed, phase-shifted) kernel produces
+//! animation frames that give the impression of flow direction (§2.5).
+
+use crate::field2d::RegularField2D;
+use quakeviz_render::{RgbaImage, TransferFunction};
+use rayon::prelude::*;
+
+/// LIC parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LicParams {
+    /// Half kernel length in pixels (streamline steps each direction).
+    pub kernel_half: usize,
+    /// Integration step in pixels.
+    pub step_px: f64,
+    /// Animation phase in `[0, 1)`; `None` uses a box filter (static LIC).
+    pub phase: Option<f64>,
+    /// Magnitudes below this fraction of the max are treated as stagnant
+    /// (pixel keeps plain noise, avoiding division blow-ups).
+    pub stagnation_eps: f32,
+}
+
+impl Default for LicParams {
+    fn default() -> Self {
+        LicParams { kernel_half: 12, step_px: 0.7, phase: None, stagnation_eps: 1e-6 }
+    }
+}
+
+/// Compute the LIC gray texture of `field` over `noise` (a
+/// `width × height` grid matching the field's grid). Returns per-pixel
+/// gray values in `[0, 1]`.
+pub fn compute_lic(field: &RegularField2D, noise: &[f32], params: &LicParams) -> Vec<f32> {
+    let (w, h) = (field.width as usize, field.height as usize);
+    assert_eq!(noise.len(), w * h, "noise texture size mismatch");
+    let max_mag = field.max_magnitude();
+    let floor = max_mag * params.stagnation_eps;
+
+    let kernel: Vec<f64> = (0..=2 * params.kernel_half)
+        .map(|i| {
+            let t = i as f64 / (2 * params.kernel_half) as f64; // 0..1
+            match params.phase {
+                None => 1.0,
+                Some(phase) => {
+                    // periodic Hanning window sliding with phase
+                    let u = (t - phase).rem_euclid(1.0);
+                    0.5 * (1.0 - (2.0 * std::f64::consts::PI * u).cos())
+                }
+            }
+        })
+        .collect();
+
+    (0..w * h)
+        .into_par_iter()
+        .map(|idx| {
+            let x0 = (idx % w) as f64 + 0.5;
+            let y0 = (idx / w) as f64 + 0.5;
+            let (vx, vy) = field.sample_px(x0, y0);
+            if (vx * vx + vy * vy).sqrt() <= floor {
+                return noise[idx];
+            }
+            let sample_noise = |x: f64, y: f64| -> f64 {
+                let i = (x as usize).min(w - 1);
+                let j = (y as usize).min(h - 1);
+                noise[j * w + i] as f64
+            };
+            let mut acc = kernel[params.kernel_half] * sample_noise(x0, y0);
+            let mut wsum = kernel[params.kernel_half];
+            // trace both directions
+            for dir in [1.0f64, -1.0] {
+                let (mut x, mut y) = (x0, y0);
+                for s in 1..=params.kernel_half {
+                    // RK2 midpoint step
+                    let (vx, vy) = field.sample_px(x, y);
+                    let m = ((vx * vx + vy * vy) as f64).sqrt();
+                    if m <= floor as f64 {
+                        break;
+                    }
+                    let hx = x + dir * params.step_px * 0.5 * vx as f64 / m;
+                    let hy = y + dir * params.step_px * 0.5 * vy as f64 / m;
+                    let (wx, wy) = field.sample_px(hx, hy);
+                    let wm = ((wx * wx + wy * wy) as f64).sqrt();
+                    if wm <= floor as f64 {
+                        break;
+                    }
+                    x += dir * params.step_px * wx as f64 / wm;
+                    y += dir * params.step_px * wy as f64 / wm;
+                    if x < 0.0 || y < 0.0 || x >= w as f64 || y >= h as f64 {
+                        break;
+                    }
+                    let ki = if dir > 0.0 {
+                        params.kernel_half + s
+                    } else {
+                        params.kernel_half - s
+                    };
+                    acc += kernel[ki] * sample_noise(x, y);
+                    wsum += kernel[ki];
+                }
+            }
+            if wsum > 0.0 {
+                (acc / wsum) as f32
+            } else {
+                noise[idx]
+            }
+        })
+        .collect()
+}
+
+/// Colorize a LIC gray texture by velocity magnitude: hue/opacity from the
+/// transfer function, luminance modulated by the LIC streaks. This is the
+/// image the output processors composite with the volume rendering.
+pub fn colorize(
+    field: &RegularField2D,
+    gray: &[f32],
+    tf: &TransferFunction,
+    mag_scale: f32,
+) -> RgbaImage {
+    let (w, h) = (field.width, field.height);
+    assert_eq!(gray.len(), (w * h) as usize);
+    let mags = field.magnitude();
+    let mut img = RgbaImage::new(w, h);
+    for j in 0..h {
+        for i in 0..w {
+            let idx = (j * w + i) as usize;
+            let v = if mag_scale > 0.0 { (mags[idx] / mag_scale).min(1.0) } else { 0.0 };
+            let c = tf.lookup(v);
+            let g = gray[idx];
+            // The LIC texture is a ground map: the streaks must stay
+            // visible everywhere, tinted (not replaced) by the transfer
+            // function's hue, with opacity growing with magnitude so the
+            // volume rendering can sit in front of it.
+            let a = (0.55 + 0.40 * v).clamp(0.0, 1.0);
+            let tint = [
+                (c[0] + 0.5) / 1.5,
+                (c[1] + 0.5) / 1.5,
+                (c[2] + 0.5) / 1.5,
+            ];
+            img.set(
+                i,
+                j,
+                [g * tint[0] * a, g * tint[1] * a, g * tint[2] * a, a],
+            );
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::white_noise;
+
+    /// Mean absolute difference between neighbouring texels along an axis.
+    fn roughness(gray: &[f32], w: usize, h: usize, axis: usize) -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0u64;
+        for j in 0..h - 1 {
+            for i in 0..w - 1 {
+                let a = gray[j * w + i];
+                let b = if axis == 0 { gray[j * w + i + 1] } else { gray[(j + 1) * w + i] };
+                acc += (a - b).abs() as f64;
+                n += 1;
+            }
+        }
+        acc / n as f64
+    }
+
+    #[test]
+    fn horizontal_flow_makes_horizontal_streaks() {
+        let w = 64usize;
+        let field = RegularField2D::from_fn(w as u32, w as u32, (1.0, 1.0), |_, _| (1.0, 0.0));
+        let noise = white_noise(w as u32, w as u32, 42);
+        let gray = compute_lic(&field, &noise, &LicParams::default());
+        // smooth along x (flow), rough along y (across flow)
+        let rx = roughness(&gray, w, w, 0);
+        let ry = roughness(&gray, w, w, 1);
+        assert!(
+            rx * 1.5 < ry,
+            "streaks must be smooth along the flow: along {rx}, across {ry}"
+        );
+    }
+
+    #[test]
+    fn vertical_flow_rotates_the_streaks() {
+        let w = 64usize;
+        let field = RegularField2D::from_fn(w as u32, w as u32, (1.0, 1.0), |_, _| (0.0, 1.0));
+        let noise = white_noise(w as u32, w as u32, 42);
+        let gray = compute_lic(&field, &noise, &LicParams::default());
+        let rx = roughness(&gray, w, w, 0);
+        let ry = roughness(&gray, w, w, 1);
+        assert!(ry * 1.5 < rx);
+    }
+
+    #[test]
+    fn stagnant_region_keeps_noise() {
+        let w = 32usize;
+        let field = RegularField2D::from_fn(w as u32, w as u32, (1.0, 1.0), |x, _| {
+            if x < 0.5 {
+                (0.0, 0.0)
+            } else {
+                (1.0, 0.0)
+            }
+        });
+        let noise = white_noise(w as u32, w as u32, 3);
+        let gray = compute_lic(&field, &noise, &LicParams::default());
+        // stagnant pixels return the raw noise
+        for j in 0..w {
+            for i in 0..8 {
+                assert_eq!(gray[j * w + i], noise[j * w + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn lic_smooths_variance() {
+        let w = 64usize;
+        let field = RegularField2D::from_fn(w as u32, w as u32, (1.0, 1.0), |_, _| (1.0, 1.0));
+        let noise = white_noise(w as u32, w as u32, 5);
+        let gray = compute_lic(&field, &noise, &LicParams::default());
+        let var = |v: &[f32]| {
+            let m = v.iter().sum::<f32>() / v.len() as f32;
+            v.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / v.len() as f32
+        };
+        assert!(var(&gray) < var(&noise) * 0.5, "convolution must damp variance");
+    }
+
+    #[test]
+    fn phase_animation_changes_frames_smoothly() {
+        let w = 32usize;
+        let field = RegularField2D::from_fn(w as u32, w as u32, (1.0, 1.0), |_, _| (1.0, 0.0));
+        let noise = white_noise(w as u32, w as u32, 9);
+        let f = |phase: f64| {
+            compute_lic(
+                &field,
+                &noise,
+                &LicParams { phase: Some(phase), ..Default::default() },
+            )
+        };
+        let a = f(0.0);
+        let b = f(0.25);
+        let a2 = f(0.0);
+        assert_eq!(a, a2, "deterministic per phase");
+        assert_ne!(a, b, "different phases give different frames");
+    }
+
+    #[test]
+    fn colorize_dimensions_and_opacity() {
+        let field = RegularField2D::from_fn(8, 8, (1.0, 1.0), |x, _| (x as f32, 0.0));
+        let gray = vec![0.5f32; 64];
+        let tf = TransferFunction::seismic();
+        let img = colorize(&field, &gray, &tf, field.max_magnitude());
+        assert_eq!((img.width(), img.height()), (8, 8));
+        // strong-flow side more opaque than stagnant side
+        let left = img.get(0, 4)[3];
+        let right = img.get(7, 4)[3];
+        assert!(right > left, "opacity should grow with magnitude: {left} vs {right}");
+    }
+}

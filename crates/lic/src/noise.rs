@@ -1,0 +1,34 @@
+//! Deterministic white-noise input textures for LIC.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A `w × h` grayscale white-noise texture in `[0, 1]`, deterministic in
+/// `seed` (frames of an animation share one noise texture).
+pub fn white_noise(w: u32, h: u32, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..w as usize * h as usize).map(|_| rng.gen::<f32>()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(white_noise(16, 16, 7), white_noise(16, 16, 7));
+        assert_ne!(white_noise(16, 16, 7), white_noise(16, 16, 8));
+    }
+
+    #[test]
+    fn values_in_unit_range_and_spread() {
+        let n = white_noise(64, 64, 1);
+        assert_eq!(n.len(), 64 * 64);
+        assert!(n.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let mean = n.iter().sum::<f32>() / n.len() as f32;
+        assert!((mean - 0.5).abs() < 0.05, "white noise mean should be ~0.5, got {mean}");
+        // variance of U[0,1] is 1/12
+        let var = n.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n.len() as f32;
+        assert!((var - 1.0 / 12.0).abs() < 0.01);
+    }
+}

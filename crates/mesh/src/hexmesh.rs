@@ -1,0 +1,309 @@
+//! The hexahedral element mesh derived from octree leaves, with the
+//! *linear node array* layout used on disk.
+//!
+//! The simulation writes one value (or one 3-vector) per mesh **node** per
+//! time step, as a flat array ordered by node id. The input processors must
+//! reconstruct per-**cell** data for each octree block from this array
+//! (paper §5.3), which is what makes the reads noncontiguous: the nodes of
+//! one block occupy scattered index ranges.
+//!
+//! Node ids are assigned in Morton order of the node's finest-grid
+//! coordinates. This is deterministic, spatially coherent (so block reads
+//! are *mostly* clustered, as with a real octree database), and shared
+//! between the simulation writer and the visualization readers.
+
+use crate::morton::{morton3, Loc3};
+use crate::octree::{Octree, OctreeBlock};
+use crate::region::Vec3;
+use std::collections::HashMap;
+
+/// Index into the global node array.
+pub type NodeId = u32;
+
+/// One hexahedral element: the octree leaf cell plus its eight corner
+/// nodes in VTK hexahedron order restricted to an axis-aligned cell:
+/// `(x,y,z)` bit order — corner `i` has offsets `(i&1, (i>>1)&1, (i>>2)&1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HexCell {
+    pub loc: Loc3,
+    pub nodes: [NodeId; 8],
+}
+
+/// A hexahedral mesh: octree + global node array + per-leaf corner nodes.
+#[derive(Debug, Clone)]
+pub struct HexMesh {
+    octree: Octree,
+    /// Finest-grid integer coordinates of each node, indexed by `NodeId`.
+    node_coords: Vec<(u32, u32, u32)>,
+    /// Morton key of finest-grid coords -> node id.
+    node_index: HashMap<u64, NodeId>,
+    /// Corner nodes of each octree leaf, aligned with `octree.leaves()`.
+    cells: Vec<[NodeId; 8]>,
+}
+
+impl HexMesh {
+    /// Derive the element mesh from an octree: enumerate every distinct
+    /// leaf corner on the finest grid and wire cells to corner node ids.
+    pub fn from_octree(octree: Octree) -> HexMesh {
+        let max = octree.max_leaf_level();
+        // Collect all corner coordinates (with duplicates), then sort by
+        // Morton code and dedup to assign ids.
+        let mut corner_keys: Vec<u64> = Vec::with_capacity(octree.cell_count() * 8);
+        for leaf in octree.leaves() {
+            let (ax, ay, az) = leaf.anchor_at_level(max);
+            let size = 1u32 << (max - leaf.level);
+            for i in 0..8u32 {
+                let cx = ax + (i & 1) * size;
+                let cy = ay + ((i >> 1) & 1) * size;
+                let cz = az + ((i >> 2) & 1) * size;
+                corner_keys.push(morton3(cx, cy, cz));
+            }
+        }
+        corner_keys.sort_unstable();
+        corner_keys.dedup();
+        let mut node_index = HashMap::with_capacity(corner_keys.len());
+        let mut node_coords = Vec::with_capacity(corner_keys.len());
+        for (id, &key) in corner_keys.iter().enumerate() {
+            node_index.insert(key, id as NodeId);
+            let (x, y, z) = crate::morton::demorton3(key);
+            node_coords.push((x, y, z));
+        }
+        let cells: Vec<[NodeId; 8]> = octree
+            .leaves()
+            .iter()
+            .map(|leaf| {
+                let (ax, ay, az) = leaf.anchor_at_level(max);
+                let size = 1u32 << (max - leaf.level);
+                let mut ns = [0 as NodeId; 8];
+                for (i, slot) in ns.iter_mut().enumerate() {
+                    let i = i as u32;
+                    let key = morton3(ax + (i & 1) * size, ay + ((i >> 1) & 1) * size, az + ((i >> 2) & 1) * size);
+                    *slot = node_index[&key];
+                }
+                ns
+            })
+            .collect();
+        HexMesh { octree, node_coords, node_index, cells }
+    }
+
+    /// The underlying octree.
+    #[inline]
+    pub fn octree(&self) -> &Octree {
+        &self.octree
+    }
+
+    /// Total number of mesh nodes (length of the on-disk array per step).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_coords.len()
+    }
+
+    /// Total number of hexahedral cells.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Bytes of one on-disk time step with `components` f32s per node.
+    #[inline]
+    pub fn bytes_per_step(&self, components: usize) -> u64 {
+        self.node_count() as u64 * components as u64 * 4
+    }
+
+    /// The cell (leaf + corner nodes) at leaf index `i`.
+    #[inline]
+    pub fn cell(&self, i: usize) -> HexCell {
+        HexCell { loc: self.octree.leaves()[i], nodes: self.cells[i] }
+    }
+
+    /// Corner node ids of leaf `i` (bit order: x, y, z).
+    #[inline]
+    pub fn cell_nodes(&self, i: usize) -> &[NodeId; 8] {
+        &self.cells[i]
+    }
+
+    /// Physical position of a node in the domain `[0, extent]`.
+    pub fn node_position(&self, id: NodeId) -> Vec3 {
+        let (x, y, z) = self.node_coords[id as usize];
+        let n = (1u64 << self.octree.max_leaf_level()) as f64;
+        let e = self.octree.extent();
+        Vec3::new(x as f64 / n * e.x, y as f64 / n * e.y, z as f64 / n * e.z)
+    }
+
+    /// Finest-grid coordinates of a node.
+    #[inline]
+    pub fn node_grid_coords(&self, id: NodeId) -> (u32, u32, u32) {
+        self.node_coords[id as usize]
+    }
+
+    /// Node id at exact finest-grid coordinates, if a node exists there.
+    pub fn node_at(&self, x: u32, y: u32, z: u32) -> Option<NodeId> {
+        self.node_index.get(&morton3(x, y, z)).copied()
+    }
+
+    /// Sorted unique node ids referenced by the cells of `block`.
+    ///
+    /// This is the noncontiguous read pattern for one block: the offsets an
+    /// input processor must gather from the linear node array (paper
+    /// §5.3.1, `MPI_TYPE_CREATE_INDEXED_BLOCK`).
+    pub fn block_nodes(&self, block: &OctreeBlock) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> =
+            self.cells[block.leaf_start..block.leaf_end].iter().flatten().copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Sorted unique node ids for several blocks merged together
+    /// ("to avoid duplicating node data, octree data are merged for each
+    /// rendering processor" — paper §5.3.1).
+    pub fn merged_block_nodes(&self, blocks: &[&OctreeBlock]) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = blocks
+            .iter()
+            .flat_map(|b| self.cells[b.leaf_start..b.leaf_end].iter().flatten().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Node ids lying on the ground surface (z = 0), in id order.
+    ///
+    /// The earthquake mesh is densest near the surface; the paper reports
+    /// more than 20% of mesh points near the surface region, and the LIC
+    /// stage (paper §4.3) operates on exactly these nodes.
+    pub fn surface_nodes(&self) -> Vec<NodeId> {
+        (0..self.node_count() as NodeId)
+            .filter(|&id| self.node_coords[id as usize].2 == 0)
+            .collect()
+    }
+
+    /// Fraction of nodes within the `depth_frac` top fraction of the domain.
+    pub fn near_surface_fraction(&self, depth_frac: f64) -> f64 {
+        let n = (1u64 << self.octree.max_leaf_level()) as f64;
+        let cutoff = (n * depth_frac) as u32;
+        let near =
+            self.node_coords.iter().filter(|&&(_, _, z)| z <= cutoff).count();
+        near as f64 / self.node_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::octree::{RefineOracle, UniformRefinement};
+    use crate::region::Aabb;
+
+    struct TopHeavy;
+    impl RefineOracle for TopHeavy {
+        fn refine(&self, loc: &Loc3, bounds: &Aabb) -> bool {
+            let want = if bounds.min.z < 0.25 { 4 } else { 2 };
+            loc.level < want
+        }
+        fn max_level(&self) -> u8 {
+            4
+        }
+        fn min_level(&self) -> u8 {
+            2
+        }
+    }
+
+    #[test]
+    fn uniform_mesh_node_count() {
+        // A 4x4x4 uniform grid has 5^3 nodes.
+        let mesh = HexMesh::from_octree(Octree::build(Vec3::ONE, &UniformRefinement(2)));
+        assert_eq!(mesh.cell_count(), 64);
+        assert_eq!(mesh.node_count(), 125);
+        assert_eq!(mesh.bytes_per_step(1), 125 * 4);
+        assert_eq!(mesh.bytes_per_step(3), 125 * 12);
+    }
+
+    #[test]
+    fn cells_reference_their_own_corners() {
+        let mesh = HexMesh::from_octree(Octree::build(Vec3::ONE, &TopHeavy));
+        let max = mesh.octree().max_leaf_level();
+        for i in 0..mesh.cell_count() {
+            let cell = mesh.cell(i);
+            let (ax, ay, az) = cell.loc.anchor_at_level(max);
+            let size = 1u32 << (max - cell.loc.level);
+            for (k, &nid) in cell.nodes.iter().enumerate() {
+                let k = k as u32;
+                let expect =
+                    (ax + (k & 1) * size, ay + ((k >> 1) & 1) * size, az + ((k >> 2) & 1) * size);
+                assert_eq!(mesh.node_grid_coords(nid), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn node_positions_scale_with_extent() {
+        let extent = Vec3::new(100.0, 100.0, 50.0);
+        let mesh = HexMesh::from_octree(Octree::build(extent, &UniformRefinement(1)));
+        // nodes at 0, 50, 100 in x/y and 0, 25, 50 in z
+        let corner = mesh.node_at(2, 2, 2).unwrap();
+        assert_eq!(mesh.node_position(corner), Vec3::new(100.0, 100.0, 50.0));
+        let mid = mesh.node_at(1, 1, 1).unwrap();
+        assert_eq!(mesh.node_position(mid), Vec3::new(50.0, 50.0, 25.0));
+    }
+
+    #[test]
+    fn shared_corners_deduplicated() {
+        // Two adjacent cells share 4 nodes; uniform level-1 mesh: 27 nodes.
+        let mesh = HexMesh::from_octree(Octree::build(Vec3::ONE, &UniformRefinement(1)));
+        assert_eq!(mesh.cell_count(), 8);
+        assert_eq!(mesh.node_count(), 27);
+    }
+
+    #[test]
+    fn block_nodes_sorted_unique_and_complete() {
+        let mesh = HexMesh::from_octree(Octree::build(Vec3::ONE, &TopHeavy));
+        let blocks = mesh.octree().blocks(2);
+        for b in &blocks {
+            let ids = mesh.block_nodes(b);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "not sorted/unique");
+            // every cell corner of the block appears
+            for i in b.leaf_start..b.leaf_end {
+                for nid in mesh.cell_nodes(i) {
+                    assert!(ids.binary_search(nid).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_block_nodes_dedups_across_blocks() {
+        let mesh = HexMesh::from_octree(Octree::build(Vec3::ONE, &UniformRefinement(2)));
+        let blocks = mesh.octree().blocks(1);
+        let all: Vec<&OctreeBlock> = blocks.iter().collect();
+        let merged = mesh.merged_block_nodes(&all);
+        // merging every block must give exactly the full node set
+        assert_eq!(merged.len(), mesh.node_count());
+        let sum: usize = blocks.iter().map(|b| mesh.block_nodes(b).len()).sum();
+        assert!(sum > merged.len(), "shared boundary nodes should be duplicated before merge");
+    }
+
+    #[test]
+    fn surface_nodes_on_z0() {
+        let mesh = HexMesh::from_octree(Octree::build(Vec3::ONE, &UniformRefinement(2)));
+        let surf = mesh.surface_nodes();
+        assert_eq!(surf.len(), 25); // 5x5 grid
+        for id in surf {
+            assert_eq!(mesh.node_grid_coords(id).2, 0);
+        }
+    }
+
+    #[test]
+    fn near_surface_fraction_reflects_refinement() {
+        let mesh = HexMesh::from_octree(Octree::build(Vec3::ONE, &TopHeavy));
+        // the top quarter holds most nodes because it is refined two levels
+        // deeper — mirrors the paper's ">20% of points near the surface"
+        let frac = mesh.near_surface_fraction(0.3);
+        assert!(frac > 0.5, "top-heavy mesh should concentrate nodes near surface, got {frac}");
+    }
+
+    #[test]
+    fn node_at_miss_returns_none() {
+        let mesh = HexMesh::from_octree(Octree::build(Vec3::ONE, &UniformRefinement(1)));
+        assert!(mesh.node_at(3, 0, 0).is_none()); // grid only spans 0..=2
+    }
+}

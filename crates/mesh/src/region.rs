@@ -1,0 +1,346 @@
+//! Small geometry helpers: 3D vectors and axis-aligned boxes.
+//!
+//! Geometry is kept in `f64`; bulk field data elsewhere in the workspace is
+//! `f32`. The domain convention throughout quakeviz is the axis-aligned box
+//! `[0, extent.x] x [0, extent.y] x [0, extent.z]` with `z = 0` being the
+//! *ground surface* and `z` increasing with depth, matching the basin
+//! geometry of the earthquake simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// A 3-component `f64` vector used for positions, directions and extents.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// All three components set to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3::new(v, v, v)
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    #[inline]
+    pub fn length_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Unit vector in the same direction; returns `Vec3::ZERO` for a
+    /// zero-length input rather than producing NaNs.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let l = self.length();
+        if l > 0.0 {
+            self * (1.0 / l)
+        } else {
+            Vec3::ZERO
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Component-wise multiplication.
+    #[inline]
+    pub fn mul_elem(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x * o.x, self.y * o.y, self.z * o.z)
+    }
+
+    /// Linear interpolation `self + t * (o - self)`.
+    #[inline]
+    pub fn lerp(self, o: Vec3, t: f64) -> Vec3 {
+        self + (o - self) * t
+    }
+
+    /// Largest component value.
+    #[inline]
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl std::ops::Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl std::ops::Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl std::ops::AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+/// An axis-aligned bounding box, `min` inclusive / `max` exclusive for
+/// point-membership purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    pub min: Vec3,
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// The unit cube `[0,1]^3`.
+    pub const UNIT: Aabb = Aabb { min: Vec3::ZERO, max: Vec3::ONE };
+
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y && min.z <= max.z);
+        Aabb { min, max }
+    }
+
+    /// Box from the origin to `extent`.
+    pub fn from_extent(extent: Vec3) -> Self {
+        Aabb::new(Vec3::ZERO, extent)
+    }
+
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let e = self.extent();
+        e.x * e.y * e.z
+    }
+
+    /// Half-open point membership test.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x < self.max.x
+            && p.y >= self.min.y
+            && p.y < self.max.y
+            && p.z >= self.min.z
+            && p.z < self.max.z
+    }
+
+    /// True when the two boxes share any volume (strict overlap, not mere
+    /// face contact).
+    #[inline]
+    pub fn intersects(&self, o: &Aabb) -> bool {
+        self.min.x < o.max.x
+            && o.min.x < self.max.x
+            && self.min.y < o.max.y
+            && o.min.y < self.max.y
+            && self.min.z < o.max.z
+            && o.min.z < self.max.z
+    }
+
+    /// Smallest box containing both inputs.
+    pub fn union(&self, o: &Aabb) -> Aabb {
+        Aabb::new(self.min.min(o.min), self.max.max(o.max))
+    }
+
+    /// Ray/box intersection by the slab method.
+    ///
+    /// Returns `(t_enter, t_exit)` along `origin + t * dir` when the ray
+    /// passes through the box with `t_exit > max(t_enter, 0)`.
+    pub fn ray_intersect(&self, origin: Vec3, dir: Vec3) -> Option<(f64, f64)> {
+        let mut t0 = f64::NEG_INFINITY;
+        let mut t1 = f64::INFINITY;
+        for (o, d, lo, hi) in [
+            (origin.x, dir.x, self.min.x, self.max.x),
+            (origin.y, dir.y, self.min.y, self.max.y),
+            (origin.z, dir.z, self.min.z, self.max.z),
+        ] {
+            if d.abs() < 1e-300 {
+                if o < lo || o > hi {
+                    return None;
+                }
+            } else {
+                let inv = 1.0 / d;
+                let (mut a, mut b) = ((lo - o) * inv, (hi - o) * inv);
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                t0 = t0.max(a);
+                t1 = t1.min(b);
+                if t0 > t1 {
+                    return None;
+                }
+            }
+        }
+        if t1 <= t0.max(0.0) {
+            None
+        } else {
+            Some((t0.max(0.0), t1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec3_basic_algebra() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a.dot(b), 32.0);
+    }
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 0.5, -0.25);
+        let b = Vec3::new(-0.3, 2.0, 1.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+        let n = Vec3::new(3.0, 4.0, 0.0).normalized();
+        assert!((n.length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::new(1.0, 1.0, 1.0);
+        let b = Vec3::new(3.0, 5.0, 7.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn aabb_contains_half_open() {
+        let b = Aabb::UNIT;
+        assert!(b.contains(Vec3::ZERO));
+        assert!(!b.contains(Vec3::ONE));
+        assert!(b.contains(Vec3::new(0.999, 0.5, 0.0)));
+    }
+
+    #[test]
+    fn aabb_intersects() {
+        let a = Aabb::UNIT;
+        let b = Aabb::new(Vec3::splat(0.5), Vec3::splat(1.5));
+        let c = Aabb::new(Vec3::splat(1.0), Vec3::splat(2.0));
+        assert!(a.intersects(&b));
+        // face contact only is not an intersection
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn aabb_union_covers_both() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(0.5));
+        let b = Aabb::new(Vec3::splat(0.75), Vec3::ONE);
+        let u = a.union(&b);
+        assert_eq!(u.min, Vec3::ZERO);
+        assert_eq!(u.max, Vec3::ONE);
+    }
+
+    #[test]
+    fn ray_hits_unit_cube() {
+        let b = Aabb::UNIT;
+        let (t0, t1) = b
+            .ray_intersect(Vec3::new(-1.0, 0.5, 0.5), Vec3::new(1.0, 0.0, 0.0))
+            .unwrap();
+        assert!((t0 - 1.0).abs() < 1e-12);
+        assert!((t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ray_misses_cube() {
+        let b = Aabb::UNIT;
+        assert!(b
+            .ray_intersect(Vec3::new(-1.0, 2.0, 0.5), Vec3::new(1.0, 0.0, 0.0))
+            .is_none());
+        // pointing away
+        assert!(b
+            .ray_intersect(Vec3::new(-1.0, 0.5, 0.5), Vec3::new(-1.0, 0.0, 0.0))
+            .is_none());
+    }
+
+    #[test]
+    fn ray_origin_inside_starts_at_zero() {
+        let b = Aabb::UNIT;
+        let (t0, t1) = b
+            .ray_intersect(Vec3::splat(0.5), Vec3::new(0.0, 0.0, 1.0))
+            .unwrap();
+        assert_eq!(t0, 0.0);
+        assert!((t1 - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,374 @@
+//! The virtual striped disk and its timing model.
+//!
+//! Files live in memory (the datasets quakeviz generates are laptop-scale),
+//! but every read is *charged* according to a parametric cost model of a
+//! striped parallel file system: a per-request seek latency, a per-stripe
+//! touch latency, and an aggregate bandwidth that is **shared** among the
+//! streams reading concurrently. The concurrency term is what the paper's
+//! input-processor analysis exploits: `m` input processors reading
+//! concurrently each see roughly `1/m` of the aggregate bandwidth *until*
+//! the file system saturates, after which adding readers stops helping —
+//! exactly the knee visible in the paper's Figure 8.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Timing parameters of the virtual parallel file system.
+///
+/// Defaults are calibrated in EXPERIMENTS.md to reproduce the paper's
+/// terascale numbers: one ~400 MB time step read by a single input
+/// processor costs ~20 s (paper §6: "about 22 seconds" including
+/// preprocessing), i.e. an effective per-stream bandwidth of ~20 MB/s with
+/// an aggregate far higher, so concurrent readers scale until saturation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost charged once per read call (request setup / seek), seconds.
+    pub seek_latency: f64,
+    /// Cost charged per noncontiguous extent in a call (each extent is a
+    /// separate I/O operation on the file system), seconds.
+    pub extent_latency: f64,
+    /// Cost charged per distinct stripe touched, seconds.
+    pub stripe_latency: f64,
+    /// Stripe width in bytes.
+    pub stripe_size: u64,
+    /// Bandwidth one stream can sustain by itself, bytes/second.
+    pub stream_bandwidth: f64,
+    /// Saturation point: aggregate bandwidth of the whole file system,
+    /// bytes/second. `k` concurrent streams each get
+    /// `min(stream_bandwidth, aggregate_bandwidth / k)`.
+    pub aggregate_bandwidth: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // LeMieux-era parallel file system scale.
+        CostModel {
+            seek_latency: 5e-3,
+            extent_latency: 0.5e-3,
+            stripe_latency: 0.5e-3,
+            stripe_size: 1 << 20,
+            stream_bandwidth: 20e6,
+            aggregate_bandwidth: 320e6,
+        }
+    }
+}
+
+impl CostModel {
+    /// An instantaneous-cost model for unit tests (no simulated time).
+    pub fn free() -> CostModel {
+        CostModel {
+            seek_latency: 0.0,
+            extent_latency: 0.0,
+            stripe_latency: 0.0,
+            stripe_size: 1 << 20,
+            stream_bandwidth: f64::INFINITY,
+            aggregate_bandwidth: f64::INFINITY,
+        }
+    }
+
+    /// Number of distinct stripes touched by a set of byte extents.
+    pub fn stripes_touched(&self, extents: &[(u64, u64)]) -> u64 {
+        let mut stripes: Vec<(u64, u64)> = extents
+            .iter()
+            .filter(|&&(_, len)| len > 0)
+            .map(|&(off, len)| (off / self.stripe_size, (off + len - 1) / self.stripe_size))
+            .collect();
+        stripes.sort_unstable();
+        let mut count = 0u64;
+        let mut last: Option<u64> = None;
+        for (s0, s1) in stripes {
+            let start = match last {
+                Some(l) if l >= s0 => {
+                    if l >= s1 {
+                        continue;
+                    }
+                    l + 1
+                }
+                _ => s0,
+            };
+            count += s1 - start + 1;
+            last = Some(s1);
+        }
+        count
+    }
+
+    /// Per-stream bandwidth when `concurrent` streams are active.
+    #[inline]
+    pub fn effective_bandwidth(&self, concurrent: usize) -> f64 {
+        let k = concurrent.max(1) as f64;
+        self.stream_bandwidth.min(self.aggregate_bandwidth / k)
+    }
+
+    /// Simulated seconds to read `extents` while `concurrent` streams
+    /// share the file system.
+    pub fn read_cost(&self, extents: &[(u64, u64)], concurrent: usize) -> f64 {
+        let bytes: u64 = extents.iter().map(|&(_, l)| l).sum();
+        if bytes == 0 {
+            return 0.0;
+        }
+        let bw = self.effective_bandwidth(concurrent);
+        let transfer = if bw.is_finite() { bytes as f64 / bw } else { 0.0 };
+        let nonempty = extents.iter().filter(|&&(_, l)| l > 0).count() as f64;
+        self.seek_latency
+            + nonempty * self.extent_latency
+            + self.stripes_touched(extents) as f64 * self.stripe_latency
+            + transfer
+    }
+
+    /// Number of concurrent full-bandwidth streams the file system
+    /// sustains before saturating.
+    pub fn saturation_streams(&self) -> usize {
+        if self.stream_bandwidth <= 0.0 || !self.aggregate_bandwidth.is_finite() {
+            usize::MAX
+        } else {
+            (self.aggregate_bandwidth / self.stream_bandwidth).floor().max(1.0) as usize
+        }
+    }
+}
+
+/// A virtual striped disk holding named immutable-ish files.
+#[derive(Debug)]
+pub struct Disk {
+    files: RwLock<HashMap<String, Arc<Vec<u8>>>>,
+    cost: CostModel,
+    /// Streams currently inside a read call (for concurrency charging).
+    active_readers: AtomicUsize,
+}
+
+impl Disk {
+    pub fn new(cost: CostModel) -> Arc<Disk> {
+        Arc::new(Disk {
+            files: RwLock::new(HashMap::new()),
+            cost,
+            active_readers: AtomicUsize::new(0),
+        })
+    }
+
+    /// The disk's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Create or replace a file with the given contents.
+    pub fn write_file(&self, path: &str, data: Vec<u8>) {
+        self.files.write().insert(path.to_string(), Arc::new(data));
+    }
+
+    /// Create or replace a file, charging the cost model for the write
+    /// (simulation output is itself a parallel-I/O consumer: the paper's
+    /// runs produced terabytes). Returns the simulated seconds.
+    pub fn write_file_costed(&self, path: &str, data: Vec<u8>) -> f64 {
+        let concurrent = self.active_readers.fetch_add(1, Ordering::SeqCst) + 1;
+        let cost = self.cost.read_cost(&[(0, data.len() as u64)], concurrent);
+        self.active_readers.fetch_sub(1, Ordering::SeqCst);
+        self.write_file(path, data);
+        cost
+    }
+
+    /// Size of a file in bytes, if it exists.
+    pub fn file_len(&self, path: &str) -> Option<u64> {
+        self.files.read().get(path).map(|d| d.len() as u64)
+    }
+
+    /// List of file names (sorted) — for dataset discovery.
+    pub fn list_files(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.files.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Remove a file; returns whether it existed.
+    pub fn remove_file(&self, path: &str) -> bool {
+        self.files.write().remove(path).is_some()
+    }
+
+    fn file(&self, path: &str) -> Arc<Vec<u8>> {
+        self.files
+            .read()
+            .get(path)
+            .unwrap_or_else(|| panic!("no such file on virtual disk: {path}"))
+            .clone()
+    }
+
+    /// Read a set of byte extents from `path`, returning the concatenated
+    /// data (extent order) and the simulated elapsed seconds.
+    ///
+    /// Extents past end-of-file panic: the readers compute their patterns
+    /// from the same mesh that wrote the file, so a mismatch is a bug.
+    pub fn read_extents(&self, path: &str, extents: &[(u64, u64)]) -> (Vec<u8>, f64) {
+        let data = self.file(path);
+        let concurrent = self.active_readers.fetch_add(1, Ordering::SeqCst) + 1;
+        let total: u64 = extents.iter().map(|&(_, l)| l).sum();
+        let mut out = Vec::with_capacity(total as usize);
+        for &(off, len) in extents {
+            let (off, len) = (off as usize, len as usize);
+            assert!(
+                off + len <= data.len(),
+                "read [{off}, {}) past EOF of {path} (len {})",
+                off + len,
+                data.len()
+            );
+            out.extend_from_slice(&data[off..off + len]);
+        }
+        let cost = self.cost.read_cost(extents, concurrent);
+        self.active_readers.fetch_sub(1, Ordering::SeqCst);
+        (out, cost)
+    }
+
+    /// Contiguous read helper.
+    pub fn read_at(&self, path: &str, offset: u64, len: u64) -> (Vec<u8>, f64) {
+        self.read_extents(path, &[(offset, len)])
+    }
+
+    /// Read a whole file.
+    pub fn read_full(&self, path: &str) -> (Vec<u8>, f64) {
+        let len = self.file_len(path).unwrap_or_else(|| panic!("no such file: {path}"));
+        self.read_at(path, 0, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_model() -> CostModel {
+        CostModel {
+            seek_latency: 0.01,
+            extent_latency: 0.0,
+            stripe_latency: 0.001,
+            stripe_size: 100,
+            stream_bandwidth: 1000.0,
+            aggregate_bandwidth: 4000.0,
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let disk = Disk::new(CostModel::free());
+        let data: Vec<u8> = (0..=255).collect();
+        disk.write_file("a.bin", data.clone());
+        let (got, cost) = disk.read_full("a.bin");
+        assert_eq!(got, data);
+        assert_eq!(cost, 0.0);
+        assert_eq!(disk.file_len("a.bin"), Some(256));
+    }
+
+    #[test]
+    fn read_extents_concatenates_in_order() {
+        let disk = Disk::new(CostModel::free());
+        disk.write_file("b", (0..100u8).collect());
+        let (got, _) = disk.read_extents("b", &[(90, 5), (0, 3)]);
+        assert_eq!(got, vec![90, 91, 92, 93, 94, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past EOF")]
+    fn read_past_eof_panics() {
+        let disk = Disk::new(CostModel::free());
+        disk.write_file("c", vec![0u8; 10]);
+        disk.read_at("c", 5, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such file")]
+    fn missing_file_panics() {
+        let disk = Disk::new(CostModel::free());
+        disk.read_at("nope", 0, 1);
+    }
+
+    #[test]
+    fn stripes_touched_counts_unique_stripes() {
+        let m = small_model(); // stripe 100 bytes
+        assert_eq!(m.stripes_touched(&[(0, 50)]), 1);
+        assert_eq!(m.stripes_touched(&[(0, 150)]), 2);
+        assert_eq!(m.stripes_touched(&[(0, 50), (60, 30)]), 1); // same stripe
+        assert_eq!(m.stripes_touched(&[(0, 50), (250, 10)]), 2);
+        assert_eq!(m.stripes_touched(&[(99, 2)]), 2); // straddles boundary
+        assert_eq!(m.stripes_touched(&[]), 0);
+        assert_eq!(m.stripes_touched(&[(10, 0)]), 0);
+    }
+
+    #[test]
+    fn cost_scales_with_bytes_and_stripes() {
+        let m = small_model();
+        // 100 bytes, 1 stripe, alone: 0.01 + 0.001 + 100/1000
+        let c = m.read_cost(&[(0, 100)], 1);
+        assert!((c - 0.111).abs() < 1e-12, "got {c}");
+        // two separated stripes add one stripe latency
+        let c2 = m.read_cost(&[(0, 50), (200, 50)], 1);
+        assert!((c2 - (0.01 + 0.002 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_shared_after_saturation() {
+        let m = small_model(); // stream 1000, aggregate 4000 -> 4 streams
+        assert_eq!(m.saturation_streams(), 4);
+        assert_eq!(m.effective_bandwidth(1), 1000.0);
+        assert_eq!(m.effective_bandwidth(4), 1000.0);
+        assert_eq!(m.effective_bandwidth(8), 500.0);
+        // cost of the same read doubles at 8 concurrent streams
+        let alone = m.read_cost(&[(0, 1000)], 1);
+        let crowded = m.read_cost(&[(0, 1000)], 8);
+        assert!(crowded > alone);
+        assert!((crowded - alone - 1.0).abs() < 1e-9); // extra 1000B/500Bps - 1000/1000
+    }
+
+    #[test]
+    fn zero_byte_read_is_free() {
+        let m = small_model();
+        assert_eq!(m.read_cost(&[], 1), 0.0);
+        assert_eq!(m.read_cost(&[(50, 0)], 3), 0.0);
+    }
+
+    #[test]
+    fn concurrent_reads_all_succeed() {
+        let disk = Disk::new(small_model());
+        disk.write_file("shared", (0..200u8).collect());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let disk = Arc::clone(&disk);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let (got, cost) = disk.read_at("shared", t * 10, 10);
+                        assert_eq!(got[0], (t * 10) as u8);
+                        assert!(cost > 0.0);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn costed_write_charges_and_stores() {
+        let disk = Disk::new(small_model());
+        let cost = disk.write_file_costed("w", vec![0u8; 500]);
+        // 0.01 seek + 5 stripes * 0.001 + 500/1000
+        assert!((cost - (0.01 + 0.005 + 0.5)).abs() < 1e-12, "got {cost}");
+        assert_eq!(disk.file_len("w"), Some(500));
+    }
+
+    #[test]
+    fn list_and_remove() {
+        let disk = Disk::new(CostModel::free());
+        disk.write_file("z", vec![1]);
+        disk.write_file("a", vec![2]);
+        assert_eq!(disk.list_files(), vec!["a".to_string(), "z".to_string()]);
+        assert!(disk.remove_file("a"));
+        assert!(!disk.remove_file("a"));
+        assert_eq!(disk.list_files(), vec!["z".to_string()]);
+    }
+
+    #[test]
+    fn default_model_matches_paper_scale() {
+        // One 400 MB time step via a single stream ≈ 20 s (paper: ~22 s
+        // including preprocessing on one input processor).
+        let m = CostModel::default();
+        let c = m.read_cost(&[(0, 400_000_000)], 1);
+        assert!(c > 15.0 && c < 25.0, "400MB single-stream read should take ~20s, got {c}");
+        // With 16 concurrent readers the aggregate (320 MB/s) is the limit.
+        assert_eq!(m.effective_bandwidth(16), 20e6);
+        assert_eq!(m.saturation_streams(), 16);
+    }
+}

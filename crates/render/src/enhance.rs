@@ -1,0 +1,124 @@
+//! Temporal-domain enhancement (paper §4.2, Figure 4).
+//!
+//! Halfway into the simulation, direct volume rendering of the raw
+//! magnitude "reveals very little variation": late, weak wavefronts are
+//! crushed by the global opacity mapping chosen for the strong early
+//! motion. The fix is a *local temporal filter*: boost each node by its
+//! rate of change, computed from the previous and/or next time step — wave
+//! fronts are exactly where the field changes fastest. The filter runs on
+//! the input processors (it needs adjacent time steps, which they hold)
+//! and the user can toggle it per frame.
+
+use quakeviz_mesh::NodeField;
+
+/// The enhancement filter: `out = max(v, gain · |Δv|)` with `Δv` the
+/// larger of the backward and forward temporal differences.
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalEnhance {
+    /// Amplification of the temporal difference (≫1 since fronts are
+    /// weak relative to peaks).
+    pub gain: f32,
+}
+
+impl Default for TemporalEnhance {
+    fn default() -> Self {
+        TemporalEnhance { gain: 4.0 }
+    }
+}
+
+impl TemporalEnhance {
+    pub fn new(gain: f32) -> Self {
+        TemporalEnhance { gain }
+    }
+
+    /// Apply to `curr` given its temporal neighbours (either may be
+    /// absent at the ends of the sequence; with neither, `curr` is
+    /// returned unchanged).
+    pub fn apply(
+        &self,
+        curr: &NodeField,
+        prev: Option<&NodeField>,
+        next: Option<&NodeField>,
+    ) -> NodeField {
+        let n = curr.len();
+        if let Some(p) = prev {
+            assert_eq!(p.len(), n, "prev step size mismatch");
+        }
+        if let Some(f) = next {
+            assert_eq!(f.len(), n, "next step size mismatch");
+        }
+        let mut out = Vec::with_capacity(n);
+        let cv = curr.values();
+        for i in 0..n {
+            let mut delta = 0.0f32;
+            if let Some(p) = prev {
+                delta = delta.max((cv[i] - p.values()[i]).abs());
+            }
+            if let Some(f) = next {
+                delta = delta.max((f.values()[i] - cv[i]).abs());
+            }
+            out.push(cv[i].max(self.gain * delta));
+        }
+        NodeField::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_field_unchanged() {
+        let f = NodeField::new(vec![0.1, 0.5, 0.9]);
+        let e = TemporalEnhance::default().apply(&f, Some(&f.clone()), Some(&f.clone()));
+        assert_eq!(e.values(), f.values());
+    }
+
+    #[test]
+    fn no_neighbours_is_identity() {
+        let f = NodeField::new(vec![0.3, 0.7]);
+        let e = TemporalEnhance::default().apply(&f, None, None);
+        assert_eq!(e.values(), f.values());
+    }
+
+    #[test]
+    fn moving_front_boosted() {
+        // a weak pulse moving one cell per step
+        let prev = NodeField::new(vec![0.10, 0.00, 0.00, 0.00]);
+        let curr = NodeField::new(vec![0.00, 0.10, 0.00, 0.00]);
+        let next = NodeField::new(vec![0.00, 0.00, 0.10, 0.00]);
+        let e = TemporalEnhance::new(4.0).apply(&curr, Some(&prev), Some(&next));
+        // at the front (index 1) the difference is 0.1 -> boosted to 0.4
+        assert!((e.get(1) - 0.4).abs() < 1e-6);
+        // trailing position (index 0) also changed (0.1 -> 0)
+        assert!((e.get(0) - 0.4).abs() < 1e-6);
+        // far field untouched
+        assert_eq!(e.get(3), 0.0);
+    }
+
+    #[test]
+    fn enhancement_never_decreases() {
+        let prev = NodeField::new(vec![0.5, 0.2, 0.0]);
+        let curr = NodeField::new(vec![0.5, 0.3, 0.9]);
+        let e = TemporalEnhance::new(2.0).apply(&curr, Some(&prev), None);
+        for (ev, cv) in e.values().iter().zip(curr.values()) {
+            assert!(ev >= cv);
+        }
+    }
+
+    #[test]
+    fn backward_only_at_sequence_end() {
+        let prev = NodeField::new(vec![0.0, 0.4]);
+        let curr = NodeField::new(vec![0.0, 0.1]);
+        let e = TemporalEnhance::new(3.0).apply(&curr, Some(&prev), None);
+        assert!((e.get(1) - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        let a = NodeField::new(vec![0.0; 3]);
+        let b = NodeField::new(vec![0.0; 4]);
+        TemporalEnhance::default().apply(&a, Some(&b), None);
+    }
+}

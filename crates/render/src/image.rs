@@ -1,0 +1,345 @@
+//! Premultiplied-RGBA images and the compositing algebra.
+//!
+//! All intermediate rendering uses premultiplied alpha, which makes the
+//! *over* operator associative — the property every sort-last compositing
+//! algorithm (direct-send, SLIC, binary-swap) relies on: fragments can be
+//! combined in any grouping as long as front-to-back order is respected.
+
+/// One premultiplied RGBA sample; `a` is coverage/opacity in `[0, 1]`.
+pub type Rgba = [f32; 4];
+
+/// `front` over `back` for premultiplied colors.
+#[inline]
+pub fn over(front: Rgba, back: Rgba) -> Rgba {
+    let t = 1.0 - front[3];
+    [
+        front[0] + back[0] * t,
+        front[1] + back[1] * t,
+        front[2] + back[2] * t,
+        front[3] + back[3] * t,
+    ]
+}
+
+/// An axis-aligned pixel rectangle, `x0/y0` inclusive, `x1/y1` exclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScreenRect {
+    pub x0: u32,
+    pub y0: u32,
+    pub x1: u32,
+    pub y1: u32,
+}
+
+impl ScreenRect {
+    /// The empty rectangle.
+    pub const EMPTY: ScreenRect = ScreenRect { x0: 0, y0: 0, x1: 0, y1: 0 };
+
+    pub fn new(x0: u32, y0: u32, x1: u32, y1: u32) -> ScreenRect {
+        ScreenRect { x0, y0, x1: x1.max(x0), y1: y1.max(y0) }
+    }
+
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.x1 - self.x0
+    }
+
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.y1 - self.y0
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.x1 <= self.x0 || self.y1 <= self.y0
+    }
+
+    #[inline]
+    pub fn area(&self) -> u64 {
+        self.width() as u64 * self.height() as u64
+    }
+
+    #[inline]
+    pub fn contains(&self, x: u32, y: u32) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Intersection (possibly empty).
+    pub fn intersect(&self, o: &ScreenRect) -> ScreenRect {
+        let r = ScreenRect {
+            x0: self.x0.max(o.x0),
+            y0: self.y0.max(o.y0),
+            x1: self.x1.min(o.x1),
+            y1: self.y1.min(o.y1),
+        };
+        if r.x1 <= r.x0 || r.y1 <= r.y0 {
+            ScreenRect::EMPTY
+        } else {
+            r
+        }
+    }
+
+    /// Smallest rect containing both (empty rects are identities).
+    pub fn union(&self, o: &ScreenRect) -> ScreenRect {
+        if self.is_empty() {
+            return *o;
+        }
+        if o.is_empty() {
+            return *self;
+        }
+        ScreenRect {
+            x0: self.x0.min(o.x0),
+            y0: self.y0.min(o.y0),
+            x1: self.x1.max(o.x1),
+            y1: self.y1.max(o.y1),
+        }
+    }
+}
+
+/// A dense premultiplied-RGBA image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RgbaImage {
+    width: u32,
+    height: u32,
+    pixels: Vec<Rgba>,
+}
+
+impl RgbaImage {
+    /// A transparent-black image.
+    pub fn new(width: u32, height: u32) -> RgbaImage {
+        RgbaImage { width, height, pixels: vec![[0.0; 4]; (width * height) as usize] }
+    }
+
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    pub fn pixels(&self) -> &[Rgba] {
+        &self.pixels
+    }
+
+    #[inline]
+    pub fn pixels_mut(&mut self) -> &mut [Rgba] {
+        &mut self.pixels
+    }
+
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Rgba {
+        self.pixels[(y * self.width + x) as usize]
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, c: Rgba) {
+        self.pixels[(y * self.width + x) as usize] = c;
+    }
+
+    /// Composite `other` *behind* this image (`self` over `other`),
+    /// in place.
+    pub fn over_inplace(&mut self, behind: &RgbaImage) {
+        assert_eq!((self.width, self.height), (behind.width, behind.height));
+        for (f, b) in self.pixels.iter_mut().zip(&behind.pixels) {
+            *f = over(*f, *b);
+        }
+    }
+
+    /// Composite a smaller image covering `rect` behind this image.
+    pub fn over_rect_inplace(&mut self, rect: &ScreenRect, behind: &[Rgba]) {
+        assert_eq!(rect.area() as usize, behind.len());
+        for (ry, y) in (rect.y0..rect.y1).enumerate() {
+            for (rx, x) in (rect.x0..rect.x1).enumerate() {
+                let i = (y * self.width + x) as usize;
+                self.pixels[i] = over(self.pixels[i], behind[ry * rect.width() as usize + rx]);
+            }
+        }
+    }
+
+    /// Blend onto an opaque background color and emit binary PPM (P6).
+    pub fn to_ppm(&self, background: [f32; 3]) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        for p in &self.pixels {
+            let t = 1.0 - p[3];
+            for c in 0..3 {
+                let v = p[c] + background[c] * t;
+                out.push((v.clamp(0.0, 1.0) * 255.0 + 0.5) as u8);
+            }
+        }
+        out
+    }
+
+    /// Root-mean-square difference over all channels — the image-quality
+    /// metric for the adaptive-rendering comparison (Figure 3).
+    pub fn rms_difference(&self, other: &RgbaImage) -> f64 {
+        assert_eq!((self.width, self.height), (other.width, other.height));
+        let mut acc = 0.0f64;
+        for (a, b) in self.pixels.iter().zip(&other.pixels) {
+            for c in 0..4 {
+                let d = (a[c] - b[c]) as f64;
+                acc += d * d;
+            }
+        }
+        (acc / (self.pixels.len() as f64 * 4.0)).sqrt()
+    }
+
+    /// Shannon entropy of the luminance histogram (bits) — the
+    /// information-content metric for the enhancement comparison
+    /// (Figure 4): an image that "reveals very little variation" has low
+    /// entropy; enhancement raises it.
+    pub fn entropy(&self) -> f64 {
+        let mut hist = [0u64; 256];
+        for p in &self.pixels {
+            let lum = (0.2126 * p[0] + 0.7152 * p[1] + 0.0722 * p[2]).clamp(0.0, 1.0);
+            hist[(lum * 255.0) as usize] += 1;
+        }
+        let n = self.pixels.len() as f64;
+        let mut h = 0.0;
+        for &c in &hist {
+            if c > 0 {
+                let p = c as f64 / n;
+                h -= p * p.log2();
+            }
+        }
+        h
+    }
+
+    /// Mean gradient-magnitude of luminance — an edge-energy metric used
+    /// to quantify what lighting adds (Figure 11).
+    pub fn edge_energy(&self) -> f64 {
+        if self.width < 2 || self.height < 2 {
+            return 0.0;
+        }
+        let lum = |p: Rgba| (0.2126 * p[0] + 0.7152 * p[1] + 0.0722 * p[2]) as f64;
+        let mut acc = 0.0;
+        for y in 0..self.height - 1 {
+            for x in 0..self.width - 1 {
+                let l = lum(self.get(x, y));
+                let dx = lum(self.get(x + 1, y)) - l;
+                let dy = lum(self.get(x, y + 1)) - l;
+                acc += (dx * dx + dy * dy).sqrt();
+            }
+        }
+        acc / ((self.width - 1) as f64 * (self.height - 1) as f64)
+    }
+
+    /// Raw f32 bytes (for byte-level exchange in compositing).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.pixels.len() * 16);
+        for p in &self.pixels {
+            for c in p {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn over_is_associative_premultiplied() {
+        let a = [0.3, 0.1, 0.0, 0.4];
+        let b = [0.2, 0.2, 0.1, 0.5];
+        let c = [0.0, 0.3, 0.3, 0.6];
+        let left = over(over(a, b), c);
+        let right = over(a, over(b, c));
+        for i in 0..4 {
+            assert!((left[i] - right[i]).abs() < 1e-6, "channel {i}");
+        }
+    }
+
+    #[test]
+    fn over_opaque_front_wins() {
+        let f = [0.5, 0.25, 0.1, 1.0];
+        assert_eq!(over(f, [0.9, 0.9, 0.9, 1.0]), f);
+    }
+
+    #[test]
+    fn over_transparent_front_passes_back() {
+        let b = [0.5, 0.25, 0.1, 0.8];
+        assert_eq!(over([0.0; 4], b), b);
+    }
+
+    #[test]
+    fn rect_ops() {
+        let a = ScreenRect::new(0, 0, 10, 10);
+        let b = ScreenRect::new(5, 5, 15, 15);
+        let i = a.intersect(&b);
+        assert_eq!(i, ScreenRect::new(5, 5, 10, 10));
+        assert_eq!(i.area(), 25);
+        let u = a.union(&b);
+        assert_eq!(u, ScreenRect::new(0, 0, 15, 15));
+        let disjoint = ScreenRect::new(20, 20, 30, 30);
+        assert!(a.intersect(&disjoint).is_empty());
+        assert!(a.contains(9, 9));
+        assert!(!a.contains(10, 9));
+    }
+
+    #[test]
+    fn empty_rect_union_identity() {
+        let a = ScreenRect::new(2, 3, 7, 9);
+        assert_eq!(ScreenRect::EMPTY.union(&a), a);
+        assert_eq!(a.union(&ScreenRect::EMPTY), a);
+    }
+
+    #[test]
+    fn over_rect_inplace_places_correctly() {
+        let mut img = RgbaImage::new(4, 4);
+        let rect = ScreenRect::new(1, 1, 3, 3);
+        let patch = vec![[0.0, 0.0, 0.0, 1.0]; 4];
+        img.over_rect_inplace(&rect, &patch);
+        assert_eq!(img.get(1, 1)[3], 1.0);
+        assert_eq!(img.get(2, 2)[3], 1.0);
+        assert_eq!(img.get(0, 0)[3], 0.0);
+        assert_eq!(img.get(3, 3)[3], 0.0);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = RgbaImage::new(3, 2);
+        let ppm = img.to_ppm([0.0, 0.0, 0.0]);
+        assert!(ppm.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(ppm.len(), 11 + 3 * 2 * 3);
+    }
+
+    #[test]
+    fn rms_zero_for_identical() {
+        let mut a = RgbaImage::new(8, 8);
+        a.set(3, 3, [0.5, 0.5, 0.5, 1.0]);
+        assert_eq!(a.rms_difference(&a.clone()), 0.0);
+        let b = RgbaImage::new(8, 8);
+        assert!(a.rms_difference(&b) > 0.0);
+    }
+
+    #[test]
+    fn entropy_flat_vs_varied() {
+        let flat = RgbaImage::new(16, 16);
+        assert_eq!(flat.entropy(), 0.0); // single bin
+        let mut varied = RgbaImage::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                let v = (x + 16 * y) as f32 / 255.0;
+                varied.set(x, y, [v, v, v, 1.0]);
+            }
+        }
+        assert!(varied.entropy() > 6.0);
+    }
+
+    #[test]
+    fn edge_energy_detects_structure() {
+        let flat = RgbaImage::new(16, 16);
+        let mut edgy = RgbaImage::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                let v = if (x / 2 + y / 2) % 2 == 0 { 1.0 } else { 0.0 };
+                edgy.set(x, y, [v, v, v, 1.0]);
+            }
+        }
+        assert!(edgy.edge_energy() > flat.edge_energy());
+    }
+}

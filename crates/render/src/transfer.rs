@@ -1,0 +1,161 @@
+//! Piecewise-linear RGBA transfer functions.
+//!
+//! Input scalars are normalized to `[0, 1]` (the dataset carries its global
+//! magnitude range). The seismic preset follows the paper's figures: quiet
+//! regions transparent blue, moderate shaking cyan→green→yellow, strong
+//! shaking opaque red.
+
+use crate::image::Rgba;
+
+/// A transfer function defined by sorted `(value, straight RGBA)` control
+/// points; lookup interpolates linearly and returns **premultiplied** RGBA
+/// scaled by the caller's opacity correction.
+#[derive(Debug, Clone)]
+pub struct TransferFunction {
+    /// Control points: (normalized value, [r, g, b, a]) with straight alpha.
+    points: Vec<(f32, [f32; 4])>,
+}
+
+impl TransferFunction {
+    /// Build from control points (sorted by value at construction).
+    pub fn new(mut points: Vec<(f32, [f32; 4])>) -> TransferFunction {
+        assert!(points.len() >= 2, "need at least two control points");
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        TransferFunction { points }
+    }
+
+    /// The paper-style seismic map: transparent where quiet, warm and
+    /// opaque where shaking is strong.
+    pub fn seismic() -> TransferFunction {
+        TransferFunction::new(vec![
+            (0.00, [0.02, 0.03, 0.15, 0.000]),
+            (0.05, [0.05, 0.10, 0.45, 0.010]),
+            (0.20, [0.00, 0.55, 0.75, 0.060]),
+            (0.40, [0.10, 0.80, 0.25, 0.150]),
+            (0.60, [0.95, 0.90, 0.10, 0.350]),
+            (0.80, [0.95, 0.45, 0.05, 0.650]),
+            (1.00, [0.90, 0.05, 0.05, 0.900]),
+        ])
+    }
+
+    /// A grayscale ramp (testing / LIC underlays).
+    pub fn grayscale() -> TransferFunction {
+        TransferFunction::new(vec![
+            (0.0, [0.0, 0.0, 0.0, 0.0]),
+            (1.0, [1.0, 1.0, 1.0, 1.0]),
+        ])
+    }
+
+    /// Straight (non-premultiplied) RGBA at normalized value `v`
+    /// (clamped).
+    pub fn lookup(&self, v: f32) -> [f32; 4] {
+        let v = v.clamp(self.points[0].0, self.points.last().unwrap().0);
+        let i = self.points.partition_point(|&(x, _)| x <= v).min(self.points.len() - 1);
+        if i == 0 {
+            return self.points[0].1;
+        }
+        let (x0, c0) = self.points[i - 1];
+        let (x1, c1) = self.points[i];
+        if x1 <= x0 {
+            return c1;
+        }
+        let t = ((v - x0) / (x1 - x0)).clamp(0.0, 1.0);
+        let mut out = [0.0f32; 4];
+        for c in 0..4 {
+            out[c] = c0[c] + (c1[c] - c0[c]) * t;
+        }
+        out
+    }
+
+    /// Premultiplied sample contribution for a ray segment of length
+    /// `ds` relative to the reference step `ds_ref` (opacity correction
+    /// `a' = 1 − (1 − a)^(ds/ds_ref)`).
+    pub fn sample(&self, v: f32, ds_ratio: f32) -> Rgba {
+        let c = self.lookup(v);
+        let a = 1.0 - (1.0 - c[3]).powf(ds_ratio.max(1e-6));
+        [c[0] * a, c[1] * a, c[2] * a, a]
+    }
+
+    /// Largest opacity anywhere (sanity checks / early-termination limits).
+    pub fn max_opacity(&self) -> f32 {
+        self.points.iter().map(|p| p.1[3]).fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_interpolates_linearly() {
+        let tf = TransferFunction::new(vec![
+            (0.0, [0.0, 0.0, 0.0, 0.0]),
+            (1.0, [1.0, 0.5, 0.0, 1.0]),
+        ]);
+        let c = tf.lookup(0.5);
+        assert!((c[0] - 0.5).abs() < 1e-6);
+        assert!((c[1] - 0.25).abs() < 1e-6);
+        assert!((c[3] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lookup_clamps_out_of_range() {
+        let tf = TransferFunction::grayscale();
+        assert_eq!(tf.lookup(-5.0), tf.lookup(0.0));
+        assert_eq!(tf.lookup(5.0), tf.lookup(1.0));
+    }
+
+    #[test]
+    fn lookup_exact_control_points() {
+        let tf = TransferFunction::seismic();
+        let c = tf.lookup(1.0);
+        assert!((c[3] - 0.9).abs() < 1e-6);
+        let c0 = tf.lookup(0.0);
+        assert_eq!(c0[3], 0.0);
+    }
+
+    #[test]
+    fn unsorted_points_sorted_at_build() {
+        let tf = TransferFunction::new(vec![
+            (1.0, [1.0, 1.0, 1.0, 1.0]),
+            (0.0, [0.0, 0.0, 0.0, 0.0]),
+        ]);
+        assert!((tf.lookup(0.25)[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_is_premultiplied() {
+        let tf = TransferFunction::new(vec![
+            (0.0, [1.0, 1.0, 1.0, 0.0]),
+            (1.0, [1.0, 1.0, 1.0, 0.5]),
+        ]);
+        let s = tf.sample(1.0, 1.0);
+        assert!((s[3] - 0.5).abs() < 1e-6);
+        assert!((s[0] - 0.5).abs() < 1e-6, "rgb must be scaled by alpha");
+    }
+
+    #[test]
+    fn opacity_correction_composes() {
+        // two half-steps must equal one full step in accumulated opacity
+        let tf = TransferFunction::new(vec![
+            (0.0, [1.0, 1.0, 1.0, 0.4]),
+            (1.0, [1.0, 1.0, 1.0, 0.4]),
+        ]);
+        let full = tf.sample(0.5, 1.0)[3];
+        let half = tf.sample(0.5, 0.5)[3];
+        let two_halves = half + half * (1.0 - half);
+        assert!((two_halves - full).abs() < 1e-5, "{two_halves} vs {full}");
+    }
+
+    #[test]
+    fn seismic_is_monotone_in_opacity() {
+        let tf = TransferFunction::seismic();
+        let mut prev = -1.0f32;
+        for i in 0..=100 {
+            let a = tf.lookup(i as f32 / 100.0)[3];
+            assert!(a >= prev - 1e-6, "opacity must not decrease");
+            prev = a;
+        }
+        assert!(tf.max_opacity() > 0.8);
+    }
+}

@@ -1,0 +1,169 @@
+//! View-dependent front-to-back ordering of octree blocks.
+//!
+//! This is the "view-dependent preprocessing step whose cost is very small"
+//! of paper §4: before each frame, every processor derives the global
+//! visibility order of the octree blocks for the current viewpoint. For an
+//! octree (axis-aligned recursive bisection), an exact order exists: at
+//! every internal node, visit the child octant containing the eye first,
+//! then its face neighbours, edge neighbours and the opposite octant —
+//! i.e. children sorted by the number of splitting planes separating them
+//! from the eye octant. Compositing fragments in this order reproduces the
+//! sequential image exactly.
+
+use quakeviz_mesh::{Loc3, OctreeBlock, Vec3};
+use std::collections::HashMap;
+
+/// Indices into `blocks` sorted front-to-back for an eye position
+/// (world coordinates; the domain spans `[0, extent]`).
+pub fn front_to_back_order(blocks: &[OctreeBlock], extent: Vec3, eye: Vec3) -> Vec<usize> {
+    let roots: HashMap<u64, usize> =
+        blocks.iter().enumerate().map(|(i, b)| (b.root.key(), i)).collect();
+    let mut order = Vec::with_capacity(blocks.len());
+    visit(Loc3::ROOT, &roots, extent, eye, &mut order);
+    debug_assert_eq!(order.len(), blocks.len(), "every block must be visited exactly once");
+    order
+}
+
+fn visit(
+    loc: Loc3,
+    roots: &HashMap<u64, usize>,
+    extent: Vec3,
+    eye: Vec3,
+    out: &mut Vec<usize>,
+) {
+    if let Some(&i) = roots.get(&loc.key()) {
+        out.push(i);
+        return;
+    }
+    if loc.level >= quakeviz_mesh::morton::MAX_LEVEL {
+        return;
+    }
+    // Octant of the eye relative to this cell's centre: bit per axis.
+    let b = loc.bounds(extent);
+    let c = b.center();
+    let eye_oct = (eye.x >= c.x) as usize | (((eye.y >= c.y) as usize) << 1)
+        | (((eye.z >= c.z) as usize) << 2);
+    let children = loc.children();
+    // children[k] has octant bits k; fewer differing planes = closer.
+    let mut idx: [usize; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+    idx.sort_by_key(|&k| (k ^ eye_oct).count_ones());
+    // Only recurse into cells that can contain block roots; quick check:
+    // any key in `roots` under this child (we avoid an index structure by
+    // relying on block sets being shallow — recursion depth = block level).
+    for k in idx {
+        let child = children[k];
+        if subtree_has_root(&child, roots) {
+            visit(child, roots, extent, eye, out);
+        }
+    }
+}
+
+fn subtree_has_root(loc: &Loc3, roots: &HashMap<u64, usize>) -> bool {
+    // Block decompositions are shallow (block level ≤ ~6), so testing all
+    // roots is cheap relative to rendering. Exact containment test.
+    roots.keys().any(|&k| {
+        let r = Loc3::from_key(k);
+        loc.contains(&r)
+    })
+}
+
+/// Back-to-front order (reverse of [`front_to_back_order`]).
+pub fn back_to_front_order(blocks: &[OctreeBlock], extent: Vec3, eye: Vec3) -> Vec<usize> {
+    let mut o = front_to_back_order(blocks, extent, eye);
+    o.reverse();
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quakeviz_mesh::{Octree, UniformRefinement};
+
+    fn blocks(level: u8) -> (Vec<OctreeBlock>, Vec3) {
+        let extent = Vec3::ONE;
+        let t = Octree::build(extent, &UniformRefinement(3));
+        (t.blocks(level), extent)
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let (bs, extent) = blocks(2);
+        let order = front_to_back_order(&bs, extent, Vec3::new(-2.0, 0.3, 0.4));
+        let mut seen = vec![false; bs.len()];
+        for &i in &order {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn nearest_octant_first() {
+        let (bs, extent) = blocks(1); // 8 blocks
+        let eye = Vec3::new(-1.0, -1.0, -1.0);
+        let order = front_to_back_order(&bs, extent, eye);
+        // first block must be the (0,0,0) octant, last the (1,1,1) octant
+        let first = &bs[order[0]];
+        assert_eq!((first.root.x, first.root.y, first.root.z), (0, 0, 0));
+        let last = &bs[order[order.len() - 1]];
+        assert_eq!((last.root.x, last.root.y, last.root.z), (1, 1, 1));
+    }
+
+    #[test]
+    fn distance_monotone_for_outside_eye() {
+        // For an eye far outside along a diagonal, front-to-back order
+        // must be consistent with the separating-plane partial order; a
+        // necessary condition we can check cheaply: the first block is
+        // closest and the last is farthest by center distance.
+        let (bs, extent) = blocks(2);
+        let eye = Vec3::new(-3.0, -2.5, -2.0);
+        let order = front_to_back_order(&bs, extent, eye);
+        let dist = |i: usize| (bs[i].root.bounds(extent).center() - eye).length();
+        let dmin = order.iter().map(|&i| dist(i)).fold(f64::INFINITY, f64::min);
+        let dmax = order.iter().map(|&i| dist(i)).fold(0.0, f64::max);
+        assert!((dist(order[0]) - dmin).abs() < 1e-12);
+        assert!((dist(*order.last().unwrap()) - dmax).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eye_inside_domain_still_permutes() {
+        let (bs, extent) = blocks(2);
+        let order = front_to_back_order(&bs, extent, Vec3::new(0.3, 0.6, 0.5));
+        assert_eq!(order.len(), bs.len());
+    }
+
+    #[test]
+    fn mixed_level_blocks_covered() {
+        // adaptive octree: blocks at different levels
+        struct Corner;
+        impl quakeviz_mesh::RefineOracle for Corner {
+            fn refine(&self, _l: &Loc3, b: &quakeviz_mesh::Aabb) -> bool {
+                b.min.x < 0.25 && b.min.y < 0.25 && b.min.z < 0.25
+            }
+            fn max_level(&self) -> u8 {
+                4
+            }
+            fn min_level(&self) -> u8 {
+                1
+            }
+        }
+        let extent = Vec3::ONE;
+        let t = Octree::build(extent, &Corner);
+        let bs = t.blocks(2);
+        let order = front_to_back_order(&bs, extent, Vec3::new(2.0, 2.0, 2.0));
+        assert_eq!(order.len(), bs.len());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..bs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn back_to_front_is_reverse() {
+        let (bs, extent) = blocks(1);
+        let eye = Vec3::new(-1.0, 0.5, 0.5);
+        let f = front_to_back_order(&bs, extent, eye);
+        let mut b = back_to_front_order(&bs, extent, eye);
+        b.reverse();
+        assert_eq!(f, b);
+    }
+}

@@ -1,0 +1,734 @@
+//! Ranks, communicators, point-to-point messaging and collectives.
+//!
+//! A [`World`] spawns `n` threads, one per rank, each receiving a [`Comm`]
+//! that spans all ranks. Sub-communicators are built collectively with
+//! [`Comm::split`] (MPI `MPI_Comm_split` semantics) or [`Comm::group`]
+//! (explicit rank lists, used for the input / rendering / output processor
+//! groups of the pipeline).
+//!
+//! Matching: a receive matches on `(communicator, source rank, tag)`.
+//! Messages that arrive before they are asked for are parked in a per-thread
+//! pending queue, so arbitrary interleavings are safe. A blocking receive
+//! that stays unmatched for [`RECV_TIMEOUT`] panics with a diagnostic
+//! instead of deadlocking the test suite.
+
+use crate::stats::TrafficStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocking receive waits before declaring a deadlock.
+pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Tag bit reserved for internal collective traffic; user tags must not
+/// set it.
+const COLL_BIT: u64 = 1 << 63;
+
+struct Envelope {
+    comm: u64,
+    src_world: usize,
+    tag: u64,
+    payload: Box<dyn Any + Send>,
+}
+
+struct Shared {
+    senders: Vec<Sender<Envelope>>,
+    stats: Arc<TrafficStats>,
+}
+
+struct Mailbox {
+    rx: Receiver<Envelope>,
+    pending: Vec<Envelope>,
+}
+
+/// Spawner for a world of thread-ranks.
+pub struct World;
+
+impl World {
+    /// Spawn `n` ranks, run `f` on each with its world communicator, and
+    /// return the per-rank results in rank order.
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        Self::run_traced(n, TrafficStats::new(), f)
+    }
+
+    /// Like [`World::run`] but records message/byte traffic into `stats`.
+    pub fn run_traced<R, F>(n: usize, stats: Arc<TrafficStats>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        assert!(n > 0, "world needs at least one rank");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared { senders, stats });
+        let f = &f;
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = receivers
+                .into_iter()
+                .enumerate()
+                .map(|(rank, rx)| {
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        let comm = Comm {
+                            shared,
+                            mailbox: Rc::new(RefCell::new(Mailbox { rx, pending: Vec::new() })),
+                            id: 0,
+                            ranks: Arc::new((0..n).collect()),
+                            my_rank: rank,
+                            coll_seq: Cell::new(0),
+                            split_seq: Cell::new(0),
+                        };
+                        f(comm)
+                    })
+                })
+                .collect();
+            for (rank, h) in handles.into_iter().enumerate() {
+                results[rank] = Some(h.join().expect("rank thread panicked"));
+            }
+        });
+        results.into_iter().map(|r| r.unwrap()).collect()
+    }
+}
+
+/// A communicator: a set of ranks that can exchange messages and run
+/// collectives. Cheap to clone within its owning thread; not `Send`.
+pub struct Comm {
+    shared: Arc<Shared>,
+    mailbox: Rc<RefCell<Mailbox>>,
+    /// Globally unique communicator id, identical on every member.
+    id: u64,
+    /// Communicator rank -> world rank.
+    ranks: Arc<Vec<usize>>,
+    /// This rank's position within `ranks`.
+    my_rank: usize,
+    /// Collective sequence number (kept in lock-step by matched calls).
+    coll_seq: Cell<u64>,
+    /// Number of `split`/`group` calls made on this communicator.
+    split_seq: Cell<u64>,
+}
+
+impl Comm {
+    /// This rank's id within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The world rank behind communicator rank `r`.
+    #[inline]
+    pub fn world_rank(&self, r: usize) -> usize {
+        self.ranks[r]
+    }
+
+    /// The traffic counters of this world.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.shared.stats
+    }
+
+    // ------------------------------------------------------------------
+    // point-to-point
+    // ------------------------------------------------------------------
+
+    /// Buffered (non-blocking) send of any `Send + 'static` value.
+    ///
+    /// Traffic accounting charges `size_of::<T>()`; use
+    /// [`Comm::send_with_size`] when the payload owns heap data whose size
+    /// matters to the experiment.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) {
+        self.send_with_size(dst, tag, value, std::mem::size_of::<T>() as u64)
+    }
+
+    /// Buffered send with an explicit payload byte count for accounting.
+    pub fn send_with_size<T: Send + 'static>(&self, dst: usize, tag: u64, value: T, bytes: u64) {
+        assert!(tag & COLL_BIT == 0, "user tags must not set the top bit");
+        self.send_raw(dst, tag, Box::new(value), bytes);
+    }
+
+    fn send_raw(&self, dst: usize, tag: u64, payload: Box<dyn Any + Send>, bytes: u64) {
+        let dst_world = self.ranks[dst];
+        self.shared.stats.record(bytes);
+        self.shared.senders[dst_world]
+            .send(Envelope { comm: self.id, src_world: self.ranks[self.my_rank], tag, payload })
+            .expect("receiving rank has exited");
+    }
+
+    /// Blocking receive of a `T` from communicator rank `src` with `tag`.
+    ///
+    /// Panics if the matched payload is not a `T`, or after
+    /// [`RECV_TIMEOUT`] without a match (deadlock guard).
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        assert!(tag & COLL_BIT == 0, "user tags must not set the top bit");
+        self.recv_matched(Some(self.ranks[src]), tag).1
+    }
+
+    /// Blocking receive from *any* source; returns `(source rank, value)`.
+    pub fn recv_any<T: Send + 'static>(&self, tag: u64) -> (usize, T) {
+        assert!(tag & COLL_BIT == 0, "user tags must not set the top bit");
+        let (src_world, v) = self.recv_matched(None, tag);
+        let src = self
+            .ranks
+            .iter()
+            .position(|&w| w == src_world)
+            .expect("message from a rank outside this communicator");
+        (src, v)
+    }
+
+    /// Non-blocking receive: `Some(value)` if a matching message has
+    /// already arrived.
+    pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Option<T> {
+        assert!(tag & COLL_BIT == 0, "user tags must not set the top bit");
+        let src_world = self.ranks[src];
+        let mut mb = self.mailbox.borrow_mut();
+        // drain the channel into pending first so we see everything
+        while let Ok(env) = mb.rx.try_recv() {
+            mb.pending.push(env);
+        }
+        let pos = mb
+            .pending
+            .iter()
+            .position(|e| e.comm == self.id && e.src_world == src_world && e.tag == tag)?;
+        let env = mb.pending.swap_remove(pos);
+        Some(Self::downcast(env.payload, tag))
+    }
+
+    fn recv_matched<T: Send + 'static>(&self, src_world: Option<usize>, tag: u64) -> (usize, T) {
+        let mut mb = self.mailbox.borrow_mut();
+        let matches = |e: &Envelope| {
+            e.comm == self.id && e.tag == tag && src_world.is_none_or(|s| e.src_world == s)
+        };
+        if let Some(pos) = mb.pending.iter().position(matches) {
+            let env = mb.pending.swap_remove(pos);
+            return (env.src_world, Self::downcast(env.payload, tag));
+        }
+        let deadline = std::time::Instant::now() + RECV_TIMEOUT;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let env = mb.rx.recv_timeout(remaining).unwrap_or_else(|_| {
+                panic!(
+                    "rank {} (comm {}): recv(src={:?}, tag={}) unmatched after {:?} — deadlock?",
+                    self.my_rank, self.id, src_world, tag, RECV_TIMEOUT
+                )
+            });
+            if matches(&env) {
+                return (env.src_world, Self::downcast(env.payload, tag));
+            }
+            mb.pending.push(env);
+        }
+    }
+
+    fn downcast<T: 'static>(payload: Box<dyn Any + Send>, tag: u64) -> T {
+        *payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!("type mismatch on tag {tag}: expected {}", std::any::type_name::<T>())
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // collectives (must be called by all ranks of the communicator, in
+    // the same order)
+    // ------------------------------------------------------------------
+
+    fn next_coll_tag(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        COLL_BIT | seq
+    }
+
+    fn coll_send<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) {
+        self.send_raw(dst, tag, Box::new(value), std::mem::size_of::<T>() as u64);
+    }
+
+    fn coll_recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        self.recv_matched(Some(self.ranks[src]), tag).1
+    }
+
+    /// Block until every rank of the communicator has entered the barrier.
+    pub fn barrier(&self) {
+        let tag = self.next_coll_tag();
+        // gather to 0, then broadcast
+        if self.my_rank == 0 {
+            for src in 1..self.size() {
+                let () = self.coll_recv(src, tag);
+            }
+            for dst in 1..self.size() {
+                self.coll_send(dst, tag, ());
+            }
+        } else {
+            self.coll_send(0, tag, ());
+            let () = self.coll_recv(0, tag);
+        }
+    }
+
+    /// Broadcast `value` from `root` to every rank; each rank passes its
+    /// own `value` (ignored off-root) and receives the root's.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: T) -> T {
+        let tag = self.next_coll_tag();
+        if self.my_rank == root {
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.coll_send(dst, tag, value.clone());
+                }
+            }
+            value
+        } else {
+            self.coll_recv(root, tag)
+        }
+    }
+
+    /// Gather one value from every rank to `root`; returns `Some(values)`
+    /// in rank order at the root, `None` elsewhere.
+    pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        let tag = self.next_coll_tag();
+        if self.my_rank == root {
+            let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            slots[root] = Some(value);
+            for src in 0..self.size() {
+                if src != root {
+                    slots[src] = Some(self.coll_recv(src, tag));
+                }
+            }
+            Some(slots.into_iter().map(|s| s.unwrap()).collect())
+        } else {
+            self.coll_send(root, tag, value);
+            None
+        }
+    }
+
+    /// Gather one value from every rank to every rank (rank order).
+    pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.bcast(0, gathered.unwrap_or_default())
+    }
+
+    /// Scatter one element of `values` (significant at the root) to each
+    /// rank.
+    pub fn scatter<T: Send + 'static>(&self, root: usize, values: Option<Vec<T>>) -> T {
+        let tag = self.next_coll_tag();
+        if self.my_rank == root {
+            let values = values.expect("root must supply scatter values");
+            assert_eq!(values.len(), self.size(), "scatter needs one value per rank");
+            let mut mine = None;
+            for (dst, v) in values.into_iter().enumerate() {
+                if dst == root {
+                    mine = Some(v);
+                } else {
+                    self.coll_send(dst, tag, v);
+                }
+            }
+            mine.unwrap()
+        } else {
+            self.coll_recv(root, tag)
+        }
+    }
+
+    /// Reduce with a binary operator to `root` (rank order fold).
+    pub fn reduce<T, F>(&self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let gathered = self.gather(root, value)?;
+        let mut it = gathered.into_iter();
+        let first = it.next().expect("communicator has at least one rank");
+        Some(it.fold(first, op))
+    }
+
+    /// Reduce to every rank.
+    pub fn allreduce<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let reduced = self.reduce(0, value, op);
+        let tag = self.next_coll_tag();
+        if self.my_rank == 0 {
+            let v = reduced.expect("rank 0 is the reduce root");
+            for dst in 1..self.size() {
+                self.coll_send(dst, tag, v.clone());
+            }
+            v
+        } else {
+            self.coll_recv(0, tag)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // sub-communicators
+    // ------------------------------------------------------------------
+
+    fn derive_id(&self, salt: u64) -> u64 {
+        // split-mix style hash of (parent id, split sequence, salt) —
+        // identical on all ranks because all inputs are.
+        let seq = self.split_seq.get();
+        self.split_seq.set(seq + 1);
+        let mut h = self.id ^ 0x9e3779b97f4a7c15;
+        for v in [seq, salt] {
+            h ^= v.wrapping_mul(0xbf58476d1ce4e5b9);
+            h = h.rotate_left(31).wrapping_mul(0x94d049bb133111eb);
+        }
+        h | 1 // never collide with the world id 0
+    }
+
+    /// MPI-style split: ranks sharing `color` form a new communicator,
+    /// ordered by `(key, parent rank)`. Collective on the parent.
+    pub fn split(&self, color: u64, key: i64) -> Comm {
+        let triples = self.allgather((color, key, self.my_rank));
+        let mut members: Vec<(i64, usize)> = triples
+            .iter()
+            .filter(|(c, _, _)| *c == color)
+            .map(|&(_, k, r)| (k, r))
+            .collect();
+        members.sort();
+        let ranks: Vec<usize> = members.iter().map(|&(_, r)| self.ranks[r]).collect();
+        let my_rank = members
+            .iter()
+            .position(|&(_, r)| r == self.my_rank)
+            .expect("calling rank missing from its own split group");
+        let id = self.derive_id(color);
+        Comm {
+            shared: Arc::clone(&self.shared),
+            mailbox: Rc::clone(&self.mailbox),
+            id,
+            ranks: Arc::new(ranks),
+            my_rank,
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        }
+    }
+
+    /// Build a sub-communicator from an explicit list of parent ranks.
+    ///
+    /// Collective on the parent: **every** parent rank must call it with
+    /// the same list (this keeps communicator ids in lock-step without any
+    /// message traffic). Members get `Some(comm)`, non-members `None`.
+    pub fn group(&self, members: &[usize]) -> Option<Comm> {
+        let mut salt = 0xcbf29ce484222325u64;
+        for &r in members {
+            salt = (salt ^ r as u64).wrapping_mul(0x100000001b3);
+        }
+        let id = self.derive_id(salt);
+        let my_rank = members.iter().position(|&r| r == self.my_rank)?;
+        let ranks: Vec<usize> = members.iter().map(|&r| self.ranks[r]).collect();
+        Some(Comm {
+            shared: Arc::clone(&self.shared),
+            mailbox: Rc::clone(&self.mailbox),
+            id,
+            ranks: Arc::new(ranks),
+            my_rank,
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            comm.barrier();
+            comm.allgather(42usize)
+        });
+        assert_eq!(out, vec![vec![42]]);
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let n = 6;
+        let out = World::run(n, |comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(right, 1, comm.rank());
+            let got: usize = comm.recv(left, 1);
+            got
+        });
+        for (rank, got) in out.iter().enumerate() {
+            assert_eq!(*got, (rank + n - 1) % n);
+        }
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                // send tag 2 first, then tag 1
+                comm.send(1, 2, "second".to_string());
+                comm.send(1, 1, "first".to_string());
+                (String::new(), String::new())
+            } else {
+                // receive tag 1 first even though tag 2 arrived first
+                let a: String = comm.recv(0, 1);
+                let b: String = comm.recv(0, 2);
+                (a, b)
+            }
+        });
+        assert_eq!(out[1], ("first".to_string(), "second".to_string()));
+    }
+
+    #[test]
+    fn recv_any_collects_all_sources() {
+        let out = World::run(5, |comm| {
+            if comm.rank() == 0 {
+                let mut seen = vec![false; comm.size()];
+                for _ in 1..comm.size() {
+                    let (src, v): (usize, usize) = comm.recv_any(9);
+                    assert_eq!(v, src * 10);
+                    seen[src] = true;
+                }
+                seen.iter().skip(1).all(|&s| s)
+            } else {
+                comm.send(0, 9, comm.rank() * 10);
+                true
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.barrier();
+                comm.send(1, 5, 123u32);
+                comm.barrier();
+                true
+            } else {
+                // nothing sent yet
+                assert!(comm.try_recv::<u32>(0, 5).is_none());
+                comm.barrier();
+                comm.barrier();
+                // now it must be there
+                comm.try_recv::<u32>(0, 5) == Some(123)
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let out = World::run(4, |comm| comm.bcast(2, if comm.rank() == 2 { 77 } else { 0 }));
+        assert_eq!(out, vec![77; 4]);
+    }
+
+    #[test]
+    fn gather_in_rank_order() {
+        let out = World::run(4, |comm| comm.gather(1, comm.rank() * comm.rank()));
+        assert_eq!(out[1], Some(vec![0, 1, 4, 9]));
+        assert_eq!(out[0], None);
+    }
+
+    #[test]
+    fn allgather_everywhere() {
+        let out = World::run(3, |comm| comm.allgather(comm.rank() as u64 + 100));
+        for v in out {
+            assert_eq!(v, vec![100, 101, 102]);
+        }
+    }
+
+    #[test]
+    fn scatter_distributes() {
+        let out = World::run(3, |comm| {
+            let vals = (comm.rank() == 0).then(|| vec![10, 20, 30]);
+            comm.scatter(0, vals)
+        });
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn reduce_and_allreduce() {
+        let out = World::run(5, |comm| {
+            let sum = comm.reduce(0, comm.rank() as u64, |a, b| a + b);
+            let max = comm.allreduce(comm.rank() as u64, u64::max);
+            (sum, max)
+        });
+        assert_eq!(out[0].0, Some(10));
+        assert!(out[1..].iter().all(|(s, _)| s.is_none()));
+        assert!(out.iter().all(|(_, m)| *m == 4));
+    }
+
+    #[test]
+    fn split_into_even_odd() {
+        let out = World::run(6, |comm| {
+            let sub = comm.split((comm.rank() % 2) as u64, comm.rank() as i64);
+            // sum ranks within each parity group via the subcomm
+            let total = sub.allreduce(comm.rank(), |a, b| a + b);
+            (sub.rank(), sub.size(), total)
+        });
+        // evens: world 0,2,4 -> sub ranks 0,1,2; sum 6. odds: 1,3,5 sum 9.
+        assert_eq!(out[0], (0, 3, 6));
+        assert_eq!(out[2], (1, 3, 6));
+        assert_eq!(out[4], (2, 3, 6));
+        assert_eq!(out[1], (0, 3, 9));
+        assert_eq!(out[5], (2, 3, 9));
+    }
+
+    #[test]
+    fn split_key_reorders_ranks() {
+        let out = World::run(4, |comm| {
+            // reverse order via descending keys
+            let sub = comm.split(0, -(comm.rank() as i64));
+            sub.rank()
+        });
+        assert_eq!(out, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn group_members_and_nonmembers() {
+        let out = World::run(5, |comm| {
+            let g = comm.group(&[1, 3, 4]);
+            match g {
+                Some(sub) => {
+                    let members = sub.allgather(comm.rank());
+                    Some((sub.rank(), members))
+                }
+                None => None,
+            }
+        });
+        assert!(out[0].is_none() && out[2].is_none());
+        assert_eq!(out[1], Some((0, vec![1, 3, 4])));
+        assert_eq!(out[3], Some((1, vec![1, 3, 4])));
+        assert_eq!(out[4], Some((2, vec![1, 3, 4])));
+    }
+
+    #[test]
+    fn nested_groups_do_not_cross_talk() {
+        let out = World::run(4, |comm| {
+            let front = comm.group(&[0, 1]);
+            let back = comm.group(&[2, 3]);
+            // identical tags on both subcomms must not collide
+            if let Some(sub) = front {
+                if sub.rank() == 0 {
+                    sub.send(1, 7, 111u32);
+                    0
+                } else {
+                    sub.recv::<u32>(0, 7)
+                }
+            } else if let Some(sub) = back {
+                if sub.rank() == 0 {
+                    sub.send(1, 7, 222u32);
+                    0
+                } else {
+                    sub.recv::<u32>(0, 7)
+                }
+            } else {
+                unreachable!()
+            }
+        });
+        assert_eq!(out, vec![0, 111, 0, 222]);
+    }
+
+    #[test]
+    fn traffic_stats_counted() {
+        let stats = TrafficStats::new();
+        World::run_traced(2, Arc::clone(&stats), |comm| {
+            if comm.rank() == 0 {
+                comm.send_with_size(1, 3, vec![0u8; 1000], 1000);
+            } else {
+                let _: Vec<u8> = comm.recv(0, 3);
+            }
+        });
+        assert_eq!(stats.bytes(), 1000);
+        assert_eq!(stats.messages(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn type_mismatch_panics() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 1.5f64);
+            } else {
+                let _: u32 = comm.recv(0, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn message_storm_all_to_all() {
+        // stress: every rank sends many tagged messages to every rank in
+        // scrambled order; matching must sort it out
+        let n = 5;
+        let out = World::run(n, |comm| {
+            for round in 0..20u64 {
+                for dst in 0..comm.size() {
+                    comm.send(dst, 100 + round, (comm.rank(), round));
+                }
+            }
+            // receive in reverse round order from each source
+            let mut sum = 0u64;
+            for src in (0..comm.size()).rev() {
+                for round in (0..20u64).rev() {
+                    let (s, r): (usize, u64) = comm.recv(src, 100 + round);
+                    assert_eq!((s, r), (src, round));
+                    sum += r;
+                }
+            }
+            sum
+        });
+        assert!(out.iter().all(|&s| s == 5 * 190));
+    }
+
+    #[test]
+    fn repeated_split_generations() {
+        // sub-communicators of sub-communicators keep ids distinct
+        let out = World::run(8, |comm| {
+            let half = comm.split((comm.rank() / 4) as u64, comm.rank() as i64);
+            let quarter = half.split((half.rank() / 2) as u64, half.rank() as i64);
+            assert_eq!(quarter.size(), 2);
+            // exchange within the deepest communicator
+            let peer = 1 - quarter.rank();
+            quarter.send(peer, 1, comm.rank());
+            let got: usize = quarter.recv(peer, 1);
+            // peers differ by exactly 1 world rank in this construction
+            got.abs_diff(comm.rank())
+        });
+        assert!(out.iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn world_rank_mapping() {
+        World::run(4, |comm| {
+            let sub = comm.group(&[3, 1]).filter(|_| matches!(comm.rank(), 1 | 3));
+            if let Some(sub) = sub {
+                // group order defines rank order: [3, 1]
+                assert_eq!(sub.world_rank(0), 3);
+                assert_eq!(sub.world_rank(1), 1);
+            }
+        });
+    }
+
+    #[test]
+    fn overlapping_collectives_and_p2p() {
+        // p2p messages sent before a barrier must still match after it
+        let out = World::run(3, |comm| {
+            comm.send((comm.rank() + 1) % 3, 42, comm.rank());
+            comm.barrier();
+            let from = (comm.rank() + 2) % 3;
+            let v: usize = comm.recv(from, 42);
+            v
+        });
+        assert_eq!(out, vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Global traffic accounting for a rank world.
+//!
+//! The compositing experiments (paper §4.4) compare algorithms by the
+//! number of messages and bytes exchanged, so the runtime counts both.
+//! Byte counts are exact for the `send_bytes` path and estimated via
+//! `std::mem::size_of` for typed sends (good enough for the relative
+//! comparisons the paper makes).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Message/byte counters shared by all ranks of one [`crate::World`] run.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl TrafficStats {
+    pub fn new() -> Arc<TrafficStats> {
+        Arc::new(TrafficStats::default())
+    }
+
+    /// Record one message of `bytes` payload bytes.
+    #[inline]
+    pub fn record(&self, bytes: u64) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Total messages sent so far.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Reset both counters (between experiment phases).
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let s = TrafficStats::new();
+        s.record(100);
+        s.record(28);
+        assert_eq!(s.messages(), 2);
+        assert_eq!(s.bytes(), 128);
+        s.reset();
+        assert_eq!(s.messages(), 0);
+        assert_eq!(s.bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let s = TrafficStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.messages(), 8000);
+        assert_eq!(s.bytes(), 24000);
+    }
+}

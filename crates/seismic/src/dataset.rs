@@ -1,0 +1,377 @@
+//! Dataset generation and the on-disk layout the pipeline consumes.
+//!
+//! A dataset on the virtual parallel file system consists of
+//!
+//! * `mesh.oct` — the one-time octree encoding (extent + leaf keys). The
+//!   mesh never changes during the simulation, so the pipeline reads this
+//!   once at startup (paper §4).
+//! * `step_NNNN.vel` — one file per output time step: the node velocity
+//!   vectors as a flat little-endian `3 × f32` array in node-id order.
+//!   This is the "linear array on the disk" of paper §5.3 that the input
+//!   processors gather noncontiguously.
+//! * `meta.txt` — scalar metadata (`key=value` lines): step count,
+//!   components, global magnitude range (for transfer-function scaling),
+//!   output cadence.
+
+use crate::material::BasinModel;
+use crate::oracle::WavelengthOracle;
+use crate::solver::WaveSolver;
+use crate::source::RickerSource;
+use quakeviz_mesh::{HexMesh, NodeId, Octree, Vec3, VectorField};
+use quakeviz_parfs::{CostModel, Disk};
+use std::sync::Arc;
+
+const MESH_FILE: &str = "mesh.oct";
+const META_FILE: &str = "meta.txt";
+const MESH_MAGIC: &[u8; 6] = b"QVOCT1";
+
+/// A generated (or reopened) time-varying earthquake dataset.
+#[derive(Clone)]
+pub struct Dataset {
+    disk: Arc<Disk>,
+    mesh: Arc<HexMesh>,
+    steps: usize,
+    components: usize,
+    /// Largest velocity magnitude over all output steps.
+    vmag_max: f32,
+    /// Simulated seconds between output steps.
+    output_dt: f64,
+}
+
+impl Dataset {
+    /// File name of output step `t`.
+    pub fn step_path(t: usize) -> String {
+        format!("step_{t:04}.vel")
+    }
+
+    /// The virtual disk holding the files.
+    pub fn disk(&self) -> &Arc<Disk> {
+        &self.disk
+    }
+
+    /// The shared element mesh.
+    pub fn mesh(&self) -> &Arc<HexMesh> {
+        &self.mesh
+    }
+
+    /// Number of output time steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// f32 components per node (3 = vector).
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Global maximum velocity magnitude (transfer-function scale).
+    pub fn vmag_max(&self) -> f32 {
+        self.vmag_max
+    }
+
+    /// Simulated seconds between outputs.
+    pub fn output_dt(&self) -> f64 {
+        self.output_dt
+    }
+
+    /// Bytes of one on-disk step.
+    pub fn bytes_per_step(&self) -> u64 {
+        self.mesh.bytes_per_step(self.components)
+    }
+
+    /// Convenience full read of one step (tests, examples). The pipeline
+    /// itself reads through the MPI-IO layer instead.
+    pub fn load_step(&self, t: usize) -> VectorField {
+        assert!(t < self.steps, "step {t} out of range ({} steps)", self.steps);
+        let (bytes, _) = self.disk.read_full(&Self::step_path(t));
+        VectorField::from_bytes(&bytes)
+    }
+
+    /// Reopen a dataset previously written to `disk`.
+    pub fn open(disk: Arc<Disk>) -> Result<Dataset, String> {
+        let (meshbytes, _) =
+            if disk.file_len(MESH_FILE).is_some() { disk.read_full(MESH_FILE) } else {
+                return Err(format!("{MESH_FILE} missing"));
+            };
+        if meshbytes.len() < 6 + 24 + 8 || &meshbytes[0..6] != MESH_MAGIC {
+            return Err("bad mesh.oct header".into());
+        }
+        let f64_at = |o: usize| {
+            f64::from_le_bytes(meshbytes[o..o + 8].try_into().unwrap())
+        };
+        let extent = Vec3::new(f64_at(6), f64_at(14), f64_at(22));
+        let count = u64::from_le_bytes(meshbytes[30..38].try_into().unwrap()) as usize;
+        let mut keys = Vec::with_capacity(count);
+        for i in 0..count {
+            let o = 38 + i * 8;
+            keys.push(u64::from_le_bytes(meshbytes[o..o + 8].try_into().unwrap()));
+        }
+        let mesh = Arc::new(HexMesh::from_octree(Octree::from_leaf_keys(extent, &keys)));
+
+        let (metabytes, _) = if disk.file_len(META_FILE).is_some() {
+            disk.read_full(META_FILE)
+        } else {
+            return Err(format!("{META_FILE} missing"));
+        };
+        let meta = String::from_utf8(metabytes).map_err(|e| e.to_string())?;
+        let mut steps = None;
+        let mut components = None;
+        let mut vmag_max = None;
+        let mut output_dt = None;
+        for line in meta.lines() {
+            let Some((k, v)) = line.split_once('=') else { continue };
+            match k {
+                "steps" => steps = v.parse::<usize>().ok(),
+                "components" => components = v.parse::<usize>().ok(),
+                "vmag_max" => vmag_max = v.parse::<f32>().ok(),
+                "output_dt" => output_dt = v.parse::<f64>().ok(),
+                _ => {}
+            }
+        }
+        Ok(Dataset {
+            disk,
+            mesh,
+            steps: steps.ok_or("meta missing steps")?,
+            components: components.ok_or("meta missing components")?,
+            vmag_max: vmag_max.ok_or("meta missing vmag_max")?,
+            output_dt: output_dt.ok_or("meta missing output_dt")?,
+        })
+    }
+}
+
+/// Configures and runs a small earthquake simulation, producing a
+/// [`Dataset`] on a virtual disk.
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    extent: Vec3,
+    cells: usize,
+    steps: usize,
+    frequency: f64,
+    substeps: Option<usize>,
+    cost_model: CostModel,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimulationBuilder {
+    pub fn new() -> SimulationBuilder {
+        SimulationBuilder {
+            extent: Vec3::new(40_000.0, 40_000.0, 20_000.0),
+            cells: 32,
+            steps: 16,
+            frequency: 0.15,
+            substeps: None,
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Physical domain size in metres (default 40 km × 40 km × 20 km —
+    /// basin scale, like the paper's greater-LA volume).
+    pub fn extent(mut self, extent: Vec3) -> Self {
+        self.extent = extent;
+        self
+    }
+
+    /// Finest-grid cells per axis; must be a power of two (default 32).
+    pub fn resolution(mut self, cells: usize) -> Self {
+        self.cells = cells;
+        self
+    }
+
+    /// Number of output time steps (default 16).
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// Source centre frequency in Hz (default 0.35 — scaled-down analogue
+    /// of the paper's 1 Hz Northridge runs).
+    pub fn frequency(mut self, f: f64) -> Self {
+        self.frequency = f;
+        self
+    }
+
+    /// Solver sub-steps between outputs (default: chosen so one output
+    /// interval is a quarter of the source period).
+    pub fn substeps_per_output(mut self, k: usize) -> Self {
+        self.substeps = Some(k.max(1));
+        self
+    }
+
+    /// Cost model for the virtual disk the dataset is written to.
+    pub fn cost_model(mut self, cm: CostModel) -> Self {
+        self.cost_model = cm;
+        self
+    }
+
+    /// Run the simulation and write the dataset.
+    pub fn run_to_dataset(self) -> Result<Dataset, String> {
+        if !self.cells.is_power_of_two() || self.cells < 8 {
+            return Err(format!("resolution must be a power of two ≥ 8, got {}", self.cells));
+        }
+        let max_level = self.cells.trailing_zeros() as u8;
+        let basin = BasinModel::la_like(self.extent);
+        let oracle = WavelengthOracle::new(basin.clone(), self.frequency, max_level);
+        let octree = Octree::build(self.extent, &oracle);
+        let mesh = Arc::new(HexMesh::from_octree(octree));
+
+        // hypocentre: off-centre, mid-depth — Northridge-like geometry
+        let h = self.extent.x / self.cells as f64;
+        let source = RickerSource::new(
+            Vec3::new(self.extent.x * 0.30, self.extent.y * 0.35, self.extent.z * 0.45),
+            self.frequency,
+            1e9,
+            h * 1.6,
+        );
+        let mut solver = WaveSolver::new(&basin, self.cells, source);
+
+        let substeps = self.substeps.unwrap_or_else(|| {
+            let want_dt = 0.25 / self.frequency;
+            ((want_dt / solver.dt()).round() as usize).max(1)
+        });
+        let output_dt = substeps as f64 * solver.dt();
+
+        // precompute mesh-node -> solver-grid index map
+        let scale = self.cells >> max_level; // == 1 by construction
+        debug_assert_eq!(scale, 1);
+        let node_map: Vec<usize> = (0..mesh.node_count() as NodeId)
+            .map(|id| {
+                let (x, y, z) = mesh.node_grid_coords(id);
+                solver.node_index(x as usize, y as usize, z as usize)
+            })
+            .collect();
+
+        let disk = Disk::new(self.cost_model);
+        let mut vmag_max = 0.0f32;
+        for t in 0..self.steps {
+            for _ in 0..substeps {
+                solver.step();
+            }
+            let values: Vec<[f32; 3]> = node_map.iter().map(|&i| solver.velocity(i)).collect();
+            for v in &values {
+                let m = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+                if m.is_nan() {
+                    return Err(format!("solver produced NaN at output step {t}"));
+                }
+                vmag_max = vmag_max.max(m);
+            }
+            let field = VectorField::new(values);
+            disk.write_file(&Dataset::step_path(t), field.to_bytes());
+        }
+        if vmag_max == 0.0 {
+            return Err("simulation produced no motion — check source placement".into());
+        }
+
+        // mesh.oct
+        let keys = mesh.octree().leaf_keys();
+        let mut mb = Vec::with_capacity(6 + 24 + 8 + keys.len() * 8);
+        mb.extend_from_slice(MESH_MAGIC);
+        for c in [self.extent.x, self.extent.y, self.extent.z] {
+            mb.extend_from_slice(&c.to_le_bytes());
+        }
+        mb.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+        for k in &keys {
+            mb.extend_from_slice(&k.to_le_bytes());
+        }
+        disk.write_file(MESH_FILE, mb);
+
+        // meta.txt
+        let meta = format!(
+            "steps={}\ncomponents=3\nvmag_max={}\noutput_dt={}\nfrequency={}\ncells={}\n",
+            self.steps, vmag_max, output_dt, self.frequency, self.cells
+        );
+        disk.write_file(META_FILE, meta.into_bytes());
+
+        Ok(Dataset { disk, mesh, steps: self.steps, components: 3, vmag_max, output_dt })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        SimulationBuilder::new()
+            .resolution(16)
+            .steps(6)
+            .frequency(0.3)
+            .run_to_dataset()
+            .expect("simulation")
+    }
+
+    #[test]
+    fn dataset_files_exist_with_right_sizes() {
+        let ds = tiny();
+        assert_eq!(ds.steps(), 6);
+        assert_eq!(ds.components(), 3);
+        for t in 0..6 {
+            assert_eq!(
+                ds.disk().file_len(&Dataset::step_path(t)),
+                Some(ds.bytes_per_step()),
+                "step {t} size"
+            );
+        }
+        assert!(ds.vmag_max() > 0.0);
+        assert!(ds.output_dt() > 0.0);
+    }
+
+    #[test]
+    fn load_step_roundtrips_node_count() {
+        let ds = tiny();
+        let f = ds.load_step(0);
+        assert_eq!(f.len(), ds.mesh().node_count());
+    }
+
+    #[test]
+    fn motion_grows_from_quiet_start() {
+        let ds = tiny();
+        let first = ds.load_step(0).magnitude();
+        let later = ds.load_step(4).magnitude();
+        let max0 = first.range().1;
+        let max4 = later.range().1;
+        assert!(
+            max4 > max0,
+            "wavefield should grow as the wavelet arrives: step0 {max0}, step4 {max4}"
+        );
+    }
+
+    #[test]
+    fn vmag_max_is_global_max() {
+        let ds = tiny();
+        let mut m = 0.0f32;
+        for t in 0..ds.steps() {
+            m = m.max(ds.load_step(t).magnitude().range().1);
+        }
+        assert!((m - ds.vmag_max()).abs() <= f32::EPSILON * m.max(1.0));
+    }
+
+    #[test]
+    fn open_reconstructs_dataset() {
+        let ds = tiny();
+        let reopened = Dataset::open(Arc::clone(ds.disk())).expect("open");
+        assert_eq!(reopened.steps(), ds.steps());
+        assert_eq!(reopened.mesh().node_count(), ds.mesh().node_count());
+        assert_eq!(reopened.mesh().cell_count(), ds.mesh().cell_count());
+        assert_eq!(reopened.bytes_per_step(), ds.bytes_per_step());
+        assert_eq!(reopened.vmag_max(), ds.vmag_max());
+        // data still loads
+        let f = reopened.load_step(1);
+        assert_eq!(f.len(), reopened.mesh().node_count());
+    }
+
+    #[test]
+    fn open_missing_files_errors() {
+        let disk = Disk::new(CostModel::free());
+        assert!(Dataset::open(disk).is_err());
+    }
+
+    #[test]
+    fn bad_resolution_rejected() {
+        assert!(SimulationBuilder::new().resolution(20).run_to_dataset().is_err());
+        assert!(SimulationBuilder::new().resolution(4).run_to_dataset().is_err());
+    }
+}

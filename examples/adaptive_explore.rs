@@ -1,0 +1,65 @@
+//! Adaptive rendering (paper §4.1, Figure 3): render the same time step
+//! at every octree level and report render time and image difference
+//! against the full-resolution image.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_explore
+//! ```
+
+use quakeviz::pipeline::{IoStrategy, PipelineBuilder};
+use quakeviz::seismic::SimulationBuilder;
+use std::time::Instant;
+
+fn main() {
+    println!("simulating (64³ grid for a deeper octree)…");
+    let dataset = SimulationBuilder::new()
+        .resolution(64)
+        .steps(6)
+        .run_to_dataset()
+        .expect("simulation failed");
+    let max_level = dataset.mesh().octree().max_leaf_level();
+    println!(
+        "  {} cells, {} nodes, octree levels 0..={max_level}",
+        dataset.mesh().cell_count(),
+        dataset.mesh().node_count()
+    );
+
+    std::fs::create_dir_all("out").expect("mkdir out");
+    let mut reference: Option<quakeviz::render::RgbaImage> = None;
+    println!(
+        "{:>6} {:>12} {:>14} {:>12}",
+        "level", "render (s)", "rms vs full", "speedup"
+    );
+    let mut full_time = 0.0;
+    for level in (1..=max_level).rev() {
+        let t0 = Instant::now();
+        let report = PipelineBuilder::new(&dataset)
+            .renderers(4)
+            .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+            .image_size(512, 512)
+            .level(level)
+            .adaptive_fetch(true)
+            .max_steps(6)
+            .run()
+            .expect("pipeline failed");
+        let elapsed = t0.elapsed().as_secs_f64();
+        let frame = report.frames.last().unwrap().clone();
+        let (rms, speedup) = match &reference {
+            None => {
+                full_time = elapsed;
+                (0.0, 1.0)
+            }
+            Some(r) => (frame.rms_difference(r), full_time / elapsed),
+        };
+        if reference.is_none() {
+            reference = Some(frame.clone());
+        }
+        println!("{level:>6} {elapsed:>12.3} {rms:>14.5} {speedup:>11.1}x");
+        std::fs::write(
+            format!("out/adaptive_level{level}.ppm"),
+            frame.to_ppm([0.05, 0.05, 0.08]),
+        )
+        .expect("write frame");
+    }
+    println!("images in out/adaptive_level*.ppm — compare fine vs coarse levels");
+}
