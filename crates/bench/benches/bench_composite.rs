@@ -1,7 +1,8 @@
-//! Criterion benches for the compositing algorithms (paper §4.4): SLIC vs
+//! Benches for the compositing algorithms (paper §4.4): SLIC vs
 //! direct-send vs binary-swap, with and without RLE compression.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use quakeviz_bench::harness::Criterion;
+use quakeviz_bench::{criterion_group, criterion_main};
 use quakeviz_composite::{binary_swap, direct_send, slic, CompositeOptions, FrameInfo};
 use quakeviz_render::{Fragment, Rgba, ScreenRect};
 use quakeviz_rt::World;

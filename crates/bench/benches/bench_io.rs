@@ -1,7 +1,8 @@
-//! Criterion benches for the parallel-file-system layer: contiguous vs
+//! Benches for the parallel-file-system layer: contiguous vs
 //! indexed vs sieved reads, and the collective two-phase read (§5.3).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use quakeviz_bench::harness::Criterion;
+use quakeviz_bench::{criterion_group, criterion_main};
 use quakeviz_parfs::{CostModel, Disk, IndexedBlockType, PFile};
 use quakeviz_rt::World;
 use std::sync::Arc;

@@ -1,7 +1,8 @@
-//! Criterion benches for LIC: field extraction and convolution (the
+//! Benches for LIC: field extraction and convolution (the
 //! preprocessing cost the input processors hide, Figure 12).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quakeviz_bench::harness::{BenchmarkId, Criterion};
+use quakeviz_bench::{criterion_group, criterion_main};
 use quakeviz_lic::{compute_lic, extract_surface_field, white_noise, LicParams, RegularField2D};
 use quakeviz_mesh::{HexMesh, Octree, Quadtree, UniformRefinement, Vec3, VectorField};
 
@@ -25,14 +26,10 @@ fn bench_lic_sizes(c: &mut Criterion) {
 }
 
 fn bench_extraction(c: &mut Criterion) {
-    let mesh = HexMesh::from_octree(Octree::build(
-        Vec3::new(100.0, 100.0, 50.0),
-        &UniformRefinement(4),
-    ));
+    let mesh =
+        HexMesh::from_octree(Octree::build(Vec3::new(100.0, 100.0, 50.0), &UniformRefinement(4)));
     let field = VectorField::new(
-        (0..mesh.node_count())
-            .map(|i| [i as f32 % 7.0, i as f32 % 3.0, 0.0])
-            .collect(),
+        (0..mesh.node_count()).map(|i| [i as f32 % 7.0, i as f32 % 3.0, 0.0]).collect(),
     );
     let (qt, _) = Quadtree::from_surface_nodes(&mesh);
     let mut g = c.benchmark_group("lic_extract");

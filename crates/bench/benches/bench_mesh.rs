@@ -1,8 +1,9 @@
-//! Criterion benches for the spatial substrate: Morton codes, octree
+//! Benches for the spatial substrate: Morton codes, octree
 //! construction, hexahedral mesh derivation, and partitioning — the
 //! one-time preprocessing the pipeline amortizes over all time steps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quakeviz_bench::harness::{BenchmarkId, Criterion};
+use quakeviz_bench::{criterion_group, criterion_main};
 use quakeviz_mesh::morton::{demorton3, morton3};
 use quakeviz_mesh::{HexMesh, Octree, Partition, UniformRefinement, Vec3, WorkloadModel};
 
@@ -37,9 +38,7 @@ fn bench_hexmesh(c: &mut Criterion) {
     let mut g = c.benchmark_group("hexmesh");
     g.sample_size(10);
     let tree = Octree::build(Vec3::ONE, &UniformRefinement(4));
-    g.bench_function("from_octree_4096_cells", |b| {
-        b.iter(|| HexMesh::from_octree(tree.clone()))
-    });
+    g.bench_function("from_octree_4096_cells", |b| b.iter(|| HexMesh::from_octree(tree.clone())));
     let mesh = HexMesh::from_octree(tree);
     let blocks = mesh.octree().blocks(2);
     g.bench_function("partition_64_blocks_8_ranks", |b| {

@@ -1,7 +1,8 @@
-//! Criterion benches for the pipeline: the discrete-event simulator's
+//! Benches for the pipeline: the discrete-event simulator's
 //! throughput and a small end-to-end real pipeline run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use quakeviz_bench::harness::Criterion;
+use quakeviz_bench::{criterion_group, criterion_main};
 use quakeviz_core::des::{simulate, CostTable, DesStrategy, FigureOptions};
 use quakeviz_core::{IoStrategy, PipelineBuilder};
 use quakeviz_seismic::SimulationBuilder;
@@ -19,11 +20,7 @@ fn bench_des(c: &mut Criterion) {
 }
 
 fn bench_real_pipeline(c: &mut Criterion) {
-    let ds = SimulationBuilder::new()
-        .resolution(16)
-        .steps(4)
-        .run_to_dataset()
-        .expect("dataset");
+    let ds = SimulationBuilder::new().resolution(16).steps(4).run_to_dataset().expect("dataset");
     let mut g = c.benchmark_group("real_pipeline");
     g.sample_size(10);
     g.bench_function("4steps_2ip_2r_64px", |b| {

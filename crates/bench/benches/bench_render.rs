@@ -1,8 +1,9 @@
-//! Criterion benches for the volume renderer: brick resampling and ray
+//! Benches for the volume renderer: brick resampling and ray
 //! casting across adaptive levels and lighting (the cost structure behind
 //! Figures 3, 10, 11).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quakeviz_bench::harness::{BenchmarkId, Criterion};
+use quakeviz_bench::{criterion_group, criterion_main};
 use quakeviz_mesh::{Aabb, Vec3};
 use quakeviz_render::{
     render_brick, Brick, Camera, LightingParams, RenderParams, TransferFunction,

@@ -43,5 +43,7 @@ fn main() {
     write_ppm("fig04_plain", &plain.frames[late]);
     write_ppm("fig04_enhanced", &enhanced.frames[late]);
     let gain = energy(&enhanced.frames[late]) / energy(&plain.frames[late]).max(1e-9);
-    eprintln!("late-frame content gain from enhancement: {gain:.2}x (paper: qualitative, Figure 4)");
+    eprintln!(
+        "late-frame content gain from enhancement: {gain:.2}x (paper: qualitative, Figure 4)"
+    );
 }

@@ -14,10 +14,8 @@ use quakeviz_core::model;
 
 fn main() {
     let adaptive = std::env::args().any(|a| a == "--adaptive");
-    let opts = FigureOptions {
-        adaptive_fetch_fraction: adaptive.then_some(0.25),
-        ..Default::default()
-    };
+    let opts =
+        FigureOptions { adaptive_fetch_fraction: adaptive.then_some(0.25), ..Default::default() };
     let c = CostTable::lemieux(64, 512, 512, opts);
     eprintln!(
         "cost table: Tf={:.1}s Tp={:.1}s Ts={:.2}s Tr={:.2}s (adaptive fetch: {adaptive})",

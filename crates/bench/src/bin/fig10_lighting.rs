@@ -10,11 +10,8 @@ use quakeviz_core::des::{simulate, CostTable, DesStrategy, FigureOptions};
 use quakeviz_core::model;
 
 fn main() {
-    let opts = FigureOptions {
-        lighting: true,
-        adaptive_fetch_fraction: Some(0.25),
-        ..Default::default()
-    };
+    let opts =
+        FigureOptions { lighting: true, adaptive_fetch_fraction: Some(0.25), ..Default::default() };
     let c64 = CostTable::lemieux(64, 256, 256, opts);
     let c128 = CostTable::lemieux(128, 256, 256, opts);
     eprintln!(

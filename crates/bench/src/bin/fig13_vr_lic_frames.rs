@@ -53,14 +53,19 @@ fn main() {
         ("fig14_lic_zoom4x", 0.2, 0.25, 0.25),
     ];
     for (name, ox, oy, frac) in windows {
-        let sub = quakeviz_lic::RegularField2D::from_fn(768, 768, (extent.x * frac, extent.y * frac), |x, y| {
-            let wx = extent.x * ox + x;
-            let wy = extent.y * oy + y;
-            let cell = (extent.x * frac / 768.0).max(extent.y * frac / 768.0);
-            let vx = qt.idw_sample(wx, wy, cell * 4.0, |id| field.horizontal(id).0 as f64);
-            let vy = qt.idw_sample(wx, wy, cell * 4.0, |id| field.horizontal(id).1 as f64);
-            (vx as f32, vy as f32)
-        });
+        let sub = quakeviz_lic::RegularField2D::from_fn(
+            768,
+            768,
+            (extent.x * frac, extent.y * frac),
+            |x, y| {
+                let wx = extent.x * ox + x;
+                let wy = extent.y * oy + y;
+                let cell = (extent.x * frac / 768.0).max(extent.y * frac / 768.0);
+                let vx = qt.idw_sample(wx, wy, cell * 4.0, |id| field.horizontal(id).0 as f64);
+                let vy = qt.idw_sample(wx, wy, cell * 4.0, |id| field.horizontal(id).1 as f64);
+                (vx as f32, vy as f32)
+            },
+        );
         let gray = compute_lic(&sub, &noise, &LicParams::default());
         let img = colorize(
             &sub,

@@ -1,0 +1,158 @@
+//! `pipeline-report` — run the real threaded pipeline under injected
+//! I/O delay and print the observability report:
+//!
+//! 1. per-rank utilization (busy/wall per stage phase),
+//! 2. an ASCII Gantt chart of all rank tracks,
+//! 3. the I/O-hiding summary (how much input-group work overlapped
+//!    rendering — the paper's Figures 8–9 effect, measured live),
+//! 4. the measured-vs-predicted model validation table (§5.1/§5.2),
+//! 5. the per-class traffic totals and the session metrics.
+//!
+//! Usage:
+//!   pipeline-report [--renderers N] [--input-procs M] [--twodip NxM]
+//!                   [--steps K] [--io-delay S] [--size WxH] [--lic]
+//!                   [--trace]
+//!
+//! `--trace` (or any `QUAKEVIZ_TRACE` value) records runtime auto spans
+//! too; `QUAKEVIZ_TRACE=out/trace.json` additionally writes the
+//! Perfetto-loadable Chrome trace plus span/traffic CSVs.
+
+use quakeviz_bench::standard_dataset;
+use quakeviz_core::{IoStrategy, ModelValidation, PipelineBuilder};
+use quakeviz_rt::obs::Phase;
+use std::collections::BTreeMap;
+
+fn parse_pair(v: &str, sep: char, what: &str) -> (usize, usize) {
+    if let Some((a, b)) = v.split_once(sep) {
+        if let (Ok(a), Ok(b)) = (a.parse(), b.parse()) {
+            return (a, b);
+        }
+    }
+    panic!("{what}: expected <a>{sep}<b>, got {v:?}")
+}
+
+fn main() {
+    let mut renderers = 3usize;
+    let mut input_procs = 2usize;
+    let mut twodip: Option<(usize, usize)> = None;
+    let mut steps = 8usize;
+    let mut io_delay = 25.0f64;
+    let mut size = (128u32, 128u32);
+    let mut lic = false;
+    let mut trace = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| args.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        match a.as_str() {
+            "--renderers" => renderers = val("--renderers").parse().expect("--renderers N"),
+            "--input-procs" => input_procs = val("--input-procs").parse().expect("--input-procs M"),
+            "--twodip" => twodip = Some(parse_pair(&val("--twodip"), 'x', "--twodip")),
+            "--steps" => steps = val("--steps").parse().expect("--steps K"),
+            "--io-delay" => io_delay = val("--io-delay").parse().expect("--io-delay S"),
+            "--size" => {
+                let (w, h) = parse_pair(&val("--size"), 'x', "--size");
+                size = (w as u32, h as u32);
+            }
+            "--lic" => lic = true,
+            "--trace" => trace = true,
+            other => {
+                eprintln!("unknown flag {other} (see the doc comment for usage)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let io = twodip.map_or(IoStrategy::OneDip { input_procs }, |(n, m)| IoStrategy::TwoDip {
+        groups: n,
+        per_group: m,
+    });
+
+    let ds = standard_dataset();
+    let report = PipelineBuilder::new(&ds)
+        .renderers(renderers)
+        .io_strategy(io)
+        .image_size(size.0, size.1)
+        .keep_frames(false)
+        .io_delay_scale(io_delay)
+        .lic(lic)
+        .max_steps(steps)
+        .trace(trace)
+        .run()
+        .expect("pipeline");
+    let tr = &report.trace;
+
+    println!(
+        "pipeline: {} input + {} render + 1 output ranks, {} frames at {}x{}, level {}",
+        report.input_procs,
+        report.renderers,
+        report.frame_done.len(),
+        size.0,
+        size.1,
+        report.level
+    );
+
+    println!("\nutilization:");
+    println!(
+        "{:>7} {:<7} {:>8} {:>8} {:>5}  dominant stages",
+        "rank", "group", "busy_s", "wall_s", "util"
+    );
+    for u in tr.utilization() {
+        let mut stages: Vec<(usize, f64)> =
+            u.stage_seconds.iter().copied().enumerate().filter(|&(_, s)| s > 0.0).collect();
+        stages.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let tops: Vec<String> = stages
+            .iter()
+            .take(3)
+            .map(|&(i, s)| format!("{} {s:.2}s", Phase::STAGES[i].as_str()))
+            .collect();
+        println!(
+            "{:>7} {:<7} {:>8.3} {:>8.3} {:>4.0}%  {}",
+            u.rank,
+            u.group,
+            u.busy_seconds,
+            u.span_seconds,
+            u.utilization() * 100.0,
+            tops.join(", ")
+        );
+    }
+
+    println!("\ngantt (F=fetch P=preprocess L=lic S=send w=wait R=render C=composite A=assemble):");
+    print!("{}", tr.gantt_ascii(72));
+
+    let input_busy = tr.group_busy_seconds("input");
+    let hidden = tr.group_overlap_seconds("input", "render");
+    println!(
+        "\nI/O hiding: input group busy {:.3}s, {:.3}s of it concurrent with rendering ({:.0}%)",
+        input_busy,
+        hidden,
+        if input_busy > 0.0 { hidden / input_busy * 100.0 } else { 0.0 }
+    );
+
+    println!();
+    print!("{}", ModelValidation::from_report(&report, io));
+
+    println!("\ntraffic ({} messages, {} bytes):", report.messages, report.bytes_sent);
+    let mut classes: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for e in &report.traffic {
+        let c = classes.entry(e.class.as_str()).or_default();
+        c.0 += e.messages;
+        c.1 += e.bytes;
+    }
+    for (class, (msgs, bytes)) in classes {
+        println!("  {class:<14} {msgs:>8} msgs {bytes:>14} bytes");
+    }
+
+    if !tr.metrics.is_empty() {
+        println!("\nmetrics:");
+        for m in &tr.metrics {
+            use quakeviz_rt::obs::MetricValue::*;
+            let text = match &m.value {
+                Counter(v) => format!("{v}"),
+                Gauge { value, max } => format!("{value} (max {max})"),
+                Histogram { count, mean, p50, p95, max, .. } => {
+                    format!("n={count} mean={mean:.0} p50={p50} p95={p95} max={max}")
+                }
+            };
+            println!("  {:<28} {}", m.name, text);
+        }
+    }
+}

@@ -36,10 +36,8 @@ fn main() {
         384,
     );
     let tf = TransferFunction::seismic();
-    let params = RenderParams {
-        opacity_unit: Some(extent.max_component() / 64.0),
-        ..Default::default()
-    };
+    let params =
+        RenderParams { opacity_unit: Some(extent.max_component() / 64.0), ..Default::default() };
     let field = ds.load_step(ds.steps() * 2 / 3).magnitude();
     let level = mesh.octree().max_leaf_level();
     let norm = (0.0f32, ds.vmag_max());

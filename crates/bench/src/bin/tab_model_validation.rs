@@ -57,15 +57,11 @@ fn main() {
         tr: r1.mean_render_seconds(),
         saturation: 64,
     };
-    eprintln!(
-        "measured: Tf={:.3}s Tp={:.3}s Tr={:.3}s",
-        measured.tf, measured.tp, measured.tr
-    );
+    eprintln!("measured: Tf={:.3}s Tp={:.3}s Tr={:.3}s", measured.tf, measured.tp, measured.tr);
     eprintln!("{:>3} {:>12} {:>12}", "m", "real_s", "des_s");
     for m in [1usize, 2, 3, 4] {
         let real = run(m).mean_interframe_delay();
-        let des =
-            simulate(DesStrategy::OneDip { m }, &measured, ds.steps()).mean_interframe();
+        let des = simulate(DesStrategy::OneDip { m }, &measured, ds.steps()).mean_interframe();
         eprintln!("{m:>3} {real:>12.3} {des:>12.3}");
     }
 }

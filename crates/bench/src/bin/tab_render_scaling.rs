@@ -25,10 +25,8 @@ fn main() {
     let extent = mesh.octree().extent();
     let camera = Camera::default_for(&Aabb::from_extent(extent), 512, 512);
     let tf = TransferFunction::seismic();
-    let params = RenderParams {
-        opacity_unit: Some(extent.max_component() / 64.0),
-        ..Default::default()
-    };
+    let params =
+        RenderParams { opacity_unit: Some(extent.max_component() / 64.0), ..Default::default() };
     // a busy time step
     let field = ds.load_step(ds.steps() * 2 / 3).magnitude();
     let level = mesh.octree().max_leaf_level();

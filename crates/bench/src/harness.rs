@@ -1,0 +1,175 @@
+//! A minimal benchmark harness with a Criterion-shaped API, so the bench
+//! targets compile and run without the `criterion` crate (offline-build
+//! policy — see the workspace `Cargo.toml`).
+//!
+//! Semantics: each `bench_function` warms up once, then repeats the body
+//! until a ~300 ms time budget (or `sample_size` iterations for slow
+//! bodies) and reports the mean wall time per iteration. That is enough
+//! to compare algorithm variants and catch order-of-magnitude
+//! regressions; it makes no claim to criterion's statistical rigor.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting a benchmark
+/// body whose result is unused.
+#[inline]
+pub fn black_box<T>(v: T) -> T {
+    std::hint::black_box(v)
+}
+
+/// Top-level harness handle, one per bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("{name}");
+        BenchmarkGroup { _c: self, sample_size: 100 }
+    }
+}
+
+/// Benchmark id with an optional parameter, printed as `name/param`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", name.into(), param) }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upper bound on timed iterations (criterion's sample count knob).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { sample_size: self.sample_size, report: None };
+        f(&mut b);
+        Self::print(id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { sample_size: self.sample_size, report: None };
+        f(&mut b, input);
+        Self::print(&id.label, &b);
+        self
+    }
+
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn print(id: &str, b: &Bencher) {
+        match b.report {
+            Some((mean, iters)) => {
+                println!("  {id:<40} {:>14}  ({iters} iters)", fmt_duration(mean))
+            }
+            None => println!("  {id:<40} (no measurement)"),
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Passed to each benchmark body; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    sample_size: usize,
+    report: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time repeated calls of `f` and record the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup / first-touch
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget || iters >= self.sample_size as u64 * 1000 {
+                break;
+            }
+        }
+        self.report = Some((start.elapsed() / iters as u32, iters));
+    }
+}
+
+/// Criterion-compatible: `criterion_group!(benches, fn_a, fn_b)` defines
+/// `fn benches()` running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Criterion-compatible: `criterion_main!(benches)` defines `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_mean() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(10);
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        g.finish();
+        assert!(ran > 1);
+    }
+}

@@ -1,10 +1,13 @@
-//! Shared plumbing for the figure-regeneration binaries and criterion
-//! benches: canonical datasets, table printing, and PPM output.
+//! Shared plumbing for the figure-regeneration binaries and the
+//! benches: canonical datasets, table printing, PPM output, and the
+//! in-repo criterion-shaped bench harness ([`harness`]).
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
 //! paper; EXPERIMENTS.md records the paper-vs-measured comparison. The
 //! binaries print machine-greppable rows (`col1 col2 …`) after a `#`
 //! header line.
+
+pub mod harness;
 
 use quakeviz_seismic::{Dataset, SimulationBuilder};
 

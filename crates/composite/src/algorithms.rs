@@ -10,7 +10,7 @@ use crate::rle::{rle_decode, rle_encode};
 use crate::schedule::FrameInfo;
 use quakeviz_render::image::over;
 use quakeviz_render::{Fragment, Rgba, RgbaImage};
-use quakeviz_rt::Comm;
+use quakeviz_rt::{obs, Comm};
 
 const TAG_DS_SPANS: u64 = 0xc0de_0001;
 const TAG_DS_STRIP: u64 = 0xc0de_0002;
@@ -284,6 +284,7 @@ pub fn slic(
     }
 
     // phase 1: ship my spans of overlapped runs to their compositors
+    let sp = obs::auto_span(obs::Phase::CompositeRound, 1);
     let mut comp_out: Vec<Vec<Span>> = vec![Vec::new(); n];
     for (run_id, run) in runs.iter().enumerate() {
         if run.frags.len() < 2 {
@@ -314,10 +315,14 @@ pub fn slic(
         }
     }
 
+    drop(sp);
+
     // phase 2: receive inputs for runs I composite
+    let sp = obs::auto_span(obs::Phase::CompositeRound, 2);
     let expected: usize =
         (0..n).filter(|&src| src != me as usize && comp_traffic[src][me as usize]).count();
-    let mut inbox: std::collections::HashMap<(u32, u32), Vec<Rgba>> = std::collections::HashMap::new();
+    let mut inbox: std::collections::HashMap<(u32, u32), Vec<Rgba>> =
+        std::collections::HashMap::new();
     for _ in 0..expected {
         let (_, batch): (usize, Vec<Span>) = comm.recv_any(TAG_SLIC_COMP);
         for s in batch {
@@ -325,9 +330,12 @@ pub fn slic(
         }
     }
 
+    drop(sp);
+
     // phase 3: composite my runs and emit output spans to the collector
     // (output spans are addressed by run id — the collector derives the
     // same run list from the shared FrameInfo)
+    let sp = obs::auto_span(obs::Phase::CompositeRound, 3);
     let mut final_batch: Vec<Span> = Vec::new();
     let mut local_paint: Vec<(usize, Vec<Rgba>)> = Vec::new();
     for (run_id, run) in runs.iter().enumerate() {
@@ -384,11 +392,13 @@ pub fn slic(
     if me as usize != collector && out_traffic[me as usize] {
         send_batch(comm, collector, TAG_SLIC_OUT, final_batch);
     }
+    drop(sp);
 
     // phase 4: collector assembles
     if me as usize != collector {
         return CompositeResult { image: None };
     }
+    let _sp = obs::auto_span(obs::Phase::CompositeRound, 4);
     let mut img = RgbaImage::new(info.width, info.height);
     for (run_id, pixels) in local_paint {
         paint_run(&mut img, &runs[run_id], &pixels);
@@ -433,10 +443,8 @@ pub fn binary_swap(
     let mut layer = RgbaImage::new(w, h);
     let mut keys = vec![u32::MAX; (w * h) as usize];
     // local fragments in front-to-back order
-    let mut mine: Vec<(usize, &Fragment)> = local
-        .iter()
-        .map(|f| (info.index_of(f.block).expect("fragment missing"), f))
-        .collect();
+    let mut mine: Vec<(usize, &Fragment)> =
+        local.iter().map(|f| (info.index_of(f.block).expect("fragment missing"), f)).collect();
     mine.sort_by_key(|&(i, _)| i);
     for (oi, f) in mine {
         for y in f.rect.y0..f.rect.y1 {
@@ -457,7 +465,8 @@ pub fn binary_swap(
     for k in 0..rounds {
         let partner = me ^ (1usize << k);
         let mid = lo + (hi - lo) / 2;
-        let (keep, send) = if me & (1 << k) == 0 { ((lo, mid), (mid, hi)) } else { ((mid, hi), (lo, mid)) };
+        let (keep, send) =
+            if me & (1 << k) == 0 { ((lo, mid), (mid, hi)) } else { ((mid, hi), (lo, mid)) };
         // extract the half to send
         let rows = (send.1 - send.0) as usize;
         let mut px = Vec::with_capacity(rows * w as usize);
@@ -479,8 +488,7 @@ pub fn binary_swap(
                 let gi = (y * w + x) as usize;
                 let (mp, mk) = (layer.get(x, y), keys[gi]);
                 let (tp, tk) = (rpx[i], rks[i]);
-                let (front, back, key) =
-                    if tk < mk { (tp, mp, tk) } else { (mp, tp, mk) };
+                let (front, back, key) = if tk < mk { (tp, mp, tk) } else { (mp, tp, mk) };
                 layer.set(x, y, over(front, back));
                 keys[gi] = key;
                 i += 1;
@@ -542,9 +550,7 @@ mod tests {
     }
 
     fn synth_fragment(block: u32, rect: ScreenRect) -> Fragment {
-        let pixels = (0..rect.area())
-            .map(|i| px(block as u64 * 100_000 + i))
-            .collect();
+        let pixels = (0..rect.area()).map(|i| px(block as u64 * 100_000 + i)).collect();
         Fragment { block, rect, pixels }
     }
 

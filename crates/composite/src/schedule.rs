@@ -72,7 +72,10 @@ impl FrameInfo {
         height: u32,
     ) -> FrameInfo {
         let mine: Vec<(u32, ScreenRect)> = local.iter().map(|f| (f.block, f.rect)).collect();
-        let all: Vec<Vec<(u32, ScreenRect)>> = comm.allgather(mine);
+        // exact wire size: Vec payloads are invisible to size_of, so charge
+        // the entry count explicitly
+        let mine_bytes = (mine.len() * std::mem::size_of::<(u32, ScreenRect)>()) as u64;
+        let all: Vec<Vec<(u32, ScreenRect)>> = comm.allgather_with_size(mine, mine_bytes);
         let mut frags: Vec<(u32, ScreenRect, u32)> = all
             .into_iter()
             .enumerate()
@@ -108,10 +111,8 @@ impl FrameInfo {
         if live.is_empty() {
             return Vec::new();
         }
-        let mut xs: Vec<u32> = live
-            .iter()
-            .flat_map(|&i| [self.frags[i].1.x0, self.frags[i].1.x1])
-            .collect();
+        let mut xs: Vec<u32> =
+            live.iter().flat_map(|&i| [self.frags[i].1.x0, self.frags[i].1.x1]).collect();
         xs.sort_unstable();
         xs.dedup();
         let mut runs = Vec::new();
@@ -216,10 +217,7 @@ mod tests {
     #[test]
     fn overlap_splits_into_three_runs() {
         // two fragments overlapping in the middle of line 0
-        let f = fi(vec![
-            (0, ScreenRect::new(0, 0, 8, 1), 0),
-            (1, ScreenRect::new(4, 0, 12, 1), 1),
-        ]);
+        let f = fi(vec![(0, ScreenRect::new(0, 0, 8, 1), 0), (1, ScreenRect::new(4, 0, 12, 1), 1)]);
         let runs = f.runs_of_line(0);
         assert_eq!(runs.len(), 3);
         assert_eq!(runs[0].frags, vec![0]);
@@ -232,10 +230,7 @@ mod tests {
     #[test]
     fn vertical_merge_respects_fragment_edges() {
         // two stacked fragments: runs must break at the horizontal seam
-        let f = fi(vec![
-            (0, ScreenRect::new(0, 0, 4, 2), 0),
-            (1, ScreenRect::new(0, 2, 4, 4), 1),
-        ]);
+        let f = fi(vec![(0, ScreenRect::new(0, 0, 4, 2), 0), (1, ScreenRect::new(0, 2, 4, 4), 1)]);
         let runs = f.runs();
         assert_eq!(runs.len(), 2);
         assert_eq!((runs[0].y0, runs[0].y1), (0, 2));
@@ -246,10 +241,7 @@ mod tests {
 
     #[test]
     fn compositor_is_front_owner() {
-        let f = fi(vec![
-            (0, ScreenRect::new(0, 0, 8, 1), 3),
-            (1, ScreenRect::new(0, 0, 8, 1), 5),
-        ]);
+        let f = fi(vec![(0, ScreenRect::new(0, 0, 8, 1), 3), (1, ScreenRect::new(0, 0, 8, 1), 5)]);
         let runs = f.runs_of_line(0);
         assert_eq!(runs.len(), 1);
         assert_eq!(f.compositor_of(&runs[0]), 3);
@@ -259,10 +251,7 @@ mod tests {
     fn order_respected_in_runs() {
         // deliberately list back fragment first in input: from_sorted
         // trusts caller order, so front-to-back must be the given order
-        let f = fi(vec![
-            (9, ScreenRect::new(0, 0, 4, 1), 1),
-            (2, ScreenRect::new(0, 0, 4, 1), 0),
-        ]);
+        let f = fi(vec![(9, ScreenRect::new(0, 0, 4, 1), 1), (2, ScreenRect::new(0, 0, 4, 1), 0)]);
         let runs = f.runs_of_line(0);
         assert_eq!(runs[0].frags, vec![0, 1]);
         assert_eq!(f.frags[runs[0].frags[0]].0, 9);
@@ -271,10 +260,7 @@ mod tests {
     #[test]
     fn slic_message_count_zero_when_alone() {
         // one rank owns everything and is the collector
-        let f = fi(vec![
-            (0, ScreenRect::new(0, 0, 4, 2), 0),
-            (1, ScreenRect::new(2, 0, 6, 2), 0),
-        ]);
+        let f = fi(vec![(0, ScreenRect::new(0, 0, 4, 2), 0), (1, ScreenRect::new(2, 0, 6, 2), 0)]);
         assert_eq!(f.slic_message_count(1, 0), 0);
     }
 
@@ -282,10 +268,7 @@ mod tests {
     fn slic_message_count_pairs() {
         // rank1's fragment overlaps rank0's; rank0 is front, collector 0:
         // rank1 -> rank0 (composite traffic) is the only pair
-        let f = fi(vec![
-            (0, ScreenRect::new(0, 0, 8, 1), 0),
-            (1, ScreenRect::new(0, 0, 8, 1), 1),
-        ]);
+        let f = fi(vec![(0, ScreenRect::new(0, 0, 8, 1), 0), (1, ScreenRect::new(0, 0, 8, 1), 1)]);
         assert_eq!(f.slic_message_count(2, 0), 1);
         // with collector 1 instead: rank1->rank0 and rank0->rank1
         assert_eq!(f.slic_message_count(2, 1), 2);

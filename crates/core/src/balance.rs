@@ -47,8 +47,7 @@ pub fn view_balanced(
     camera: &Camera,
     level: u8,
 ) -> Partition {
-    let weights: Vec<u64> =
-        blocks.iter().map(|b| view_weight(mesh, b, camera, level)).collect();
+    let weights: Vec<u64> = blocks.iter().map(|b| view_weight(mesh, b, camera, level)).collect();
     Partition::balanced_weighted(blocks, &weights, renderers)
 }
 
@@ -66,8 +65,7 @@ pub fn measured_balanced(
     assert_eq!(blocks.len(), seconds_per_block.len());
     // microsecond-resolution integer weights; floor of 1 keeps free
     // blocks spread instead of piling on one rank
-    let weights: Vec<u64> =
-        seconds_per_block.iter().map(|&s| ((s * 1e6) as u64).max(1)).collect();
+    let weights: Vec<u64> = seconds_per_block.iter().map(|&s| ((s * 1e6) as u64).max(1)).collect();
     Partition::balanced_weighted(blocks, &weights, renderers)
 }
 
@@ -120,16 +118,10 @@ mod tests {
             128,
         );
         // the front layer (z in [0, 0.5)) projects larger than the back
-        let front: u64 = blocks
-            .iter()
-            .filter(|b| b.root.z == 0)
-            .map(|b| view_weight(&m, b, &cam, 4))
-            .sum();
-        let back: u64 = blocks
-            .iter()
-            .filter(|b| b.root.z == 1)
-            .map(|b| view_weight(&m, b, &cam, 4))
-            .sum();
+        let front: u64 =
+            blocks.iter().filter(|b| b.root.z == 0).map(|b| view_weight(&m, b, &cam, 4)).sum();
+        let back: u64 =
+            blocks.iter().filter(|b| b.root.z == 1).map(|b| view_weight(&m, b, &cam, 4)).sum();
         assert!(front > back, "perspective: front {front} should exceed back {back}");
     }
 
@@ -143,9 +135,8 @@ mod tests {
         // measure imbalance of the *visible* work under both partitions
         let weights: Vec<u64> = blocks.iter().map(|b| view_weight(&m, b, &cam, 4)).collect();
         let visible_load = |p: &Partition| -> f64 {
-            let loads: Vec<u64> = (0..4)
-                .map(|r| p.blocks_of(r).iter().map(|&b| weights[b as usize]).sum())
-                .collect();
+            let loads: Vec<u64> =
+                (0..4).map(|r| p.blocks_of(r).iter().map(|&b| weights[b as usize]).sum()).collect();
             let max = *loads.iter().max().unwrap() as f64;
             let mean = loads.iter().sum::<u64>() as f64 / 4.0;
             max / mean.max(1.0)
@@ -163,15 +154,13 @@ mod tests {
     fn measured_rebalance_tracks_observations() {
         let m = mesh();
         let blocks = m.octree().blocks(1); // 8 blocks
-        // pretend block 3 took 10x longer than the rest
+                                           // pretend block 3 took 10x longer than the rest
         let secs: Vec<f64> = (0..8).map(|i| if i == 3 { 1.0 } else { 0.1 }).collect();
         let p = measured_balanced(&blocks, &secs, 2);
         // the hot block's rank gets only it (plus possibly tiny ones)
         let hot = p.owner_of(3) as usize;
-        let hot_load: f64 =
-            p.blocks_of(hot).iter().map(|&b| secs[b as usize]).sum();
-        let cold_load: f64 =
-            p.blocks_of(1 - hot).iter().map(|&b| secs[b as usize]).sum();
+        let hot_load: f64 = p.blocks_of(hot).iter().map(|&b| secs[b as usize]).sum();
+        let cold_load: f64 = p.blocks_of(1 - hot).iter().map(|&b| secs[b as usize]).sum();
         assert!((hot_load - cold_load).abs() < 0.35, "{hot_load} vs {cold_load}");
     }
 

@@ -73,6 +73,13 @@ pub struct PipelineConfig {
     pub transfer: TransferFunction,
     /// Render only the first `max_steps` steps of the dataset, if set.
     pub max_steps: Option<usize>,
+    /// Detailed observability: record runtime auto spans (blocking
+    /// receives, barriers, MPI-IO reads, compositing rounds) in addition
+    /// to the always-on pipeline stage spans. Also enabled by setting the
+    /// `QUAKEVIZ_TRACE` environment variable (any non-empty value but
+    /// `0`; a value with a `/` or a `.json` suffix additionally names a
+    /// Chrome-trace output file).
+    pub trace: bool,
 }
 
 impl Default for PipelineConfig {
@@ -97,6 +104,7 @@ impl Default for PipelineConfig {
             camera: None,
             transfer: TransferFunction::seismic(),
             max_steps: None,
+            trace: false,
         }
     }
 }
@@ -201,6 +209,12 @@ impl PipelineBuilder {
 
     pub fn max_steps(mut self, n: usize) -> Self {
         self.config.max_steps = Some(n);
+        self
+    }
+
+    /// Record detailed runtime spans (see [`PipelineConfig::trace`]).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.config.trace = on;
         self
     }
 

@@ -210,14 +210,9 @@ mod tests {
         let c = lemieux64();
         for m in 1..=14 {
             let r = simulate(DesStrategy::OneDip { m }, &c, 600);
-            let analytic =
-                model::onedip_steady_delay(c.tf_effective(m), c.tp, c.ts, c.tr, m);
+            let analytic = model::onedip_steady_delay(c.tf_effective(m), c.tp, c.ts, c.tr, m);
             let rel = (r.steady_interframe() - analytic).abs() / analytic;
-            assert!(
-                rel < 0.03,
-                "m={m}: des {} vs analytic {analytic}",
-                r.steady_interframe()
-            );
+            assert!(rel < 0.03, "m={m}: des {} vs analytic {analytic}", r.steady_interframe());
         }
     }
 
@@ -226,20 +221,10 @@ mod tests {
         let c = lemieux128();
         for n in 1..=16 {
             let r = simulate(DesStrategy::TwoDip { n, m: 2 }, &c, 600);
-            let analytic = model::twodip_steady_delay(
-                c.tf_effective(n * 2),
-                c.tp,
-                c.ts,
-                c.tr,
-                n,
-                2,
-            );
+            let analytic =
+                model::twodip_steady_delay(c.tf_effective(n * 2), c.tp, c.ts, c.tr, n, 2);
             let rel = (r.steady_interframe() - analytic).abs() / analytic;
-            assert!(
-                rel < 0.03,
-                "n={n}: des {} vs analytic {analytic}",
-                r.steady_interframe()
-            );
+            assert!(rel < 0.03, "n={n}: des {} vs analytic {analytic}", r.steady_interframe());
         }
     }
 
@@ -313,12 +298,7 @@ mod tests {
     #[test]
     fn figure12_lic_hidden_at_sixteen() {
         // VR + LIC, 64 renderers, 1DIP: cost fully hidden at 16 IPs
-        let c = CostTable::lemieux(
-            64,
-            512,
-            512,
-            FigureOptions { lic: true, ..Default::default() },
-        );
+        let c = CostTable::lemieux(64, 512, 512, FigureOptions { lic: true, ..Default::default() });
         let at = |m| simulate(DesStrategy::OneDip { m }, &c, 60).steady_interframe();
         assert!((at(16) - c.tr).abs() < 0.05, "LIC should be hidden at 16 IPs: {}", at(16));
         assert!(at(4) > c.tr + 1.0, "4 IPs cannot hide VR+LIC: {}", at(4));

@@ -24,8 +24,8 @@ use quakeviz_mesh::{
     Aabb, HexMesh, NodeField, NodeId, Octree, OctreeBlock, Partition, WorkloadModel,
 };
 use quakeviz_render::{
-    front_to_back_order, Camera, Fragment, LightingParams, RenderParams,
-    RgbaImage, TransferFunction,
+    front_to_back_order, Camera, Fragment, LightingParams, RenderParams, RgbaImage,
+    TransferFunction,
 };
 use quakeviz_rt::{Comm, World};
 use quakeviz_seismic::{BasinModel, RickerSource, WaveSolver, WavelengthOracle};
@@ -131,20 +131,18 @@ pub fn run_insitu(cfg: InsituConfig) -> Result<InsituReport, String> {
     let oracle = WavelengthOracle::new(basin.clone(), cfg.frequency, max_level);
     let mesh = Arc::new(HexMesh::from_octree(Octree::build(cfg.extent, &oracle)));
     let blocks = mesh.octree().blocks(2.min(max_level));
-    let partition =
-        Partition::balanced(&mesh, &blocks, cfg.renderers, WorkloadModel::CellCount);
+    let partition = Partition::balanced(&mesh, &blocks, cfg.renderers, WorkloadModel::CellCount);
     let camera = Camera::default_for(&Aabb::from_extent(cfg.extent), cfg.width, cfg.height);
     let order_ids: Vec<u32> = front_to_back_order(&blocks, cfg.extent, camera.eye)
         .into_iter()
         .map(|i| blocks[i].id)
         .collect();
     let level = cfg.level.unwrap_or(max_level).min(max_level);
-    let ids_per_block: Vec<Arc<Vec<NodeId>>> = blocks
-        .iter()
-        .map(|b| Arc::new(crate::reader::block_level_nodes(&mesh, b, None)))
-        .collect();
+    let ids_per_block: Vec<Arc<Vec<NodeId>>> =
+        blocks.iter().map(|b| Arc::new(crate::reader::block_level_nodes(&mesh, b, None))).collect();
 
-    let shared = InsituShared { cfg, mesh, blocks, partition, camera, order_ids, ids_per_block, level };
+    let shared =
+        InsituShared { cfg, mesh, blocks, partition, camera, order_ids, ids_per_block, level };
     let shared = &shared;
     let world = 1 + shared.cfg.renderers + 1;
     let t_start = Instant::now();
@@ -343,9 +341,7 @@ mod tests {
             assert!(w[1] >= w[0]);
         }
         // motion builds up: the late frames show something
-        let busy = r.frames.iter().rev().take(2).any(|f| {
-            f.pixels().iter().any(|p| p[3] > 0.01)
-        });
+        let busy = r.frames.iter().rev().take(2).any(|f| f.pixels().iter().any(|p| p[3] > 0.01));
         assert!(busy, "late in-situ frames should show the wavefield");
     }
 
@@ -371,8 +367,7 @@ mod tests {
         // the pipeline total should be well below the serial sum of
         // simulation time and render time (they overlap)
         let r = run_insitu(InsituConfig { frames: 8, ..small_cfg() }).expect("insitu");
-        let render_total: f64 = r.render_frames.iter().map(|f| f.render_s).sum::<f64>()
-            / 2.0; // two renderers work concurrently
+        let render_total: f64 = r.render_frames.iter().map(|f| f.render_s).sum::<f64>() / 2.0; // two renderers work concurrently
         let serial = r.sim_seconds + render_total;
         assert!(
             r.total_seconds < serial * 1.25 + 0.5,

@@ -29,6 +29,9 @@
 //!   preprocess → distribute → render → SLIC-composite → deliver) and
 //!   reports per-stage timings.
 //! * [`config`] — [`PipelineBuilder`] and friends.
+//! * [`validate`] — condenses a run's span-derived timings into the
+//!   model's `Tf`/`Tp`/`Ts`/`Tr` and compares measured interframe delay
+//!   against the §5 closed forms.
 
 pub mod balance;
 pub mod config;
@@ -37,11 +40,13 @@ pub mod insitu;
 pub mod model;
 pub mod pipeline;
 pub mod reader;
+pub mod validate;
 
 pub use config::{IoStrategy, PipelineBuilder, PipelineConfig, ReadStrategy};
-pub use insitu::{run_insitu, InsituConfig, InsituReport};
 pub use des::{simulate, CostTable, DesResult, DesStrategy};
+pub use insitu::{run_insitu, InsituConfig, InsituReport};
 pub use model::{
     onedip_optimal_m, onedip_steady_delay, twodip_n, twodip_optimal_m, twodip_steady_delay,
 };
 pub use pipeline::{run_pipeline, PipelineReport};
+pub use validate::ModelValidation;

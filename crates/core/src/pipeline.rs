@@ -16,19 +16,17 @@
 //! the paper's Figures 8–9 can be reproduced *physically* at small scale.
 
 use crate::config::{IoStrategy, PipelineConfig, ReadStrategy};
-use crate::reader::{
-    self, block_level_nodes, level_node_ids, member_node_range, ReadStats,
-};
+use crate::reader::{self, block_level_nodes, level_node_ids, member_node_range, ReadStats};
 use quakeviz_composite::{slic, CompositeOptions, FrameInfo};
 use quakeviz_lic::{colorize, compute_lic, extract_surface_field, white_noise, LicParams};
 use quakeviz_mesh::{
     Aabb, HexMesh, NodeField, NodeId, OctreeBlock, Partition, Quadtree, WorkloadModel,
 };
 use quakeviz_render::{
-    front_to_back_order, Camera, Fragment, LightingParams, RenderParams,
-    RgbaImage, TemporalEnhance,
+    front_to_back_order, Camera, Fragment, LightingParams, RenderParams, RgbaImage, TemporalEnhance,
 };
-use quakeviz_rt::{Comm, World};
+use quakeviz_rt::obs::{self, Obs, Phase, TraceData};
+use quakeviz_rt::{Comm, TagClass, TrafficEdge, TrafficStats, World};
 use quakeviz_seismic::Dataset;
 use std::sync::Arc;
 use std::time::Instant;
@@ -36,6 +34,25 @@ use std::time::Instant;
 const TAG_DATA: u64 = 0x2000_0000_0000;
 const TAG_LIC: u64 = 0x2100_0000_0000;
 const TAG_VOL: u64 = 0x2200_0000_0000;
+
+/// Map the pipeline's wire tags to traffic-matrix classes (the runtime
+/// classifies its own collective traffic before consulting this).
+fn classify_tag(tag: u64) -> TagClass {
+    match tag >> 40 {
+        0x20 => TagClass::BlockData,
+        0x21 => TagClass::LicImage,
+        0x22 => TagClass::VolumeImage,
+        _ => {
+            if (0xc0de_0000..=0xc0de_ffff).contains(&tag) {
+                TagClass::Composite
+            } else if tag == quakeviz_parfs::mpiio::PIECES_TAG {
+                TagClass::IoPieces
+            } else {
+                TagClass::Other
+            }
+        }
+    }
+}
 
 /// Block data on the wire: raw `f32` values or 8-bit quantized (paper §4
 /// lists quantization among the input-processor preprocessing tasks).
@@ -130,6 +147,14 @@ pub struct PipelineReport {
     /// compositing is collective and absorbs the wait for the slowest
     /// rank), in render-rank order. The load-balance ablation reads this.
     pub render_rank_seconds: Vec<f64>,
+    /// The per-`(src, dst, tag-class)` traffic matrix of the run (exact:
+    /// every send site charges its real wire size).
+    pub traffic: Vec<TrafficEdge>,
+    /// Every span recorded during the run — one track per rank — plus the
+    /// metrics snapshot. Stage spans are always present; runtime auto
+    /// spans only when tracing was enabled ([`PipelineConfig::trace`] or
+    /// `QUAKEVIZ_TRACE`).
+    pub trace: TraceData,
 }
 
 impl PipelineReport {
@@ -233,10 +258,9 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
     let block_level = config.block_level.min(max_level);
     let blocks = octree.blocks(block_level);
     let extent = octree.extent();
-    let camera = config
-        .camera
-        .clone()
-        .unwrap_or_else(|| Camera::default_for(&Aabb::from_extent(extent), config.width, config.height));
+    let camera = config.camera.clone().unwrap_or_else(|| {
+        Camera::default_for(&Aabb::from_extent(extent), config.width, config.height)
+    });
     let partition = if config.view_balance {
         crate::balance::view_balanced(&mesh, &blocks, config.renderers, &camera, level)
     } else {
@@ -250,9 +274,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
     let fetch_level = config.adaptive_fetch.then_some(level);
     let ids_per_block: Vec<Arc<Vec<NodeId>>> =
         blocks.iter().map(|b| Arc::new(block_level_nodes(&mesh, b, fetch_level))).collect();
-    let level_ids = config
-        .adaptive_fetch
-        .then(|| Arc::new(level_node_ids(&mesh, level)));
+    let level_ids = config.adaptive_fetch.then(|| Arc::new(level_node_ids(&mesh, level)));
     let surface = config.lic.then(|| {
         let (qt, ids) = Quadtree::from_surface_nodes(&mesh);
         let noise = white_noise(config.width, config.height, 0x5eed);
@@ -280,9 +302,12 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
 
     let world = n_inputs + shared.n_renderers + 1;
     let shared = &shared;
-    let stats = quakeviz_rt::TrafficStats::new();
+    let detail = shared.cfg.trace || Obs::detail_from_env();
+    let session = Obs::new(detail);
+    let stats = TrafficStats::with_matrix(world, classify_tag);
+    let obs_ref = &session;
     let results =
-        World::run_traced(world, Arc::clone(&stats), move |comm| rank_main(comm, shared));
+        World::run_traced(world, Arc::clone(&stats), move |comm| rank_main(comm, obs_ref, shared));
 
     // assemble
     let mut input_steps = Vec::new();
@@ -303,6 +328,8 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
             }
         }
     }
+    let trace = session.snapshot(Some(&stats));
+    write_trace_if_requested(&trace);
     Ok(PipelineReport {
         frames,
         frame_done,
@@ -314,10 +341,39 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         messages: stats.messages(),
         bytes_sent: stats.bytes(),
         render_rank_seconds,
+        traffic: stats.edges(),
+        trace,
     })
 }
 
-fn rank_main(comm: Comm, s: &Shared) -> RankResult {
+/// When `QUAKEVIZ_TRACE` names a file (contains `/` or ends in `.json`),
+/// dump the Chrome trace there plus span/traffic CSVs next to it.
+fn write_trace_if_requested(trace: &TraceData) {
+    let Ok(path) = std::env::var("QUAKEVIZ_TRACE") else {
+        return;
+    };
+    if !(path.contains('/') || path.ends_with(".json")) {
+        return;
+    }
+    let stem = path.strip_suffix(".json").unwrap_or(&path);
+    if let Err(e) = std::fs::write(&path, trace.chrome_trace_json()) {
+        eprintln!("quakeviz: cannot write trace {path}: {e}");
+        return;
+    }
+    let _ = std::fs::write(format!("{stem}.spans.csv"), trace.csv());
+    let _ = std::fs::write(format!("{stem}.traffic.csv"), trace.traffic_csv());
+}
+
+fn rank_main(comm: Comm, session: &Arc<Obs>, s: &Shared) -> RankResult {
+    let me = comm.rank();
+    let group = if me < s.n_inputs {
+        "input"
+    } else if me < s.n_inputs + s.n_renderers {
+        "render"
+    } else {
+        "output"
+    };
+    let _rec = session.attach(me, group);
     // every rank constructs the same sub-communicators in the same order
     let render_ranks: Vec<usize> = (s.n_inputs..s.n_inputs + s.n_renderers).collect();
     let render_comm = comm.group(&render_ranks);
@@ -334,14 +390,24 @@ fn rank_main(comm: Comm, s: &Shared) -> RankResult {
     comm.barrier();
     let start = Instant::now();
 
-    let me = comm.rank();
     if me < s.n_inputs {
         RankResult::Input(input_main(&comm, group_comm.as_ref(), s))
     } else if me < s.n_inputs + s.n_renderers {
         RankResult::Render(render_main(&comm, render_comm.as_ref().unwrap(), s))
     } else {
-        output_main(&comm, s, start)
+        output_main(&comm, session, s, start)
     }
+}
+
+/// Seconds per step spent in `phase`, summed from this thread's recorded
+/// spans — the pipeline's timing structs are *derived* from the span
+/// stream instead of a second set of hand-rolled `Instant` timers.
+fn phase_seconds_by_step(events: &[obs::SpanEvent], phase: Phase, step: usize) -> f64 {
+    events
+        .iter()
+        .filter(|e| e.phase == phase && e.step == step as u32)
+        .map(|e| e.dur_us as f64 / 1e6)
+        .sum()
 }
 
 // ---------------------------------------------------------------------
@@ -442,28 +508,40 @@ fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputSt
 
     for &t in &my_steps {
         let mut timing = InputStepTiming::default();
+        let mut sp = obs::span(Phase::Read, t as u32);
         let (dense, stats) = fetch_step(group_comm, s, t, my_ids.as_deref(), my_range);
+        sp.add_bytes(stats.useful_bytes);
+        drop(sp);
         timing.read = stats;
 
-        // preprocessing: magnitude + optional temporal enhancement
-        let pp = Instant::now();
+        // preprocessing: magnitude + optional temporal enhancement (the
+        // previous step's re-fetch is disk time, so it gets a Read span of
+        // its own rather than inflating Preprocess)
+        let pp = obs::span(Phase::Preprocess, t as u32);
         let mut mag = magnitudes(&dense);
+        drop(pp);
         if s.cfg.enhancement && t > 0 {
+            let mut sp = obs::span(Phase::Read, t as u32);
             let (prev_dense, prev_stats) =
                 fetch_step(group_comm, s, t - 1, my_ids.as_deref(), my_range);
+            sp.add_bytes(prev_stats.useful_bytes);
+            drop(sp);
             timing.read.accumulate(&prev_stats);
+            let pp = obs::span(Phase::Preprocess, t as u32);
             let prev_mag = magnitudes(&prev_dense);
             mag = enhance
                 .apply(&NodeField::new(mag), Some(&NodeField::new(prev_mag)), None)
                 .values()
                 .to_vec();
+            drop(pp);
         }
-        timing.preprocess_s = pp.elapsed().as_secs_f64();
 
-        // LIC: synthesized by the step's lead input processor
+        // LIC: synthesized by the step's lead input processor. The surface
+        // read stays inside the Lic span (stage spans on one rank never
+        // overlap; in detail sessions the nested IoRead auto span shows it)
         if let Some((qt, surf_ids, noise)) = &s.surface {
             if member == 0 {
-                let lic_t = Instant::now();
+                let mut lic_sp = obs::span(Phase::Lic, t as u32);
                 // surface vectors: read explicitly (they may not be in the
                 // adaptive fetch set or my slice)
                 let (surf_dense, surf_stats) =
@@ -486,8 +564,9 @@ fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputSt
                 // normalize by the surface maximum (surface motion is far
                 // weaker than the 3D peak at the hypocentre)
                 let img = colorize(&reg, &gray, &s.cfg.transfer, reg.max_magnitude());
-                timing.lic_s = lic_t.elapsed().as_secs_f64();
                 let bytes = (img.width() * img.height() * 16) as u64;
+                lic_sp.add_bytes(bytes);
+                drop(lic_sp);
                 comm.send_with_size(output_rank, TAG_LIC + t as u64, img, bytes);
             }
         }
@@ -496,7 +575,7 @@ fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputSt
         // batch of (block, offset-into-id-list, values) pieces — whole
         // blocks (offset 0) for solo readers, slice intersections for
         // 2DIP group members
-        let send_t = Instant::now();
+        let mut send_sp = obs::span(Phase::Send, t as u32);
         for r in 0..s.n_renderers {
             let dst = s.n_inputs + r;
             let mut batch: BlockBatch = Vec::new();
@@ -509,8 +588,7 @@ fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputSt
                     }
                 };
                 if a < b {
-                    let values: Vec<f32> =
-                        ids[a..b].iter().map(|&id| mag[id as usize]).collect();
+                    let values: Vec<f32> = ids[a..b].iter().map(|&id| mag[id as usize]).collect();
                     batch.push((
                         bid,
                         a as u32,
@@ -519,10 +597,19 @@ fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputSt
                 }
             }
             let bytes: u64 = batch.iter().map(|(_, _, p)| p.wire_bytes()).sum();
+            send_sp.add_bytes(bytes);
             comm.send_with_size(dst, TAG_DATA + t as u64, batch, bytes);
         }
-        timing.send_s = send_t.elapsed().as_secs_f64();
+        drop(send_sp);
         timings.push(timing);
+    }
+
+    // derive the per-step timings from the span stream
+    let events = obs::current_events();
+    for (timing, &t) in timings.iter_mut().zip(&my_steps) {
+        timing.preprocess_s = phase_seconds_by_step(&events, Phase::Preprocess, t);
+        timing.lic_s = phase_seconds_by_step(&events, Phase::Lic, t);
+        timing.send_s = phase_seconds_by_step(&events, Phase::Send, t);
     }
     timings
 }
@@ -546,8 +633,7 @@ fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTi
     let mut timings = Vec::with_capacity(s.steps);
 
     for t in 0..s.steps {
-        let mut timing = RenderFrameTiming::default();
-        let recv_t = Instant::now();
+        let mut recv_sp = obs::span(Phase::Receive, t as u32);
         let sources: Vec<usize> = match s.cfg.io {
             IoStrategy::OneDip { input_procs } => vec![t % input_procs],
             IoStrategy::TwoDip { groups, per_group } => {
@@ -557,6 +643,7 @@ fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTi
         };
         for src in sources {
             let batch: BlockBatch = comm.recv(src, TAG_DATA + t as u64);
+            recv_sp.add_bytes(batch.iter().map(|(_, _, p)| p.wire_bytes()).sum());
             for (bid, offset, payload) in batch {
                 let ids = &s.ids_per_block[bid as usize];
                 for k in 0..payload.len() {
@@ -564,10 +651,10 @@ fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTi
                 }
             }
         }
-        timing.receive_s = recv_t.elapsed().as_secs_f64();
+        drop(recv_sp);
 
         // render my blocks
-        let render_t = Instant::now();
+        let render_sp = obs::span(Phase::Render, t as u32);
         let mut frags: Vec<Fragment> = Vec::new();
         for &bid in my_blocks {
             let block = &s.blocks[bid as usize];
@@ -584,10 +671,10 @@ fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTi
                 frags.push(f);
             }
         }
-        timing.render_s = render_t.elapsed().as_secs_f64();
+        drop(render_sp);
 
         // composite across the render group with SLIC; root delivers
-        let comp_t = Instant::now();
+        let comp_sp = obs::span(Phase::Composite, t as u32);
         let info =
             FrameInfo::exchange(render_comm, &frags, &s.order_ids, s.cfg.width, s.cfg.height);
         let result = slic(render_comm, &frags, &info, 0, CompositeOptions::default());
@@ -595,8 +682,17 @@ fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTi
             let bytes = (img.width() * img.height() * 16) as u64;
             comm.send_with_size(output_rank, TAG_VOL + t as u64, img, bytes);
         }
-        timing.composite_s = comp_t.elapsed().as_secs_f64();
-        timings.push(timing);
+        drop(comp_sp);
+    }
+
+    // derive the per-frame timings from the span stream
+    let events = obs::current_events();
+    for t in 0..s.steps {
+        timings.push(RenderFrameTiming {
+            receive_s: phase_seconds_by_step(&events, Phase::Receive, t),
+            render_s: phase_seconds_by_step(&events, Phase::Render, t),
+            composite_s: phase_seconds_by_step(&events, Phase::Composite, t),
+        });
     }
     timings
 }
@@ -605,22 +701,35 @@ fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTi
 // output processor
 // ---------------------------------------------------------------------
 
-fn output_main(comm: &Comm, s: &Shared, start: Instant) -> RankResult {
+fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> RankResult {
     let render_root = s.n_inputs;
     let mut frames = Vec::new();
     let mut done_at = Vec::with_capacity(s.steps);
+    let m_frames = session.metrics().counter("pipeline.frames");
+    let m_bytes = session.metrics().counter("pipeline.frame_bytes");
+    let m_latency = session.metrics().histogram("pipeline.interframe_us");
+    let mut prev = 0.0f64;
     for t in 0..s.steps {
+        let mut sp = obs::span(Phase::Assemble, t as u32);
         let mut vol: RgbaImage = comm.recv(render_root, TAG_VOL + t as u64);
+        sp.add_bytes((vol.width() * vol.height() * 16) as u64);
         if s.surface.is_some() {
             let lic_src = match s.cfg.io {
                 IoStrategy::OneDip { input_procs } => t % input_procs,
                 IoStrategy::TwoDip { groups, per_group } => (t % groups) * per_group,
             };
             let lic_img: RgbaImage = comm.recv(lic_src, TAG_LIC + t as u64);
+            sp.add_bytes((lic_img.width() * lic_img.height() * 16) as u64);
             // the volume rendering sits in front of the surface texture
             vol.over_inplace(&lic_img);
         }
-        done_at.push(start.elapsed().as_secs_f64());
+        drop(sp);
+        let now = start.elapsed().as_secs_f64();
+        m_frames.inc();
+        m_bytes.add((vol.width() * vol.height() * 16) as u64);
+        m_latency.record(((now - prev) * 1e6) as u64);
+        prev = now;
+        done_at.push(now);
         if s.cfg.keep_frames {
             frames.push(vol);
         }
@@ -651,9 +760,7 @@ mod tests {
         assert_eq!(report.frame_done.len(), 4);
         assert!(report.mean_interframe_delay() > 0.0);
         // frames must not all be empty: late steps carry waves
-        let busy = report.frames.iter().any(|f| {
-            f.pixels().iter().any(|p| p[3] > 0.01)
-        });
+        let busy = report.frames.iter().any(|f| f.pixels().iter().any(|p| p[3] > 0.01));
         assert!(busy, "no frame shows any volume contribution");
     }
 
@@ -723,8 +830,7 @@ mod tests {
         }
         // and read strictly less
         let full_bytes: u64 = full.input_steps.iter().map(|s| s.read.useful_bytes).sum();
-        let adaptive_bytes: u64 =
-            adaptive.input_steps.iter().map(|s| s.read.useful_bytes).sum();
+        let adaptive_bytes: u64 = adaptive.input_steps.iter().map(|s| s.read.useful_bytes).sum();
         assert!(
             adaptive_bytes < full_bytes,
             "adaptive fetch must read fewer bytes ({adaptive_bytes} vs {full_bytes})"
@@ -771,10 +877,7 @@ mod tests {
         };
         let t1 = run(1);
         let t3 = run(3);
-        assert!(
-            t3 < t1 * 0.75,
-            "3 input processors should hide I/O: {t3:.3}s vs {t1:.3}s with 1"
-        );
+        assert!(t3 < t1 * 0.75, "3 input processors should hide I/O: {t3:.3}s vs {t1:.3}s with 1");
     }
 
     #[test]

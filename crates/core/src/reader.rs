@@ -58,10 +58,10 @@ pub fn level_node_ids(mesh: &HexMesh, level: u8) -> Vec<NodeId> {
         let (ax, ay, az) = cell.anchor_at_level(max);
         let size = 1u32 << (max - cell.level);
         for i in 0..8u32 {
-            let (gx, gy, gz) = (ax + (i & 1) * size, ay + ((i >> 1) & 1) * size, az + ((i >> 2) & 1) * size);
+            let (gx, gy, gz) =
+                (ax + (i & 1) * size, ay + ((i >> 1) & 1) * size, az + ((i >> 2) & 1) * size);
             ids.push(
-                mesh.node_at(gx, gy, gz)
-                    .expect("level tiling corner must exist as a mesh node"),
+                mesh.node_at(gx, gy, gz).expect("level tiling corner must exist as a mesh node"),
             );
         }
     }
@@ -84,8 +84,11 @@ pub fn block_level_nodes(mesh: &HexMesh, block: &OctreeBlock, level: Option<u8>)
                 let (ax, ay, az) = cell.anchor_at_level(max);
                 let size = 1u32 << (max - cell.level);
                 for i in 0..8u32 {
-                    let (gx, gy, gz) =
-                        (ax + (i & 1) * size, ay + ((i >> 1) & 1) * size, az + ((i >> 2) & 1) * size);
+                    let (gx, gy, gz) = (
+                        ax + (i & 1) * size,
+                        ay + ((i >> 1) & 1) * size,
+                        az + ((i >> 2) & 1) * size,
+                    );
                     ids.push(mesh.node_at(gx, gy, gz).expect("level corner must be a node"));
                 }
             }
@@ -296,8 +299,7 @@ mod tests {
             let n = mesh.node_count();
             let (a, b) = member_node_range(n, comm.rank(), comm.size());
             let ids: Vec<NodeId> = (a as NodeId..b as NodeId).collect();
-            let (dense, stats) =
-                read_step_ids_collective(&disk, &mesh, 1, &ids, &comm, 1 << 16);
+            let (dense, stats) = read_step_ids_collective(&disk, &mesh, 1, &ids, &comm, 1 << 16);
             (dense, stats, (a, b))
         });
         let want = ds.load_step(1);

@@ -8,7 +8,7 @@
 //! the image size and the adaptive levels selected by the user."
 
 use quakeviz_mesh::{HexMesh, Quadtree, VectorField};
-use rayon::prelude::*;
+use quakeviz_rt::par::par_map;
 
 /// A regular grid of 2D vectors over the ground rectangle.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,12 +50,12 @@ impl RegularField2D {
         let fx = (px - 0.5).clamp(0.0, (self.width - 1) as f64);
         let fy = (py - 0.5).clamp(0.0, (self.height - 1) as f64);
         let (i0, j0) = (fx as usize, fy as usize);
-        let (i1, j1) = ((i0 + 1).min(self.width as usize - 1), (j0 + 1).min(self.height as usize - 1));
+        let (i1, j1) =
+            ((i0 + 1).min(self.width as usize - 1), (j0 + 1).min(self.height as usize - 1));
         let (u, v) = ((fx - i0 as f64) as f32, (fy - j0 as f64) as f32);
         let g = |i: usize, j: usize| self.vectors[j * self.width as usize + i];
-        let lerp2 = |a: (f32, f32), b: (f32, f32), t: f32| {
-            (a.0 + (b.0 - a.0) * t, a.1 + (b.1 - a.1) * t)
-        };
+        let lerp2 =
+            |a: (f32, f32), b: (f32, f32), t: f32| (a.0 + (b.0 - a.0) * t, a.1 + (b.1 - a.1) * t);
         let top = lerp2(g(i0, j0), g(i1, j0), u);
         let bot = lerp2(g(i0, j1), g(i1, j1), u);
         lerp2(top, bot, v)
@@ -87,18 +87,15 @@ pub fn extract_surface_field(
     let extent = (e.x, e.y);
     let cell = (extent.0 / width as f64).max(extent.1 / height as f64);
     let radius = cell * 2.0;
-    let vectors: Vec<(f32, f32)> = (0..height as usize * width as usize)
-        .into_par_iter()
-        .map(|idx| {
-            let i = idx % width as usize;
-            let j = idx / width as usize;
-            let x = (i as f64 + 0.5) / width as f64 * extent.0;
-            let y = (j as f64 + 0.5) / height as f64 * extent.1;
-            let vx = quadtree.idw_sample(x, y, radius, |id| field.horizontal(id).0 as f64);
-            let vy = quadtree.idw_sample(x, y, radius, |id| field.horizontal(id).1 as f64);
-            (vx as f32, vy as f32)
-        })
-        .collect();
+    let vectors: Vec<(f32, f32)> = par_map(height as usize * width as usize, |idx| {
+        let i = idx % width as usize;
+        let j = idx / width as usize;
+        let x = (i as f64 + 0.5) / width as f64 * extent.0;
+        let y = (j as f64 + 0.5) / height as f64 * extent.1;
+        let vx = quadtree.idw_sample(x, y, radius, |id| field.horizontal(id).0 as f64);
+        let vy = quadtree.idw_sample(x, y, radius, |id| field.horizontal(id).1 as f64);
+        (vx as f32, vy as f32)
+    });
     RegularField2D { width, height, extent, vectors }
 }
 
@@ -134,8 +131,10 @@ mod tests {
 
     #[test]
     fn extraction_reproduces_uniform_surface_flow() {
-        let mesh =
-            HexMesh::from_octree(Octree::build(Vec3::new(100.0, 100.0, 50.0), &UniformRefinement(3)));
+        let mesh = HexMesh::from_octree(Octree::build(
+            Vec3::new(100.0, 100.0, 50.0),
+            &UniformRefinement(3),
+        ));
         // 3D field: horizontal (2, -1) everywhere at the surface, noise below
         let mut vals = vec![[0.0f32; 3]; mesh.node_count()];
         for id in 0..mesh.node_count() as NodeId {
@@ -153,8 +152,10 @@ mod tests {
 
     #[test]
     fn extraction_interpolates_gradient() {
-        let mesh =
-            HexMesh::from_octree(Octree::build(Vec3::new(100.0, 100.0, 50.0), &UniformRefinement(3)));
+        let mesh = HexMesh::from_octree(Octree::build(
+            Vec3::new(100.0, 100.0, 50.0),
+            &UniformRefinement(3),
+        ));
         // surface vx = x coordinate
         let mut vals = vec![[0.0f32; 3]; mesh.node_count()];
         for id in 0..mesh.node_count() as NodeId {

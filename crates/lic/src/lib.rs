@@ -27,5 +27,5 @@ pub mod lic;
 pub mod noise;
 
 pub use field2d::{extract_surface_field, RegularField2D};
-pub use lic::{compute_lic, colorize, LicParams};
+pub use lic::{colorize, compute_lic, LicParams};
 pub use noise::white_noise;

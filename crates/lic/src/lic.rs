@@ -7,7 +7,7 @@
 
 use crate::field2d::RegularField2D;
 use quakeviz_render::{RgbaImage, TransferFunction};
-use rayon::prelude::*;
+use quakeviz_rt::par::par_map;
 
 /// LIC parameters.
 #[derive(Debug, Clone, Copy)]
@@ -52,60 +52,53 @@ pub fn compute_lic(field: &RegularField2D, noise: &[f32], params: &LicParams) ->
         })
         .collect();
 
-    (0..w * h)
-        .into_par_iter()
-        .map(|idx| {
-            let x0 = (idx % w) as f64 + 0.5;
-            let y0 = (idx / w) as f64 + 0.5;
-            let (vx, vy) = field.sample_px(x0, y0);
-            if (vx * vx + vy * vy).sqrt() <= floor {
-                return noise[idx];
-            }
-            let sample_noise = |x: f64, y: f64| -> f64 {
-                let i = (x as usize).min(w - 1);
-                let j = (y as usize).min(h - 1);
-                noise[j * w + i] as f64
-            };
-            let mut acc = kernel[params.kernel_half] * sample_noise(x0, y0);
-            let mut wsum = kernel[params.kernel_half];
-            // trace both directions
-            for dir in [1.0f64, -1.0] {
-                let (mut x, mut y) = (x0, y0);
-                for s in 1..=params.kernel_half {
-                    // RK2 midpoint step
-                    let (vx, vy) = field.sample_px(x, y);
-                    let m = ((vx * vx + vy * vy) as f64).sqrt();
-                    if m <= floor as f64 {
-                        break;
-                    }
-                    let hx = x + dir * params.step_px * 0.5 * vx as f64 / m;
-                    let hy = y + dir * params.step_px * 0.5 * vy as f64 / m;
-                    let (wx, wy) = field.sample_px(hx, hy);
-                    let wm = ((wx * wx + wy * wy) as f64).sqrt();
-                    if wm <= floor as f64 {
-                        break;
-                    }
-                    x += dir * params.step_px * wx as f64 / wm;
-                    y += dir * params.step_px * wy as f64 / wm;
-                    if x < 0.0 || y < 0.0 || x >= w as f64 || y >= h as f64 {
-                        break;
-                    }
-                    let ki = if dir > 0.0 {
-                        params.kernel_half + s
-                    } else {
-                        params.kernel_half - s
-                    };
-                    acc += kernel[ki] * sample_noise(x, y);
-                    wsum += kernel[ki];
+    par_map(w * h, |idx| {
+        let x0 = (idx % w) as f64 + 0.5;
+        let y0 = (idx / w) as f64 + 0.5;
+        let (vx, vy) = field.sample_px(x0, y0);
+        if (vx * vx + vy * vy).sqrt() <= floor {
+            return noise[idx];
+        }
+        let sample_noise = |x: f64, y: f64| -> f64 {
+            let i = (x as usize).min(w - 1);
+            let j = (y as usize).min(h - 1);
+            noise[j * w + i] as f64
+        };
+        let mut acc = kernel[params.kernel_half] * sample_noise(x0, y0);
+        let mut wsum = kernel[params.kernel_half];
+        // trace both directions
+        for dir in [1.0f64, -1.0] {
+            let (mut x, mut y) = (x0, y0);
+            for s in 1..=params.kernel_half {
+                // RK2 midpoint step
+                let (vx, vy) = field.sample_px(x, y);
+                let m = ((vx * vx + vy * vy) as f64).sqrt();
+                if m <= floor as f64 {
+                    break;
                 }
+                let hx = x + dir * params.step_px * 0.5 * vx as f64 / m;
+                let hy = y + dir * params.step_px * 0.5 * vy as f64 / m;
+                let (wx, wy) = field.sample_px(hx, hy);
+                let wm = ((wx * wx + wy * wy) as f64).sqrt();
+                if wm <= floor as f64 {
+                    break;
+                }
+                x += dir * params.step_px * wx as f64 / wm;
+                y += dir * params.step_px * wy as f64 / wm;
+                if x < 0.0 || y < 0.0 || x >= w as f64 || y >= h as f64 {
+                    break;
+                }
+                let ki = if dir > 0.0 { params.kernel_half + s } else { params.kernel_half - s };
+                acc += kernel[ki] * sample_noise(x, y);
+                wsum += kernel[ki];
             }
-            if wsum > 0.0 {
-                (acc / wsum) as f32
-            } else {
-                noise[idx]
-            }
-        })
-        .collect()
+        }
+        if wsum > 0.0 {
+            (acc / wsum) as f32
+        } else {
+            noise[idx]
+        }
+    })
 }
 
 /// Colorize a LIC gray texture by velocity magnitude: hue/opacity from the
@@ -132,16 +125,8 @@ pub fn colorize(
             // function's hue, with opacity growing with magnitude so the
             // volume rendering can sit in front of it.
             let a = (0.55 + 0.40 * v).clamp(0.0, 1.0);
-            let tint = [
-                (c[0] + 0.5) / 1.5,
-                (c[1] + 0.5) / 1.5,
-                (c[2] + 0.5) / 1.5,
-            ];
-            img.set(
-                i,
-                j,
-                [g * tint[0] * a, g * tint[1] * a, g * tint[2] * a, a],
-            );
+            let tint = [(c[0] + 0.5) / 1.5, (c[1] + 0.5) / 1.5, (c[2] + 0.5) / 1.5];
+            img.set(i, j, [g * tint[0] * a, g * tint[1] * a, g * tint[2] * a, a]);
         }
     }
     img
@@ -176,10 +161,7 @@ mod tests {
         // smooth along x (flow), rough along y (across flow)
         let rx = roughness(&gray, w, w, 0);
         let ry = roughness(&gray, w, w, 1);
-        assert!(
-            rx * 1.5 < ry,
-            "streaks must be smooth along the flow: along {rx}, across {ry}"
-        );
+        assert!(rx * 1.5 < ry, "streaks must be smooth along the flow: along {rx}, across {ry}");
     }
 
     #[test]
@@ -232,11 +214,7 @@ mod tests {
         let field = RegularField2D::from_fn(w as u32, w as u32, (1.0, 1.0), |_, _| (1.0, 0.0));
         let noise = white_noise(w as u32, w as u32, 9);
         let f = |phase: f64| {
-            compute_lic(
-                &field,
-                &noise,
-                &LicParams { phase: Some(phase), ..Default::default() },
-            )
+            compute_lic(&field, &noise, &LicParams { phase: Some(phase), ..Default::default() })
         };
         let a = f(0.0);
         let b = f(0.25);

@@ -1,13 +1,12 @@
 //! Deterministic white-noise input textures for LIC.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use quakeviz_rt::rng::SplitMix64;
 
 /// A `w × h` grayscale white-noise texture in `[0, 1]`, deterministic in
 /// `seed` (frames of an animation share one noise texture).
 pub fn white_noise(w: u32, h: u32, seed: u64) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..w as usize * h as usize).map(|_| rng.gen::<f32>()).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..w as usize * h as usize).map(|_| rng.next_f32()).collect()
 }
 
 #[cfg(test)]

@@ -173,10 +173,7 @@ impl VectorField {
     /// renders ("velocity magnitude").
     pub fn magnitude(&self) -> NodeField {
         NodeField::new(
-            self.values
-                .iter()
-                .map(|v| (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt())
-                .collect(),
+            self.values.iter().map(|v| (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()).collect(),
         )
     }
 
@@ -260,11 +257,9 @@ mod tests {
         let m = mesh();
         let f = x_field(&m);
         // A linear function must be reproduced exactly by trilinear interp.
-        for p in [
-            Vec3::new(0.13, 0.41, 0.87),
-            Vec3::new(0.5, 0.5, 0.5),
-            Vec3::new(0.99, 0.01, 0.33),
-        ] {
+        for p in
+            [Vec3::new(0.13, 0.41, 0.87), Vec3::new(0.5, 0.5, 0.5), Vec3::new(0.99, 0.01, 0.33)]
+        {
             let s = f.sample(&m, p).unwrap();
             assert!((s - p.x as f32).abs() < 1e-5, "sample {s} != {}", p.x);
         }

@@ -77,7 +77,11 @@ impl HexMesh {
                 let mut ns = [0 as NodeId; 8];
                 for (i, slot) in ns.iter_mut().enumerate() {
                     let i = i as u32;
-                    let key = morton3(ax + (i & 1) * size, ay + ((i >> 1) & 1) * size, az + ((i >> 2) & 1) * size);
+                    let key = morton3(
+                        ax + (i & 1) * size,
+                        ay + ((i >> 1) & 1) * size,
+                        az + ((i >> 2) & 1) * size,
+                    );
                     *slot = node_index[&key];
                 }
                 ns
@@ -182,8 +186,7 @@ impl HexMesh {
     pub fn near_surface_fraction(&self, depth_frac: f64) -> f64 {
         let n = (1u64 << self.octree.max_leaf_level()) as f64;
         let cutoff = (n * depth_frac) as u32;
-        let near =
-            self.node_coords.iter().filter(|&&(_, _, z)| z <= cutoff).count();
+        let near = self.node_coords.iter().filter(|&&(_, _, z)| z <= cutoff).count();
         near as f64 / self.node_count() as f64
     }
 }

@@ -12,8 +12,6 @@
 //! `[0, 2^level)`. [`Loc2`] is the quadtree analogue used for the ground
 //! surface.
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum supported octree level. 3 × 19 bits of Morton code plus the
 /// level tag fit comfortably in a `u64` key.
 pub const MAX_LEVEL: u8 = 19;
@@ -93,7 +91,7 @@ pub fn demorton2(m: u64) -> (u32, u32) {
 }
 
 /// A locational code: one octree cell, identified by level and anchor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Loc3 {
     /// Subdivision level; 0 is the root cell covering the whole domain.
     pub level: u8,
@@ -112,7 +110,9 @@ impl Loc3 {
     pub fn new(level: u8, x: u32, y: u32, z: u32) -> Self {
         debug_assert!(level <= MAX_LEVEL);
         debug_assert!(
-            (x as u64) < (1u64 << level) && (y as u64) < (1u64 << level) && (z as u64) < (1u64 << level),
+            (x as u64) < (1u64 << level)
+                && (y as u64) < (1u64 << level)
+                && (z as u64) < (1u64 << level),
             "anchor out of range for level {level}: ({x},{y},{z})"
         );
         Loc3 { level, x, y, z }
@@ -159,7 +159,11 @@ impl Loc3 {
     /// `self.level`). The cell itself is returned when `level == self.level`.
     #[inline]
     pub fn ancestor_at(&self, level: u8) -> Loc3 {
-        assert!(level <= self.level, "ancestor level {level} deeper than cell level {}", self.level);
+        assert!(
+            level <= self.level,
+            "ancestor level {level} deeper than cell level {}",
+            self.level
+        );
         let shift = self.level - level;
         Loc3 { level, x: self.x >> shift, y: self.y >> shift, z: self.z >> shift }
     }
@@ -224,7 +228,7 @@ impl Ord for Loc3 {
 }
 
 /// A quadtree locational code over the ground surface (x, y only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Loc2 {
     pub level: u8,
     pub x: u32,
@@ -302,7 +306,12 @@ mod tests {
 
     #[test]
     fn morton3_roundtrip_large_coords() {
-        let cases = [(0x1f_ffff, 0, 0), (0, 0x1f_ffff, 0), (0, 0, 0x1f_ffff), (0x155555, 0xaaaaa, 0x1ccccc)];
+        let cases = [
+            (0x1f_ffff, 0, 0),
+            (0, 0x1f_ffff, 0),
+            (0, 0, 0x1f_ffff),
+            (0x155555, 0xaaaaa, 0x1ccccc),
+        ];
         for (x, y, z) in cases {
             assert_eq!(demorton3(morton3(x, y, z)), (x, y, z));
         }

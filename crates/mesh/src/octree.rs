@@ -18,7 +18,6 @@
 
 use crate::morton::Loc3;
 use crate::region::{Aabb, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Decides whether an octree cell should be subdivided during construction.
 ///
@@ -57,7 +56,7 @@ pub type BlockId = u32;
 
 /// One block: a subtree of the global octree, i.e. a contiguous run of
 /// leaves in SFC order, all descending from `root`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OctreeBlock {
     pub id: BlockId,
     /// Root cell of the subtree.
@@ -76,7 +75,7 @@ impl OctreeBlock {
 }
 
 /// A linear octree over the domain `[0, extent]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Octree {
     extent: Vec3,
     /// Leaf cells in space-filling-curve order. Together they tile the

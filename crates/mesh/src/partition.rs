@@ -166,11 +166,8 @@ mod tests {
     impl RefineOracle for Lopsided {
         fn refine(&self, loc: &Loc3, bounds: &Aabb) -> bool {
             // one octant refined three levels deeper than the rest
-            let want = if bounds.min.x < 0.5 && bounds.min.y < 0.5 && bounds.min.z < 0.5 {
-                6
-            } else {
-                3
-            };
+            let want =
+                if bounds.min.x < 0.5 && bounds.min.y < 0.5 && bounds.min.z < 0.5 { 6 } else { 3 };
             loc.level < want
         }
         fn max_level(&self) -> u8 {
@@ -272,7 +269,7 @@ mod tests {
     fn weighted_partition_balances_custom_weights() {
         let mesh = HexMesh::from_octree(Octree::build(Vec3::ONE, &UniformRefinement(3)));
         let blocks = mesh.octree().blocks(1); // 8 equal blocks
-        // skew: one block is 7x the others
+                                              // skew: one block is 7x the others
         let weights: Vec<u64> = (0..8).map(|i| if i == 0 { 7 } else { 1 }).collect();
         let p = Partition::balanced_weighted(&blocks, &weights, 2);
         // LPT: heavy block alone on one renderer, the rest on the other

@@ -366,10 +366,8 @@ mod tests {
 
     #[test]
     fn from_surface_nodes_covers_surface() {
-        let mesh = HexMesh::from_octree(Octree::build(
-            crate::region::Vec3::ONE,
-            &UniformRefinement(2),
-        ));
+        let mesh =
+            HexMesh::from_octree(Octree::build(crate::region::Vec3::ONE, &UniformRefinement(2)));
         let (qt, surface) = Quadtree::from_surface_nodes(&mesh);
         assert_eq!(qt.len(), surface.len());
         assert_eq!(surface.len(), 25);

@@ -6,10 +6,8 @@
 //! *ground surface* and `z` increasing with depth, matching the basin
 //! geometry of the earthquake simulation.
 
-use serde::{Deserialize, Serialize};
-
 /// A 3-component `f64` vector used for positions, directions and extents.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     pub x: f64,
     pub y: f64,
@@ -145,7 +143,7 @@ impl From<[f64; 3]> for Vec3 {
 
 /// An axis-aligned bounding box, `min` inclusive / `max` exclusive for
 /// point-membership purposes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aabb {
     pub min: Vec3,
     pub max: Vec3,
@@ -315,9 +313,8 @@ mod tests {
     #[test]
     fn ray_hits_unit_cube() {
         let b = Aabb::UNIT;
-        let (t0, t1) = b
-            .ray_intersect(Vec3::new(-1.0, 0.5, 0.5), Vec3::new(1.0, 0.0, 0.0))
-            .unwrap();
+        let (t0, t1) =
+            b.ray_intersect(Vec3::new(-1.0, 0.5, 0.5), Vec3::new(1.0, 0.0, 0.0)).unwrap();
         assert!((t0 - 1.0).abs() < 1e-12);
         assert!((t1 - 2.0).abs() < 1e-12);
     }
@@ -325,21 +322,15 @@ mod tests {
     #[test]
     fn ray_misses_cube() {
         let b = Aabb::UNIT;
-        assert!(b
-            .ray_intersect(Vec3::new(-1.0, 2.0, 0.5), Vec3::new(1.0, 0.0, 0.0))
-            .is_none());
+        assert!(b.ray_intersect(Vec3::new(-1.0, 2.0, 0.5), Vec3::new(1.0, 0.0, 0.0)).is_none());
         // pointing away
-        assert!(b
-            .ray_intersect(Vec3::new(-1.0, 0.5, 0.5), Vec3::new(-1.0, 0.0, 0.0))
-            .is_none());
+        assert!(b.ray_intersect(Vec3::new(-1.0, 0.5, 0.5), Vec3::new(-1.0, 0.0, 0.0)).is_none());
     }
 
     #[test]
     fn ray_origin_inside_starts_at_zero() {
         let b = Aabb::UNIT;
-        let (t0, t1) = b
-            .ray_intersect(Vec3::splat(0.5), Vec3::new(0.0, 0.0, 1.0))
-            .unwrap();
+        let (t0, t1) = b.ray_intersect(Vec3::splat(0.5), Vec3::new(0.0, 0.0, 1.0)).unwrap();
         assert_eq!(t0, 0.0);
         assert!((t1 - 0.5).abs() < 1e-12);
     }

@@ -10,10 +10,10 @@
 //! the file system saturates, after which adding readers stops helping —
 //! exactly the knee visible in the paper's Figure 8.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// Timing parameters of the virtual parallel file system.
 ///
@@ -153,7 +153,7 @@ impl Disk {
 
     /// Create or replace a file with the given contents.
     pub fn write_file(&self, path: &str, data: Vec<u8>) {
-        self.files.write().insert(path.to_string(), Arc::new(data));
+        self.files.write().unwrap().insert(path.to_string(), Arc::new(data));
     }
 
     /// Create or replace a file, charging the cost model for the write
@@ -169,24 +169,25 @@ impl Disk {
 
     /// Size of a file in bytes, if it exists.
     pub fn file_len(&self, path: &str) -> Option<u64> {
-        self.files.read().get(path).map(|d| d.len() as u64)
+        self.files.read().unwrap().get(path).map(|d| d.len() as u64)
     }
 
     /// List of file names (sorted) — for dataset discovery.
     pub fn list_files(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.files.read().keys().cloned().collect();
+        let mut names: Vec<String> = self.files.read().unwrap().keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Remove a file; returns whether it existed.
     pub fn remove_file(&self, path: &str) -> bool {
-        self.files.write().remove(path).is_some()
+        self.files.write().unwrap().remove(path).is_some()
     }
 
     fn file(&self, path: &str) -> Arc<Vec<u8>> {
         self.files
             .read()
+            .unwrap()
             .get(path)
             .unwrap_or_else(|| panic!("no such file on virtual disk: {path}"))
             .clone()

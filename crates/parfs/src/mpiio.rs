@@ -16,8 +16,13 @@
 //! lives in the pipeline crate.
 
 use crate::disk::Disk;
-use quakeviz_rt::Comm;
+use quakeviz_rt::{obs, Comm};
 use std::sync::Arc;
+
+/// Tag of the piece-redistribution messages inside [`PFile::read_all`]
+/// (exported so traffic-matrix classifiers can map it to
+/// [`quakeviz_rt::TagClass::IoPieces`]).
+pub const PIECES_TAG: u64 = 0x7f17_c011;
 
 /// A derived datatype: `count` blocks of `block_elems` elements of
 /// `elem_size` bytes at the given element displacements — the read pattern
@@ -147,6 +152,8 @@ impl PFile {
 
     /// Independent contiguous read (paper §5.3.2).
     pub fn read_contiguous(&self, offset: u64, len: u64) -> ReadOutcome {
+        let mut sp = obs::auto_span(obs::Phase::IoRead, obs::NO_STEP);
+        sp.add_bytes(len);
         let (data, cost) = self.disk.read_at(&self.path, offset, len);
         ReadOutcome {
             data,
@@ -163,10 +170,12 @@ impl PFile {
     /// away to reduce the request count. `sieve_window = 0` disables
     /// sieving (one disk extent per pattern extent, still in one call).
     pub fn read_indexed(&self, dt: &IndexedBlockType, sieve_window: u64) -> ReadOutcome {
+        let mut sp = obs::auto_span(obs::Phase::IoRead, obs::NO_STEP);
         let wanted = dt.extents();
         let merged = sieve_extents(&wanted, sieve_window);
         let (buf, cost) = self.disk.read_extents(&self.path, &merged);
         let disk_bytes: u64 = merged.iter().map(|&(_, l)| l).sum();
+        sp.add_bytes(disk_bytes);
         // extract the wanted pieces out of the merged buffer
         let mut data = Vec::with_capacity(dt.total_bytes() as usize);
         let mut mi = 0usize;
@@ -202,9 +211,11 @@ impl PFile {
     /// synchronous), so every rank reports the same simulated elapsed
     /// read time.
     pub fn read_all(&self, comm: &Comm, dt: &IndexedBlockType, sieve_window: u64) -> ReadOutcome {
-        const PIECES_TAG: u64 = 0x7f17_c011;
+        let mut sp = obs::auto_span(obs::Phase::IoRead, obs::NO_STEP);
         let my_extents = dt.extents();
-        let all_extents: Vec<Vec<(u64, u64)>> = comm.allgather(my_extents.clone());
+        let extents_bytes = (my_extents.len() * std::mem::size_of::<(u64, u64)>()) as u64;
+        let all_extents: Vec<Vec<(u64, u64)>> =
+            comm.allgather_with_size(my_extents.clone(), extents_bytes);
 
         // File domain split: cover the union span of all requests.
         let lo = all_extents.iter().flatten().map(|&(o, _)| o).min().unwrap_or(0);
@@ -212,7 +223,8 @@ impl PFile {
         let n = comm.size() as u64;
         let span = hi.saturating_sub(lo);
         let chunk = span.div_ceil(n).max(1);
-        let my_dom = (lo + comm.rank() as u64 * chunk, (lo + (comm.rank() as u64 + 1) * chunk).min(hi));
+        let my_dom =
+            (lo + comm.rank() as u64 * chunk, (lo + (comm.rank() as u64 + 1) * chunk).min(hi));
 
         // Phase 1: aggregate all requests intersecting my domain.
         let mut dom_requests: Vec<(u64, u64)> = Vec::new();
@@ -234,6 +246,7 @@ impl PFile {
         };
         let my_disk_bytes: u64 = merged.iter().map(|&(_, l)| l).sum();
         let my_requests = merged.len() as u64;
+        sp.add_bytes(my_disk_bytes);
 
         // Prefix offsets of merged extents in buf.
         let mut merged_pos = Vec::with_capacity(merged.len());
@@ -243,7 +256,7 @@ impl PFile {
             acc += l;
         }
         let extract = |off: u64, len: u64| -> Vec<u8> {
-            let mi = merged.partition_point(|&(o, l)| o + l <= off) ;
+            let mi = merged.partition_point(|&(o, l)| o + l <= off);
             let (mo, ml) = merged[mi];
             debug_assert!(off >= mo && off + len <= mo + ml, "piece outside merged extent");
             let p = (merged_pos[mi] + (off - mo)) as usize;
@@ -462,7 +475,7 @@ mod tests {
             stripe_size: 1 << 20,
             stream_bandwidth: 1e6,
             aggregate_bandwidth: 4e6,
-            };
+        };
         let disk = Disk::new(cost);
         disk.write_file("f", seq_bytes(40_000));
         let results = World::run(4, |comm| {

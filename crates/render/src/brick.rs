@@ -77,7 +77,12 @@ impl Brick {
     }
 
     /// Build directly from raw normalized values (tests, synthetic data).
-    pub fn from_values(block_id: u32, bounds: Aabb, dims: (usize, usize, usize), values: Vec<f32>) -> Brick {
+    pub fn from_values(
+        block_id: u32,
+        bounds: Aabb,
+        dims: (usize, usize, usize),
+        values: Vec<f32>,
+    ) -> Brick {
         assert!(dims.0 >= 2 && dims.1 >= 2 && dims.2 >= 2, "brick needs ≥2 nodes per axis");
         assert_eq!(values.len(), dims.0 * dims.1 * dims.2);
         Brick { block_id, bounds, dims, values }
@@ -195,10 +200,7 @@ mod tests {
         let blocks = m.octree().blocks(1);
         for block in &blocks[..2] {
             let brick = Brick::from_field(&m, &f, block, 3, (0.0, 1.0));
-            for p in [
-                brick.bounds.center(),
-                brick.bounds.min + brick.bounds.extent() * 0.25,
-            ] {
+            for p in [brick.bounds.center(), brick.bounds.min + brick.bounds.extent() * 0.25] {
                 let got = brick.sample(p);
                 assert!((got - p.x as f32).abs() < 1e-5, "at {p:?}: {got} vs {}", p.x);
             }

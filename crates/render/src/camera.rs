@@ -19,7 +19,14 @@ pub struct Camera {
 }
 
 impl Camera {
-    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3, fov_y: f64, width: u32, height: u32) -> Camera {
+    pub fn look_at(
+        eye: Vec3,
+        target: Vec3,
+        up: Vec3,
+        fov_y: f64,
+        width: u32,
+        height: u32,
+    ) -> Camera {
         let forward = (target - eye).normalized();
         let right = forward.cross(up).normalized();
         let true_up = right.cross(forward);

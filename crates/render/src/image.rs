@@ -12,12 +12,7 @@ pub type Rgba = [f32; 4];
 #[inline]
 pub fn over(front: Rgba, back: Rgba) -> Rgba {
     let t = 1.0 - front[3];
-    [
-        front[0] + back[0] * t,
-        front[1] + back[1] * t,
-        front[2] + back[2] * t,
-        front[3] + back[3] * t,
-    ]
+    [front[0] + back[0] * t, front[1] + back[1] * t, front[2] + back[2] * t, front[3] + back[3] * t]
 }
 
 /// An axis-aligned pixel rectangle, `x0/y0` inclusive, `x1/y1` exclusive.

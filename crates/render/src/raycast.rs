@@ -12,7 +12,7 @@ use crate::camera::Camera;
 use crate::image::{over, Rgba, RgbaImage, ScreenRect};
 use crate::transfer::TransferFunction;
 use quakeviz_mesh::{HexMesh, NodeField, OctreeBlock, Vec3};
-use rayon::prelude::*;
+use quakeviz_rt::par::par_map;
 
 /// Blinn-Phong lighting parameters (paper §6: "lighting requires
 /// calculations of gradient information to approximate local surface
@@ -123,7 +123,9 @@ pub fn render_brick(
         for rx in 0..w {
             let x = rect.x0 + rx as u32;
             let (o, d) = camera.ray(x, y);
-            let Some((t0, t1)) = brick.bounds.ray_intersect(o, d) else { continue };
+            let Some((t0, t1)) = brick.bounds.ray_intersect(o, d) else {
+                continue;
+            };
             let mut acc = [0.0f32; 4];
             let mut t = t0 + ds * 0.5;
             while t < t1 && acc[3] < params.early_termination {
@@ -152,7 +154,7 @@ pub fn render_brick(
     };
 
     if params.parallel_rows {
-        let rows: Vec<(Vec<Rgba>, bool)> = (0..h).into_par_iter().map(cast_row).collect();
+        let rows: Vec<(Vec<Rgba>, bool)> = par_map(h, cast_row);
         for (ry, (row, row_any)) in rows.into_iter().enumerate() {
             any |= row_any;
             pixels[ry * w..(ry + 1) * w].copy_from_slice(&row);
@@ -246,10 +248,7 @@ mod tests {
     }
 
     fn opaque_tf() -> TransferFunction {
-        TransferFunction::new(vec![
-            (0.0, [1.0, 0.0, 0.0, 0.0]),
-            (1.0, [1.0, 0.0, 0.0, 0.9]),
-        ])
+        TransferFunction::new(vec![(0.0, [1.0, 0.0, 0.0, 0.0]), (1.0, [1.0, 0.0, 0.0, 0.9])])
     }
 
     #[test]
@@ -293,16 +292,10 @@ mod tests {
             vec![0.5; 8],
         );
         let thick = const_brick(0.5);
-        let tf = TransferFunction::new(vec![
-            (0.0, [1.0, 1.0, 1.0, 0.3]),
-            (1.0, [1.0, 1.0, 1.0, 0.3]),
-        ]);
+        let tf =
+            TransferFunction::new(vec![(0.0, [1.0, 1.0, 1.0, 0.3]), (1.0, [1.0, 1.0, 1.0, 0.3])]);
         // a fixed opacity unit makes optical depth proportional to chord
-        let p = RenderParams {
-            step_scale: 0.2,
-            opacity_unit: Some(0.5),
-            ..Default::default()
-        };
+        let p = RenderParams { step_scale: 0.2, opacity_unit: Some(0.5), ..Default::default() };
         let ft = render_brick(&thin, &cam(33), &tf, &p).unwrap();
         let fk = render_brick(&thick, &cam(33), &tf, &p).unwrap();
         assert!(fk.get(16, 16)[3] > ft.get(16, 16)[3]);
@@ -312,10 +305,8 @@ mod tests {
     fn step_size_invariance_of_opacity() {
         // opacity correction: halving the step should barely change alpha
         let b = const_brick(0.6);
-        let tf = TransferFunction::new(vec![
-            (0.0, [1.0, 1.0, 1.0, 0.4]),
-            (1.0, [1.0, 1.0, 1.0, 0.4]),
-        ]);
+        let tf =
+            TransferFunction::new(vec![(0.0, [1.0, 1.0, 1.0, 0.4]), (1.0, [1.0, 1.0, 1.0, 0.4])]);
         let p1 = RenderParams { step_scale: 0.5, ..Default::default() };
         let p2 = RenderParams { step_scale: 0.25, ..Default::default() };
         let f1 = render_brick(&b, &cam(33), &tf, &p1).unwrap();
@@ -369,11 +360,8 @@ mod tests {
 
     #[test]
     fn fragment_byte_size() {
-        let f = Fragment {
-            block: 0,
-            rect: ScreenRect::new(2, 3, 10, 8),
-            pixels: vec![[0.0; 4]; 40],
-        };
+        let f =
+            Fragment { block: 0, rect: ScreenRect::new(2, 3, 10, 8), pixels: vec![[0.0; 4]; 40] };
         assert_eq!(f.byte_size(), 40 * 16);
     }
 }

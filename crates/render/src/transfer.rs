@@ -40,10 +40,7 @@ impl TransferFunction {
 
     /// A grayscale ramp (testing / LIC underlays).
     pub fn grayscale() -> TransferFunction {
-        TransferFunction::new(vec![
-            (0.0, [0.0, 0.0, 0.0, 0.0]),
-            (1.0, [1.0, 1.0, 1.0, 1.0]),
-        ])
+        TransferFunction::new(vec![(0.0, [0.0, 0.0, 0.0, 0.0]), (1.0, [1.0, 1.0, 1.0, 1.0])])
     }
 
     /// Straight (non-premultiplied) RGBA at normalized value `v`
@@ -88,10 +85,8 @@ mod tests {
 
     #[test]
     fn lookup_interpolates_linearly() {
-        let tf = TransferFunction::new(vec![
-            (0.0, [0.0, 0.0, 0.0, 0.0]),
-            (1.0, [1.0, 0.5, 0.0, 1.0]),
-        ]);
+        let tf =
+            TransferFunction::new(vec![(0.0, [0.0, 0.0, 0.0, 0.0]), (1.0, [1.0, 0.5, 0.0, 1.0])]);
         let c = tf.lookup(0.5);
         assert!((c[0] - 0.5).abs() < 1e-6);
         assert!((c[1] - 0.25).abs() < 1e-6);
@@ -116,19 +111,15 @@ mod tests {
 
     #[test]
     fn unsorted_points_sorted_at_build() {
-        let tf = TransferFunction::new(vec![
-            (1.0, [1.0, 1.0, 1.0, 1.0]),
-            (0.0, [0.0, 0.0, 0.0, 0.0]),
-        ]);
+        let tf =
+            TransferFunction::new(vec![(1.0, [1.0, 1.0, 1.0, 1.0]), (0.0, [0.0, 0.0, 0.0, 0.0])]);
         assert!((tf.lookup(0.25)[0] - 0.25).abs() < 1e-6);
     }
 
     #[test]
     fn sample_is_premultiplied() {
-        let tf = TransferFunction::new(vec![
-            (0.0, [1.0, 1.0, 1.0, 0.0]),
-            (1.0, [1.0, 1.0, 1.0, 0.5]),
-        ]);
+        let tf =
+            TransferFunction::new(vec![(0.0, [1.0, 1.0, 1.0, 0.0]), (1.0, [1.0, 1.0, 1.0, 0.5])]);
         let s = tf.sample(1.0, 1.0);
         assert!((s[3] - 0.5).abs() < 1e-6);
         assert!((s[0] - 0.5).abs() < 1e-6, "rgb must be scaled by alpha");
@@ -137,10 +128,8 @@ mod tests {
     #[test]
     fn opacity_correction_composes() {
         // two half-steps must equal one full step in accumulated opacity
-        let tf = TransferFunction::new(vec![
-            (0.0, [1.0, 1.0, 1.0, 0.4]),
-            (1.0, [1.0, 1.0, 1.0, 0.4]),
-        ]);
+        let tf =
+            TransferFunction::new(vec![(0.0, [1.0, 1.0, 1.0, 0.4]), (1.0, [1.0, 1.0, 1.0, 0.4])]);
         let full = tf.sample(0.5, 1.0)[3];
         let half = tf.sample(0.5, 0.5)[3];
         let two_halves = half + half * (1.0 - half);

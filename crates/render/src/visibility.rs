@@ -24,13 +24,7 @@ pub fn front_to_back_order(blocks: &[OctreeBlock], extent: Vec3, eye: Vec3) -> V
     order
 }
 
-fn visit(
-    loc: Loc3,
-    roots: &HashMap<u64, usize>,
-    extent: Vec3,
-    eye: Vec3,
-    out: &mut Vec<usize>,
-) {
+fn visit(loc: Loc3, roots: &HashMap<u64, usize>, extent: Vec3, eye: Vec3, out: &mut Vec<usize>) {
     if let Some(&i) = roots.get(&loc.key()) {
         out.push(i);
         return;
@@ -41,7 +35,8 @@ fn visit(
     // Octant of the eye relative to this cell's centre: bit per axis.
     let b = loc.bounds(extent);
     let c = b.center();
-    let eye_oct = (eye.x >= c.x) as usize | (((eye.y >= c.y) as usize) << 1)
+    let eye_oct = (eye.x >= c.x) as usize
+        | (((eye.y >= c.y) as usize) << 1)
         | (((eye.z >= c.z) as usize) << 2);
     let children = loc.children();
     // children[k] has octant bits k; fewer differing planes = closer.

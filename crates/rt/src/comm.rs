@@ -12,11 +12,12 @@
 //! that stays unmatched for [`RECV_TIMEOUT`] panics with a diagnostic
 //! instead of deadlocking the test suite.
 
+use crate::obs;
 use crate::stats::TrafficStats;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -68,7 +69,7 @@ impl World {
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -165,7 +166,7 @@ impl Comm {
 
     fn send_raw(&self, dst: usize, tag: u64, payload: Box<dyn Any + Send>, bytes: u64) {
         let dst_world = self.ranks[dst];
-        self.shared.stats.record(bytes);
+        self.shared.stats.record_edge(self.ranks[self.my_rank], dst_world, tag, bytes);
         self.shared.senders[dst_world]
             .send(Envelope { comm: self.id, src_world: self.ranks[self.my_rank], tag, payload })
             .expect("receiving rank has exited");
@@ -219,6 +220,9 @@ impl Comm {
             let env = mb.pending.swap_remove(pos);
             return (env.src_world, Self::downcast(env.payload, tag));
         }
+        // only the actually-blocking path gets a span; matched-from-pending
+        // receives above are free
+        let _sp = obs::auto_span(obs::Phase::CommRecv, obs::NO_STEP);
         let deadline = std::time::Instant::now() + RECV_TIMEOUT;
         loop {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
@@ -262,6 +266,7 @@ impl Comm {
 
     /// Block until every rank of the communicator has entered the barrier.
     pub fn barrier(&self) {
+        let _sp = obs::auto_span(obs::Phase::Barrier, obs::NO_STEP);
         let tag = self.next_coll_tag();
         // gather to 0, then broadcast
         if self.my_rank == 0 {
@@ -316,6 +321,67 @@ impl Comm {
     pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
         let gathered = self.gather(0, value);
         self.bcast(0, gathered.unwrap_or_default())
+    }
+
+    /// [`Comm::bcast`] with an explicit per-message byte count for exact
+    /// traffic accounting of heap payloads.
+    pub fn bcast_with_size<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+        bytes: u64,
+    ) -> T {
+        let tag = self.next_coll_tag();
+        if self.my_rank == root {
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send_raw(dst, tag, Box::new(value.clone()), bytes);
+                }
+            }
+            value
+        } else {
+            self.coll_recv(root, tag)
+        }
+    }
+
+    /// [`Comm::gather`] with an explicit byte count for this rank's
+    /// contribution.
+    pub fn gather_with_size<T: Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+        bytes: u64,
+    ) -> Option<Vec<T>> {
+        let tag = self.next_coll_tag();
+        if self.my_rank == root {
+            let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            slots[root] = Some(value);
+            for src in 0..self.size() {
+                if src != root {
+                    slots[src] = Some(self.coll_recv(src, tag));
+                }
+            }
+            Some(slots.into_iter().map(|s| s.unwrap()).collect())
+        } else {
+            self.send_raw(root, tag, Box::new(value), bytes);
+            None
+        }
+    }
+
+    /// [`Comm::allgather`] with an explicit byte count for this rank's
+    /// contribution. Contributions travel to rank 0 charged at their own
+    /// size; the re-broadcast of the combined vector is charged at the sum
+    /// of all contributions — so the matrix sees the true wire volume.
+    pub fn allgather_with_size<T: Clone + Send + 'static>(&self, value: T, bytes: u64) -> Vec<T> {
+        let gathered = self.gather_with_size(0, (value, bytes), bytes);
+        let (values, total) = match gathered {
+            Some(pairs) => {
+                let total: u64 = pairs.iter().map(|&(_, b)| b).sum();
+                (pairs.into_iter().map(|(v, _)| v).collect(), total)
+            }
+            None => (Vec::new(), 0),
+        };
+        self.bcast_with_size(0, values, total)
     }
 
     /// Scatter one element of `values` (significant at the root) to each
@@ -391,11 +457,8 @@ impl Comm {
     /// ordered by `(key, parent rank)`. Collective on the parent.
     pub fn split(&self, color: u64, key: i64) -> Comm {
         let triples = self.allgather((color, key, self.my_rank));
-        let mut members: Vec<(i64, usize)> = triples
-            .iter()
-            .filter(|(c, _, _)| *c == color)
-            .map(|&(_, k, r)| (k, r))
-            .collect();
+        let mut members: Vec<(i64, usize)> =
+            triples.iter().filter(|(c, _, _)| *c == color).map(|&(_, k, r)| (k, r)).collect();
         members.sort();
         let ranks: Vec<usize> = members.iter().map(|&(_, r)| self.ranks[r]).collect();
         let my_rank = members
@@ -442,6 +505,7 @@ impl Comm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::TagClass;
 
     #[test]
     fn single_rank_world() {
@@ -651,6 +715,25 @@ mod tests {
         });
         assert_eq!(stats.bytes(), 1000);
         assert_eq!(stats.messages(), 1);
+    }
+
+    #[test]
+    fn sized_collectives_charge_wire_bytes() {
+        let stats = TrafficStats::with_matrix_default(3);
+        World::run_traced(3, Arc::clone(&stats), |comm| {
+            // each rank contributes 100*(rank+1) bytes
+            let mine = vec![0u8; 100 * (comm.rank() + 1)];
+            let bytes = mine.len() as u64;
+            let all = comm.allgather_with_size(mine, bytes);
+            assert_eq!(all.iter().map(|v| v.len()).sum::<usize>(), 600);
+        });
+        // ranks 1,2 ship 200+300 to rank 0; rank 0 rebroadcasts 600 twice
+        assert_eq!(stats.bytes(), 200 + 300 + 600 * 2);
+        let (_, coll_bytes) = stats.edge(0, 1, TagClass::Collective);
+        assert_eq!(coll_bytes, 600);
+        let totals = stats.class_totals();
+        let coll = totals.iter().find(|(c, _, _)| *c == TagClass::Collective).unwrap();
+        assert_eq!(coll.2, stats.bytes());
     }
 
     #[test]

@@ -11,10 +11,18 @@
 //! output processor groups of Figure 2 and the 2DIP input groups of §5.2),
 //! and the collectives the readers rely on (§5.3).
 //!
-//! Sends are buffered and never block (the crossbeam channels are unbounded),
-//! which gives the same overlap semantics as `MPI_Isend` with eager
-//! delivery; receives match on `(communicator, source, tag)` with
+//! Sends are buffered and never block (the `std::sync::mpsc` channels are
+//! unbounded), which gives the same overlap semantics as `MPI_Isend` with
+//! eager delivery; receives match on `(communicator, source, tag)` with
 //! out-of-order arrivals parked in a per-thread pending queue.
+//!
+//! Beyond the runtime itself the crate hosts the workspace's shared
+//! utilities: the observability layer ([`obs`] — per-rank phase spans,
+//! metrics, Chrome-trace/CSV export), traffic accounting with a
+//! per-`(src, dst, tag-class)` matrix ([`stats`]), and the in-repo
+//! replacements for registry crates under the offline-build policy
+//! ([`par`] for data-parallel loops, [`rng`] for deterministic random
+//! numbers).
 //!
 //! ```
 //! use quakeviz_rt::World;
@@ -31,7 +39,10 @@
 //! ```
 
 pub mod comm;
+pub mod obs;
+pub mod par;
+pub mod rng;
 pub mod stats;
 
 pub use comm::{Comm, World};
-pub use stats::TrafficStats;
+pub use stats::{TagClass, TrafficEdge, TrafficStats};

@@ -1,0 +1,313 @@
+//! Lock-free metrics registry: counters, gauges, and log2-bucketed
+//! histograms, shared across rank threads of one observability session.
+//!
+//! Metrics complement spans: spans say *when* a phase ran, metrics
+//! aggregate *how much* (frames rendered, bytes per frame, mailbox
+//! depth, frame latency distribution) without per-event storage.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonic counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins signed gauge that also tracks its high-water mark.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, d: i64) {
+        let v = self.value.fetch_add(d, Ordering::Relaxed) + d;
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> i64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Histogram over `u64` samples with power-of-two buckets: bucket `b`
+/// holds samples whose value has bit-length `b` (bucket 0 = value 0).
+/// 65 buckets cover the full range; sums are exact.
+pub struct Histogram {
+    buckets: [AtomicU64; 65],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; 65],
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Histogram::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0
+        } else {
+            v
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (0..=1) from the bucket midpoints; exact at
+    /// the recorded min/max ends.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                let hi = if b == 0 { 0 } else { (1u64 << (b - 1)).saturating_mul(2) - 1 };
+                return ((lo + hi) / 2).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Nonzero `(bucket_low, count)` pairs, low to high.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, c)| {
+                let n = c.load(Ordering::Relaxed);
+                if n == 0 {
+                    None
+                } else {
+                    Some((if b == 0 { 0 } else { 1u64 << (b - 1) }, n))
+                }
+            })
+            .collect()
+    }
+}
+
+/// Immutable snapshot of one metric's value for export.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge { value: i64, max: i64 },
+    Histogram { count: u64, sum: u64, min: u64, max: u64, mean: f64, p50: u64, p95: u64 },
+}
+
+/// Named metric sample in a registry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    pub name: String,
+    pub value: MetricValue,
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Named metrics for one session. Registration takes a short-lived lock;
+/// updates through the returned `Arc`s are lock-free.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Counter(Arc::default())) {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Arc::default())) {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Histogram(Arc::default())) {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Snapshot every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        self.metrics
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, m)| MetricSample {
+                name: name.clone(),
+                value: match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge { value: g.get(), max: g.max() },
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        min: h.min(),
+                        max: h.max(),
+                        mean: h.mean(),
+                        p50: h.quantile(0.5),
+                        p95: h.quantile(0.95),
+                    },
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basic() {
+        let reg = Registry::new();
+        let c = reg.counter("frames");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("frames").get(), 5);
+        let g = reg.gauge("depth");
+        g.set(3);
+        g.add(2);
+        g.add(-4);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.max(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100, 1000, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 2106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!(h.quantile(1.0) <= 1000);
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|&(_, n)| n).sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn concurrent_histogram_counts_everything() {
+        let reg = Registry::new();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let h = reg.histogram("lat");
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.histogram("lat").count(), 8000);
+    }
+
+    #[test]
+    fn snapshot_sorted_and_typed() {
+        let reg = Registry::new();
+        reg.counter("b").inc();
+        reg.gauge("a").set(-2);
+        reg.histogram("c").record(8);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].name, "a");
+        assert!(matches!(snap[0].value, MetricValue::Gauge { value: -2, .. }));
+        assert!(matches!(snap[1].value, MetricValue::Counter(1)));
+        assert!(matches!(snap[2].value, MetricValue::Histogram { count: 1, sum: 8, .. }));
+    }
+}

@@ -1,0 +1,504 @@
+//! Observability: per-rank phase span recording, a metrics registry, and
+//! trace export.
+//!
+//! The paper's §3 claims are about *where time goes* in the
+//! input→render→output pipeline, so the runtime records it first-class:
+//! each rank thread owns a [`RankRecorder`] it alone appends to (no
+//! cross-rank locking on the hot path — the per-recorder mutex is only
+//! ever contended when the main thread snapshots after the rank threads
+//! have joined), and spans are RAII guards stamped against one shared
+//! session epoch so tracks from different ranks line up on a common
+//! timeline.
+//!
+//! Two kinds of spans:
+//!
+//! * **stage spans** ([`span`]) — the pipeline's own phases (read,
+//!   preprocess, render, composite…). Recorded whenever a recorder is
+//!   attached; these *derive* the pipeline's timing reports.
+//! * **auto spans** ([`auto_span`]) — instrumentation inside the runtime
+//!   and libraries (blocking receives, barriers, MPI-IO reads, SLIC
+//!   rounds). Recorded only when the session was created with
+//!   `detail = true` (`PipelineConfig::trace` / `QUAKEVIZ_TRACE`), so the
+//!   default path stays a cheap no-op: one relaxed atomic load when no
+//!   session is attached at all.
+
+pub mod metrics;
+pub mod trace;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricSample, MetricValue, Registry};
+pub use trace::{RankTrack, TraceData};
+
+/// Pipeline phase of a recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Input processor: fetch a step from the parallel file system (`Tf`).
+    Read,
+    /// Input processor: magnitude/quantize/enhance (`Tp`).
+    Preprocess,
+    /// Input processor: LIC texture synthesis (part of `Tp`).
+    Lic,
+    /// Input processor: distribute block data to renderers (`Ts`).
+    Send,
+    /// Rendering processor: wait for + ingest block data.
+    Receive,
+    /// Rendering processor: ray-cast local blocks (`Tr` part 1).
+    Render,
+    /// Rendering processor: SLIC compositing (`Tr` part 2).
+    Composite,
+    /// Output processor: assemble/overlay/deliver one frame.
+    Assemble,
+    /// Runtime: barrier wait.
+    Barrier,
+    /// Runtime: blocking receive.
+    CommRecv,
+    /// MPI-IO layer: a disk read on the calling rank.
+    IoRead,
+    /// One communication phase inside a compositing algorithm.
+    CompositeRound,
+    /// Uncategorized.
+    Other,
+}
+
+impl Phase {
+    pub const COUNT: usize = 13;
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Read,
+        Phase::Preprocess,
+        Phase::Lic,
+        Phase::Send,
+        Phase::Receive,
+        Phase::Render,
+        Phase::Composite,
+        Phase::Assemble,
+        Phase::Barrier,
+        Phase::CommRecv,
+        Phase::IoRead,
+        Phase::CompositeRound,
+        Phase::Other,
+    ];
+
+    /// The stage phases recorded by the pipeline itself (disjoint within
+    /// a rank); auto phases may nest inside them.
+    pub const STAGES: [Phase; 8] = [
+        Phase::Read,
+        Phase::Preprocess,
+        Phase::Lic,
+        Phase::Send,
+        Phase::Receive,
+        Phase::Render,
+        Phase::Composite,
+        Phase::Assemble,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Read => "read",
+            Phase::Preprocess => "preprocess",
+            Phase::Lic => "lic",
+            Phase::Send => "send",
+            Phase::Receive => "receive",
+            Phase::Render => "render",
+            Phase::Composite => "composite",
+            Phase::Assemble => "assemble",
+            Phase::Barrier => "barrier",
+            Phase::CommRecv => "comm_recv",
+            Phase::IoRead => "io_read",
+            Phase::CompositeRound => "composite_round",
+            Phase::Other => "other",
+        }
+    }
+
+    /// One-character key for ASCII Gantt rendering.
+    pub fn gantt_char(self) -> char {
+        match self {
+            Phase::Read => 'F',
+            Phase::Preprocess => 'P',
+            Phase::Lic => 'L',
+            Phase::Send => 'S',
+            Phase::Receive => 'w',
+            Phase::Render => 'R',
+            Phase::Composite => 'C',
+            Phase::Assemble => 'A',
+            Phase::Barrier => 'b',
+            Phase::CommRecv => 'r',
+            Phase::IoRead => 'i',
+            Phase::CompositeRound => 'c',
+            Phase::Other => '?',
+        }
+    }
+
+    /// Whether this is a pipeline stage phase (vs runtime auto phase).
+    pub fn is_stage(self) -> bool {
+        Phase::STAGES.contains(&self)
+    }
+}
+
+/// `step` value for spans not tied to a time step.
+pub const NO_STEP: u32 = u32::MAX;
+
+/// One recorded span on one rank's track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    pub phase: Phase,
+    /// Time step / frame the span belongs to, or [`NO_STEP`].
+    pub step: u32,
+    /// Microseconds since the session epoch.
+    pub start_us: u64,
+    pub dur_us: u64,
+    /// Payload bytes attributed to the span (0 when not applicable).
+    pub bytes: u64,
+}
+
+impl SpanEvent {
+    #[inline]
+    pub fn end_us(&self) -> u64 {
+        self.start_us + self.dur_us
+    }
+}
+
+/// Span storage for one rank. Only the owning rank thread appends; the
+/// mutex is uncontended until the session snapshots after the run.
+pub struct RankRecorder {
+    rank: usize,
+    group: Mutex<String>,
+    spans: Mutex<Vec<SpanEvent>>,
+}
+
+impl RankRecorder {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Processor-group label ("input" / "render" / "output" / …).
+    pub fn group(&self) -> String {
+        self.group.lock().unwrap().clone()
+    }
+
+    #[inline]
+    fn push(&self, ev: SpanEvent) {
+        self.spans.lock().unwrap().push(ev);
+    }
+
+    /// Snapshot of the recorded spans, in recording order.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.spans.lock().unwrap().clone()
+    }
+}
+
+/// One observability session: the epoch, the per-rank recorders, and the
+/// metrics registry. Created per pipeline run (or per test world).
+pub struct Obs {
+    detail: bool,
+    epoch: Instant,
+    ranks: Mutex<Vec<Arc<RankRecorder>>>,
+    metrics: Registry,
+}
+
+/// Count of attached recorders across all sessions — the global fast
+/// gate for library call sites.
+static ATTACHED: AtomicUsize = AtomicUsize::new(0);
+
+struct Tls {
+    rec: Arc<RankRecorder>,
+    epoch: Instant,
+    detail: bool,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Tls>> = const { RefCell::new(None) };
+}
+
+impl Obs {
+    /// New session. `detail` turns on auto spans (runtime receive /
+    /// barrier / I/O / compositing instrumentation); stage spans are
+    /// always recorded on attached threads.
+    pub fn new(detail: bool) -> Arc<Obs> {
+        Arc::new(Obs {
+            detail,
+            epoch: Instant::now(),
+            ranks: Mutex::new(Vec::new()),
+            metrics: Registry::new(),
+        })
+    }
+
+    /// Whether `QUAKEVIZ_TRACE` asks for detailed tracing (any non-empty
+    /// value other than `0`).
+    pub fn detail_from_env() -> bool {
+        std::env::var("QUAKEVIZ_TRACE").is_ok_and(|v| !v.is_empty() && v != "0")
+    }
+
+    pub fn detail(&self) -> bool {
+        self.detail
+    }
+
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Register this thread as `rank` of group `group`. Returns a guard;
+    /// recording stops (and the recorder stays readable in the session)
+    /// when it drops.
+    #[must_use]
+    pub fn attach(self: &Arc<Obs>, rank: usize, group: &str) -> AttachGuard {
+        let rec = Arc::new(RankRecorder {
+            rank,
+            group: Mutex::new(group.to_string()),
+            spans: Mutex::new(Vec::new()),
+        });
+        self.ranks.lock().unwrap().push(Arc::clone(&rec));
+        let prev = CURRENT
+            .with(|c| c.borrow_mut().replace(Tls { rec, epoch: self.epoch, detail: self.detail }));
+        ATTACHED.fetch_add(1, Ordering::Relaxed);
+        AttachGuard { prev: Some(prev) }
+    }
+
+    /// All recorders attached so far, in attach order.
+    pub fn recorders(&self) -> Vec<Arc<RankRecorder>> {
+        self.ranks.lock().unwrap().clone()
+    }
+
+    /// Collect everything recorded so far into an exportable
+    /// [`TraceData`], merging in the traffic matrix of `stats` when
+    /// given. Tracks are ordered by rank.
+    pub fn snapshot(&self, stats: Option<&crate::TrafficStats>) -> TraceData {
+        let mut tracks: Vec<RankTrack> = self
+            .recorders()
+            .iter()
+            .map(|r| RankTrack { rank: r.rank(), group: r.group(), spans: r.events() })
+            .collect();
+        tracks.sort_by_key(|t| t.rank);
+        TraceData {
+            tracks,
+            edges: stats.map_or_else(Vec::new, |s| s.edges()),
+            metrics: self.metrics.snapshot(),
+        }
+    }
+}
+
+/// Guard returned by [`Obs::attach`]; restores the thread's previous
+/// recorder (if any) on drop.
+pub struct AttachGuard {
+    prev: Option<Option<Tls>>,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+            ATTACHED.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+struct SpanInner {
+    rec: Arc<RankRecorder>,
+    phase: Phase,
+    step: u32,
+    start: Instant,
+    start_us: u64,
+    bytes: u64,
+}
+
+/// RAII span: records a [`SpanEvent`] on the current rank's track when
+/// dropped. Inactive (free) when the thread has no recorder attached.
+#[must_use = "a span measures the scope it is alive in"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    const NOOP: SpanGuard = SpanGuard { inner: None };
+
+    /// Attribute payload bytes to the span.
+    #[inline]
+    pub fn add_bytes(&mut self, n: u64) {
+        if let Some(i) = &mut self.inner {
+            i.bytes += n;
+        }
+    }
+
+    /// Whether the span is actually recording.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(i) = self.inner.take() {
+            i.rec.push(SpanEvent {
+                phase: i.phase,
+                step: i.step,
+                start_us: i.start_us,
+                dur_us: i.start.elapsed().as_micros() as u64,
+                bytes: i.bytes,
+            });
+        }
+    }
+}
+
+#[inline]
+fn open_span(phase: Phase, step: u32, auto: bool) -> SpanGuard {
+    if ATTACHED.load(Ordering::Relaxed) == 0 {
+        return SpanGuard::NOOP;
+    }
+    CURRENT.with(|c| {
+        let cur = c.borrow();
+        match cur.as_ref() {
+            Some(tls) if !auto || tls.detail => {
+                let start = Instant::now();
+                SpanGuard {
+                    inner: Some(SpanInner {
+                        rec: Arc::clone(&tls.rec),
+                        phase,
+                        step,
+                        start,
+                        start_us: tls.epoch.elapsed().as_micros() as u64,
+                        bytes: 0,
+                    }),
+                }
+            }
+            _ => SpanGuard::NOOP,
+        }
+    })
+}
+
+/// Open a pipeline stage span (recorded whenever attached).
+#[inline]
+pub fn span(phase: Phase, step: u32) -> SpanGuard {
+    open_span(phase, step, false)
+}
+
+/// Open a runtime/library auto span (recorded only in detail sessions).
+#[inline]
+pub fn auto_span(phase: Phase, step: u32) -> SpanGuard {
+    open_span(phase, step, true)
+}
+
+/// Whether this thread records auto spans (to skip argument computation
+/// at instrumented call sites).
+#[inline]
+pub fn detail_active() -> bool {
+    ATTACHED.load(Ordering::Relaxed) != 0
+        && CURRENT.with(|c| c.borrow().as_ref().is_some_and(|t| t.detail))
+}
+
+/// Snapshot of the current thread's recorded spans (empty when not
+/// attached). The pipeline uses this to derive its per-stage timing
+/// structs from the spans it recorded.
+pub fn current_events() -> Vec<SpanEvent> {
+    if ATTACHED.load(Ordering::Relaxed) == 0 {
+        return Vec::new();
+    }
+    CURRENT.with(|c| c.borrow().as_ref().map_or_else(Vec::new, |t| t.rec.events()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unattached_span_records_nothing() {
+        let sp = span(Phase::Render, 0);
+        assert!(!sp.is_active());
+        drop(sp);
+        assert!(current_events().is_empty());
+    }
+
+    #[test]
+    fn attached_stage_span_recorded() {
+        let obs = Obs::new(false);
+        {
+            let _g = obs.attach(3, "render");
+            let mut sp = span(Phase::Render, 7);
+            assert!(sp.is_active());
+            sp.add_bytes(128);
+            drop(sp);
+            // auto spans off in non-detail sessions
+            let auto = auto_span(Phase::CommRecv, NO_STEP);
+            assert!(!auto.is_active());
+        }
+        let recs = obs.recorders();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].rank(), 3);
+        assert_eq!(recs[0].group(), "render");
+        let evs = recs[0].events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].phase, Phase::Render);
+        assert_eq!(evs[0].step, 7);
+        assert_eq!(evs[0].bytes, 128);
+    }
+
+    #[test]
+    fn detail_session_records_auto_spans() {
+        let obs = Obs::new(true);
+        {
+            let _g = obs.attach(0, "input");
+            assert!(detail_active());
+            let sp = auto_span(Phase::IoRead, 2);
+            assert!(sp.is_active());
+        }
+        assert_eq!(obs.recorders()[0].events().len(), 1);
+    }
+
+    #[test]
+    fn spans_are_timed_against_shared_epoch() {
+        let obs = Obs::new(false);
+        let _g = obs.attach(0, "x");
+        {
+            let _sp = span(Phase::Read, 0);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        drop(span(Phase::Send, 0));
+        let evs = current_events();
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].dur_us >= 4000, "sleep span too short: {:?}", evs[0]);
+        assert!(evs[1].start_us >= evs[0].end_us());
+    }
+
+    #[test]
+    fn multithreaded_recorders_lose_nothing() {
+        // 8 "ranks", each recording 500 spans concurrently
+        let obs = Obs::new(true);
+        std::thread::scope(|s| {
+            for rank in 0..8 {
+                let obs = Arc::clone(&obs);
+                s.spawn(move || {
+                    let _g = obs.attach(rank, if rank < 4 { "input" } else { "render" });
+                    for i in 0..500u32 {
+                        let mut sp = span(Phase::ALL[(i as usize) % Phase::COUNT], i);
+                        sp.add_bytes(1);
+                    }
+                });
+            }
+        });
+        let data = obs.snapshot(None);
+        assert_eq!(data.tracks.len(), 8);
+        for t in &data.tracks {
+            assert_eq!(t.spans.len(), 500, "rank {} lost events", t.rank);
+            assert_eq!(t.spans.iter().map(|s| s.bytes).sum::<u64>(), 500);
+        }
+    }
+
+    #[test]
+    fn attach_guard_restores_previous() {
+        let outer = Obs::new(false);
+        let inner = Obs::new(false);
+        let _a = outer.attach(0, "outer");
+        {
+            let _b = inner.attach(1, "inner");
+            drop(span(Phase::Other, 0));
+        }
+        drop(span(Phase::Read, 0));
+        assert_eq!(inner.recorders()[0].events().len(), 1);
+        let outer_evs = outer.recorders()[0].events();
+        assert_eq!(outer_evs.len(), 1);
+        assert_eq!(outer_evs[0].phase, Phase::Read);
+    }
+}

@@ -89,16 +89,15 @@ impl Dataset {
 
     /// Reopen a dataset previously written to `disk`.
     pub fn open(disk: Arc<Disk>) -> Result<Dataset, String> {
-        let (meshbytes, _) =
-            if disk.file_len(MESH_FILE).is_some() { disk.read_full(MESH_FILE) } else {
-                return Err(format!("{MESH_FILE} missing"));
-            };
+        let (meshbytes, _) = if disk.file_len(MESH_FILE).is_some() {
+            disk.read_full(MESH_FILE)
+        } else {
+            return Err(format!("{MESH_FILE} missing"));
+        };
         if meshbytes.len() < 6 + 24 + 8 || &meshbytes[0..6] != MESH_MAGIC {
             return Err("bad mesh.oct header".into());
         }
-        let f64_at = |o: usize| {
-            f64::from_le_bytes(meshbytes[o..o + 8].try_into().unwrap())
-        };
+        let f64_at = |o: usize| f64::from_le_bytes(meshbytes[o..o + 8].try_into().unwrap());
         let extent = Vec3::new(f64_at(6), f64_at(14), f64_at(22));
         let count = u64::from_le_bytes(meshbytes[30..38].try_into().unwrap()) as usize;
         let mut keys = Vec::with_capacity(count);
@@ -119,7 +118,9 @@ impl Dataset {
         let mut vmag_max = None;
         let mut output_dt = None;
         for line in meta.lines() {
-            let Some((k, v)) = line.split_once('=') else { continue };
+            let Some((k, v)) = line.split_once('=') else {
+                continue;
+            };
             match k {
                 "steps" => steps = v.parse::<usize>().ok(),
                 "components" => components = v.parse::<usize>().ok(),

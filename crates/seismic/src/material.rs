@@ -155,8 +155,7 @@ mod tests {
     #[test]
     fn basin_core_is_softer_than_surroundings() {
         let b = model();
-        let core =
-            b.material_at(Vec3::new(b.basin_center.0, b.basin_center.1, 10.0));
+        let core = b.material_at(Vec3::new(b.basin_center.0, b.basin_center.1, 10.0));
         let outside = b.material_at(Vec3::new(100.0, 100.0, 10.0));
         assert!(
             core.vs < outside.vs * 0.7,
@@ -202,11 +201,7 @@ mod tests {
             let x = i as f64 / 199.0 * b.extent.x;
             let m = b.material_at(Vec3::new(x, b.basin_center.1, 50.0));
             if let Some(p) = prev {
-                assert!(
-                    (m.vs - p).abs() / p < 0.05,
-                    "vs jump at x={x}: {p} -> {}",
-                    m.vs
-                );
+                assert!((m.vs - p).abs() / p < 0.05, "vs jump at x={x}: {p} -> {}", m.vs);
             }
             prev = Some(m.vs);
         }

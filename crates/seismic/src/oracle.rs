@@ -85,12 +85,8 @@ mod tests {
         let extent = Vec3::new(40_000.0, 40_000.0, 20_000.0);
         let t = build(extent, 0.15, 6);
         // count leaves whose top is at the surface vs bottom half
-        let surf: Vec<u8> = t
-            .leaves()
-            .iter()
-            .filter(|l| l.bounds(extent).min.z == 0.0)
-            .map(|l| l.level)
-            .collect();
+        let surf: Vec<u8> =
+            t.leaves().iter().filter(|l| l.bounds(extent).min.z == 0.0).map(|l| l.level).collect();
         let deep: Vec<u8> = t
             .leaves()
             .iter()

@@ -18,7 +18,7 @@
 use crate::material::BasinModel;
 use crate::source::RickerSource;
 use quakeviz_mesh::Vec3;
-use rayon::prelude::*;
+use quakeviz_rt::par::par_chunks_mut;
 
 /// Courant number for the CFL limit `dt = cfl · h_min / vp_max`.
 const CFL: f64 = 0.4;
@@ -59,8 +59,7 @@ impl WaveSolver {
         assert!(cells >= 4, "grid too small");
         let extent = basin.extent;
         let dims = (cells + 1, cells + 1, cells + 1);
-        let spacing =
-            (extent.x / cells as f64, extent.y / cells as f64, extent.z / cells as f64);
+        let spacing = (extent.x / cells as f64, extent.y / cells as f64, extent.z / cells as f64);
         let n = dims.0 * dims.1 * dims.2;
         let h_min = spacing.0.min(spacing.1).min(spacing.2);
         let dt = CFL * h_min / basin.vp_max();
@@ -73,11 +72,8 @@ impl WaveSolver {
         for z in 0..dims.2 {
             for y in 0..dims.1 {
                 for x in 0..dims.0 {
-                    let p = Vec3::new(
-                        x as f64 * spacing.0,
-                        y as f64 * spacing.1,
-                        z as f64 * spacing.2,
-                    );
+                    let p =
+                        Vec3::new(x as f64 * spacing.0, y as f64 * spacing.1, z as f64 * spacing.2);
                     let m = basin.material_at(p);
                     let i = idx(x, y, z);
                     rho_inv[i] = (1.0 / m.rho) as f32;
@@ -107,11 +103,8 @@ impl WaveSolver {
         for z in 0..dims.2 {
             for y in 0..dims.1 {
                 for x in 0..dims.0 {
-                    let p = Vec3::new(
-                        x as f64 * spacing.0,
-                        y as f64 * spacing.1,
-                        z as f64 * spacing.2,
-                    );
+                    let p =
+                        Vec3::new(x as f64 * spacing.0, y as f64 * spacing.1, z as f64 * spacing.2);
                     let w = source.spatial_weight((p - source.position).length_sq());
                     if w > 1e-4 {
                         source_nodes.push((idx(x, y, z), w as f32));
@@ -208,14 +201,17 @@ impl WaveSolver {
         }
 
         // pass 1: divergence of u at every node
-        self.div.par_chunks_mut(plane).enumerate().for_each(|(z, dplane)| {
+        par_chunks_mut(&mut self.div, plane, |z, dplane| {
             for y in 0..ny {
                 for x in 0..nx {
                     let i = x + nx * y;
                     let g = |xx: usize, yy: usize, zz: usize| u[xx + nx * (yy + ny * zz)];
-                    let dux = (g(mirror(x, nx, true), y, z)[0] - g(mirror(x, nx, false), y, z)[0]) * ihx;
-                    let duy = (g(x, mirror(y, ny, true), z)[1] - g(x, mirror(y, ny, false), z)[1]) * ihy;
-                    let duz = (g(x, y, mirror(z, nz, true))[2] - g(x, y, mirror(z, nz, false))[2]) * ihz;
+                    let dux =
+                        (g(mirror(x, nx, true), y, z)[0] - g(mirror(x, nx, false), y, z)[0]) * ihx;
+                    let duy =
+                        (g(x, mirror(y, ny, true), z)[1] - g(x, mirror(y, ny, false), z)[1]) * ihy;
+                    let duz =
+                        (g(x, y, mirror(z, nz, true))[2] - g(x, y, mirror(z, nz, false))[2]) * ihz;
                     dplane[i] = dux + duy + duz;
                 }
             }
@@ -238,7 +234,7 @@ impl WaveSolver {
         let lam_mu = &self.lam_mu;
         let rho_inv = &self.rho_inv;
         let sponge = &self.sponge;
-        self.u_next.par_chunks_mut(plane).enumerate().for_each(|(z, nplane)| {
+        par_chunks_mut(&mut self.u_next, plane, |z, nplane| {
             for y in 0..ny {
                 for x in 0..nx {
                     let li = x + nx * y;
@@ -313,13 +309,13 @@ impl WaveSolver {
     pub fn max_velocity(&self) -> f64 {
         let dt = self.dt as f32;
         self.u_curr
-            .par_iter()
+            .iter()
             .zip(&self.u_prev)
             .map(|(c, p)| {
                 let v = [(c[0] - p[0]) / dt, (c[1] - p[1]) / dt, (c[2] - p[2]) / dt];
                 (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]) as f64
             })
-            .reduce(|| 0.0, f64::max)
+            .fold(0.0, f64::max)
             .sqrt()
     }
 
@@ -327,7 +323,7 @@ impl WaveSolver {
     pub fn kinetic_proxy(&self) -> f64 {
         let dt = self.dt as f32;
         self.u_curr
-            .par_iter()
+            .iter()
             .zip(&self.u_prev)
             .map(|(c, p)| {
                 let v = [(c[0] - p[0]) / dt, (c[1] - p[1]) / dt, (c[2] - p[2]) / dt];
@@ -380,14 +376,12 @@ mod tests {
         }
         // near the source: strong motion; far corner: still quiet-ish
         let near = s.node_index(10, 10, 10);
-        let v_near =
-            (0..3).map(|c| (s.velocity(near)[c] as f64).powi(2)).sum::<f64>().sqrt();
+        let v_near = (0..3).map(|c| (s.velocity(near)[c] as f64).powi(2)).sum::<f64>().sqrt();
         assert!(v_near > 0.0, "no motion at the source after the wavelet peak");
         // P-wave front position: vp * (t - delay/2)-ish; the corner at
         // distance ~3464 m should see much less than the source region
         let corner = s.node_index(1, 1, 1);
-        let v_corner =
-            (0..3).map(|c| (s.velocity(corner)[c] as f64).powi(2)).sum::<f64>().sqrt();
+        let v_corner = (0..3).map(|c| (s.velocity(corner)[c] as f64).powi(2)).sum::<f64>().sqrt();
         assert!(
             v_corner < v_near,
             "corner ({v_corner}) should be quieter than source region ({v_near})"
@@ -418,11 +412,7 @@ mod tests {
         }
         let peak = series.iter().map(|&(_, m)| m).fold(0.0, f64::max);
         assert!(peak > 0.0, "wave never arrived");
-        let t = series
-            .iter()
-            .find(|&&(_, m)| m > 0.2 * peak)
-            .map(|&(t, _)| t)
-            .unwrap();
+        let t = series.iter().find(|&&(_, m)| m > 0.2 * peak).map(|&(t, _)| t).unwrap();
         // generous tolerance: wavelet has finite width, source has delay
         assert!(
             (t - expect_arrival).abs() < 0.5 * expect_arrival,
@@ -448,10 +438,7 @@ mod tests {
             s.step();
         }
         let late = s.kinetic_proxy();
-        assert!(
-            late < early,
-            "sponge should drain energy: early {early}, late {late}"
-        );
+        assert!(late < early, "sponge should drain energy: early {early}, late {late}");
     }
 
     #[test]

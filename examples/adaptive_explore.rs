@@ -26,10 +26,7 @@ fn main() {
 
     std::fs::create_dir_all("out").expect("mkdir out");
     let mut reference: Option<quakeviz::render::RgbaImage> = None;
-    println!(
-        "{:>6} {:>12} {:>14} {:>12}",
-        "level", "render (s)", "rms vs full", "speedup"
-    );
+    println!("{:>6} {:>12} {:>14} {:>12}", "level", "render (s)", "rms vs full", "speedup");
     let mut full_time = 0.0;
     for level in (1..=max_level).rev() {
         let t0 = Instant::now();
@@ -55,11 +52,8 @@ fn main() {
             reference = Some(frame.clone());
         }
         println!("{level:>6} {elapsed:>12.3} {rms:>14.5} {speedup:>11.1}x");
-        std::fs::write(
-            format!("out/adaptive_level{level}.ppm"),
-            frame.to_ppm([0.05, 0.05, 0.08]),
-        )
-        .expect("write frame");
+        std::fs::write(format!("out/adaptive_level{level}.ppm"), frame.to_ppm([0.05, 0.05, 0.08]))
+            .expect("write frame");
     }
     println!("images in out/adaptive_level*.ppm — compare fine vs coarse levels");
 }

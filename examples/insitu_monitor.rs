@@ -24,16 +24,10 @@ fn main() {
 
     std::fs::create_dir_all("out/insitu").expect("mkdir");
     for (t, frame) in report.frames.iter().enumerate() {
-        std::fs::write(
-            format!("out/insitu/frame_{t:04}.ppm"),
-            frame.to_ppm([0.02, 0.02, 0.04]),
-        )
-        .expect("write frame");
+        std::fs::write(format!("out/insitu/frame_{t:04}.ppm"), frame.to_ppm([0.02, 0.02, 0.04]))
+            .expect("write frame");
     }
-    println!(
-        "{} frames written to out/insitu/ while the solver ran",
-        report.frames.len()
-    );
+    println!("{} frames written to out/insitu/ while the solver ran", report.frames.len());
     println!(
         "solver compute: {:.2}s · pipeline total: {:.2}s · mean interframe {:.3}s",
         report.sim_seconds,

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally. Everything must pass offline —
+# the workspace has no crates.io dependencies by policy (DESIGN.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy (skipped: not installed)"
+fi
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI OK"
