@@ -11,7 +11,13 @@
 //! Usage:
 //!   pipeline-report [--renderers N] [--input-procs M] [--twodip NxM]
 //!                   [--steps K] [--io-delay S] [--size WxH] [--lic]
-//!                   [--trace]
+//!                   [--prefetch] [--trace]
+//!
+//! `--prefetch` switches the input ranks to the overlapped runtime
+//! (read+preprocess on a worker thread, two-slot non-blocking send
+//! queue); the report then adds a prefetch-overlap section measuring how
+//! much of the read+preprocess time actually hid behind rendering, and
+//! the model table predicts with the `max(Ts', Tr)`-floor overlap forms.
 //!
 //! `--trace` (or any `QUAKEVIZ_TRACE` value) records runtime auto spans
 //! too; `QUAKEVIZ_TRACE=out/trace.json` additionally writes the
@@ -39,6 +45,7 @@ fn main() {
     let mut io_delay = 25.0f64;
     let mut size = (128u32, 128u32);
     let mut lic = false;
+    let mut prefetch = false;
     let mut trace = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -54,6 +61,7 @@ fn main() {
                 size = (w as u32, h as u32);
             }
             "--lic" => lic = true,
+            "--prefetch" => prefetch = true,
             "--trace" => trace = true,
             other => {
                 eprintln!("unknown flag {other} (see the doc comment for usage)");
@@ -74,6 +82,7 @@ fn main() {
         .keep_frames(false)
         .io_delay_scale(io_delay)
         .lic(lic)
+        .prefetch(prefetch)
         .max_steps(steps)
         .trace(trace)
         .run()
@@ -115,7 +124,10 @@ fn main() {
         );
     }
 
-    println!("\ngantt (F=fetch P=preprocess L=lic S=send w=wait R=render C=composite A=assemble):");
+    println!(
+        "\ngantt (F=fetch P=preprocess L=lic S=send W=send-wait w=wait R=render C=composite \
+         A=assemble):"
+    );
     print!("{}", tr.gantt_ascii(72));
 
     let input_busy = tr.group_busy_seconds("input");
@@ -126,6 +138,39 @@ fn main() {
         hidden,
         if input_busy > 0.0 { hidden / input_busy * 100.0 } else { 0.0 }
     );
+
+    if prefetch {
+        // overlap achieved by the prefetch worker: how much of the
+        // read+preprocess time ran concurrently with rendering (hidden)
+        // versus sticking out of the frame cadence (exposed)
+        let fetch_phases = [Phase::Read, Phase::Preprocess];
+        let render_phases = [Phase::Render, Phase::Composite];
+        let hidden_fetch =
+            tr.phase_overlap_seconds("input", &fetch_phases, "render", &render_phases);
+        let fetch_busy: f64 = tr
+            .utilization()
+            .iter()
+            .filter(|u| u.group == "input")
+            .map(|u| {
+                Phase::STAGES
+                    .iter()
+                    .zip(&u.stage_seconds)
+                    .filter(|(p, _)| fetch_phases.contains(p))
+                    .map(|(_, s)| s)
+                    .sum::<f64>()
+            })
+            .sum();
+        let exposed = (fetch_busy - hidden_fetch).max(0.0);
+        println!(
+            "prefetch overlap: read+preprocess busy {:.3}s, hidden behind rendering {:.3}s \
+             ({:.0}%), exposed {:.3}s; send backpressure wait {:.3}s/step",
+            fetch_busy,
+            hidden_fetch,
+            if fetch_busy > 0.0 { hidden_fetch / fetch_busy * 100.0 } else { 0.0 },
+            exposed,
+            report.mean_send_wait_seconds()
+        );
+    }
 
     println!();
     print!("{}", ModelValidation::from_report(&report, io));

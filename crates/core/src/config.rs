@@ -22,6 +22,33 @@ impl IoStrategy {
             IoStrategy::TwoDip { groups, per_group } => groups * per_group,
         }
     }
+
+    /// Checked [`IoStrategy::total_input_procs`]: rejects zero-sized
+    /// strategies and 2DIP shapes whose rank count overflows, each with
+    /// its own message. (The 2DIP rank count is *defined* as
+    /// `groups * per_group`, so a mismatched total cannot be expressed;
+    /// the failure modes are the degenerate shapes validated here.)
+    pub fn validate(&self) -> Result<usize, String> {
+        match *self {
+            IoStrategy::OneDip { input_procs } => {
+                if input_procs == 0 {
+                    return Err("1DIP needs at least one input processor".into());
+                }
+                Ok(input_procs)
+            }
+            IoStrategy::TwoDip { groups, per_group } => {
+                if groups == 0 {
+                    return Err("2DIP needs at least one input group".into());
+                }
+                if per_group == 0 {
+                    return Err("2DIP groups need at least one input processor".into());
+                }
+                groups.checked_mul(per_group).ok_or_else(|| {
+                    format!("2DIP {groups}x{per_group} overflows the input rank count")
+                })
+            }
+        }
+    }
 }
 
 /// How a time step is pulled off the parallel file system (paper §5.3).
@@ -73,6 +100,14 @@ pub struct PipelineConfig {
     pub transfer: TransferFunction,
     /// Render only the first `max_steps` steps of the dataset, if set.
     pub max_steps: Option<usize>,
+    /// Overlapped prefetch runtime: each input rank runs read+preprocess
+    /// +pack on a prefetch worker thread feeding a bounded two-slot queue,
+    /// while the rank thread synthesizes LIC and issues non-blocking block
+    /// sends with at most two steps' sends in flight (backpressure via
+    /// [`quakeviz_rt::SendHandle`]). Frames are bit-identical to the
+    /// synchronous path, which remains the reference oracle when this is
+    /// off (the default).
+    pub prefetch: bool,
     /// Detailed observability: record runtime auto spans (blocking
     /// receives, barriers, MPI-IO reads, compositing rounds) in addition
     /// to the always-on pipeline stage spans. Also enabled by setting the
@@ -104,6 +139,7 @@ impl Default for PipelineConfig {
             camera: None,
             transfer: TransferFunction::seismic(),
             max_steps: None,
+            prefetch: false,
             trace: false,
         }
     }
@@ -212,6 +248,13 @@ impl PipelineBuilder {
         self
     }
 
+    /// Overlap read+preprocess with sends (see
+    /// [`PipelineConfig::prefetch`]).
+    pub fn prefetch(mut self, on: bool) -> Self {
+        self.config.prefetch = on;
+        self
+    }
+
     /// Record detailed runtime spans (see [`PipelineConfig::trace`]).
     pub fn trace(mut self, on: bool) -> Self {
         self.config.trace = on;
@@ -232,6 +275,17 @@ mod tests {
     fn strategy_totals() {
         assert_eq!(IoStrategy::OneDip { input_procs: 5 }.total_input_procs(), 5);
         assert_eq!(IoStrategy::TwoDip { groups: 3, per_group: 4 }.total_input_procs(), 12);
+    }
+
+    #[test]
+    fn strategy_validation() {
+        assert_eq!(IoStrategy::OneDip { input_procs: 5 }.validate(), Ok(5));
+        assert_eq!(IoStrategy::TwoDip { groups: 3, per_group: 4 }.validate(), Ok(12));
+        assert!(IoStrategy::OneDip { input_procs: 0 }.validate().is_err());
+        assert!(IoStrategy::TwoDip { groups: 0, per_group: 2 }.validate().is_err());
+        assert!(IoStrategy::TwoDip { groups: 2, per_group: 0 }.validate().is_err());
+        let huge = IoStrategy::TwoDip { groups: usize::MAX, per_group: 2 };
+        assert!(huge.validate().unwrap_err().contains("overflows"));
     }
 
     #[test]

@@ -21,6 +21,41 @@
 //! input processors, **interframe delay is completely determined by the
 //! rendering cost**, the paper's headline claim.
 
+/// Steady-state 1DIP interframe delay with the **overlapped prefetch
+/// runtime** (two-slot bounded send queue, read+preprocess on a worker
+/// thread). Per step the input processor runs two lanes concurrently:
+///
+/// * worker lane: `Tf + (Tp − Tlic)` (fetch + preprocess, LIC excluded),
+/// * consumer lane: `Tlic + Ts` (LIC synthesis + send issuance).
+///
+/// The slower lane paces the rank, `m` ranks interleave whole steps, and
+/// the renderers still serialize on `max(Ts, Tr)` — so the delay is
+/// `max(max(worker, consumer)/m, Ts, Tr)` instead of the synchronous
+/// `max((Tf+Tp+Ts)/m, Ts, Tr)`. `tp` here **excludes** LIC; pass the LIC
+/// cost as `lic`.
+pub fn onedip_prefetch_delay(tf: f64, tp: f64, lic: f64, ts: f64, tr: f64, m: usize) -> f64 {
+    twodip_prefetch_delay(tf, tp, lic, ts, tr, m, 1)
+}
+
+/// Steady-state 2DIP interframe delay with the overlapped prefetch
+/// runtime: `n` groups of `m`, each member's lanes shrink to `1/m` of a
+/// step's fetch/preprocess/send (LIC stays whole — only the group lead
+/// synthesizes it). See [`onedip_prefetch_delay`] for the lane model.
+pub fn twodip_prefetch_delay(
+    tf: f64,
+    tp: f64,
+    lic: f64,
+    ts: f64,
+    tr: f64,
+    n: usize,
+    m: usize,
+) -> f64 {
+    let (n, m) = (n.max(1) as f64, m.max(1) as f64);
+    let worker = (tf + tp) / m;
+    let consumer = lic + ts / m;
+    (worker.max(consumer) / n).max(ts / m).max(tr)
+}
+
 /// `m = (Tf+Tp)/Tx + 1` rounded to the nearest whole processor (at least
 /// 1), where `Tx` is the stage that must hide the fetch+preprocess time:
 /// `Ts` in the strict §5.1 form, `Tr` in the relaxed form used when
@@ -163,5 +198,63 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_stage_time_panics() {
         onedip_optimal_m(1.0, 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn prefetch_never_slower_than_sync() {
+        let lic = 0.5;
+        for m in 1..=20 {
+            let sync = onedip_steady_delay(TF, TP, TS, TR64, m);
+            let pre = onedip_prefetch_delay(TF, TP - lic, lic, TS, TR64, m);
+            assert!(pre <= sync + 1e-12, "m={m}: prefetch {pre} > sync {sync}");
+            for n in 1..=8 {
+                let sync2 = twodip_steady_delay(TF, TP, TS, TR64, n, m);
+                let pre2 = twodip_prefetch_delay(TF, TP - lic, lic, TS, TR64, n, m);
+                assert!(pre2 <= sync2 + 1e-12, "n={n} m={m}: {pre2} > {sync2}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_floor_is_max_ts_tr() {
+        // with deep pipelines the prefetch delay floors at max(Ts, Tr) —
+        // the §5 prediction the overlapped runtime is validated against
+        let d = onedip_prefetch_delay(TF, TP, 0.0, TS, TR64, 100);
+        assert!((d - TR64).abs() < 1e-12, "floor should be Tr, got {d}");
+        let d = twodip_prefetch_delay(TF, TP, 0.0, TS, TR128, 100, 2);
+        assert!((d - TR128).abs() < 1e-12);
+        // Ts-bound variant: huge sends, cheap rendering
+        let d = onedip_prefetch_delay(TF, TP, 0.0, 5.0, 0.1, 100);
+        assert!((d - 5.0).abs() < 1e-12, "floor should be Ts, got {d}");
+    }
+
+    #[test]
+    fn prefetch_read_bound_regime_hides_send() {
+        // read-dominated, shallow pipe: the worker lane (Tf+Tp)/m paces
+        // the rank and the send cost vanishes from the delay entirely
+        let (tf, tp, ts, tr) = (10.0, 1.0, 2.0, 0.5);
+        let m = 2;
+        let pre = onedip_prefetch_delay(tf, tp, 0.0, ts, tr, m);
+        assert!((pre - (tf + tp) / m as f64).abs() < 1e-12);
+        let sync = onedip_steady_delay(tf, tp, ts, tr, m);
+        assert!((sync - (tf + tp + ts) / m as f64).abs() < 1e-12);
+        assert!(pre < sync, "overlap should strictly beat sync here");
+    }
+
+    #[test]
+    fn prefetch_consumer_lane_can_pace() {
+        // LIC + sends slower than the worker lane: the consumer paces
+        let (tf, tp, lic, ts, tr) = (1.0, 0.5, 4.0, 2.0, 0.1);
+        let pre = onedip_prefetch_delay(tf, tp, lic, ts, tr, 3);
+        assert!((pre - (lic + ts) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_width_one_matches_onedip_form() {
+        for m in 1..=8 {
+            let a = onedip_prefetch_delay(TF, TP, 0.3, TS, TR64, m);
+            let b = twodip_prefetch_delay(TF, TP, 0.3, TS, TR64, m, 1);
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 }

@@ -16,7 +16,9 @@
 //! the paper's Figures 8–9 can be reproduced *physically* at small scale.
 
 use crate::config::{IoStrategy, PipelineConfig, ReadStrategy};
-use crate::reader::{self, block_level_nodes, level_node_ids, member_node_range, ReadStats};
+use crate::reader::{
+    self, block_level_nodes, level_node_ids, member_node_range, FetchPlan, ReadStats,
+};
 use quakeviz_composite::{slic, CompositeOptions, FrameInfo};
 use quakeviz_lic::{colorize, compute_lic, extract_surface_field, white_noise, LicParams};
 use quakeviz_mesh::{
@@ -26,7 +28,7 @@ use quakeviz_render::{
     front_to_back_order, Camera, Fragment, LightingParams, RenderParams, RgbaImage, TemporalEnhance,
 };
 use quakeviz_rt::obs::{self, Obs, Phase, TraceData};
-use quakeviz_rt::{Comm, TagClass, TrafficEdge, TrafficStats, World};
+use quakeviz_rt::{wait_all, Comm, SendHandle, TagClass, TrafficEdge, TrafficStats, World};
 use quakeviz_seismic::Dataset;
 use std::sync::Arc;
 use std::time::Instant;
@@ -107,6 +109,9 @@ pub struct InputStepTiming {
     pub preprocess_s: f64,
     pub lic_s: f64,
     pub send_s: f64,
+    /// Backpressure wait on the step's in-flight sends (prefetch runtime
+    /// only; the synchronous path never waits).
+    pub send_wait_s: f64,
 }
 
 /// Per-frame timing recorded by a rendering processor.
@@ -137,6 +142,9 @@ pub struct PipelineReport {
     /// Echo of the configuration's processor counts.
     pub renderers: usize,
     pub input_procs: usize,
+    /// Whether the overlapped prefetch runtime was used
+    /// ([`PipelineConfig::prefetch`]).
+    pub prefetch: bool,
     /// The octree level actually rendered at.
     pub level: u8,
     /// Total messages exchanged between ranks during the run.
@@ -205,6 +213,13 @@ impl PipelineReport {
         let n = self.input_steps.len().max(1);
         self.input_steps.iter().map(|s| s.read.sim_seconds).sum::<f64>() / n as f64
     }
+
+    /// Mean per-step backpressure wait on the input processors (exposed,
+    /// un-hidden send time of the prefetch runtime; 0 when synchronous).
+    pub fn mean_send_wait_seconds(&self) -> f64 {
+        let n = self.input_steps.len().max(1);
+        self.input_steps.iter().map(|s| s.send_wait_s).sum::<f64>() / n as f64
+    }
 }
 
 /// Everything precomputed once and shared read-only by all ranks — the
@@ -234,17 +249,28 @@ struct Shared {
 
 /// Run the pipeline for `dataset` under `config`.
 pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<PipelineReport, String> {
-    let n_inputs = config.io.total_input_procs();
-    if n_inputs == 0 || config.renderers == 0 {
-        return Err("need at least one input and one rendering processor".into());
+    let n_inputs = config.io.validate()?;
+    if config.renderers == 0 {
+        return Err("need at least one rendering processor".into());
     }
     let steps = config.max_steps.map_or(dataset.steps(), |m| m.min(dataset.steps()));
     if steps == 0 {
         return Err("dataset has no time steps".into());
     }
-    if let IoStrategy::TwoDip { groups, per_group } = config.io {
-        if groups == 0 || per_group == 0 {
-            return Err("2DIP needs at least one group of one processor".into());
+    if let IoStrategy::TwoDip { per_group, .. } = config.io {
+        let nodes = dataset.mesh().node_count();
+        if per_group > nodes {
+            return Err(format!(
+                "2DIP group width {per_group} exceeds the mesh's {nodes} nodes — \
+                 members would own empty slices"
+            ));
+        }
+        if config.prefetch && matches!(config.read, ReadStrategy::CollectiveNoncontiguous { .. }) {
+            return Err(format!(
+                "prefetch requires ReadStrategy::IndependentContiguous inside 2DIP groups: \
+                 the collective read is lock-step across the {per_group} group members and \
+                 cannot run on a per-rank prefetch worker"
+            ));
         }
     }
 
@@ -337,6 +363,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         render_frames,
         renderers: shared.n_renderers,
         input_procs: n_inputs,
+        prefetch: shared.cfg.prefetch,
         level: shared.level,
         messages: stats.messages(),
         bytes_sent: stats.bytes(),
@@ -414,48 +441,18 @@ fn phase_seconds_by_step(events: &[obs::SpanEvent], phase: Phase, step: usize) -
 // input processors
 // ---------------------------------------------------------------------
 
-/// Dense per-node vectors for the step plus the stats of getting them.
-fn fetch_step(
-    comm_group: Option<&Comm>,
-    s: &Shared,
-    t: usize,
-    my_ids: Option<&[NodeId]>,
-    my_range: Option<(usize, usize)>,
-) -> (Vec<[f32; 3]>, ReadStats) {
-    let mesh = &s.mesh;
-    let (dense, mut stats) = match (my_ids, my_range) {
-        // adaptive or chunked indexed fetch
-        (Some(ids), _) => match (&s.cfg.read, comm_group) {
-            (ReadStrategy::CollectiveNoncontiguous { sieve_window }, Some(gc)) => {
-                reader::read_step_ids_collective(&s.disk, mesh, t, ids, gc, *sieve_window)
-            }
-            _ => reader::read_step_ids(&s.disk, mesh, t, ids, 1 << 16),
-        },
-        // contiguous slice (2DIP full resolution)
-        (None, Some(range)) => reader::read_step_range(&s.disk, mesh, t, range),
-        // whole step (1DIP full resolution)
-        (None, None) => reader::read_step_full(&s.disk, mesh, t),
-    };
-    if let Some(scale) = s.cfg.io_delay_scale {
-        let d = stats.sim_seconds * scale;
-        if d > 0.0 {
-            std::thread::sleep(std::time::Duration::from_secs_f64(d));
-            // the injected delay stands in for real disk time: count it
-            stats.real_seconds += d;
-        }
-    }
-    (dense, stats)
+/// Which steps an input rank owns and what it fetches per step — computed
+/// once, shared by the synchronous loop and the prefetch worker.
+struct InputPlan {
+    my_steps: Vec<usize>,
+    member: usize,
+    fetch: FetchPlan,
+    /// Value range of my node ids, for piece extraction; `None` means a
+    /// solo reader holding every needed node (whole-block sends).
+    my_span: Option<(NodeId, NodeId)>,
 }
 
-fn magnitudes(dense: &[[f32; 3]]) -> Vec<f32> {
-    dense.iter().map(|v| (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()).collect()
-}
-
-fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputStepTiming> {
-    let me = comm.rank();
-    let output_rank = s.n_inputs + s.n_renderers;
-    let mut timings = Vec::new();
-
+fn input_plan(me: usize, s: &Shared) -> InputPlan {
     // which steps do I work on, and which part of each?
     let (my_steps, member, group_size): (Vec<usize>, usize, usize) = match s.cfg.io {
         IoStrategy::OneDip { input_procs } => {
@@ -492,8 +489,8 @@ fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputSt
     } else {
         None
     };
-    // value range of my node ids, for piece extraction; a solo reader
-    // (1DIP) holds every needed node and sends full per-block values
+    // a solo reader (1DIP) holds every needed node, sends full per-block
+    // values
     let my_span: Option<(NodeId, NodeId)> = if group_size == 1 {
         None
     } else {
@@ -504,113 +501,266 @@ fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputSt
             (None, None) => None,
         }
     };
-    let enhance = TemporalEnhance::default();
+    InputPlan { my_steps, member, fetch: FetchPlan { ids: my_ids, range: my_range }, my_span }
+}
 
-    for &t in &my_steps {
-        let mut timing = InputStepTiming::default();
+/// Dense per-node vectors for the step plus the stats of getting them.
+fn fetch_step(
+    comm_group: Option<&Comm>,
+    s: &Shared,
+    t: usize,
+    plan: &FetchPlan,
+) -> (Vec<[f32; 3]>, ReadStats) {
+    let (dense, mut stats) = match (&s.cfg.read, comm_group) {
+        (ReadStrategy::CollectiveNoncontiguous { sieve_window }, Some(gc))
+            if plan.ids.is_some() =>
+        {
+            plan.read_collective(&s.disk, &s.mesh, t, gc, *sieve_window)
+        }
+        _ => plan.read(&s.disk, &s.mesh, t, 1 << 16),
+    };
+    if let Some(scale) = s.cfg.io_delay_scale {
+        let d = stats.sim_seconds * scale;
+        if d > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(d));
+            // the injected delay stands in for real disk time: count it
+            stats.real_seconds += d;
+        }
+    }
+    (dense, stats)
+}
+
+fn magnitudes(dense: &[[f32; 3]]) -> Vec<f32> {
+    dense.iter().map(|v| (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()).collect()
+}
+
+/// Read + preprocess one step into the enhanced magnitude field. Shared
+/// verbatim by the synchronous loop and the prefetch worker, so the two
+/// runtimes compute bit-identical values.
+fn prepare_step(
+    group_comm: Option<&Comm>,
+    s: &Shared,
+    plan: &InputPlan,
+    enhance: &TemporalEnhance,
+    t: usize,
+) -> (Vec<f32>, ReadStats) {
+    let mut sp = obs::span(Phase::Read, t as u32);
+    let (dense, mut stats) = fetch_step(group_comm, s, t, &plan.fetch);
+    sp.add_bytes(stats.useful_bytes);
+    drop(sp);
+
+    // preprocessing: magnitude + optional temporal enhancement (the
+    // previous step's re-fetch is disk time, so it gets a Read span of
+    // its own rather than inflating Preprocess)
+    let pp = obs::span(Phase::Preprocess, t as u32);
+    let mut mag = magnitudes(&dense);
+    drop(pp);
+    if s.cfg.enhancement && t > 0 {
         let mut sp = obs::span(Phase::Read, t as u32);
-        let (dense, stats) = fetch_step(group_comm, s, t, my_ids.as_deref(), my_range);
-        sp.add_bytes(stats.useful_bytes);
+        let (prev_dense, prev_stats) = fetch_step(group_comm, s, t - 1, &plan.fetch);
+        sp.add_bytes(prev_stats.useful_bytes);
         drop(sp);
-        timing.read = stats;
-
-        // preprocessing: magnitude + optional temporal enhancement (the
-        // previous step's re-fetch is disk time, so it gets a Read span of
-        // its own rather than inflating Preprocess)
+        stats.accumulate(&prev_stats);
         let pp = obs::span(Phase::Preprocess, t as u32);
-        let mut mag = magnitudes(&dense);
+        let prev_mag = magnitudes(&prev_dense);
+        mag = enhance
+            .apply(&NodeField::new(mag), Some(&NodeField::new(prev_mag)), None)
+            .values()
+            .to_vec();
         drop(pp);
-        if s.cfg.enhancement && t > 0 {
-            let mut sp = obs::span(Phase::Read, t as u32);
-            let (prev_dense, prev_stats) =
-                fetch_step(group_comm, s, t - 1, my_ids.as_deref(), my_range);
-            sp.add_bytes(prev_stats.useful_bytes);
-            drop(sp);
-            timing.read.accumulate(&prev_stats);
-            let pp = obs::span(Phase::Preprocess, t as u32);
-            let prev_mag = magnitudes(&prev_dense);
-            mag = enhance
-                .apply(&NodeField::new(mag), Some(&NodeField::new(prev_mag)), None)
-                .values()
-                .to_vec();
-            drop(pp);
-        }
+    }
+    (mag, stats)
+}
 
-        // LIC: synthesized by the step's lead input processor. The surface
-        // read stays inside the Lic span (stage spans on one rank never
-        // overlap; in detail sessions the nested IoRead auto span shows it)
-        if let Some((qt, surf_ids, noise)) = &s.surface {
-            if member == 0 {
-                let mut lic_sp = obs::span(Phase::Lic, t as u32);
-                // surface vectors: read explicitly (they may not be in the
-                // adaptive fetch set or my slice)
-                let (surf_dense, surf_stats) =
-                    reader::read_step_ids(&s.disk, &s.mesh, t, surf_ids, 1 << 16);
-                timing.read.accumulate(&surf_stats);
-                if let Some(scale) = s.cfg.io_delay_scale {
-                    let d = surf_stats.sim_seconds * scale;
-                    if d > 0.0 {
-                        std::thread::sleep(std::time::Duration::from_secs_f64(d));
-                    }
+/// Pack the per-renderer block batches for one prepared step: every
+/// message is a batch of (block, offset-into-id-list, values) pieces —
+/// whole blocks (offset 0) for solo readers, slice intersections for
+/// 2DIP group members. Returns `(destination rank, batch, wire bytes)`.
+fn pack_batches(s: &Shared, plan: &InputPlan, mag: &[f32]) -> Vec<(usize, BlockBatch, u64)> {
+    let mut out = Vec::with_capacity(s.n_renderers);
+    for r in 0..s.n_renderers {
+        let dst = s.n_inputs + r;
+        let mut batch: BlockBatch = Vec::new();
+        for &bid in s.partition.blocks_of(r) {
+            let ids = &s.ids_per_block[bid as usize];
+            let (a, b) = match plan.my_span {
+                None => (0, ids.len()),
+                Some((lo, hi)) => {
+                    (ids.partition_point(|&id| id < lo), ids.partition_point(|&id| id < hi))
                 }
-                let field = quakeviz_mesh::VectorField::new(surf_dense);
-                let reg = extract_surface_field(&s.mesh, &field, qt, s.cfg.width, s.cfg.height);
-                let phase = (t as f64 * 0.08) % 1.0;
-                let gray = compute_lic(
-                    &reg,
-                    noise,
-                    &LicParams { phase: Some(phase), ..Default::default() },
-                );
-                // normalize by the surface maximum (surface motion is far
-                // weaker than the 3D peak at the hypocentre)
-                let img = colorize(&reg, &gray, &s.cfg.transfer, reg.max_magnitude());
-                let bytes = (img.width() * img.height() * 16) as u64;
-                lic_sp.add_bytes(bytes);
-                drop(lic_sp);
-                comm.send_with_size(output_rank, TAG_LIC + t as u64, img, bytes);
+            };
+            if a < b {
+                let values: Vec<f32> = ids[a..b].iter().map(|&id| mag[id as usize]).collect();
+                batch.push((
+                    bid,
+                    a as u32,
+                    Payload::from_values(values, s.cfg.quantize, s.vmag_max),
+                ));
             }
         }
+        let bytes: u64 = batch.iter().map(|(_, _, p)| p.wire_bytes()).sum();
+        out.push((dst, batch, bytes));
+    }
+    out
+}
 
-        // distribute block data to the renderers: every message is a
-        // batch of (block, offset-into-id-list, values) pieces — whole
-        // blocks (offset 0) for solo readers, slice intersections for
-        // 2DIP group members
+/// LIC overlay for step `t`, synthesized and shipped by the step's lead
+/// input processor. The surface read stays inside the Lic span (in detail
+/// sessions the nested IoRead auto span shows it).
+fn lic_step(comm: &Comm, s: &Shared, t: usize, read: &mut ReadStats) {
+    let Some((qt, surf_ids, noise)) = &s.surface else {
+        return;
+    };
+    let output_rank = s.n_inputs + s.n_renderers;
+    let mut lic_sp = obs::span(Phase::Lic, t as u32);
+    // surface vectors: read explicitly (they may not be in the adaptive
+    // fetch set or my slice)
+    let (surf_dense, surf_stats) = reader::read_step_ids(&s.disk, &s.mesh, t, surf_ids, 1 << 16);
+    read.accumulate(&surf_stats);
+    if let Some(scale) = s.cfg.io_delay_scale {
+        let d = surf_stats.sim_seconds * scale;
+        if d > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(d));
+        }
+    }
+    let field = quakeviz_mesh::VectorField::new(surf_dense);
+    let reg = extract_surface_field(&s.mesh, &field, qt, s.cfg.width, s.cfg.height);
+    let phase = (t as f64 * 0.08) % 1.0;
+    let gray = compute_lic(&reg, noise, &LicParams { phase: Some(phase), ..Default::default() });
+    // normalize by the surface maximum (surface motion is far weaker than
+    // the 3D peak at the hypocentre)
+    let img = colorize(&reg, &gray, &s.cfg.transfer, reg.max_magnitude());
+    let bytes = (img.width() * img.height() * 16) as u64;
+    lic_sp.add_bytes(bytes);
+    drop(lic_sp);
+    comm.send_with_size(output_rank, TAG_LIC + t as u64, img, bytes);
+}
+
+fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputStepTiming> {
+    let plan = input_plan(comm.rank(), s);
+    let mut timings = if s.cfg.prefetch {
+        input_main_prefetch(comm, s, &plan)
+    } else {
+        input_main_sync(comm, group_comm, s, &plan)
+    };
+
+    // derive the per-step timings from the span stream (which includes
+    // the prefetch worker's spans — it records onto the same rank track)
+    let events = obs::current_events();
+    for (timing, &t) in timings.iter_mut().zip(&plan.my_steps) {
+        timing.preprocess_s = phase_seconds_by_step(&events, Phase::Preprocess, t);
+        timing.lic_s = phase_seconds_by_step(&events, Phase::Lic, t);
+        timing.send_s = phase_seconds_by_step(&events, Phase::Send, t);
+        timing.send_wait_s = phase_seconds_by_step(&events, Phase::SendWait, t);
+    }
+    timings
+}
+
+/// The reference runtime: read, preprocess, LIC, pack and send each step
+/// serially.
+fn input_main_sync(
+    comm: &Comm,
+    group_comm: Option<&Comm>,
+    s: &Shared,
+    plan: &InputPlan,
+) -> Vec<InputStepTiming> {
+    let enhance = TemporalEnhance::default();
+    let mut timings = Vec::with_capacity(plan.my_steps.len());
+    for &t in &plan.my_steps {
+        let mut timing = InputStepTiming::default();
+        let (mag, stats) = prepare_step(group_comm, s, plan, &enhance, t);
+        timing.read = stats;
+        if plan.member == 0 {
+            lic_step(comm, s, t, &mut timing.read);
+        }
         let mut send_sp = obs::span(Phase::Send, t as u32);
-        for r in 0..s.n_renderers {
-            let dst = s.n_inputs + r;
-            let mut batch: BlockBatch = Vec::new();
-            for &bid in s.partition.blocks_of(r) {
-                let ids = &s.ids_per_block[bid as usize];
-                let (a, b) = match my_span {
-                    None => (0, ids.len()),
-                    Some((lo, hi)) => {
-                        (ids.partition_point(|&id| id < lo), ids.partition_point(|&id| id < hi))
-                    }
-                };
-                if a < b {
-                    let values: Vec<f32> = ids[a..b].iter().map(|&id| mag[id as usize]).collect();
-                    batch.push((
-                        bid,
-                        a as u32,
-                        Payload::from_values(values, s.cfg.quantize, s.vmag_max),
-                    ));
-                }
-            }
-            let bytes: u64 = batch.iter().map(|(_, _, p)| p.wire_bytes()).sum();
+        for (dst, batch, bytes) in pack_batches(s, plan, &mag) {
             send_sp.add_bytes(bytes);
             comm.send_with_size(dst, TAG_DATA + t as u64, batch, bytes);
         }
         drop(send_sp);
         timings.push(timing);
     }
+    timings
+}
 
-    // derive the per-step timings from the span stream
-    let events = obs::current_events();
-    for (timing, &t) in timings.iter_mut().zip(&my_steps) {
-        timing.preprocess_s = phase_seconds_by_step(&events, Phase::Preprocess, t);
-        timing.lic_s = phase_seconds_by_step(&events, Phase::Lic, t);
-        timing.send_s = phase_seconds_by_step(&events, Phase::Send, t);
-    }
+/// Slots in the prefetch hand-off queue and, equally, the cap on how many
+/// steps' block sends may be in flight before the consumer waits.
+const PREFETCH_SLOTS: usize = 2;
+
+/// The overlapped runtime (ROADMAP "async / overlapped runtime"; paper
+/// §4's pipelining claim). A prefetch worker thread runs read, preprocess
+/// and pack for future steps (up to [`PREFETCH_SLOTS`] ahead) and hands
+/// prepared steps over a bounded queue; the rank thread synthesizes LIC
+/// and issues the block sends as non-blocking [`quakeviz_rt::SendHandle`]s,
+/// waiting on the oldest step's handles once [`PREFETCH_SLOTS`] steps are
+/// in flight. Because an isend completes only when the renderer *matches*
+/// the message, that wait throttles input ranks to the consumption rate of
+/// the render group instead of running arbitrarily far ahead.
+///
+/// Deadlock-free: sends of a step are always issued before any wait on an
+/// older step, renderers consume steps in monotone order, and the LIC /
+/// volume sends stay buffered (plain sends, never waited on).
+fn input_main_prefetch(comm: &Comm, s: &Shared, plan: &InputPlan) -> Vec<InputStepTiming> {
+    let enhance = TemporalEnhance::default();
+    let mut timings = Vec::with_capacity(plan.my_steps.len());
+    // bounded two-slot hand-off: worker blocks when the consumer is two
+    // prepared steps behind
+    let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, Vec<(usize, BlockBatch, u64)>, ReadStats)>(
+        PREFETCH_SLOTS,
+    );
+    let track = obs::current_attachment();
+    std::thread::scope(|scope| {
+        // `move` hands the worker its own tx: if it panics, tx drops and
+        // the consumer's recv fails instead of blocking forever
+        scope.spawn(move || {
+            // record the worker's Read/Preprocess/Send(pack) spans on this
+            // rank's own track
+            let _g = track.as_ref().map(|h| h.attach());
+            for &t in &plan.my_steps {
+                // collective reads are rejected at config validation, so
+                // the worker never needs the group communicator
+                let (mag, stats) = prepare_step(None, s, plan, &enhance, t);
+                let mut sp = obs::span(Phase::Send, t as u32);
+                let batches = pack_batches(s, plan, &mag);
+                for (_, _, bytes) in &batches {
+                    sp.add_bytes(*bytes);
+                }
+                drop(sp);
+                if tx.send((t, batches, stats)).is_err() {
+                    break; // consumer died (panic unwinding)
+                }
+            }
+        });
+        let mut inflight: std::collections::VecDeque<(usize, Vec<SendHandle>)> =
+            std::collections::VecDeque::with_capacity(PREFETCH_SLOTS);
+        for &t in &plan.my_steps {
+            let (tp, batches, mut stats) = rx.recv().expect("prefetch worker died");
+            debug_assert_eq!(tp, t, "prefetch worker must deliver steps in order");
+            if plan.member == 0 {
+                lic_step(comm, s, t, &mut stats);
+            }
+            // backpressure: cap in-flight steps before issuing new sends
+            if inflight.len() >= PREFETCH_SLOTS {
+                let (t0, handles) = inflight.pop_front().unwrap();
+                let _sp = obs::span(Phase::SendWait, t0 as u32);
+                wait_all(handles);
+            }
+            let handles: Vec<SendHandle> = batches
+                .into_iter()
+                .map(|(dst, batch, bytes)| {
+                    comm.isend_with_size(dst, TAG_DATA + t as u64, batch, bytes)
+                })
+                .collect();
+            inflight.push_back((t, handles));
+            timings.push(InputStepTiming { read: stats, ..Default::default() });
+        }
+        // drain the tail so the trace sees the full send lifetime
+        while let Some((t0, handles)) = inflight.pop_front() {
+            let _sp = obs::span(Phase::SendWait, t0 as u32);
+            wait_all(handles);
+        }
+    });
     timings
 }
 
@@ -634,15 +784,15 @@ fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTi
 
     for t in 0..s.steps {
         let mut recv_sp = obs::span(Phase::Receive, t as u32);
-        let sources: Vec<usize> = match s.cfg.io {
-            IoStrategy::OneDip { input_procs } => vec![t % input_procs],
-            IoStrategy::TwoDip { groups, per_group } => {
-                let g = t % groups;
-                (g * per_group..(g + 1) * per_group).collect()
-            }
+        let n_sources = match s.cfg.io {
+            IoStrategy::OneDip { .. } => 1,
+            IoStrategy::TwoDip { per_group, .. } => per_group,
         };
-        for src in sources {
-            let batch: BlockBatch = comm.recv(src, TAG_DATA + t as u64);
+        // drain whichever member's batch arrives next: the per-step tag
+        // already identifies the step, and batches write disjoint
+        // (block, offset) slices, so ingest order cannot change the frame
+        for _ in 0..n_sources {
+            let (_src, batch): (usize, BlockBatch) = comm.recv_any(TAG_DATA + t as u64);
             recv_sp.add_bytes(batch.iter().map(|(_, _, p)| p.wire_bytes()).sum());
             for (bid, offset, payload) in batch {
                 let ids = &s.ids_per_block[bid as usize];
@@ -912,10 +1062,67 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         let ds = dataset();
-        assert!(PipelineBuilder::new(&ds).renderers(0).run().is_err());
-        assert!(PipelineBuilder::new(&ds)
-            .io_strategy(IoStrategy::TwoDip { groups: 0, per_group: 2 })
+        let err = |b: PipelineBuilder| match b.run() {
+            Err(e) => e,
+            Ok(_) => panic!("config must be rejected"),
+        };
+        assert!(err(PipelineBuilder::new(&ds).renderers(0)).contains("rendering processor"));
+        assert!(err(PipelineBuilder::new(&ds).io_strategy(IoStrategy::OneDip { input_procs: 0 }))
+            .contains("input processor"));
+        assert!(err(
+            PipelineBuilder::new(&ds).io_strategy(IoStrategy::TwoDip { groups: 0, per_group: 2 })
+        )
+        .contains("input group"));
+        assert!(err(
+            PipelineBuilder::new(&ds).io_strategy(IoStrategy::TwoDip { groups: 2, per_group: 0 })
+        )
+        .contains("input processor"));
+        assert!(err(PipelineBuilder::new(&ds)
+            .io_strategy(IoStrategy::TwoDip { groups: usize::MAX, per_group: 2 }))
+        .contains("overflows"));
+        // group width wider than the mesh: members would own empty slices
+        let nodes = ds.mesh().node_count();
+        assert!(err(PipelineBuilder::new(&ds)
+            .io_strategy(IoStrategy::TwoDip { groups: 1, per_group: nodes + 1 }))
+        .contains("exceeds the mesh"));
+        // prefetch cannot drive the lock-step collective group read
+        assert!(err(PipelineBuilder::new(&ds)
+            .io_strategy(IoStrategy::TwoDip { groups: 1, per_group: 2 })
+            .read_strategy(ReadStrategy::CollectiveNoncontiguous { sieve_window: 1 << 16 })
+            .prefetch(true))
+        .contains("prefetch requires"));
+        assert!(err(PipelineBuilder::new(&ds).max_steps(0)).contains("step"));
+    }
+
+    #[test]
+    fn prefetch_runtime_smoke() {
+        let ds = dataset();
+        let report = PipelineBuilder::new(&ds)
+            .renderers(2)
+            .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+            .image_size(64, 64)
+            .prefetch(true)
             .run()
-            .is_err());
+            .expect("prefetch pipeline");
+        assert!(report.prefetch);
+        assert_eq!(report.frames.len(), 4);
+        let busy = report.frames.iter().any(|f| f.pixels().iter().any(|p| p[3] > 0.01));
+        assert!(busy, "no frame shows any volume contribution");
+    }
+
+    #[test]
+    fn prefetch_collective_read_allowed_for_onedip() {
+        // 1DIP has no group comm: the collective strategy degrades to the
+        // independent read and stays prefetch-compatible
+        let ds = dataset();
+        let report = PipelineBuilder::new(&ds)
+            .renderers(2)
+            .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+            .read_strategy(ReadStrategy::CollectiveNoncontiguous { sieve_window: 1 << 16 })
+            .image_size(48, 48)
+            .prefetch(true)
+            .run()
+            .expect("pipeline");
+        assert_eq!(report.frames.len(), 4);
     }
 }

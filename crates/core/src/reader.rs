@@ -207,6 +207,56 @@ pub fn member_node_range(node_count: usize, j: usize, m: usize) -> (usize, usize
     (a, b)
 }
 
+/// One input rank's per-step fetch pattern, precomputed once (it is
+/// constant across steps) so the synchronous loop and the prefetch worker
+/// issue byte-identical reads from a single description.
+#[derive(Debug, Clone, Default)]
+pub struct FetchPlan {
+    /// Indexed fetch: the sorted node ids to pull (adaptive fetch, or a
+    /// 2DIP member's share expressed as ids for the collective read).
+    pub ids: Option<Vec<NodeId>>,
+    /// Contiguous fetch: nodes `[a, b)` (a 2DIP member's slice).
+    pub range: Option<(usize, usize)>,
+}
+
+impl FetchPlan {
+    /// A whole-step plan (1DIP full resolution).
+    pub fn full() -> FetchPlan {
+        FetchPlan::default()
+    }
+
+    /// Independent read of step `t` under this plan.
+    pub fn read(
+        &self,
+        disk: &Arc<Disk>,
+        mesh: &HexMesh,
+        t: usize,
+        sieve_window: u64,
+    ) -> (Vec<[f32; 3]>, ReadStats) {
+        match (&self.ids, self.range) {
+            (Some(ids), _) => read_step_ids(disk, mesh, t, ids, sieve_window),
+            (None, Some(range)) => read_step_range(disk, mesh, t, range),
+            (None, None) => read_step_full(disk, mesh, t),
+        }
+    }
+
+    /// Collective two-phase read of step `t` over `comm` (§5.3.1); plans
+    /// without an id pattern fall back to the independent path.
+    pub fn read_collective(
+        &self,
+        disk: &Arc<Disk>,
+        mesh: &HexMesh,
+        t: usize,
+        comm: &Comm,
+        sieve_window: u64,
+    ) -> (Vec<[f32; 3]>, ReadStats) {
+        match &self.ids {
+            Some(ids) => read_step_ids_collective(disk, mesh, t, ids, comm, sieve_window),
+            None => self.read(disk, mesh, t, sieve_window),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +359,30 @@ mod tests {
             }
             assert!(stats.sim_seconds > 0.0);
         }
+    }
+
+    #[test]
+    fn fetch_plan_dispatches_to_matching_reader() {
+        let ds = dataset();
+        let mesh = ds.mesh();
+        let n = mesh.node_count();
+        let full = FetchPlan::full().read(ds.disk(), mesh, 1, 1 << 16);
+        assert_eq!(full.0, read_step_full(ds.disk(), mesh, 1).0);
+
+        let (a, b) = member_node_range(n, 1, 2);
+        let plan = FetchPlan { ids: None, range: Some((a, b)) };
+        assert_eq!(
+            plan.read(ds.disk(), mesh, 1, 1 << 16).0,
+            read_step_range(ds.disk(), mesh, 1, (a, b)).0
+        );
+
+        let level = mesh.octree().max_leaf_level().saturating_sub(1);
+        let ids = level_node_ids(mesh, level);
+        let plan = FetchPlan { ids: Some(ids.clone()), range: None };
+        assert_eq!(
+            plan.read(ds.disk(), mesh, 1, 256).0,
+            read_step_ids(ds.disk(), mesh, 1, &ids, 256).0
+        );
     }
 
     #[test]

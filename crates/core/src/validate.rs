@@ -22,6 +22,10 @@ pub struct ModelValidation {
     pub tf: f64,
     /// Mean preprocess seconds per full step, LIC included (`Tp`).
     pub tp: f64,
+    /// Mean LIC-synthesis seconds per full step (part of `tp`). The
+    /// prefetch model needs it split out: LIC runs on the consumer lane
+    /// while the worker lane reads ahead.
+    pub lic: f64,
     /// Mean block-distribution seconds per full step (`Ts`).
     pub ts: f64,
     /// Mean render + composite seconds per frame (`Tr`).
@@ -35,8 +39,14 @@ pub struct ModelValidation {
     pub measured_delay: f64,
     /// Mean measured interframe delay over all frames.
     pub mean_delay: f64,
-    /// The analytic steady-state delay for the measured stage costs.
+    /// The analytic steady-state delay for the measured stage costs —
+    /// from the synchronous §5 forms (`(Tf+Tp+Ts)/depth` numerator) or,
+    /// when the run used the overlapped runtime, from the prefetch forms
+    /// whose delay approaches the `max(Ts', Tr)` floor.
     pub predicted_delay: f64,
+    /// Whether the run used the overlapped prefetch runtime (echoed from
+    /// [`PipelineReport::prefetch`]; selects the prediction formula).
+    pub prefetch: bool,
 }
 
 fn median(mut v: Vec<f64>) -> f64 {
@@ -63,16 +73,21 @@ impl ModelValidation {
         let scale = width as f64;
         let tf = report.mean_read_seconds() * scale;
         let tp = report.mean_preprocess_seconds() * scale;
+        let lic = report.input_steps.iter().map(|s| s.lic_s).sum::<f64>() / n * scale;
         let ts = report.input_steps.iter().map(|s| s.send_s).sum::<f64>() / n * scale;
         let tr = report.mean_render_seconds();
-        let predicted_delay = if width == 1 {
-            model::onedip_steady_delay(tf, tp, ts, tr, depth)
-        } else {
-            model::twodip_steady_delay(tf, tp, ts, tr, depth, width)
+        let predicted_delay = match (report.prefetch, width) {
+            (false, 1) => model::onedip_steady_delay(tf, tp, ts, tr, depth),
+            (false, _) => model::twodip_steady_delay(tf, tp, ts, tr, depth, width),
+            // the prefetch forms take the LIC-free preprocess cost on the
+            // worker lane and LIC on the consumer lane
+            (true, 1) => model::onedip_prefetch_delay(tf, tp - lic, lic, ts, tr, depth),
+            (true, _) => model::twodip_prefetch_delay(tf, tp - lic, lic, ts, tr, depth, width),
         };
         ModelValidation {
             tf,
             tp,
+            lic,
             ts,
             tr,
             depth,
@@ -80,6 +95,7 @@ impl ModelValidation {
             measured_delay: median(report.interframe()),
             mean_delay: report.mean_interframe_delay(),
             predicted_delay,
+            prefetch: report.prefetch,
         }
     }
 
@@ -96,13 +112,17 @@ impl ModelValidation {
 
 impl fmt::Display for ModelValidation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mode = if self.prefetch { ", prefetch" } else { "" };
         if self.width == 1 {
-            writeln!(f, "model validation (1DIP, m={}):", self.depth)?;
+            writeln!(f, "model validation (1DIP, m={}{mode}):", self.depth)?;
         } else {
-            writeln!(f, "model validation (2DIP, n={} x m={}):", self.depth, self.width)?;
+            writeln!(f, "model validation (2DIP, n={} x m={}{mode}):", self.depth, self.width)?;
         }
         writeln!(f, "  Tf fetch              {:>9.4} s/step", self.tf)?;
         writeln!(f, "  Tp preprocess         {:>9.4} s/step", self.tp)?;
+        if self.lic > 0.0 {
+            writeln!(f, "    of which LIC        {:>9.4} s/step", self.lic)?;
+        }
         writeln!(f, "  Ts send               {:>9.4} s/step", self.ts)?;
         writeln!(f, "  Tr render+composite   {:>9.4} s/frame", self.tr)?;
         writeln!(
@@ -115,7 +135,12 @@ impl fmt::Display for ModelValidation {
             "  interframe predicted  {:>9.4} s (rel err {:+.1}%)",
             self.predicted_delay,
             self.relative_error() * 100.0
-        )
+        )?;
+        if self.prefetch {
+            let floor = (self.ts / self.width as f64).max(self.tr);
+            writeln!(f, "  delay floor max(Ts', Tr) {:>6.4} s (overlapped runtime)", floor)?;
+        }
+        Ok(())
     }
 }
 
@@ -143,6 +168,7 @@ mod tests {
             bytes_sent: 0,
             render_rank_seconds: Vec::new(),
             traffic: Vec::new(),
+            prefetch: false,
             trace: TraceData { tracks: Vec::new(), edges: Vec::new(), metrics: Vec::new() },
         }
     }
@@ -153,6 +179,7 @@ mod tests {
             preprocess_s: pp_s,
             lic_s: 0.0,
             send_s,
+            send_wait_s: 0.0,
         }
     }
 
@@ -188,6 +215,26 @@ mod tests {
         assert!((v.ts - 0.1).abs() < 1e-12);
         let expect = model::twodip_steady_delay(2.0, 0.5, 0.1, 0.3, 2, 2);
         assert!((v.predicted_delay - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_report_selects_the_overlap_model() {
+        // read-dominated: sync predicts (Tf+Tp+Ts)/m, prefetch (Tf+Tp)/m
+        let steps = vec![step(2.0, 0.5, 0.4), step(2.0, 0.5, 0.4)];
+        let frames = vec![RenderFrameTiming { receive_s: 0.0, render_s: 0.1, composite_s: 0.0 }];
+        let sync = report(steps.clone(), frames.clone(), vec![1.0, 2.0]);
+        let mut pre = report(steps, frames, vec![1.0, 2.0]);
+        pre.prefetch = true;
+        let io = IoStrategy::OneDip { input_procs: 2 };
+        let vs = ModelValidation::from_report(&sync, io);
+        let vp = ModelValidation::from_report(&pre, io);
+        assert!(vp.prefetch && !vs.prefetch);
+        assert!((vs.predicted_delay - 2.9 / 2.0).abs() < 1e-12);
+        assert!((vp.predicted_delay - 2.5 / 2.0).abs() < 1e-12);
+        assert!(vp.predicted_delay < vs.predicted_delay);
+        let text = vp.to_string();
+        assert!(text.contains("prefetch"), "mode tag missing:\n{text}");
+        assert!(text.contains("delay floor"), "floor row missing:\n{text}");
     }
 
     #[test]

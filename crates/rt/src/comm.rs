@@ -11,6 +11,11 @@
 //! pending queue, so arbitrary interleavings are safe. A blocking receive
 //! that stays unmatched for [`RECV_TIMEOUT`] panics with a diagnostic
 //! instead of deadlocking the test suite.
+//!
+//! Plain sends are buffered and never block. [`Comm::isend`] additionally
+//! returns a [`SendHandle`] that completes when the *receiver matches* the
+//! message (rendezvous semantics) — the backpressure primitive behind the
+//! pipeline's bounded prefetch send queue.
 
 use crate::obs;
 use crate::stats::TrafficStats;
@@ -18,7 +23,7 @@ use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// How long a blocking receive waits before declaring a deadlock.
@@ -28,11 +33,86 @@ pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
 /// set it.
 const COLL_BIT: u64 = 1 << 63;
 
+/// Completion flag of a non-blocking send, signalled when the receiver
+/// *matches* the message (not when the transport buffers it — the channel
+/// always buffers, so buffering completion would make every wait a no-op
+/// and [`Comm::isend`] useless as a backpressure primitive).
+#[derive(Default)]
+struct AckState {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl AckState {
+    fn signal(&self) {
+        *self.done.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
 struct Envelope {
     comm: u64,
     src_world: usize,
     tag: u64,
     payload: Box<dyn Any + Send>,
+    /// Present on [`Comm::isend`] messages; signalled on match.
+    ack: Option<Arc<AckState>>,
+}
+
+impl Envelope {
+    /// Consume the envelope: signal its sender (if waiting) and hand the
+    /// payload over. Every match point must route through this.
+    fn open(self) -> (usize, Box<dyn Any + Send>) {
+        if let Some(ack) = self.ack {
+            ack.signal();
+        }
+        (self.src_world, self.payload)
+    }
+}
+
+/// Handle to an in-flight [`Comm::isend`]. The send *completes* when the
+/// receiver matches the message — rendezvous semantics, so waiting on a
+/// handle throttles the sender to the receiver's consumption rate.
+///
+/// Dropping a handle without waiting is allowed (fire-and-forget, the
+/// same as [`Comm::send`]).
+pub struct SendHandle {
+    ack: Arc<AckState>,
+    dst_world: usize,
+    tag: u64,
+}
+
+impl SendHandle {
+    /// Whether the receiver has matched the message yet.
+    pub fn is_complete(&self) -> bool {
+        *self.ack.done.lock().unwrap()
+    }
+
+    /// Block until the receiver matches the message. Panics after
+    /// [`RECV_TIMEOUT`] without completion (deadlock guard, mirroring
+    /// blocking receives).
+    pub fn wait(self) {
+        let deadline = std::time::Instant::now() + RECV_TIMEOUT;
+        let mut done = self.ack.done.lock().unwrap();
+        while !*done {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let (d, timeout) = self.ack.cv.wait_timeout(done, remaining).unwrap();
+            done = d;
+            if timeout.timed_out() && !*done {
+                panic!(
+                    "isend(dst={}, tag={}) unmatched after {:?} — deadlock?",
+                    self.dst_world, self.tag, RECV_TIMEOUT
+                );
+            }
+        }
+    }
+}
+
+/// Wait for every handle to complete, in any completion order.
+pub fn wait_all<I: IntoIterator<Item = SendHandle>>(handles: I) {
+    for h in handles {
+        h.wait();
+    }
 }
 
 struct Shared {
@@ -164,11 +244,50 @@ impl Comm {
         self.send_raw(dst, tag, Box::new(value), bytes);
     }
 
+    /// Non-blocking send returning a completion handle; completion means
+    /// the destination has *matched* (consumed) the message. See
+    /// [`Comm::send`] for the byte-accounting caveat.
+    pub fn isend<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) -> SendHandle {
+        self.isend_with_size(dst, tag, value, std::mem::size_of::<T>() as u64)
+    }
+
+    /// [`Comm::isend`] with an explicit payload byte count for accounting.
+    pub fn isend_with_size<T: Send + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        value: T,
+        bytes: u64,
+    ) -> SendHandle {
+        assert!(tag & COLL_BIT == 0, "user tags must not set the top bit");
+        let ack = Arc::new(AckState::default());
+        let dst_world = self.ranks[dst];
+        self.send_raw_acked(dst, tag, Box::new(value), bytes, Some(Arc::clone(&ack)));
+        SendHandle { ack, dst_world, tag }
+    }
+
     fn send_raw(&self, dst: usize, tag: u64, payload: Box<dyn Any + Send>, bytes: u64) {
+        self.send_raw_acked(dst, tag, payload, bytes, None);
+    }
+
+    fn send_raw_acked(
+        &self,
+        dst: usize,
+        tag: u64,
+        payload: Box<dyn Any + Send>,
+        bytes: u64,
+        ack: Option<Arc<AckState>>,
+    ) {
         let dst_world = self.ranks[dst];
         self.shared.stats.record_edge(self.ranks[self.my_rank], dst_world, tag, bytes);
         self.shared.senders[dst_world]
-            .send(Envelope { comm: self.id, src_world: self.ranks[self.my_rank], tag, payload })
+            .send(Envelope {
+                comm: self.id,
+                src_world: self.ranks[self.my_rank],
+                tag,
+                payload,
+                ack,
+            })
             .expect("receiving rank has exited");
     }
 
@@ -207,8 +326,8 @@ impl Comm {
             .pending
             .iter()
             .position(|e| e.comm == self.id && e.src_world == src_world && e.tag == tag)?;
-        let env = mb.pending.swap_remove(pos);
-        Some(Self::downcast(env.payload, tag))
+        let (_, payload) = mb.pending.swap_remove(pos).open();
+        Some(Self::downcast(payload, tag))
     }
 
     fn recv_matched<T: Send + 'static>(&self, src_world: Option<usize>, tag: u64) -> (usize, T) {
@@ -217,8 +336,8 @@ impl Comm {
             e.comm == self.id && e.tag == tag && src_world.is_none_or(|s| e.src_world == s)
         };
         if let Some(pos) = mb.pending.iter().position(matches) {
-            let env = mb.pending.swap_remove(pos);
-            return (env.src_world, Self::downcast(env.payload, tag));
+            let (src, payload) = mb.pending.swap_remove(pos).open();
+            return (src, Self::downcast(payload, tag));
         }
         // only the actually-blocking path gets a span; matched-from-pending
         // receives above are free
@@ -233,7 +352,8 @@ impl Comm {
                 )
             });
             if matches(&env) {
-                return (env.src_world, Self::downcast(env.payload, tag));
+                let (src, payload) = env.open();
+                return (src, Self::downcast(payload, tag));
             }
             mb.pending.push(env);
         }
@@ -800,6 +920,114 @@ mod tests {
                 assert_eq!(sub.world_rank(1), 1);
             }
         });
+    }
+
+    #[test]
+    fn isend_completes_only_on_match() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                let h = comm.isend(1, 11, 42u32);
+                // rank 1 cannot have matched tag 11 yet: it only calls
+                // recv(0, 11) after the barrier below, and the barrier
+                // cannot complete before we enter it.
+                let premature = h.is_complete();
+                comm.barrier();
+                h.wait();
+                !premature
+            } else {
+                comm.barrier();
+                let v: u32 = comm.recv(0, 11);
+                v == 42
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn isend_acked_when_parked_message_is_matched() {
+        // the message arrives during rank 1's barrier (parked unmatched in
+        // pending); the ack must fire when the later recv matches it from
+        // the pending queue, not when it was parked
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                let h = comm.isend(1, 21, vec![1u8, 2, 3]);
+                comm.barrier();
+                h.wait();
+                true
+            } else {
+                comm.barrier();
+                let v: Vec<u8> = comm.recv(0, 21);
+                v == vec![1, 2, 3]
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn try_recv_completes_isend() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                let h = comm.isend(1, 31, 7u64);
+                comm.barrier();
+                comm.barrier();
+                h.is_complete()
+            } else {
+                comm.barrier();
+                // spin until the nonblocking receive sees it
+                let mut got = None;
+                while got.is_none() {
+                    got = comm.try_recv::<u64>(0, 31);
+                }
+                comm.barrier();
+                got == Some(7)
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn wait_all_drains_out_of_order_receives() {
+        let out = World::run(3, |comm| {
+            if comm.rank() == 0 {
+                let handles: Vec<SendHandle> = (0..8u64)
+                    .flat_map(|i| [comm.isend(1, 100 + i, i), comm.isend(2, 100 + i, i * 10)])
+                    .collect();
+                wait_all(handles);
+                true
+            } else {
+                let scale = if comm.rank() == 1 { 1 } else { 10 };
+                // receive in reverse order; every handle must still ack
+                (0..8u64).rev().all(|i| comm.recv::<u64>(0, 100 + i) == i * scale)
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn dropped_handle_is_fire_and_forget() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                drop(comm.isend(1, 41, 9u8));
+                true
+            } else {
+                comm.recv::<u8>(0, 41) == 9
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn isend_traffic_counted_like_send() {
+        let stats = TrafficStats::new();
+        World::run_traced(2, Arc::clone(&stats), |comm| {
+            if comm.rank() == 0 {
+                comm.isend_with_size(1, 3, vec![0u8; 500], 500).wait();
+            } else {
+                let _: Vec<u8> = comm.recv(0, 3);
+            }
+        });
+        assert_eq!(stats.bytes(), 500);
+        assert_eq!(stats.messages(), 1);
     }
 
     #[test]

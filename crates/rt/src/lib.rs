@@ -44,5 +44,5 @@ pub mod par;
 pub mod rng;
 pub mod stats;
 
-pub use comm::{Comm, World};
+pub use comm::{wait_all, Comm, SendHandle, World};
 pub use stats::{TagClass, TrafficEdge, TrafficStats};

@@ -44,6 +44,9 @@ pub enum Phase {
     Lic,
     /// Input processor: distribute block data to renderers (`Ts`).
     Send,
+    /// Input processor: backpressure wait on in-flight prefetch sends
+    /// (exposed, un-hidden send time of the overlapped runtime).
+    SendWait,
     /// Rendering processor: wait for + ingest block data.
     Receive,
     /// Rendering processor: ray-cast local blocks (`Tr` part 1).
@@ -65,12 +68,13 @@ pub enum Phase {
 }
 
 impl Phase {
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
     pub const ALL: [Phase; Phase::COUNT] = [
         Phase::Read,
         Phase::Preprocess,
         Phase::Lic,
         Phase::Send,
+        Phase::SendWait,
         Phase::Receive,
         Phase::Render,
         Phase::Composite,
@@ -83,12 +87,16 @@ impl Phase {
     ];
 
     /// The stage phases recorded by the pipeline itself (disjoint within
-    /// a rank); auto phases may nest inside them.
-    pub const STAGES: [Phase; 8] = [
+    /// a rank thread — the prefetch runtime's worker thread records its
+    /// Read/Preprocess spans on the same rank *track*, where they overlap
+    /// the consumer's Send/SendWait spans by design); auto phases may
+    /// nest inside them.
+    pub const STAGES: [Phase; 9] = [
         Phase::Read,
         Phase::Preprocess,
         Phase::Lic,
         Phase::Send,
+        Phase::SendWait,
         Phase::Receive,
         Phase::Render,
         Phase::Composite,
@@ -101,6 +109,7 @@ impl Phase {
             Phase::Preprocess => "preprocess",
             Phase::Lic => "lic",
             Phase::Send => "send",
+            Phase::SendWait => "send_wait",
             Phase::Receive => "receive",
             Phase::Render => "render",
             Phase::Composite => "composite",
@@ -120,6 +129,7 @@ impl Phase {
             Phase::Preprocess => 'P',
             Phase::Lic => 'L',
             Phase::Send => 'S',
+            Phase::SendWait => 'W',
             Phase::Receive => 'w',
             Phase::Render => 'R',
             Phase::Composite => 'C',
@@ -284,6 +294,46 @@ impl Obs {
 /// recorder (if any) on drop.
 pub struct AttachGuard {
     prev: Option<Option<Tls>>,
+}
+
+/// A sendable handle to an existing rank attachment, for helper threads
+/// that must record onto the *same* rank track (the prefetch runtime's
+/// per-rank worker). Unlike [`Obs::attach`] this does not create a new
+/// recorder, so the rank keeps a single track in the trace.
+#[derive(Clone)]
+pub struct AttachHandle {
+    rec: Arc<RankRecorder>,
+    epoch: Instant,
+    detail: bool,
+}
+
+impl AttachHandle {
+    /// Attach the calling thread to the shared track; recording on this
+    /// thread stops when the guard drops.
+    #[must_use]
+    pub fn attach(&self) -> AttachGuard {
+        let prev = CURRENT.with(|c| {
+            c.borrow_mut().replace(Tls {
+                rec: Arc::clone(&self.rec),
+                epoch: self.epoch,
+                detail: self.detail,
+            })
+        });
+        ATTACHED.fetch_add(1, Ordering::Relaxed);
+        AttachGuard { prev: Some(prev) }
+    }
+}
+
+/// Handle to the current thread's attachment (`None` when not attached).
+/// Send it to a helper thread and call [`AttachHandle::attach`] there.
+pub fn current_attachment() -> Option<AttachHandle> {
+    CURRENT.with(|c| {
+        c.borrow().as_ref().map(|t| AttachHandle {
+            rec: Arc::clone(&t.rec),
+            epoch: t.epoch,
+            detail: t.detail,
+        })
+    })
 }
 
 impl Drop for AttachGuard {
@@ -484,6 +534,33 @@ mod tests {
             assert_eq!(t.spans.len(), 500, "rank {} lost events", t.rank);
             assert_eq!(t.spans.iter().map(|s| s.bytes).sum::<u64>(), 500);
         }
+    }
+
+    #[test]
+    fn attach_handle_shares_one_track_across_threads() {
+        let obs = Obs::new(true);
+        {
+            let _g = obs.attach(2, "input");
+            let handle = current_attachment().expect("attached");
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let _wg = handle.attach();
+                    assert!(detail_active());
+                    drop(span(Phase::Read, 5));
+                });
+            });
+            drop(span(Phase::Send, 5));
+        }
+        // both spans on the single rank-2 track, no extra recorder
+        let recs = obs.recorders();
+        assert_eq!(recs.len(), 1);
+        let phases: Vec<Phase> = recs[0].events().iter().map(|e| e.phase).collect();
+        assert_eq!(phases, vec![Phase::Read, Phase::Send]);
+    }
+
+    #[test]
+    fn current_attachment_none_when_detached() {
+        assert!(current_attachment().is_none());
     }
 
     #[test]

@@ -235,12 +235,31 @@ impl TraceData {
     /// `group_b` were both inside a stage span — e.g. how much input-group
     /// I/O+preprocess time was hidden behind rendering.
     pub fn group_overlap_seconds(&self, group_a: &str, group_b: &str) -> f64 {
-        let union = |group: &str| -> Vec<(u64, u64)> {
+        self.phase_overlap_seconds(group_a, &[], group_b, &[])
+    }
+
+    /// Like [`TraceData::group_overlap_seconds`] but restricted to the
+    /// given stage phases on each side (an empty slice means all stage
+    /// phases). The prefetch-overlap measure is
+    /// `phase_overlap_seconds("input", &[Read, Preprocess], "render",
+    /// &[Render, Composite])`: prefetch work hidden behind rendering.
+    pub fn phase_overlap_seconds(
+        &self,
+        group_a: &str,
+        phases_a: &[Phase],
+        group_b: &str,
+        phases_b: &[Phase],
+    ) -> f64 {
+        let union = |group: &str, phases: &[Phase]| -> Vec<(u64, u64)> {
             let mut iv: Vec<(u64, u64)> = self
                 .tracks
                 .iter()
                 .filter(|t| t.group == group)
-                .flat_map(|t| t.stage_spans().map(|s| (s.start_us, s.end_us())))
+                .flat_map(|t| {
+                    t.stage_spans()
+                        .filter(|s| phases.is_empty() || phases.contains(&s.phase))
+                        .map(|s| (s.start_us, s.end_us()))
+                })
                 .collect();
             iv.sort_unstable();
             let mut merged: Vec<(u64, u64)> = Vec::new();
@@ -252,8 +271,8 @@ impl TraceData {
             }
             merged
         };
-        let a = union(group_a);
-        let b = union(group_b);
+        let a = union(group_a, phases_a);
+        let b = union(group_b, phases_b);
         let mut overlap = 0u64;
         let (mut i, mut j) = (0, 0);
         while i < a.len() && j < b.len() {
@@ -391,6 +410,20 @@ mod tests {
         let ov = tr.group_overlap_seconds("input", "render");
         assert!((ov - 50e-6).abs() < 1e-9, "overlap {ov}");
         assert!((tr.group_busy_seconds("render") - 450e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_overlap_filters_each_side() {
+        let tr = sample_trace();
+        // input send 500..600 vs render receive 550..650 → 50µs
+        let ov = tr.phase_overlap_seconds("input", &[Phase::Send], "render", &[Phase::Receive]);
+        assert!((ov - 50e-6).abs() < 1e-9, "overlap {ov}");
+        // reads (0..400) never overlap rendering (650..950)
+        let none = tr.phase_overlap_seconds("input", &[Phase::Read], "render", &[Phase::Render]);
+        assert_eq!(none, 0.0);
+        // empty filters degrade to the group measure
+        let all = tr.phase_overlap_seconds("input", &[], "render", &[]);
+        assert!((all - tr.group_overlap_seconds("input", "render")).abs() < 1e-12);
     }
 
     #[test]

@@ -20,4 +20,19 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+# Release-mode test pass over the trace matrix: the deterministic harness
+# (prefetch equivalence, property tests, overlap invariants) must hold
+# both with spans off and with the detailed QUAKEVIZ_TRACE auto spans on.
+# An externally pinned QUAKEVIZ_TRACE (the CI job matrix) runs just that
+# cell; locally both cells run.
+if [[ -n "${QUAKEVIZ_TRACE+x}" ]]; then
+    echo "==> cargo test --release (QUAKEVIZ_TRACE=${QUAKEVIZ_TRACE})"
+    cargo test --workspace -q --release
+else
+    for trace in 0 1; do
+        echo "==> cargo test --release (QUAKEVIZ_TRACE=${trace})"
+        QUAKEVIZ_TRACE="${trace}" cargo test --workspace -q --release
+    done
+fi
+
 echo "CI OK"

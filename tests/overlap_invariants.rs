@@ -1,0 +1,139 @@
+//! Trace-level invariants of the overlapped prefetch runtime, on a
+//! read-dominated configuration (high injected I/O delay, cheap frames):
+//!
+//! 1. the prefetch worker really reads ahead — each input rank's
+//!    read/preprocess work for step `t+2` overlaps some renderer's
+//!    render span for an earlier step,
+//! 2. the interframe cadence beats the serial per-step cost — the mean
+//!    delay is at most `mean_read + mean_preprocess + mean_render`
+//!    (the synchronous path cannot go below the serial sum on one lane),
+//! 3. span accounting stays sound: SendWait appears only under
+//!    backpressure and never on the sync path.
+
+use quakeviz::pipeline::{IoStrategy, PipelineBuilder, PipelineReport};
+use quakeviz::rt::obs::Phase;
+use quakeviz::seismic::{Dataset, SimulationBuilder};
+
+const STEPS: usize = 6;
+
+fn dataset() -> Dataset {
+    SimulationBuilder::new().resolution(16).steps(STEPS).run_to_dataset().unwrap()
+}
+
+/// Read-dominated pipeline: the injected I/O delay dwarfs the render
+/// cost, so prefetching is what keeps the renderers fed.
+fn run(ds: &Dataset, prefetch: bool) -> PipelineReport {
+    PipelineBuilder::new(ds)
+        .renderers(2)
+        .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+        .image_size(48, 48)
+        .keep_frames(false)
+        .io_delay_scale(40.0)
+        .prefetch(prefetch)
+        .trace(true)
+        .run()
+        .expect("pipeline")
+}
+
+#[test]
+fn prefetch_reads_ahead_of_rendering() {
+    let ds = dataset();
+    let report = run(&ds, true);
+    let tr = &report.trace;
+
+    // global render intervals per step (µs since epoch)
+    let mut render_by_step: Vec<Vec<(u64, u64)>> = vec![Vec::new(); STEPS];
+    for track in tr.tracks.iter().filter(|t| t.group == "render") {
+        for s in &track.spans {
+            if s.phase == Phase::Render && (s.step as usize) < STEPS {
+                render_by_step[s.step as usize].push((s.start_us, s.end_us()));
+            }
+        }
+    }
+    assert!(render_by_step.iter().all(|v| !v.is_empty()), "missing render spans");
+
+    // with m=2 input processors, rank r owns steps r, r+2, r+4 … — while
+    // the renderers draw step t, the owner of t+2 must already be reading
+    let mut checked = 0;
+    for track in tr.tracks.iter().filter(|t| t.group == "input") {
+        for s in &track.spans {
+            let ahead = s.step as usize;
+            if !matches!(s.phase, Phase::Read | Phase::Preprocess) || ahead < 2 {
+                continue;
+            }
+            let t = ahead - 2; // the frame the renderers work on meanwhile
+            let overlaps =
+                render_by_step[t].iter().any(|&(r0, r1)| s.start_us < r1 && r0 < s.end_us());
+            if overlaps {
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked >= 2,
+        "no input rank's read/preprocess for step t+2 overlapped rendering of step t \
+         ({checked} overlapping spans)"
+    );
+}
+
+#[test]
+fn prefetch_interframe_beats_the_serial_stage_sum() {
+    let ds = dataset();
+    let report = run(&ds, true);
+    let serial = report.mean_read_seconds()
+        + report.mean_preprocess_seconds()
+        + report.mean_render_seconds();
+    let mean = report.mean_interframe_delay();
+    assert!(
+        mean <= serial,
+        "read-dominated prefetch run should pipeline below the serial stage sum: \
+         interframe {mean:.4}s > read+preprocess+render {serial:.4}s"
+    );
+}
+
+#[test]
+fn prefetch_not_slower_than_sync_wall_clock() {
+    // generous margin: scheduling noise must not hide a real regression
+    let ds = dataset();
+    let sync = run(&ds, false);
+    let pre = run(&ds, true);
+    let (ws, wp) = (sync.frame_done.last().unwrap(), pre.frame_done.last().unwrap());
+    assert!(*wp <= *ws * 1.15, "prefetch run ({wp:.4}s) much slower than sync ({ws:.4}s)");
+}
+
+#[test]
+fn send_wait_only_under_backpressure() {
+    let ds = dataset();
+    let sync = run(&ds, false);
+    assert!(
+        sync.input_steps.iter().all(|s| s.send_wait_s == 0.0),
+        "sync path must never record SendWait"
+    );
+    for track in sync.trace.tracks.iter() {
+        assert!(
+            track.spans.iter().all(|s| s.phase != Phase::SendWait),
+            "SendWait span on the sync path (rank {})",
+            track.rank
+        );
+    }
+    // prefetch with 1 input processor owning 6 steps and a 2-slot queue
+    // must hit backpressure at least once
+    let one = PipelineBuilder::new(&ds)
+        .renderers(2)
+        .io_strategy(IoStrategy::OneDip { input_procs: 1 })
+        .image_size(48, 48)
+        .keep_frames(false)
+        .io_delay_scale(2.0)
+        .prefetch(true)
+        .trace(true)
+        .run()
+        .expect("pipeline");
+    let waits = one
+        .trace
+        .tracks
+        .iter()
+        .flat_map(|t| &t.spans)
+        .filter(|s| s.phase == Phase::SendWait)
+        .count();
+    assert!(waits > 0, "expected SendWait spans once in-flight sends exceed the slots");
+}

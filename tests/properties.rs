@@ -1,0 +1,197 @@
+//! Randomized property tests over the pipeline's data-plane invariants,
+//! driven by the in-repo [`SplitMix64`] generator (offline-build policy:
+//! no proptest). Each property runs many seeded trials so failures print
+//! the reproducing seed.
+//!
+//! * RLE pixel coding is a lossless roundtrip for any span,
+//! * SLIC compositing equals the sequential over-operator reference for
+//!   any fragment layout,
+//! * octree block decomposition tiles the leaf array exactly at every
+//!   level.
+
+use quakeviz::composite::{rle_decode, rle_encode, slic, CompositeOptions, FrameInfo};
+use quakeviz::mesh::{Aabb, Loc3, Octree, RefineOracle, Vec3};
+use quakeviz::render::raycast::{composite_fragments, Fragment};
+use quakeviz::render::{Rgba, RgbaImage, ScreenRect};
+use quakeviz::rt::rng::SplitMix64;
+use quakeviz::rt::World;
+
+// --- RLE roundtrip ------------------------------------------------------
+
+/// Random premultiplied span with run structure: runs of random length,
+/// some transparent, some constant, some noise.
+fn random_span(rng: &mut SplitMix64, max_len: usize) -> Vec<Rgba> {
+    let len = rng.next_below(max_len as u64 + 1) as usize;
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let run = 1 + rng.next_below(16) as usize;
+        let px: Rgba = match rng.next_below(3) {
+            0 => [0.0; 4], // transparent gap
+            1 => {
+                let a = rng.next_f32();
+                [rng.next_f32() * a, rng.next_f32() * a, rng.next_f32() * a, a]
+            }
+            // bit patterns that stress exact f32 equality (subnormals,
+            // negative zero never appears in renderer output, but tiny
+            // and huge magnitudes do after compositing)
+            _ => [f32::MIN_POSITIVE, 1e30, rng.next_f32(), 1.0],
+        };
+        for _ in 0..run.min(len - out.len()) {
+            out.push(px);
+        }
+    }
+    out
+}
+
+#[test]
+fn rle_roundtrip_is_lossless() {
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::new(0xC0FFEE ^ seed);
+        let span = random_span(&mut rng, 400);
+        let coded = rle_encode(&span);
+        assert_eq!(coded.len() % 20, 0, "seed {seed}: stream not 20 B/run");
+        let back = rle_decode(&coded);
+        assert_eq!(back.len(), span.len(), "seed {seed}: length changed");
+        // bit-exact: compare the raw bits, not float equality
+        for (i, (a, b)) in span.iter().zip(&back).enumerate() {
+            for c in 0..4 {
+                assert_eq!(
+                    a[c].to_bits(),
+                    b[c].to_bits(),
+                    "seed {seed}: pixel {i} channel {c} not bit-identical"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rle_compresses_constant_spans() {
+    let span = vec![[0.0f32; 4]; 10_000];
+    let coded = rle_encode(&span);
+    assert_eq!(coded.len(), 20, "one run must code in one record");
+}
+
+// --- SLIC vs the sequential over-operator -------------------------------
+
+const W: u32 = 32;
+const H: u32 = 24;
+
+fn random_fragment(rng: &mut SplitMix64, block: u32) -> Fragment {
+    let x0 = rng.next_below(W as u64 - 1) as u32;
+    let y0 = rng.next_below(H as u64 - 1) as u32;
+    let x1 = x0 + 1 + rng.next_below((W - x0 - 1).max(1) as u64) as u32;
+    let y1 = y0 + 1 + rng.next_below((H - y0 - 1).max(1) as u64) as u32;
+    let rect = ScreenRect::new(x0, y0, x1, y1);
+    let pixels = (0..rect.area())
+        .map(|_| {
+            let a = rng.next_f32();
+            [rng.next_f32() * a, rng.next_f32() * a, rng.next_f32() * a, a]
+        })
+        .collect();
+    Fragment { block, rect, pixels }
+}
+
+/// Sequential reference: every fragment composited front-to-back with the
+/// plain over operator on one image.
+fn reference(all: &mut [Fragment], order: &[u32]) -> RgbaImage {
+    let pos: std::collections::HashMap<u32, usize> =
+        order.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    all.sort_by_key(|f| pos[&f.block]);
+    let refs: Vec<&Fragment> = all.iter().collect();
+    composite_fragments(&refs, W, H)
+}
+
+#[test]
+fn slic_matches_sequential_over_for_random_layouts() {
+    for trial in 0..6u64 {
+        let n = 2 + (trial % 3) as usize; // 2..=4 ranks
+        let frags_per_rank = 1 + (trial % 2) as usize * 2;
+        let order: Vec<u32> = (0..(n * frags_per_rank) as u32).collect();
+        let compress = trial % 2 == 0;
+        World::run(n, |comm| {
+            // rank-seeded: each rank draws its own fragments, blocks are
+            // globally unique so the visibility order is total
+            let mut rng = SplitMix64::new(0x5EED ^ (trial << 8) ^ comm.rank() as u64);
+            let local: Vec<Fragment> = (0..frags_per_rank)
+                .map(|i| random_fragment(&mut rng, (comm.rank() * frags_per_rank + i) as u32))
+                .collect();
+            let info = FrameInfo::exchange(&comm, &local, &order, W, H);
+            let gathered = comm.gather(0, local.clone());
+            let got = slic(&comm, &local, &info, 0, CompositeOptions { compress });
+            if comm.rank() == 0 {
+                let mut all: Vec<Fragment> = gathered.unwrap().into_iter().flatten().collect();
+                let want = reference(&mut all, &order);
+                let img = got.image.expect("collector image");
+                let rms = img.rms_difference(&want);
+                assert!(rms < 1e-6, "trial {trial}: SLIC differs from reference (rms {rms})");
+            } else {
+                assert!(got.image.is_none());
+            }
+        });
+    }
+}
+
+// --- Octree block decomposition -----------------------------------------
+
+/// Deterministic pseudo-random refinement: split based on a hash of the
+/// cell key, so the tree shape is irregular but reproducible.
+struct RandomRefinement {
+    seed: u64,
+    max: u8,
+}
+
+impl RefineOracle for RandomRefinement {
+    fn refine(&self, loc: &Loc3, _bounds: &Aabb) -> bool {
+        let mut h = SplitMix64::new(self.seed ^ loc.key());
+        h.next_below(100) < 60
+    }
+    fn max_level(&self) -> u8 {
+        self.max
+    }
+}
+
+#[test]
+fn octree_blocks_tile_the_leaves_at_every_level() {
+    for seed in 0..8u64 {
+        let oracle = RandomRefinement { seed: 0xB10C ^ seed, max: 4 };
+        let tree = Octree::build(Vec3 { x: 1.0, y: 1.0, z: 1.0 }, &oracle);
+        let leaves = tree.leaves();
+        assert!(!leaves.is_empty());
+        for level in 0..=tree.max_leaf_level() {
+            let blocks = tree.blocks(level);
+            // sequential ids
+            for (i, b) in blocks.iter().enumerate() {
+                assert_eq!(b.id as usize, i, "seed {seed} level {level}: ids not sequential");
+            }
+            // contiguous, disjoint, complete coverage of the leaf array
+            let mut cursor = 0usize;
+            for b in &blocks {
+                assert_eq!(
+                    b.leaf_start, cursor,
+                    "seed {seed} level {level}: gap or overlap at block {}",
+                    b.id
+                );
+                assert!(b.leaf_end > b.leaf_start, "empty block {}", b.id);
+                // every leaf in range descends from the block root
+                for leaf in &leaves[b.leaf_start..b.leaf_end] {
+                    assert!(
+                        b.root.contains(leaf),
+                        "seed {seed} level {level}: leaf outside block {} subtree",
+                        b.id
+                    );
+                }
+                assert!(b.root.level <= level, "block root deeper than the cut level");
+                cursor = b.leaf_end;
+            }
+            assert_eq!(cursor, leaves.len(), "seed {seed} level {level}: leaves uncovered");
+            // block roots are pairwise disjoint subtrees
+            for w in blocks.windows(2) {
+                assert!(
+                    !w[0].root.contains(&w[1].root) && !w[1].root.contains(&w[0].root),
+                    "seed {seed} level {level}: adjacent block roots nest"
+                );
+            }
+        }
+    }
+}
