@@ -15,15 +15,15 @@ fn disk_with_file(len: usize) -> Arc<Disk> {
 
 fn bench_reads(c: &mut Criterion) {
     let disk = disk_with_file(4 << 20);
-    let f = PFile::open(Arc::clone(&disk), "step");
+    let f = PFile::open(Arc::clone(&disk), "step").unwrap();
     // a scattered pattern: every 16th element of a 12-byte node array
     let ids: Vec<u32> = (0..20_000u32).map(|i| i * 16).collect();
     let dt = IndexedBlockType::from_node_ids(&ids, 12);
 
     let mut g = c.benchmark_group("parfs_read");
-    g.bench_function("contiguous_4mb", |b| b.iter(|| f.read_contiguous(0, 4 << 20)));
-    g.bench_function("indexed_unsieved", |b| b.iter(|| f.read_indexed(&dt, 0)));
-    g.bench_function("indexed_sieved_64k", |b| b.iter(|| f.read_indexed(&dt, 1 << 16)));
+    g.bench_function("contiguous_4mb", |b| b.iter(|| f.read_contiguous(0, 4 << 20).unwrap()));
+    g.bench_function("indexed_unsieved", |b| b.iter(|| f.read_indexed(&dt, 0).unwrap()));
+    g.bench_function("indexed_sieved_64k", |b| b.iter(|| f.read_indexed(&dt, 1 << 16).unwrap()));
     g.finish();
 }
 
@@ -35,11 +35,11 @@ fn bench_collective(c: &mut Criterion) {
         b.iter(|| {
             let disk = Arc::clone(&disk);
             World::run(4, move |comm| {
-                let f = PFile::open(Arc::clone(&disk), "step");
+                let f = PFile::open(Arc::clone(&disk), "step").unwrap();
                 let ids: Vec<u32> =
                     (0..5000u32).map(|i| i * 64 + comm.rank() as u32 * 16).collect();
                 let dt = IndexedBlockType::from_node_ids(&ids, 12);
-                f.read_all(&comm, &dt, 1 << 14).useful_bytes
+                f.read_all(&comm, &dt, 1 << 14).unwrap().useful_bytes
             })
         })
     });

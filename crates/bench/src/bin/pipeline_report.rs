@@ -11,7 +11,14 @@
 //! Usage:
 //!   pipeline-report [--renderers N] [--input-procs M] [--twodip NxM]
 //!                   [--steps K] [--io-delay S] [--size WxH] [--lic]
-//!                   [--prefetch] [--trace]
+//!                   [--prefetch] [--trace] [--faults SPEC]
+//!                   [--deadline-ms MS]
+//!
+//! `--faults SPEC` arms a deterministic fault plan (same `key=value,...`
+//! syntax as `QUAKEVIZ_FAULTS`, e.g.
+//! `seed=11,read_transient=0.1,send_drop=0.05`); the report then adds a
+//! recovery section: injected-fault counts by kind, the retry/backoff/
+//! checksum/failover counters, and a per-frame degraded-blocks column.
 //!
 //! `--prefetch` switches the input ranks to the overlapped runtime
 //! (read+preprocess on a worker thread, two-slot non-blocking send
@@ -26,6 +33,7 @@
 use quakeviz_bench::standard_dataset;
 use quakeviz_core::{IoStrategy, ModelValidation, PipelineBuilder};
 use quakeviz_rt::obs::Phase;
+use quakeviz_rt::FaultSpec;
 use std::collections::BTreeMap;
 
 fn parse_pair(v: &str, sep: char, what: &str) -> (usize, usize) {
@@ -47,6 +55,8 @@ fn main() {
     let mut lic = false;
     let mut prefetch = false;
     let mut trace = false;
+    let mut faults: Option<FaultSpec> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |what: &str| args.next().unwrap_or_else(|| panic!("{what} needs a value"));
@@ -63,6 +73,10 @@ fn main() {
             "--lic" => lic = true,
             "--prefetch" => prefetch = true,
             "--trace" => trace = true,
+            "--faults" => faults = Some(FaultSpec::parse(&val("--faults")).expect("--faults SPEC")),
+            "--deadline-ms" => {
+                deadline_ms = Some(val("--deadline-ms").parse().expect("--deadline-ms MS"))
+            }
             other => {
                 eprintln!("unknown flag {other} (see the doc comment for usage)");
                 std::process::exit(2);
@@ -75,7 +89,7 @@ fn main() {
     });
 
     let ds = standard_dataset();
-    let report = PipelineBuilder::new(&ds)
+    let mut builder = PipelineBuilder::new(&ds)
         .renderers(renderers)
         .io_strategy(io)
         .image_size(size.0, size.1)
@@ -84,9 +98,14 @@ fn main() {
         .lic(lic)
         .prefetch(prefetch)
         .max_steps(steps)
-        .trace(trace)
-        .run()
-        .expect("pipeline");
+        .trace(trace);
+    if let Some(spec) = faults {
+        builder = builder.faults(spec);
+    }
+    if let Some(ms) = deadline_ms {
+        builder = builder.delivery_deadline_ms(ms);
+    }
+    let report = builder.run().expect("pipeline");
     let tr = &report.trace;
 
     println!(
@@ -184,6 +203,49 @@ fn main() {
     }
     for (class, (msgs, bytes)) in classes {
         println!("  {class:<14} {msgs:>8} msgs {bytes:>14} bytes");
+    }
+
+    if let Some(rec) = &report.recovery {
+        println!("\nrecovery (fault plan armed):");
+        let mut kinds: BTreeMap<&str, u64> = BTreeMap::new();
+        for e in &report.fault_events {
+            *kinds.entry(e.kind.as_str()).or_default() += 1;
+        }
+        if kinds.is_empty() {
+            println!("  injected: none (clean run)");
+        } else {
+            println!("  injected:");
+            for (kind, n) in kinds {
+                println!("    {kind:<18} {n:>6}");
+            }
+        }
+        println!(
+            "  read retries        {:>6} (backoff {:.1} ms total)",
+            rec.read_retries,
+            rec.backoff_us as f64 / 1000.0
+        );
+        println!("  exhausted reads     {:>6}", rec.exhausted_reads);
+        println!("  checksum failures   {:>6}", rec.checksum_failures);
+        println!("  failover events     {:>6}", rec.failover_events);
+        println!(
+            "  degraded            {:>6} blocks across {} of {} frames",
+            rec.degraded_blocks,
+            report.degraded_frame_count(),
+            report.frame_done.len()
+        );
+        if report.degraded_frame_count() > 0 {
+            println!("  frame  degraded blocks");
+            for (t, d) in report.degraded.iter().enumerate() {
+                if d.is_empty() {
+                    continue;
+                }
+                let cells: Vec<String> = d
+                    .iter()
+                    .map(|&b| if b == u32::MAX { "LIC".into() } else { b.to_string() })
+                    .collect();
+                println!("  {t:>5}  {}", cells.join(" "));
+            }
+        }
     }
 
     if !tr.metrics.is_empty() {

@@ -58,9 +58,9 @@ fn main() {
             let ids = Arc::clone(&reader_ids);
             let disk = Arc::clone(&disk);
             let outcomes = World::run(m, move |comm| {
-                let f = PFile::open(Arc::clone(&disk), Dataset::step_path(3));
+                let f = PFile::open(Arc::clone(&disk), Dataset::step_path(3)).unwrap();
                 let dt = IndexedBlockType::from_node_ids(&ids[comm.rank()], 12);
-                let out = f.read_all(&comm, &dt, sieve);
+                let out = f.read_all(&comm, &dt, sieve).unwrap();
                 (out.sim_seconds, out.disk_bytes, out.requests, out.bytes_exchanged)
             });
             let (sim, bytes, reqs, exch) = outcomes[0];
@@ -80,9 +80,9 @@ fn main() {
             let ids = Arc::clone(&reader_ids);
             let disk = Arc::clone(&disk);
             let outcomes = World::run(m, move |comm| {
-                let f = PFile::open(Arc::clone(&disk), Dataset::step_path(3));
+                let f = PFile::open(Arc::clone(&disk), Dataset::step_path(3)).unwrap();
                 let dt = IndexedBlockType::from_node_ids(&ids[comm.rank()], 12);
-                let out = f.read_indexed(&dt, sieve);
+                let out = f.read_indexed(&dt, sieve).unwrap();
                 (out.sim_seconds, out.disk_bytes, out.requests)
             });
             let sim = outcomes.iter().map(|o| o.0).fold(0.0f64, f64::max);
@@ -104,9 +104,9 @@ fn main() {
             let disk = Arc::clone(&disk);
             let node_count = mesh.node_count();
             let outcomes = World::run(m, move |comm| {
-                let f = PFile::open(Arc::clone(&disk), Dataset::step_path(3));
+                let f = PFile::open(Arc::clone(&disk), Dataset::step_path(3)).unwrap();
                 let (a, b) = member_node_range(node_count, comm.rank(), comm.size());
-                let out = f.read_contiguous(a as u64 * 12, (b - a) as u64 * 12);
+                let out = f.read_contiguous(a as u64 * 12, (b - a) as u64 * 12).unwrap();
                 (out.sim_seconds, out.disk_bytes, out.requests)
             });
             let sim = outcomes.iter().map(|o| o.0).fold(0.0f64, f64::max);

@@ -1,7 +1,33 @@
 //! Pipeline configuration and the builder API.
 
 use quakeviz_render::{AdaptivePolicy, Camera, TransferFunction};
+use quakeviz_rt::fault::FaultSpec;
 use quakeviz_seismic::Dataset;
+use std::time::Duration;
+
+/// Bounded-retry policy for failed or corrupt reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per read, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff before attempt 2; doubles per further attempt
+    /// (exponential), capped at 64× the base.
+    pub backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 5, backoff_ms: 2 }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to sleep after failed attempt `attempt` (0-based), i.e.
+    /// before attempt `attempt + 1`: `backoff_ms << attempt`, capped.
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        Duration::from_millis(self.backoff_ms.saturating_mul(1u64 << attempt.min(6)))
+    }
+}
 
 /// The input-processor arrangement (paper §5.1–§5.2, Figure 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +141,21 @@ pub struct PipelineConfig {
     /// `0`; a value with a `/` or a `.json` suffix additionally names a
     /// Chrome-trace output file).
     pub trace: bool,
+    /// Deterministic fault-injection spec. `None` falls back to the
+    /// `QUAKEVIZ_FAULTS` environment variable (unset/empty/`0` = no
+    /// faults). With faults active the pipeline runs its recovery paths:
+    /// bounded retry, checksum verification, delivery deadlines with
+    /// graceful degradation, and input-rank failover.
+    pub faults: Option<FaultSpec>,
+    /// Retry policy for failed/corrupt reads (only consulted when faults
+    /// are active — a fault-free read cannot fail transiently).
+    pub retry: RetryPolicy,
+    /// Per-step delivery deadline for renderers, milliseconds: block data
+    /// not delivered by then is rendered degraded (coarser resident level
+    /// / last-known-good values) instead of stalling the frame. Only
+    /// active when faults are injected; the zero-fault path blocks
+    /// indefinitely exactly like the reference oracle.
+    pub deadline_ms: u64,
 }
 
 impl Default for PipelineConfig {
@@ -141,6 +182,9 @@ impl Default for PipelineConfig {
             max_steps: None,
             prefetch: false,
             trace: false,
+            faults: None,
+            retry: RetryPolicy::default(),
+            deadline_ms: 1500,
         }
     }
 }
@@ -258,6 +302,26 @@ impl PipelineBuilder {
     /// Record detailed runtime spans (see [`PipelineConfig::trace`]).
     pub fn trace(mut self, on: bool) -> Self {
         self.config.trace = on;
+        self
+    }
+
+    /// Inject faults from a deterministic spec (see
+    /// [`PipelineConfig::faults`]).
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.config.faults = Some(spec);
+        self
+    }
+
+    /// Bounded-retry policy for failed/corrupt reads.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.config.retry = policy;
+        self
+    }
+
+    /// Per-step delivery deadline before renderers degrade (see
+    /// [`PipelineConfig::deadline_ms`]).
+    pub fn delivery_deadline_ms(mut self, ms: u64) -> Self {
+        self.config.deadline_ms = ms;
         self
     }
 

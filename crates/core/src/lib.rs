@@ -42,12 +42,12 @@ pub mod pipeline;
 pub mod reader;
 pub mod validate;
 
-pub use config::{IoStrategy, PipelineBuilder, PipelineConfig, ReadStrategy};
+pub use config::{IoStrategy, PipelineBuilder, PipelineConfig, ReadStrategy, RetryPolicy};
 pub use des::{simulate, CostTable, DesResult, DesStrategy};
 pub use insitu::{run_insitu, InsituConfig, InsituReport};
 pub use model::{
     onedip_optimal_m, onedip_prefetch_delay, onedip_steady_delay, twodip_n, twodip_optimal_m,
     twodip_prefetch_delay, twodip_steady_delay,
 };
-pub use pipeline::{run_pipeline, PipelineReport};
+pub use pipeline::{run_pipeline, wire_checksum, PipelineReport};
 pub use validate::ModelValidation;

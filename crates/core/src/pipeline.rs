@@ -17,25 +17,33 @@
 
 use crate::config::{IoStrategy, PipelineConfig, ReadStrategy};
 use crate::reader::{
-    self, block_level_nodes, level_node_ids, member_node_range, FetchPlan, ReadStats,
+    self, block_level_nodes, level_node_ids, member_node_range, FaultCtx, FetchPlan, ReadStats,
 };
 use quakeviz_composite::{slic, CompositeOptions, FrameInfo};
 use quakeviz_lic::{colorize, compute_lic, extract_surface_field, white_noise, LicParams};
 use quakeviz_mesh::{
     Aabb, HexMesh, NodeField, NodeId, OctreeBlock, Partition, Quadtree, WorkloadModel,
 };
+use quakeviz_parfs::ReadError;
 use quakeviz_render::{
     front_to_back_order, Camera, Fragment, LightingParams, RenderParams, RgbaImage, TemporalEnhance,
 };
 use quakeviz_rt::obs::{self, Obs, Phase, TraceData};
-use quakeviz_rt::{wait_all, Comm, SendHandle, TagClass, TrafficEdge, TrafficStats, World};
+use quakeviz_rt::{
+    wait_all, Comm, FaultEvent, FaultPlan, FaultSpec, RecoveryStats, SendHandle, TagClass,
+    TrafficEdge, TrafficStats, World,
+};
 use quakeviz_seismic::Dataset;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const TAG_DATA: u64 = 0x2000_0000_0000;
 const TAG_LIC: u64 = 0x2100_0000_0000;
 const TAG_VOL: u64 = 0x2200_0000_0000;
+/// Per-frame degraded-block report, render root → output.
+const TAG_DEG: u64 = 0x2300_0000_0000;
+/// Per-step liveness heartbeats inside a 2DIP input group.
+const TAG_HB: u64 = 0x2400_0000_0000;
 
 /// Map the pipeline's wire tags to traffic-matrix classes (the runtime
 /// classifies its own collective traffic before consulting this).
@@ -44,6 +52,7 @@ fn classify_tag(tag: u64) -> TagClass {
         0x20 => TagClass::BlockData,
         0x21 => TagClass::LicImage,
         0x22 => TagClass::VolumeImage,
+        0x23 | 0x24 => TagClass::Recovery,
         _ => {
             if (0xc0de_0000..=0xc0de_ffff).contains(&tag) {
                 TagClass::Composite
@@ -57,11 +66,15 @@ fn classify_tag(tag: u64) -> TagClass {
 }
 
 /// Block data on the wire: raw `f32` values or 8-bit quantized (paper §4
-/// lists quantization among the input-processor preprocessing tasks).
+/// lists quantization among the input-processor preprocessing tasks), or
+/// an explicit *missing* marker: the sender exhausted its read retries
+/// and reports the slice length so the receiver can account for it
+/// without waiting out its delivery deadline.
 #[derive(Debug, Clone)]
 enum Payload {
     F32(Vec<f32>),
     U8(Vec<u8>),
+    Missing(u32),
 }
 
 impl Payload {
@@ -78,6 +91,7 @@ impl Payload {
         match self {
             Payload::F32(v) => v.len() as u64 * 4,
             Payload::U8(v) => v.len() as u64,
+            Payload::Missing(_) => 4,
         }
     }
 
@@ -85,6 +99,7 @@ impl Payload {
         match self {
             Payload::F32(v) => v.len(),
             Payload::U8(v) => v.len(),
+            Payload::Missing(n) => *n as usize,
         }
     }
 
@@ -94,13 +109,51 @@ impl Payload {
         match self {
             Payload::F32(v) => v[k],
             Payload::U8(v) => v[k] as f32 / 255.0 * scale,
+            Payload::Missing(_) => unreachable!("missing payloads are never ingested"),
         }
     }
 }
 
-/// One per-renderer data message: `(block id, offset into the block's id
-/// list, values)`.
-type BlockBatch = Vec<(u32, u32, Payload)>;
+/// FNV-1a 64 over a piece's wire representation. Any single-byte
+/// difference changes the digest: each byte applies `h ← (h ⊕ b) · p`,
+/// which is injective in `h` (odd multiplier mod 2⁶⁴), so once two
+/// streams diverge they can never re-converge.
+pub fn wire_checksum(bid: u32, offset: u32, kind: u8, bytes: impl Iterator<Item = u8>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |b: u8| h = (h ^ b as u64).wrapping_mul(PRIME);
+    for b in bid.to_le_bytes().into_iter().chain(offset.to_le_bytes()) {
+        eat(b);
+    }
+    eat(kind);
+    for b in bytes {
+        eat(b);
+    }
+    h
+}
+
+fn piece_checksum(bid: u32, offset: u32, payload: &Payload) -> u64 {
+    match payload {
+        Payload::F32(v) => wire_checksum(bid, offset, 0, v.iter().flat_map(|x| x.to_le_bytes())),
+        Payload::U8(v) => wire_checksum(bid, offset, 1, v.iter().copied()),
+        Payload::Missing(n) => wire_checksum(bid, offset, 2, n.to_le_bytes().into_iter()),
+    }
+}
+
+/// One piece of a per-renderer data message: the values of `[offset,
+/// offset + len)` of block `bid`'s id list, guarded by a wire checksum
+/// computed at pack time and verified on receive.
+#[derive(Debug, Clone)]
+struct BlockPiece {
+    bid: u32,
+    offset: u32,
+    checksum: u64,
+    payload: Payload,
+}
+
+/// One per-renderer data message: a batch of block pieces.
+type BlockBatch = Vec<BlockPiece>;
 
 /// Per-step timing recorded by an input processor.
 #[derive(Debug, Clone, Copy, Default)]
@@ -126,7 +179,7 @@ pub struct RenderFrameTiming {
 enum RankResult {
     Input(Vec<InputStepTiming>),
     Render(Vec<RenderFrameTiming>),
-    Output { frames: Vec<RgbaImage>, done_at: Vec<f64> },
+    Output { frames: Vec<RgbaImage>, done_at: Vec<f64>, degraded: Vec<Vec<u32>> },
 }
 
 /// The assembled outcome of a pipeline run.
@@ -163,6 +216,16 @@ pub struct PipelineReport {
     /// spans only when tracing was enabled ([`PipelineConfig::trace`] or
     /// `QUAKEVIZ_TRACE`).
     pub trace: TraceData,
+    /// Per-frame degraded block ids (sorted, deduplicated); `u32::MAX`
+    /// marks a missing LIC overlay. A frame's list is empty when it was
+    /// assembled from complete, verified data. Always `steps` entries.
+    pub degraded: Vec<Vec<u32>>,
+    /// The fault-injection log of the run, in injection order per kind
+    /// (empty without a fault plan).
+    pub fault_events: Vec<FaultEvent>,
+    /// Recovery counters (retries, backoff, checksum failures, degraded
+    /// frames, failovers); `None` without a fault plan.
+    pub recovery: Option<RecoveryStats>,
 }
 
 impl PipelineReport {
@@ -220,6 +283,11 @@ impl PipelineReport {
         let n = self.input_steps.len().max(1);
         self.input_steps.iter().map(|s| s.send_wait_s).sum::<f64>() / n as f64
     }
+
+    /// Number of frames assembled from incomplete data (flagged degraded).
+    pub fn degraded_frame_count(&self) -> usize {
+        self.degraded.iter().filter(|d| !d.is_empty()).count()
+    }
 }
 
 /// Everything precomputed once and shared read-only by all ranks — the
@@ -245,6 +313,53 @@ struct Shared {
     n_inputs: usize,
     n_renderers: usize,
     opacity_unit: f64,
+    /// The run's deterministic fault plan, if injection is active.
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl Shared {
+    /// The fault context for reads of step `t` (`None` without a plan).
+    fn fault_ctx(&self, t: usize) -> Option<FaultCtx<'_>> {
+        self.faults.as_deref().map(|plan| FaultCtx { plan, retry: self.cfg.retry, step: t as u32 })
+    }
+
+    fn deadline(&self) -> Duration {
+        Duration::from_millis(self.cfg.deadline_ms)
+    }
+}
+
+/// Resolve the run's fault plan: an explicit [`PipelineConfig::faults`]
+/// spec (validated hard), else `QUAKEVIZ_FAULTS` (sanitized: a scripted
+/// rank failure the configuration cannot survive is dropped so a blanket
+/// environment spec still applies to every suite configuration).
+fn resolve_faults(
+    config: &PipelineConfig,
+    n_inputs: usize,
+) -> Result<Option<Arc<FaultPlan>>, String> {
+    let (mut spec, from_env) = match &config.faults {
+        Some(spec) => (spec.clone(), false),
+        None => match FaultSpec::from_env() {
+            Some(spec) => (spec, true),
+            None => return Ok(None),
+        },
+    };
+    if let Some((rank, step)) = spec.fail_rank {
+        let survivable = matches!(config.io, IoStrategy::TwoDip { per_group, .. } if per_group >= 2)
+            && matches!(config.read, ReadStrategy::IndependentContiguous)
+            && !config.prefetch
+            && rank < n_inputs;
+        if !survivable {
+            if !from_env {
+                return Err(format!(
+                    "fail_rank={rank}@{step} needs a 2DIP input group of at least 2 \
+                     (independent contiguous reads, synchronous runtime) so the dead \
+                     rank's slice can fail over to a survivor"
+                ));
+            }
+            spec.fail_rank = None;
+        }
+    }
+    Ok(Some(FaultPlan::new(spec)))
 }
 
 /// Run the pipeline for `dataset` under `config`.
@@ -307,6 +422,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         (Arc::new(qt), Arc::new(ids), Arc::new(noise))
     });
 
+    let faults = resolve_faults(&config, n_inputs)?;
     let shared = Shared {
         mesh,
         disk: Arc::clone(dataset.disk()),
@@ -323,6 +439,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         n_inputs,
         n_renderers: config.renderers,
         opacity_unit: extent.max_component() / 64.0,
+        faults,
         cfg: config,
     };
 
@@ -333,7 +450,9 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
     let stats = TrafficStats::with_matrix(world, classify_tag);
     let obs_ref = &session;
     let results =
-        World::run_traced(world, Arc::clone(&stats), move |comm| rank_main(comm, obs_ref, shared));
+        World::run_faulted(world, Arc::clone(&stats), shared.faults.clone(), move |comm| {
+            rank_main(comm, obs_ref, shared)
+        });
 
     // assemble
     let mut input_steps = Vec::new();
@@ -341,6 +460,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
     let mut render_rank_seconds = Vec::new();
     let mut frames = Vec::new();
     let mut frame_done = Vec::new();
+    let mut degraded = Vec::new();
     for r in results {
         match r {
             RankResult::Input(v) => input_steps.extend(v),
@@ -348,12 +468,40 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
                 render_rank_seconds.push(v.iter().map(|f| f.render_s).sum::<f64>());
                 render_frames.extend(v);
             }
-            RankResult::Output { frames: f, done_at } => {
+            RankResult::Output { frames: f, done_at, degraded: d } => {
                 frames = f;
                 frame_done = done_at;
+                degraded = d;
             }
         }
     }
+    // surface the plan's counters as metrics so the snapshot carries them
+    let (fault_events, recovery) = match &shared.faults {
+        None => (Vec::new(), None),
+        Some(plan) => {
+            let m = session.metrics();
+            for (kind, n) in plan.counts() {
+                if n > 0 {
+                    m.counter(&format!("fault.{}", kind.as_str())).add(n);
+                }
+            }
+            let rec = plan.recovery();
+            for (name, n) in [
+                ("recovery.retries", rec.read_retries),
+                ("recovery.backoff_us", rec.backoff_us),
+                ("recovery.exhausted_reads", rec.exhausted_reads),
+                ("recovery.checksum_failures", rec.checksum_failures),
+                ("recovery.degraded_blocks", rec.degraded_blocks),
+                ("recovery.degraded_frames", rec.degraded_frames),
+                ("recovery.failover_events", rec.failover_events),
+            ] {
+                if n > 0 {
+                    m.counter(name).add(n);
+                }
+            }
+            (plan.events(), Some(rec))
+        }
+    };
     let trace = session.snapshot(Some(&stats));
     write_trace_if_requested(&trace);
     Ok(PipelineReport {
@@ -370,6 +518,9 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         render_rank_seconds,
         traffic: stats.edges(),
         trace,
+        degraded,
+        fault_events,
+        recovery,
     })
 }
 
@@ -505,19 +656,22 @@ fn input_plan(me: usize, s: &Shared) -> InputPlan {
 }
 
 /// Dense per-node vectors for the step plus the stats of getting them.
+/// `Err` means the read failed for good (retries exhausted under the
+/// fault plan); nothing is charged to the step's stats.
 fn fetch_step(
     comm_group: Option<&Comm>,
     s: &Shared,
     t: usize,
     plan: &FetchPlan,
-) -> (Vec<[f32; 3]>, ReadStats) {
+) -> Result<(Vec<[f32; 3]>, ReadStats), ReadError> {
+    let ctx = s.fault_ctx(t);
     let (dense, mut stats) = match (&s.cfg.read, comm_group) {
         (ReadStrategy::CollectiveNoncontiguous { sieve_window }, Some(gc))
             if plan.ids.is_some() =>
         {
-            plan.read_collective(&s.disk, &s.mesh, t, gc, *sieve_window)
+            plan.read_collective(&s.disk, &s.mesh, t, gc, *sieve_window, ctx.as_ref())?
         }
-        _ => plan.read(&s.disk, &s.mesh, t, 1 << 16),
+        _ => plan.read(&s.disk, &s.mesh, t, 1 << 16, ctx.as_ref())?,
     };
     if let Some(scale) = s.cfg.io_delay_scale {
         let d = stats.sim_seconds * scale;
@@ -527,7 +681,7 @@ fn fetch_step(
             stats.real_seconds += d;
         }
     }
-    (dense, stats)
+    Ok((dense, stats))
 }
 
 fn magnitudes(dense: &[[f32; 3]]) -> Vec<f32> {
@@ -536,16 +690,20 @@ fn magnitudes(dense: &[[f32; 3]]) -> Vec<f32> {
 
 /// Read + preprocess one step into the enhanced magnitude field. Shared
 /// verbatim by the synchronous loop and the prefetch worker, so the two
-/// runtimes compute bit-identical values.
+/// runtimes compute bit-identical values. `None` means the step's data
+/// could not be read (retries exhausted): the caller ships explicit
+/// *missing* pieces instead of values and the frame degrades downstream.
 fn prepare_step(
     group_comm: Option<&Comm>,
     s: &Shared,
-    plan: &InputPlan,
+    fetch: &FetchPlan,
     enhance: &TemporalEnhance,
     t: usize,
-) -> (Vec<f32>, ReadStats) {
+) -> (Option<Vec<f32>>, ReadStats) {
     let mut sp = obs::span(Phase::Read, t as u32);
-    let (dense, mut stats) = fetch_step(group_comm, s, t, &plan.fetch);
+    let Ok((dense, mut stats)) = fetch_step(group_comm, s, t, fetch) else {
+        return (None, ReadStats::default());
+    };
     sp.add_bytes(stats.useful_bytes);
     drop(sp);
 
@@ -557,7 +715,11 @@ fn prepare_step(
     drop(pp);
     if s.cfg.enhancement && t > 0 {
         let mut sp = obs::span(Phase::Read, t as u32);
-        let (prev_dense, prev_stats) = fetch_step(group_comm, s, t - 1, &plan.fetch);
+        // enhancement needs the previous step too: if that read fails the
+        // enhanced field cannot be computed and the whole step is missing
+        let Ok((prev_dense, prev_stats)) = fetch_step(group_comm, s, t - 1, fetch) else {
+            return (None, stats);
+        };
         sp.add_bytes(prev_stats.useful_bytes);
         drop(sp);
         stats.accumulate(&prev_stats);
@@ -569,39 +731,87 @@ fn prepare_step(
             .to_vec();
         drop(pp);
     }
-    (mag, stats)
+    (Some(mag), stats)
 }
 
 /// Pack the per-renderer block batches for one prepared step: every
-/// message is a batch of (block, offset-into-id-list, values) pieces —
-/// whole blocks (offset 0) for solo readers, slice intersections for
-/// 2DIP group members. Returns `(destination rank, batch, wire bytes)`.
-fn pack_batches(s: &Shared, plan: &InputPlan, mag: &[f32]) -> Vec<(usize, BlockBatch, u64)> {
+/// message is a batch of checksummed [`BlockPiece`]s — whole blocks
+/// (offset 0) for solo readers, slice intersections for 2DIP group
+/// members. `mag = None` (the read failed for good) packs *missing*
+/// pieces of the right lengths instead of values. When the fault plan
+/// scripts wire corruption for a message, one payload bit is flipped
+/// *after* the checksum was computed, so the receiver's verify catches
+/// it. Returns `(destination rank, batch, wire bytes)`.
+fn pack_batches(
+    s: &Shared,
+    my_span: Option<(NodeId, NodeId)>,
+    mag: Option<&[f32]>,
+    me: usize,
+    t: usize,
+) -> Vec<(usize, BlockBatch, u64)> {
     let mut out = Vec::with_capacity(s.n_renderers);
     for r in 0..s.n_renderers {
         let dst = s.n_inputs + r;
         let mut batch: BlockBatch = Vec::new();
         for &bid in s.partition.blocks_of(r) {
             let ids = &s.ids_per_block[bid as usize];
-            let (a, b) = match plan.my_span {
+            let (a, b) = match my_span {
                 None => (0, ids.len()),
                 Some((lo, hi)) => {
                     (ids.partition_point(|&id| id < lo), ids.partition_point(|&id| id < hi))
                 }
             };
             if a < b {
-                let values: Vec<f32> = ids[a..b].iter().map(|&id| mag[id as usize]).collect();
-                batch.push((
-                    bid,
-                    a as u32,
-                    Payload::from_values(values, s.cfg.quantize, s.vmag_max),
-                ));
+                let payload = match mag {
+                    Some(mag) => {
+                        let values: Vec<f32> =
+                            ids[a..b].iter().map(|&id| mag[id as usize]).collect();
+                        Payload::from_values(values, s.cfg.quantize, s.vmag_max)
+                    }
+                    None => Payload::Missing((b - a) as u32),
+                };
+                let checksum = piece_checksum(bid, a as u32, &payload);
+                batch.push(BlockPiece { bid, offset: a as u32, checksum, payload });
             }
         }
-        let bytes: u64 = batch.iter().map(|(_, _, p)| p.wire_bytes()).sum();
+        if let Some(plan) = &s.faults {
+            if let Some(seed) = plan.wire_corrupt(me, dst, TAG_DATA + t as u64) {
+                corrupt_one_bit(&mut batch, seed);
+            }
+        }
+        let bytes: u64 = batch.iter().map(|p| p.payload.wire_bytes()).sum();
         out.push((dst, batch, bytes));
     }
     out
+}
+
+/// Flip one deterministically-chosen payload bit of a batch (the wire
+/// corruption model; missing markers carry no corruptible values).
+fn corrupt_one_bit(batch: &mut BlockBatch, seed: u64) {
+    let bits_of = |p: &Payload| match p {
+        Payload::F32(v) => v.len() * 32,
+        Payload::U8(v) => v.len() * 8,
+        Payload::Missing(_) => 0,
+    };
+    let total: usize = batch.iter().map(|p| bits_of(&p.payload)).sum();
+    if total == 0 {
+        return;
+    }
+    let mut k = (seed % total as u64) as usize;
+    for piece in batch.iter_mut() {
+        let bits = bits_of(&piece.payload);
+        if k < bits {
+            match &mut piece.payload {
+                Payload::F32(v) => {
+                    v[k / 32] = f32::from_bits(v[k / 32].to_bits() ^ (1 << (k % 32)));
+                }
+                Payload::U8(v) => v[k / 8] ^= 1 << (k % 8),
+                Payload::Missing(_) => unreachable!("missing pieces have no bits"),
+            }
+            return;
+        }
+        k -= bits;
+    }
 }
 
 /// LIC overlay for step `t`, synthesized and shipped by the step's lead
@@ -614,26 +824,37 @@ fn lic_step(comm: &Comm, s: &Shared, t: usize, read: &mut ReadStats) {
     let output_rank = s.n_inputs + s.n_renderers;
     let mut lic_sp = obs::span(Phase::Lic, t as u32);
     // surface vectors: read explicitly (they may not be in the adaptive
-    // fetch set or my slice)
-    let (surf_dense, surf_stats) = reader::read_step_ids(&s.disk, &s.mesh, t, surf_ids, 1 << 16);
-    read.accumulate(&surf_stats);
-    if let Some(scale) = s.cfg.io_delay_scale {
-        let d = surf_stats.sim_seconds * scale;
-        if d > 0.0 {
-            std::thread::sleep(std::time::Duration::from_secs_f64(d));
-        }
-    }
-    let field = quakeviz_mesh::VectorField::new(surf_dense);
-    let reg = extract_surface_field(&s.mesh, &field, qt, s.cfg.width, s.cfg.height);
-    let phase = (t as f64 * 0.08) % 1.0;
-    let gray = compute_lic(&reg, noise, &LicParams { phase: Some(phase), ..Default::default() });
-    // normalize by the surface maximum (surface motion is far weaker than
-    // the 3D peak at the hypocentre)
-    let img = colorize(&reg, &gray, &s.cfg.transfer, reg.max_magnitude());
+    // fetch set or my slice); when the read fails for good the overlay
+    // degrades to a transparent image and the frame is flagged
+    let ctx = s.fault_ctx(t);
+    let (img, missing) =
+        match reader::read_step_ids(&s.disk, &s.mesh, t, surf_ids, 1 << 16, ctx.as_ref()) {
+            Err(_) => (RgbaImage::new(s.cfg.width, s.cfg.height), true),
+            Ok((surf_dense, surf_stats)) => {
+                read.accumulate(&surf_stats);
+                if let Some(scale) = s.cfg.io_delay_scale {
+                    let d = surf_stats.sim_seconds * scale;
+                    if d > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(d));
+                    }
+                }
+                let field = quakeviz_mesh::VectorField::new(surf_dense);
+                let reg = extract_surface_field(&s.mesh, &field, qt, s.cfg.width, s.cfg.height);
+                let phase = (t as f64 * 0.08) % 1.0;
+                let gray = compute_lic(
+                    &reg,
+                    noise,
+                    &LicParams { phase: Some(phase), ..Default::default() },
+                );
+                // normalize by the surface maximum (surface motion is far
+                // weaker than the 3D peak at the hypocentre)
+                (colorize(&reg, &gray, &s.cfg.transfer, reg.max_magnitude()), false)
+            }
+        };
     let bytes = (img.width() * img.height() * 16) as u64;
     lic_sp.add_bytes(bytes);
     drop(lic_sp);
-    comm.send_with_size(output_rank, TAG_LIC + t as u64, img, bytes);
+    comm.send_with_size(output_rank, TAG_LIC + t as u64, (img, missing), bytes);
 }
 
 fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputStepTiming> {
@@ -656,6 +877,73 @@ fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputSt
     timings
 }
 
+/// This rank's 2DIP group as world ranks, when scripted rank failure —
+/// and with it the heartbeat/failover protocol — is active.
+fn failover_group(me: usize, s: &Shared) -> Option<Vec<usize>> {
+    let plan = s.faults.as_ref()?;
+    plan.spec().fail_rank?;
+    match s.cfg.io {
+        IoStrategy::OneDip { .. } => None,
+        IoStrategy::TwoDip { per_group, .. } => {
+            let g = me / per_group;
+            Some((g * per_group..(g + 1) * per_group).collect())
+        }
+    }
+}
+
+/// A group member's fetch plan when the live group has shrunk to `live`
+/// members and this rank is the `idx`-th of them: the contiguous slice
+/// (or adaptive-fetch id slice) reassignment of §5.3.2, recomputed for
+/// the survivors.
+fn member_fetch(s: &Shared, idx: usize, live: usize) -> (FetchPlan, Option<(NodeId, NodeId)>) {
+    if let Some(lvl) = &s.level_ids {
+        let (a, b) = member_node_range(lvl.len(), idx, live);
+        let ids = lvl[a..b].to_vec();
+        let span = if ids.is_empty() { (0, 0) } else { (ids[0], *ids.last().unwrap() + 1) };
+        (FetchPlan { ids: Some(ids), range: None }, Some(span))
+    } else {
+        let (a, b) = member_node_range(s.mesh.node_count(), idx, live);
+        (FetchPlan { ids: None, range: Some((a, b)) }, Some((a as NodeId, b as NodeId)))
+    }
+}
+
+/// Exchange per-step heartbeats inside the 2DIP group, declare members
+/// that missed the deadline dead (permanently), and return the surviving
+/// slice assignment: `(fetch override, span, LIC-lead flag)`. A `None`
+/// override means every member is alive and the precomputed plan stands.
+fn heartbeat_and_slice(
+    comm: &Comm,
+    s: &Shared,
+    group: &[usize],
+    dead: &mut Vec<usize>,
+    t: usize,
+) -> (Option<(FetchPlan, Option<(NodeId, NodeId)>)>, bool) {
+    let me = comm.rank();
+    let _sp = obs::span(Phase::Heartbeat, t as u32);
+    let peers: Vec<usize> =
+        group.iter().copied().filter(|&r| r != me && !dead.contains(&r)).collect();
+    for &r in &peers {
+        comm.send_with_size(r, TAG_HB + t as u64, (), 8);
+    }
+    for &r in &peers {
+        if comm.try_recv_for::<()>(r, TAG_HB + t as u64, s.deadline()).is_none() {
+            dead.push(r);
+            if let Some(p) = &s.faults {
+                p.note_failover(r, t);
+            }
+        }
+    }
+    let live: Vec<usize> = group.iter().copied().filter(|r| !dead.contains(r)).collect();
+    // LIC duty falls to the lowest live member (= `member == 0` while the
+    // whole group is alive)
+    let lead = live.first() == Some(&me);
+    if live.len() == group.len() {
+        return (None, lead);
+    }
+    let idx = live.iter().position(|&r| r == me).expect("I am alive");
+    (Some(member_fetch(s, idx, live.len())), lead)
+}
+
 /// The reference runtime: read, preprocess, LIC, pack and send each step
 /// serially.
 fn input_main_sync(
@@ -665,18 +953,32 @@ fn input_main_sync(
     plan: &InputPlan,
 ) -> Vec<InputStepTiming> {
     let enhance = TemporalEnhance::default();
+    let me = comm.rank();
+    let group = failover_group(me, s);
+    let mut dead: Vec<usize> = Vec::new();
     let mut timings = Vec::with_capacity(plan.my_steps.len());
     for &t in &plan.my_steps {
+        // a scripted failure: this rank stops cold, mid-pipeline, with no
+        // farewell — survivors must *detect* it via heartbeat timeouts
+        if s.faults.as_ref().is_some_and(|p| p.rank_failed(me, t)) {
+            break;
+        }
+        let (fetch_override, lead) = match &group {
+            Some(g) => heartbeat_and_slice(comm, s, g, &mut dead, t),
+            None => (None, plan.member == 0),
+        };
+        let fetch = fetch_override.as_ref().map_or(&plan.fetch, |(f, _)| f);
+        let my_span = fetch_override.as_ref().map_or(plan.my_span, |&(_, sp)| sp);
         let mut timing = InputStepTiming::default();
-        let (mag, stats) = prepare_step(group_comm, s, plan, &enhance, t);
+        let (mag, stats) = prepare_step(group_comm, s, fetch, &enhance, t);
         timing.read = stats;
-        if plan.member == 0 {
+        if lead {
             lic_step(comm, s, t, &mut timing.read);
         }
         let mut send_sp = obs::span(Phase::Send, t as u32);
-        for (dst, batch, bytes) in pack_batches(s, plan, &mag) {
+        for (dst, batch, bytes) in pack_batches(s, my_span, mag.as_deref(), me, t) {
             send_sp.add_bytes(bytes);
-            comm.send_with_size(dst, TAG_DATA + t as u64, batch, bytes);
+            comm.send_lossy_with_size(dst, TAG_DATA + t as u64, batch, bytes);
         }
         drop(send_sp);
         timings.push(timing);
@@ -710,6 +1012,7 @@ fn input_main_prefetch(comm: &Comm, s: &Shared, plan: &InputPlan) -> Vec<InputSt
         PREFETCH_SLOTS,
     );
     let track = obs::current_attachment();
+    let me = comm.rank();
     std::thread::scope(|scope| {
         // `move` hands the worker its own tx: if it panics, tx drops and
         // the consumer's recv fails instead of blocking forever
@@ -720,9 +1023,9 @@ fn input_main_prefetch(comm: &Comm, s: &Shared, plan: &InputPlan) -> Vec<InputSt
             for &t in &plan.my_steps {
                 // collective reads are rejected at config validation, so
                 // the worker never needs the group communicator
-                let (mag, stats) = prepare_step(None, s, plan, &enhance, t);
+                let (mag, stats) = prepare_step(None, s, &plan.fetch, &enhance, t);
                 let mut sp = obs::span(Phase::Send, t as u32);
-                let batches = pack_batches(s, plan, &mag);
+                let batches = pack_batches(s, plan.my_span, mag.as_deref(), me, t);
                 for (_, _, bytes) in &batches {
                     sp.add_bytes(*bytes);
                 }
@@ -749,7 +1052,7 @@ fn input_main_prefetch(comm: &Comm, s: &Shared, plan: &InputPlan) -> Vec<InputSt
             let handles: Vec<SendHandle> = batches
                 .into_iter()
                 .map(|(dst, batch, bytes)| {
-                    comm.isend_with_size(dst, TAG_DATA + t as u64, batch, bytes)
+                    comm.isend_lossy_with_size(dst, TAG_DATA + t as u64, batch, bytes)
                 })
                 .collect();
             inflight.push_back((t, handles));
@@ -782,37 +1085,111 @@ fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTi
     let norm = (0.0f32, s.vmag_max);
     let mut timings = Vec::with_capacity(s.steps);
 
+    let nblocks = s.blocks.len();
     for t in 0..s.steps {
         let mut recv_sp = obs::span(Phase::Receive, t as u32);
-        let n_sources = match s.cfg.io {
-            IoStrategy::OneDip { .. } => 1,
-            IoStrategy::TwoDip { per_group, .. } => per_group,
-        };
-        // drain whichever member's batch arrives next: the per-step tag
-        // already identifies the step, and batches write disjoint
-        // (block, offset) slices, so ingest order cannot change the frame
-        for _ in 0..n_sources {
-            let (_src, batch): (usize, BlockBatch) = comm.recv_any(TAG_DATA + t as u64);
-            recv_sp.add_bytes(batch.iter().map(|(_, _, p)| p.wire_bytes()).sum());
-            for (bid, offset, payload) in batch {
-                let ids = &s.ids_per_block[bid as usize];
-                for k in 0..payload.len() {
-                    field.set(ids[offset as usize + k], payload.get(k, s.vmag_max));
+        let mut degraded: Vec<u32> = Vec::new();
+        match &s.faults {
+            // the clean path: a fixed number of senders, blocking
+            // receives, checksums verified — byte-identical behaviour to
+            // the fault-free pipeline
+            None => {
+                let n_sources = match s.cfg.io {
+                    IoStrategy::OneDip { .. } => 1,
+                    IoStrategy::TwoDip { per_group, .. } => per_group,
+                };
+                // drain whichever member's batch arrives next: the
+                // per-step tag already identifies the step, and batches
+                // write disjoint (block, offset) slices, so ingest order
+                // cannot change the frame
+                for _ in 0..n_sources {
+                    let (_src, batch): (usize, BlockBatch) = comm.recv_any(TAG_DATA + t as u64);
+                    recv_sp.add_bytes(batch.iter().map(|p| p.payload.wire_bytes()).sum());
+                    for piece in batch {
+                        assert_eq!(
+                            piece_checksum(piece.bid, piece.offset, &piece.payload),
+                            piece.checksum,
+                            "block data corrupted in transit without a fault plan"
+                        );
+                        let ids = &s.ids_per_block[piece.bid as usize];
+                        for k in 0..piece.payload.len() {
+                            field.set(
+                                ids[piece.offset as usize + k],
+                                piece.payload.get(k, s.vmag_max),
+                            );
+                        }
+                    }
                 }
+            }
+            // under a fault plan the sender set is unknowable (drops,
+            // failures): drain until every value of my blocks has been
+            // *accounted for* — delivered, reported missing, or rejected
+            // by its checksum — or the delivery deadline passes, then
+            // degrade whatever is incomplete instead of stalling
+            Some(plan) => {
+                let mut got = vec![0usize; nblocks];
+                let mut seen = vec![0usize; nblocks];
+                let step_deadline = Instant::now() + s.deadline();
+                let pending = |seen: &[usize]| {
+                    my_blocks.iter().any(|&b| seen[b as usize] < s.ids_per_block[b as usize].len())
+                };
+                while pending(&seen) {
+                    let remaining = step_deadline.saturating_duration_since(Instant::now());
+                    let Some((_src, batch)) =
+                        comm.recv_any_for::<BlockBatch>(TAG_DATA + t as u64, remaining)
+                    else {
+                        break; // deadline: degrade, don't stall the frame
+                    };
+                    recv_sp.add_bytes(batch.iter().map(|p| p.payload.wire_bytes()).sum());
+                    for piece in batch {
+                        let b = piece.bid as usize;
+                        seen[b] += piece.payload.len();
+                        if piece_checksum(piece.bid, piece.offset, &piece.payload) != piece.checksum
+                        {
+                            plan.note_checksum_failure();
+                            continue; // never ingest corrupt values
+                        }
+                        if matches!(piece.payload, Payload::Missing(_)) {
+                            continue;
+                        }
+                        let ids = &s.ids_per_block[b];
+                        for k in 0..piece.payload.len() {
+                            field.set(
+                                ids[piece.offset as usize + k],
+                                piece.payload.get(k, s.vmag_max),
+                            );
+                        }
+                        got[b] += piece.payload.len();
+                    }
+                }
+                degraded = my_blocks
+                    .iter()
+                    .copied()
+                    .filter(|&b| got[b as usize] < s.ids_per_block[b as usize].len())
+                    .collect();
+                degraded.sort_unstable();
             }
         }
         drop(recv_sp);
 
-        // render my blocks
+        // render my blocks; degraded blocks (incomplete data this step)
+        // drop one resident octree level — their stale nodes keep the
+        // last-known-good values, and the coarser tiling reads only the
+        // corner subset, shrinking the visual footprint of the gap
         let render_sp = obs::span(Phase::Render, t as u32);
         let mut frags: Vec<Fragment> = Vec::new();
         for &bid in my_blocks {
             let block = &s.blocks[bid as usize];
+            let level = if degraded.binary_search(&bid).is_ok() {
+                s.level.saturating_sub(1)
+            } else {
+                s.level
+            };
             if let Some(f) = quakeviz_render::render_block(
                 &s.mesh,
                 &field,
                 block,
-                s.level,
+                level,
                 norm,
                 &s.camera,
                 &s.cfg.transfer,
@@ -833,6 +1210,19 @@ fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTi
             comm.send_with_size(output_rank, TAG_VOL + t as u64, img, bytes);
         }
         drop(comp_sp);
+
+        // pool the degraded-block lists at the render root and forward
+        // them to the output processor for the frame's quality flag
+        if s.faults.is_some() {
+            let all = render_comm.gather(0, degraded);
+            if let Some(lists) = all {
+                let mut merged: Vec<u32> = lists.into_iter().flatten().collect();
+                merged.sort_unstable();
+                merged.dedup();
+                let bytes = merged.len() as u64 * 4;
+                comm.send_with_size(output_rank, TAG_DEG + t as u64, merged, bytes);
+            }
+        }
     }
 
     // derive the per-frame timings from the span stream
@@ -855,6 +1245,7 @@ fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> R
     let render_root = s.n_inputs;
     let mut frames = Vec::new();
     let mut done_at = Vec::with_capacity(s.steps);
+    let mut degraded: Vec<Vec<u32>> = Vec::with_capacity(s.steps);
     let m_frames = session.metrics().counter("pipeline.frames");
     let m_bytes = session.metrics().counter("pipeline.frame_bytes");
     let m_latency = session.metrics().histogram("pipeline.interframe_us");
@@ -863,17 +1254,27 @@ fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> R
         let mut sp = obs::span(Phase::Assemble, t as u32);
         let mut vol: RgbaImage = comm.recv(render_root, TAG_VOL + t as u64);
         sp.add_bytes((vol.width() * vol.height() * 16) as u64);
+        let mut deg: Vec<u32> = match &s.faults {
+            Some(_) => comm.recv(render_root, TAG_DEG + t as u64),
+            None => Vec::new(),
+        };
         if s.surface.is_some() {
-            let lic_src = match s.cfg.io {
-                IoStrategy::OneDip { input_procs } => t % input_procs,
-                IoStrategy::TwoDip { groups, per_group } => (t % groups) * per_group,
-            };
-            let lic_img: RgbaImage = comm.recv(lic_src, TAG_LIC + t as u64);
+            let lic_src = lic_source(s, t);
+            let (lic_img, lic_missing): (RgbaImage, bool) = comm.recv(lic_src, TAG_LIC + t as u64);
             sp.add_bytes((lic_img.width() * lic_img.height() * 16) as u64);
+            if lic_missing {
+                deg.push(u32::MAX);
+            }
             // the volume rendering sits in front of the surface texture
             vol.over_inplace(&lic_img);
         }
         drop(sp);
+        if !deg.is_empty() {
+            if let Some(plan) = &s.faults {
+                plan.note_degraded_frame(deg.iter().filter(|&&b| b != u32::MAX).count() as u64);
+            }
+        }
+        degraded.push(deg);
         let now = start.elapsed().as_secs_f64();
         m_frames.inc();
         m_bytes.add((vol.width() * vol.height() * 16) as u64);
@@ -884,7 +1285,23 @@ fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> R
             frames.push(vol);
         }
     }
-    RankResult::Output { frames, done_at }
+    RankResult::Output { frames, done_at, degraded }
+}
+
+/// Which input rank ships the LIC overlay for step `t`: the step group's
+/// lead, skipping members the fault plan has scripted dead by that step
+/// (the survivors hand LIC duty to the lowest live member — the output
+/// processor derives the same answer from the deterministic plan).
+fn lic_source(s: &Shared, t: usize) -> usize {
+    match s.cfg.io {
+        IoStrategy::OneDip { input_procs } => t % input_procs,
+        IoStrategy::TwoDip { groups, per_group } => {
+            let base = (t % groups) * per_group;
+            (base..base + per_group)
+                .find(|&r| !s.faults.as_ref().is_some_and(|p| p.rank_failed(r, t)))
+                .unwrap_or(base)
+        }
+    }
 }
 
 #[cfg(test)]

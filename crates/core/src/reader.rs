@@ -14,12 +14,58 @@
 //!   level-ℓ cell tiling, cutting fetch bytes by the same factor as the
 //!   rendering work.
 
+use crate::config::RetryPolicy;
 use quakeviz_mesh::{HexMesh, NodeId, OctreeBlock};
-use quakeviz_parfs::{Disk, IndexedBlockType, PFile};
+use quakeviz_parfs::{Disk, IndexedBlockType, PFile, ReadError, ReadOutcome};
+use quakeviz_rt::obs::{self, Phase};
 use quakeviz_rt::Comm;
+use quakeviz_rt::FaultPlan;
 use quakeviz_seismic::Dataset;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Fault-injection context for one input rank's reads: the shared plan,
+/// the retry policy, and the step being fetched (for retry spans).
+#[derive(Clone, Copy)]
+pub struct FaultCtx<'a> {
+    pub plan: &'a FaultPlan,
+    pub retry: RetryPolicy,
+    pub step: u32,
+}
+
+/// Run one read under bounded retry with exponential backoff. Transient
+/// failures (injected I/O errors, detected stripe corruption) are retried
+/// up to `retry.max_attempts` times; each backoff is recorded as a
+/// [`Phase::Retry`] span and in the plan's recovery counters. Without a
+/// context the closure runs exactly once with no plan (the zero-fault
+/// path is byte- and cost-identical to the pre-fault code).
+fn with_retry(
+    ctx: Option<&FaultCtx>,
+    mut read: impl FnMut(Option<&FaultPlan>, u32) -> Result<ReadOutcome, ReadError>,
+) -> Result<ReadOutcome, ReadError> {
+    let Some(ctx) = ctx else { return read(None, 0) };
+    let mut attempt = 0u32;
+    loop {
+        match read(Some(ctx.plan), attempt) {
+            Ok(out) => return Ok(out),
+            Err(e) if e.is_transient() && attempt + 1 < ctx.retry.max_attempts => {
+                let backoff = ctx.retry.backoff_after(attempt);
+                ctx.plan.note_retry(backoff);
+                // auto span: retries nest inside the Read stage span, so
+                // they must not pollute the stage-only track
+                let _sp = obs::auto_span(Phase::Retry, ctx.step);
+                std::thread::sleep(backoff);
+                attempt += 1;
+            }
+            Err(e) => {
+                if e.is_transient() {
+                    ctx.plan.note_exhausted();
+                }
+                return Err(e);
+            }
+        }
+    }
+}
 
 /// Accounting for one read operation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -137,13 +183,19 @@ fn stats_from(outcome: &quakeviz_parfs::ReadOutcome, start: Instant) -> ReadStat
 }
 
 /// Read the complete step `t` into a dense per-node vector buffer.
-pub fn read_step_full(disk: &Arc<Disk>, mesh: &HexMesh, t: usize) -> (Vec<[f32; 3]>, ReadStats) {
+pub fn read_step_full(
+    disk: &Arc<Disk>,
+    mesh: &HexMesh,
+    t: usize,
+    ctx: Option<&FaultCtx>,
+) -> Result<(Vec<[f32; 3]>, ReadStats), ReadError> {
     let start = Instant::now();
-    let f = PFile::open(Arc::clone(disk), Dataset::step_path(t));
-    let out = f.read_contiguous(0, f.len());
+    let f = PFile::open(Arc::clone(disk), Dataset::step_path(t))?;
+    let len = f.len();
+    let out = with_retry(ctx, |plan, attempt| f.read_contiguous_with(0, len, plan, attempt))?;
     let mut dense = vec![[0.0f32; 3]; mesh.node_count()];
     parse_vectors_into(&mut dense, None, &out.data);
-    (dense, stats_from(&out, start))
+    Ok((dense, stats_from(&out, start)))
 }
 
 /// Independent indexed read of the given node ids of step `t` (dense
@@ -154,14 +206,16 @@ pub fn read_step_ids(
     t: usize,
     ids: &[NodeId],
     sieve_window: u64,
-) -> (Vec<[f32; 3]>, ReadStats) {
+    ctx: Option<&FaultCtx>,
+) -> Result<(Vec<[f32; 3]>, ReadStats), ReadError> {
     let start = Instant::now();
-    let f = PFile::open(Arc::clone(disk), Dataset::step_path(t));
+    let f = PFile::open(Arc::clone(disk), Dataset::step_path(t))?;
     let dt = IndexedBlockType::from_node_ids(ids, 12);
-    let out = f.read_indexed(&dt, sieve_window);
+    let out =
+        with_retry(ctx, |plan, attempt| f.read_indexed_with(&dt, sieve_window, plan, attempt))?;
     let mut dense = vec![[0.0f32; 3]; mesh.node_count()];
     parse_vectors_into(&mut dense, Some(ids), &out.data);
-    (dense, stats_from(&out, start))
+    Ok((dense, stats_from(&out, start)))
 }
 
 /// Collective two-phase read of the given node ids over `comm`
@@ -173,14 +227,14 @@ pub fn read_step_ids_collective(
     ids: &[NodeId],
     comm: &Comm,
     sieve_window: u64,
-) -> (Vec<[f32; 3]>, ReadStats) {
+) -> Result<(Vec<[f32; 3]>, ReadStats), ReadError> {
     let start = Instant::now();
-    let f = PFile::open(Arc::clone(disk), Dataset::step_path(t));
+    let f = PFile::open(Arc::clone(disk), Dataset::step_path(t))?;
     let dt = IndexedBlockType::new(12, 1, ids.iter().map(|&i| i as u64).collect());
-    let out = f.read_all(comm, &dt, sieve_window);
+    let out = f.read_all(comm, &dt, sieve_window)?;
     let mut dense = vec![[0.0f32; 3]; mesh.node_count()];
     parse_vectors_into(&mut dense, Some(ids), &out.data);
-    (dense, stats_from(&out, start))
+    Ok((dense, stats_from(&out, start)))
 }
 
 /// Contiguous node-range read (paper §5.3.2): nodes `[range.0, range.1)`.
@@ -189,15 +243,18 @@ pub fn read_step_range(
     mesh: &HexMesh,
     t: usize,
     range: (usize, usize),
-) -> (Vec<[f32; 3]>, ReadStats) {
+    ctx: Option<&FaultCtx>,
+) -> Result<(Vec<[f32; 3]>, ReadStats), ReadError> {
     let start = Instant::now();
-    let f = PFile::open(Arc::clone(disk), Dataset::step_path(t));
+    let f = PFile::open(Arc::clone(disk), Dataset::step_path(t))?;
     let (a, b) = range;
-    let out = f.read_contiguous(a as u64 * 12, (b - a) as u64 * 12);
+    let out = with_retry(ctx, |plan, attempt| {
+        f.read_contiguous_with(a as u64 * 12, (b - a) as u64 * 12, plan, attempt)
+    })?;
     let mut dense = vec![[0.0f32; 3]; mesh.node_count()];
     let ids: Vec<NodeId> = (a as NodeId..b as NodeId).collect();
     parse_vectors_into(&mut dense, Some(&ids), &out.data);
-    (dense, stats_from(&out, start))
+    Ok((dense, stats_from(&out, start)))
 }
 
 /// The contiguous node range of group member `j` of `m` (node-aligned).
@@ -232,16 +289,20 @@ impl FetchPlan {
         mesh: &HexMesh,
         t: usize,
         sieve_window: u64,
-    ) -> (Vec<[f32; 3]>, ReadStats) {
+        ctx: Option<&FaultCtx>,
+    ) -> Result<(Vec<[f32; 3]>, ReadStats), ReadError> {
         match (&self.ids, self.range) {
-            (Some(ids), _) => read_step_ids(disk, mesh, t, ids, sieve_window),
-            (None, Some(range)) => read_step_range(disk, mesh, t, range),
-            (None, None) => read_step_full(disk, mesh, t),
+            (Some(ids), _) => read_step_ids(disk, mesh, t, ids, sieve_window, ctx),
+            (None, Some(range)) => read_step_range(disk, mesh, t, range, ctx),
+            (None, None) => read_step_full(disk, mesh, t, ctx),
         }
     }
 
     /// Collective two-phase read of step `t` over `comm` (§5.3.1); plans
-    /// without an id pattern fall back to the independent path.
+    /// without an id pattern fall back to the independent path. The
+    /// collective path takes no fault context: an injected failure on one
+    /// rank of a collective would deadlock the others, so injection is
+    /// confined to independent reads.
     pub fn read_collective(
         &self,
         disk: &Arc<Disk>,
@@ -249,10 +310,11 @@ impl FetchPlan {
         t: usize,
         comm: &Comm,
         sieve_window: u64,
-    ) -> (Vec<[f32; 3]>, ReadStats) {
+        ctx: Option<&FaultCtx>,
+    ) -> Result<(Vec<[f32; 3]>, ReadStats), ReadError> {
         match &self.ids {
             Some(ids) => read_step_ids_collective(disk, mesh, t, ids, comm, sieve_window),
-            None => self.read(disk, mesh, t, sieve_window),
+            None => self.read(disk, mesh, t, sieve_window, ctx),
         }
     }
 }
@@ -270,7 +332,7 @@ mod tests {
     #[test]
     fn full_read_matches_dataset() {
         let ds = dataset();
-        let (dense, stats) = read_step_full(ds.disk(), ds.mesh(), 1);
+        let (dense, stats) = read_step_full(ds.disk(), ds.mesh(), 1, None).unwrap();
         let want = ds.load_step(1);
         assert_eq!(dense.len(), want.len());
         for (a, b) in dense.iter().zip(want.values()) {
@@ -301,7 +363,7 @@ mod tests {
         let mesh = ds.mesh();
         let level = mesh.octree().max_leaf_level().saturating_sub(1);
         let ids = level_node_ids(mesh, level);
-        let (dense, stats) = read_step_ids(ds.disk(), mesh, 2, &ids, 256);
+        let (dense, stats) = read_step_ids(ds.disk(), mesh, 2, &ids, 256, None).unwrap();
         let want = ds.load_step(2);
         for &id in &ids {
             assert_eq!(dense[id as usize], want.get(id));
@@ -316,7 +378,7 @@ mod tests {
         let mesh = ds.mesh();
         let n = mesh.node_count();
         let (a, b) = member_node_range(n, 1, 3);
-        let (dense, _) = read_step_range(ds.disk(), mesh, 0, (a, b));
+        let (dense, _) = read_step_range(ds.disk(), mesh, 0, (a, b), None).unwrap();
         let want = ds.load_step(0);
         for id in a..b {
             assert_eq!(dense[id], want.get(id as NodeId));
@@ -349,7 +411,8 @@ mod tests {
             let n = mesh.node_count();
             let (a, b) = member_node_range(n, comm.rank(), comm.size());
             let ids: Vec<NodeId> = (a as NodeId..b as NodeId).collect();
-            let (dense, stats) = read_step_ids_collective(&disk, &mesh, 1, &ids, &comm, 1 << 16);
+            let (dense, stats) =
+                read_step_ids_collective(&disk, &mesh, 1, &ids, &comm, 1 << 16).unwrap();
             (dense, stats, (a, b))
         });
         let want = ds.load_step(1);
@@ -366,23 +429,62 @@ mod tests {
         let ds = dataset();
         let mesh = ds.mesh();
         let n = mesh.node_count();
-        let full = FetchPlan::full().read(ds.disk(), mesh, 1, 1 << 16);
-        assert_eq!(full.0, read_step_full(ds.disk(), mesh, 1).0);
+        let full = FetchPlan::full().read(ds.disk(), mesh, 1, 1 << 16, None).unwrap();
+        assert_eq!(full.0, read_step_full(ds.disk(), mesh, 1, None).unwrap().0);
 
         let (a, b) = member_node_range(n, 1, 2);
         let plan = FetchPlan { ids: None, range: Some((a, b)) };
         assert_eq!(
-            plan.read(ds.disk(), mesh, 1, 1 << 16).0,
-            read_step_range(ds.disk(), mesh, 1, (a, b)).0
+            plan.read(ds.disk(), mesh, 1, 1 << 16, None).unwrap().0,
+            read_step_range(ds.disk(), mesh, 1, (a, b), None).unwrap().0
         );
 
         let level = mesh.octree().max_leaf_level().saturating_sub(1);
         let ids = level_node_ids(mesh, level);
         let plan = FetchPlan { ids: Some(ids.clone()), range: None };
         assert_eq!(
-            plan.read(ds.disk(), mesh, 1, 256).0,
-            read_step_ids(ds.disk(), mesh, 1, &ids, 256).0
+            plan.read(ds.disk(), mesh, 1, 256, None).unwrap().0,
+            read_step_ids(ds.disk(), mesh, 1, &ids, 256, None).unwrap().0
         );
+    }
+
+    #[test]
+    fn retry_exhausts_on_persistent_transient_faults() {
+        let ds = dataset();
+        let plan =
+            FaultPlan::new(quakeviz_rt::FaultSpec::parse("seed=7,read_transient=1.0").unwrap());
+        let retry = RetryPolicy { max_attempts: 3, backoff_ms: 0 };
+        let ctx = FaultCtx { plan: &plan, retry, step: 0 };
+        let err = read_step_full(ds.disk(), ds.mesh(), 1, Some(&ctx)).unwrap_err();
+        assert!(err.is_transient(), "exhaustion must surface the transient error: {err}");
+        let rec = plan.recovery();
+        assert_eq!(rec.read_retries, 2, "max_attempts=3 means two backoffs");
+        assert_eq!(rec.exhausted_reads, 1);
+    }
+
+    #[test]
+    fn retry_recovers_and_matches_clean_read() {
+        let ds = dataset();
+        let clean = read_step_full(ds.disk(), ds.mesh(), 1, None).unwrap().0;
+        let retry = RetryPolicy { max_attempts: 5, backoff_ms: 0 };
+        // Scan seeds for one whose first attempt faults but a later
+        // attempt succeeds (p = 0.5 makes these common); the chosen seed
+        // is then fully deterministic.
+        for seed in 0..64u64 {
+            let spec =
+                quakeviz_rt::FaultSpec::parse(&format!("seed={seed},read_transient=0.5")).unwrap();
+            let plan = FaultPlan::new(spec);
+            let ctx = FaultCtx { plan: &plan, retry, step: 0 };
+            let Ok((dense, _)) = read_step_full(ds.disk(), ds.mesh(), 1, Some(&ctx)) else {
+                continue;
+            };
+            if plan.recovery().read_retries == 0 {
+                continue;
+            }
+            assert_eq!(dense, clean, "recovered read must be bit-identical (seed {seed})");
+            return;
+        }
+        panic!("no seed in 0..64 produced a fault-then-recover read");
     }
 
     #[test]

@@ -170,6 +170,9 @@ mod tests {
             traffic: Vec::new(),
             prefetch: false,
             trace: TraceData { tracks: Vec::new(), edges: Vec::new(), metrics: Vec::new() },
+            degraded: Vec::new(),
+            fault_events: Vec::new(),
+            recovery: None,
         }
     }
 

@@ -11,9 +11,58 @@
 //! exactly the knee visible in the paper's Figure 8.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::sync::RwLock;
+
+/// A failed read on the virtual parallel file system.
+///
+/// The first two variants are genuine caller bugs or dataset mismatches
+/// (the readers compute their patterns from the same mesh that wrote the
+/// file); the last two are *injected* transient conditions from a
+/// [`quakeviz_rt::fault::FaultPlan`] and are retryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// The file does not exist on the virtual disk.
+    NoSuchFile { path: String },
+    /// An extent reaches past end-of-file.
+    OutOfRange { path: String, offset: u64, len: u64, file_len: u64 },
+    /// Injected transient I/O failure (nothing was transferred).
+    TransientIo { path: String, attempt: u32 },
+    /// Injected corrupted stripe: the transfer happened but the stripe
+    /// checksum did not match, so no data is delivered.
+    CorruptStripe { path: String, attempt: u32 },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::NoSuchFile { path } => {
+                write!(f, "no such file on virtual disk: {path}")
+            }
+            ReadError::OutOfRange { path, offset, len, file_len } => {
+                write!(f, "read [{offset}, {}) past EOF of {path} (len {file_len})", offset + len)
+            }
+            ReadError::TransientIo { path, attempt } => {
+                write!(f, "transient I/O error reading {path} (attempt {attempt})")
+            }
+            ReadError::CorruptStripe { path, attempt } => {
+                write!(f, "corrupted stripe reading {path} (attempt {attempt})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl ReadError {
+    /// Whether a retry can plausibly succeed (injected transient
+    /// conditions, as opposed to structural pattern/dataset mismatches).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ReadError::TransientIo { .. } | ReadError::CorruptStripe { .. })
+    }
+}
 
 /// Timing parameters of the virtual parallel file system.
 ///
@@ -184,48 +233,59 @@ impl Disk {
         self.files.write().unwrap().remove(path).is_some()
     }
 
-    fn file(&self, path: &str) -> Arc<Vec<u8>> {
+    fn file(&self, path: &str) -> Result<Arc<Vec<u8>>, ReadError> {
         self.files
             .read()
             .unwrap()
             .get(path)
-            .unwrap_or_else(|| panic!("no such file on virtual disk: {path}"))
-            .clone()
+            .cloned()
+            .ok_or_else(|| ReadError::NoSuchFile { path: path.to_string() })
     }
 
     /// Read a set of byte extents from `path`, returning the concatenated
     /// data (extent order) and the simulated elapsed seconds.
     ///
-    /// Extents past end-of-file panic: the readers compute their patterns
-    /// from the same mesh that wrote the file, so a mismatch is a bug.
-    pub fn read_extents(&self, path: &str, extents: &[(u64, u64)]) -> (Vec<u8>, f64) {
-        let data = self.file(path);
+    /// Extents past end-of-file are a typed [`ReadError::OutOfRange`]: the
+    /// readers compute their patterns from the same mesh that wrote the
+    /// file, so a mismatch is a dataset bug, but it must surface as an
+    /// error the pipeline can degrade on, not a panic.
+    pub fn read_extents(
+        &self,
+        path: &str,
+        extents: &[(u64, u64)],
+    ) -> Result<(Vec<u8>, f64), ReadError> {
+        let data = self.file(path)?;
+        for &(off, len) in extents {
+            if off + len > data.len() as u64 {
+                return Err(ReadError::OutOfRange {
+                    path: path.to_string(),
+                    offset: off,
+                    len,
+                    file_len: data.len() as u64,
+                });
+            }
+        }
         let concurrent = self.active_readers.fetch_add(1, Ordering::SeqCst) + 1;
         let total: u64 = extents.iter().map(|&(_, l)| l).sum();
         let mut out = Vec::with_capacity(total as usize);
         for &(off, len) in extents {
             let (off, len) = (off as usize, len as usize);
-            assert!(
-                off + len <= data.len(),
-                "read [{off}, {}) past EOF of {path} (len {})",
-                off + len,
-                data.len()
-            );
             out.extend_from_slice(&data[off..off + len]);
         }
         let cost = self.cost.read_cost(extents, concurrent);
         self.active_readers.fetch_sub(1, Ordering::SeqCst);
-        (out, cost)
+        Ok((out, cost))
     }
 
     /// Contiguous read helper.
-    pub fn read_at(&self, path: &str, offset: u64, len: u64) -> (Vec<u8>, f64) {
+    pub fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<(Vec<u8>, f64), ReadError> {
         self.read_extents(path, &[(offset, len)])
     }
 
     /// Read a whole file.
-    pub fn read_full(&self, path: &str) -> (Vec<u8>, f64) {
-        let len = self.file_len(path).unwrap_or_else(|| panic!("no such file: {path}"));
+    pub fn read_full(&self, path: &str) -> Result<(Vec<u8>, f64), ReadError> {
+        let len =
+            self.file_len(path).ok_or_else(|| ReadError::NoSuchFile { path: path.to_string() })?;
         self.read_at(path, 0, len)
     }
 }
@@ -250,7 +310,7 @@ mod tests {
         let disk = Disk::new(CostModel::free());
         let data: Vec<u8> = (0..=255).collect();
         disk.write_file("a.bin", data.clone());
-        let (got, cost) = disk.read_full("a.bin");
+        let (got, cost) = disk.read_full("a.bin").unwrap();
         assert_eq!(got, data);
         assert_eq!(cost, 0.0);
         assert_eq!(disk.file_len("a.bin"), Some(256));
@@ -260,23 +320,30 @@ mod tests {
     fn read_extents_concatenates_in_order() {
         let disk = Disk::new(CostModel::free());
         disk.write_file("b", (0..100u8).collect());
-        let (got, _) = disk.read_extents("b", &[(90, 5), (0, 3)]);
+        let (got, _) = disk.read_extents("b", &[(90, 5), (0, 3)]).unwrap();
         assert_eq!(got, vec![90, 91, 92, 93, 94, 0, 1, 2]);
     }
 
     #[test]
-    #[should_panic(expected = "past EOF")]
-    fn read_past_eof_panics() {
+    fn read_past_eof_is_typed_error() {
         let disk = Disk::new(CostModel::free());
         disk.write_file("c", vec![0u8; 10]);
-        disk.read_at("c", 5, 10);
+        let err = disk.read_at("c", 5, 10).unwrap_err();
+        assert_eq!(
+            err,
+            ReadError::OutOfRange { path: "c".to_string(), offset: 5, len: 10, file_len: 10 }
+        );
+        assert!(!err.is_transient());
+        assert!(err.to_string().contains("past EOF"));
     }
 
     #[test]
-    #[should_panic(expected = "no such file")]
-    fn missing_file_panics() {
+    fn missing_file_is_typed_error() {
         let disk = Disk::new(CostModel::free());
-        disk.read_at("nope", 0, 1);
+        let err = disk.read_at("nope", 0, 1).unwrap_err();
+        assert_eq!(err, ReadError::NoSuchFile { path: "nope".to_string() });
+        assert!(err.to_string().contains("no such file"));
+        assert!(disk.read_full("nope").is_err());
     }
 
     #[test]
@@ -332,7 +399,7 @@ mod tests {
                 let disk = Arc::clone(&disk);
                 s.spawn(move || {
                     for _ in 0..100 {
-                        let (got, cost) = disk.read_at("shared", t * 10, 10);
+                        let (got, cost) = disk.read_at("shared", t * 10, 10).unwrap();
                         assert_eq!(got[0], (t * 10) as u8);
                         assert!(cost > 0.0);
                     }

@@ -26,5 +26,5 @@
 pub mod disk;
 pub mod mpiio;
 
-pub use disk::{CostModel, Disk};
+pub use disk::{CostModel, Disk, ReadError};
 pub use mpiio::{IndexedBlockType, PFile, ReadOutcome};

@@ -15,7 +15,8 @@
 //! [`PFile::read_contiguous`]; the routing of node data to octree blocks
 //! lives in the pipeline crate.
 
-use crate::disk::Disk;
+use crate::disk::{Disk, ReadError};
+use quakeviz_rt::fault::{FaultPlan, ReadFault};
 use quakeviz_rt::{obs, Comm};
 use std::sync::Arc;
 
@@ -125,17 +126,19 @@ pub struct ReadOutcome {
 }
 
 /// A handle to one file on the virtual parallel file system.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct PFile {
     disk: Arc<Disk>,
     path: String,
 }
 
 impl PFile {
-    pub fn open(disk: Arc<Disk>, path: impl Into<String>) -> PFile {
+    pub fn open(disk: Arc<Disk>, path: impl Into<String>) -> Result<PFile, ReadError> {
         let path = path.into();
-        assert!(disk.file_len(&path).is_some(), "no such file on virtual disk: {path}");
-        PFile { disk, path }
+        if disk.file_len(&path).is_none() {
+            return Err(ReadError::NoSuchFile { path });
+        }
+        Ok(PFile { disk, path })
     }
 
     pub fn len(&self) -> u64 {
@@ -150,30 +153,87 @@ impl PFile {
         &self.path
     }
 
+    /// Consult a fault plan for one read attempt over `extents`. `Err` is
+    /// an injected failure (nothing delivered); `Ok(factor)` multiplies
+    /// the simulated read time (1.0 = no fault). The injection site is a
+    /// pure function of `(path, first offset, total bytes)`, so replays
+    /// with the same plan hit the same reads.
+    fn check_fault(
+        &self,
+        plan: Option<&FaultPlan>,
+        attempt: u32,
+        extents: &[(u64, u64)],
+    ) -> Result<f64, ReadError> {
+        let Some(plan) = plan else { return Ok(1.0) };
+        let offset = extents.first().map_or(0, |&(o, _)| o);
+        let bytes: u64 = extents.iter().map(|&(_, l)| l).sum();
+        let site = FaultPlan::read_site(&self.path, offset, bytes);
+        match plan.read_fault(site, attempt, || format!("read {}@{offset}+{bytes}", self.path)) {
+            Some(ReadFault::Transient) => {
+                Err(ReadError::TransientIo { path: self.path.clone(), attempt })
+            }
+            Some(ReadFault::Corrupt) => {
+                Err(ReadError::CorruptStripe { path: self.path.clone(), attempt })
+            }
+            Some(ReadFault::Slow { factor }) => Ok(factor),
+            None => Ok(1.0),
+        }
+    }
+
     /// Independent contiguous read (paper §5.3.2).
-    pub fn read_contiguous(&self, offset: u64, len: u64) -> ReadOutcome {
+    pub fn read_contiguous(&self, offset: u64, len: u64) -> Result<ReadOutcome, ReadError> {
+        self.read_contiguous_with(offset, len, None, 0)
+    }
+
+    /// [`PFile::read_contiguous`] with fault injection: `attempt` numbers
+    /// the caller's retry loop so each attempt rolls independently.
+    pub fn read_contiguous_with(
+        &self,
+        offset: u64,
+        len: u64,
+        plan: Option<&FaultPlan>,
+        attempt: u32,
+    ) -> Result<ReadOutcome, ReadError> {
         let mut sp = obs::auto_span(obs::Phase::IoRead, obs::NO_STEP);
         sp.add_bytes(len);
-        let (data, cost) = self.disk.read_at(&self.path, offset, len);
-        ReadOutcome {
+        let slow = self.check_fault(plan, attempt, &[(offset, len)])?;
+        let (data, cost) = self.disk.read_at(&self.path, offset, len)?;
+        Ok(ReadOutcome {
             data,
-            sim_seconds: cost,
+            sim_seconds: cost * slow,
             disk_bytes: len,
             useful_bytes: len,
             requests: 1,
             bytes_exchanged: 0,
-        }
+        })
     }
 
     /// Independent noncontiguous read through a derived datatype, with
     /// data sieving: gaps up to `sieve_window` bytes are read and thrown
     /// away to reduce the request count. `sieve_window = 0` disables
     /// sieving (one disk extent per pattern extent, still in one call).
-    pub fn read_indexed(&self, dt: &IndexedBlockType, sieve_window: u64) -> ReadOutcome {
+    pub fn read_indexed(
+        &self,
+        dt: &IndexedBlockType,
+        sieve_window: u64,
+    ) -> Result<ReadOutcome, ReadError> {
+        self.read_indexed_with(dt, sieve_window, None, 0)
+    }
+
+    /// [`PFile::read_indexed`] with fault injection (see
+    /// [`PFile::read_contiguous_with`]).
+    pub fn read_indexed_with(
+        &self,
+        dt: &IndexedBlockType,
+        sieve_window: u64,
+        plan: Option<&FaultPlan>,
+        attempt: u32,
+    ) -> Result<ReadOutcome, ReadError> {
         let mut sp = obs::auto_span(obs::Phase::IoRead, obs::NO_STEP);
         let wanted = dt.extents();
         let merged = sieve_extents(&wanted, sieve_window);
-        let (buf, cost) = self.disk.read_extents(&self.path, &merged);
+        let slow = self.check_fault(plan, attempt, &merged)?;
+        let (buf, cost) = self.disk.read_extents(&self.path, &merged)?;
         let disk_bytes: u64 = merged.iter().map(|&(_, l)| l).sum();
         sp.add_bytes(disk_bytes);
         // extract the wanted pieces out of the merged buffer
@@ -190,14 +250,14 @@ impl PFile {
             let p = (mstart + (off - moff)) as usize;
             data.extend_from_slice(&buf[p..p + len as usize]);
         }
-        ReadOutcome {
+        Ok(ReadOutcome {
             data,
-            sim_seconds: cost,
+            sim_seconds: cost * slow,
             disk_bytes,
             useful_bytes: dt.total_bytes(),
             requests: merged.len() as u64,
             bytes_exchanged: 0,
-        }
+        })
     }
 
     /// Collective noncontiguous read (paper §5.3.1): all ranks of `comm`
@@ -210,12 +270,34 @@ impl PFile {
     /// maximum aggregator disk time across the communicator (the phase is
     /// synchronous), so every rank reports the same simulated elapsed
     /// read time.
-    pub fn read_all(&self, comm: &Comm, dt: &IndexedBlockType, sieve_window: u64) -> ReadOutcome {
+    pub fn read_all(
+        &self,
+        comm: &Comm,
+        dt: &IndexedBlockType,
+        sieve_window: u64,
+    ) -> Result<ReadOutcome, ReadError> {
         let mut sp = obs::auto_span(obs::Phase::IoRead, obs::NO_STEP);
         let my_extents = dt.extents();
         let extents_bytes = (my_extents.len() * std::mem::size_of::<(u64, u64)>()) as u64;
         let all_extents: Vec<Vec<(u64, u64)>> =
             comm.allgather_with_size(my_extents.clone(), extents_bytes);
+
+        // Validate every rank's pattern AFTER the allgather, so all ranks
+        // reach the same verdict and nobody blocks in a half-entered
+        // collective when one rank's pattern is bad.
+        let file_len = self.disk.file_len(&self.path).unwrap_or(0);
+        for exts in &all_extents {
+            for &(o, l) in exts {
+                if o + l > file_len {
+                    return Err(ReadError::OutOfRange {
+                        path: self.path.clone(),
+                        offset: o,
+                        len: l,
+                        file_len,
+                    });
+                }
+            }
+        }
 
         // File domain split: cover the union span of all requests.
         let lo = all_extents.iter().flatten().map(|&(o, _)| o).min().unwrap_or(0);
@@ -242,7 +324,9 @@ impl PFile {
         let (buf, my_cost) = if merged.is_empty() {
             (Vec::new(), 0.0)
         } else {
-            self.disk.read_extents(&self.path, &merged)
+            self.disk
+                .read_extents(&self.path, &merged)
+                .expect("extents validated against file length")
         };
         let my_disk_bytes: u64 = merged.iter().map(|&(_, l)| l).sum();
         let my_requests = merged.len() as u64;
@@ -306,14 +390,14 @@ impl PFile {
         let disk_bytes = comm.allreduce(my_disk_bytes, u64::wrapping_add);
         let requests = comm.allreduce(my_requests, u64::wrapping_add);
         let bytes_exchanged = comm.allreduce(my_exchanged, u64::wrapping_add);
-        ReadOutcome {
+        Ok(ReadOutcome {
             data,
             sim_seconds,
             disk_bytes,
             useful_bytes: dt.total_bytes(),
             requests,
             bytes_exchanged,
-        }
+        })
     }
 }
 
@@ -365,8 +449,8 @@ mod tests {
     #[test]
     fn read_contiguous_roundtrip() {
         let disk = disk_with("f", seq_bytes(1000));
-        let f = PFile::open(disk, "f");
-        let out = f.read_contiguous(100, 50);
+        let f = PFile::open(disk, "f").unwrap();
+        let out = f.read_contiguous(100, 50).unwrap();
         assert_eq!(out.data, seq_bytes(1000)[100..150].to_vec());
         assert_eq!(out.useful_bytes, 50);
         assert_eq!(out.requests, 1);
@@ -376,11 +460,11 @@ mod tests {
     fn read_indexed_matches_pattern() {
         let data = seq_bytes(4000);
         let disk = disk_with("f", data.clone());
-        let f = PFile::open(disk, "f");
+        let f = PFile::open(disk, "f").unwrap();
         let ids: Vec<u32> = vec![3, 4, 5, 100, 250, 251, 999];
         let dt = IndexedBlockType::from_node_ids(&ids, 4);
         for window in [0u64, 16, 1 << 20] {
-            let out = f.read_indexed(&dt, window);
+            let out = f.read_indexed(&dt, window).unwrap();
             let mut want = Vec::new();
             for &id in &ids {
                 want.extend_from_slice(&data[id as usize * 4..id as usize * 4 + 4]);
@@ -394,12 +478,12 @@ mod tests {
     #[test]
     fn sieving_trades_requests_for_bytes() {
         let disk = disk_with("f", seq_bytes(100_000));
-        let f = PFile::open(disk, "f");
+        let f = PFile::open(disk, "f").unwrap();
         // widely spaced single-element reads
         let ids: Vec<u32> = (0..100).map(|i| i * 200).collect();
         let dt = IndexedBlockType::from_node_ids(&ids, 4);
-        let tight = f.read_indexed(&dt, 0);
-        let sieved = f.read_indexed(&dt, 4096);
+        let tight = f.read_indexed(&dt, 0).unwrap();
+        let sieved = f.read_indexed(&dt, 4096).unwrap();
         assert_eq!(tight.data, sieved.data);
         assert!(sieved.requests < tight.requests);
         assert!(sieved.disk_bytes > tight.disk_bytes);
@@ -412,11 +496,11 @@ mod tests {
         let data = seq_bytes(16_000);
         let disk = disk_with("f", data.clone());
         let results = World::run(4, |comm| {
-            let f = PFile::open(Arc::clone(&disk), "f");
+            let f = PFile::open(Arc::clone(&disk), "f").unwrap();
             // rank r wants elements r, r+4, r+8, ... (strided, interleaved)
             let ids: Vec<u32> = (0..100).map(|i| (i * 4 + comm.rank()) as u32).collect();
             let dt = IndexedBlockType::from_node_ids(&ids, 4);
-            let out = f.read_all(&comm, &dt, 64);
+            let out = f.read_all(&comm, &dt, 64).unwrap();
             (comm.rank(), ids, out)
         });
         for (rank, ids, out) in results {
@@ -435,9 +519,9 @@ mod tests {
         let data = seq_bytes(1000);
         let disk = disk_with("f", data.clone());
         let results = World::run(1, |comm| {
-            let f = PFile::open(Arc::clone(&disk), "f");
+            let f = PFile::open(Arc::clone(&disk), "f").unwrap();
             let dt = IndexedBlockType::from_node_ids(&[1, 50, 200], 4);
-            f.read_all(&comm, &dt, 0)
+            f.read_all(&comm, &dt, 0).unwrap()
         });
         let out = &results[0];
         let mut want = Vec::new();
@@ -453,12 +537,12 @@ mod tests {
         let data = seq_bytes(1000);
         let disk = disk_with("f", data.clone());
         let results = World::run(3, |comm| {
-            let f = PFile::open(Arc::clone(&disk), "f");
+            let f = PFile::open(Arc::clone(&disk), "f").unwrap();
             let ids: Vec<u32> = if comm.rank() == 1 { vec![10, 20] } else { vec![] };
             // an empty indexed block type is not constructible from ids —
             // handle via an empty displacement list
             let dt = IndexedBlockType::new(4, 1, ids.iter().map(|&i| i as u64).collect());
-            f.read_all(&comm, &dt, 0)
+            f.read_all(&comm, &dt, 0).unwrap()
         });
         assert!(results[0].data.is_empty());
         assert_eq!(results[1].data.len(), 8);
@@ -479,14 +563,92 @@ mod tests {
         let disk = Disk::new(cost);
         disk.write_file("f", seq_bytes(40_000));
         let results = World::run(4, |comm| {
-            let f = PFile::open(Arc::clone(&disk), "f");
+            let f = PFile::open(Arc::clone(&disk), "f").unwrap();
             let ids: Vec<u32> = (0..1000).map(|i| (i * 10 + comm.rank()) as u32).collect();
             let dt = IndexedBlockType::from_node_ids(&ids, 4);
-            f.read_all(&comm, &dt, 1 << 16).sim_seconds
+            f.read_all(&comm, &dt, 1 << 16).unwrap().sim_seconds
         });
         for w in results.windows(2) {
             assert!((w[0] - w[1]).abs() < 1e-12, "collective sim time must agree");
         }
         assert!(results[0] > 0.0);
+    }
+
+    #[test]
+    fn open_missing_file_is_error() {
+        let disk = Disk::new(CostModel::free());
+        let err = PFile::open(disk, "nope").unwrap_err();
+        assert_eq!(err, ReadError::NoSuchFile { path: "nope".to_string() });
+    }
+
+    #[test]
+    fn collective_read_rejects_bad_pattern_on_all_ranks() {
+        // one rank's pattern reaches past EOF: every rank must get the
+        // same typed error (nobody may block in a half-entered collective)
+        let disk = disk_with("f", seq_bytes(100));
+        let results = World::run(3, |comm| {
+            let f = PFile::open(Arc::clone(&disk), "f").unwrap();
+            let ids: Vec<u32> = if comm.rank() == 1 { vec![1000] } else { vec![0] };
+            let dt = IndexedBlockType::from_node_ids(&ids, 4);
+            f.read_all(&comm, &dt, 0)
+        });
+        for (rank, r) in results.iter().enumerate() {
+            match r {
+                Err(ReadError::OutOfRange { offset, .. }) => assert_eq!(*offset, 4000),
+                other => panic!("rank {rank}: expected OutOfRange, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_transient_and_corrupt_fail_the_attempt() {
+        use quakeviz_rt::fault::FaultSpec;
+        let disk = disk_with("f", seq_bytes(1000));
+        let f = PFile::open(disk, "f").unwrap();
+        let transient = FaultPlan::new(FaultSpec::parse("seed=1,read_transient=1").unwrap());
+        assert_eq!(
+            f.read_contiguous_with(0, 100, Some(&transient), 0).unwrap_err(),
+            ReadError::TransientIo { path: "f".to_string(), attempt: 0 }
+        );
+        let corrupt = FaultPlan::new(FaultSpec::parse("seed=1,read_corrupt=1").unwrap());
+        let dt = IndexedBlockType::from_node_ids(&[1, 5, 9], 4);
+        let err = f.read_indexed_with(&dt, 0, Some(&corrupt), 2).unwrap_err();
+        assert_eq!(err, ReadError::CorruptStripe { path: "f".to_string(), attempt: 2 });
+        assert!(err.is_transient());
+        // both plans logged exactly one injection
+        assert_eq!(transient.events().len(), 1);
+        assert_eq!(corrupt.events().len(), 1);
+    }
+
+    #[test]
+    fn injected_slow_read_multiplies_cost_only() {
+        use quakeviz_rt::fault::FaultSpec;
+        let disk = Disk::new(CostModel {
+            seek_latency: 0.01,
+            extent_latency: 0.0,
+            stripe_latency: 0.0,
+            stripe_size: 1 << 20,
+            stream_bandwidth: 1e6,
+            aggregate_bandwidth: 1e6,
+        });
+        disk.write_file("f", seq_bytes(1000));
+        let f = PFile::open(disk, "f").unwrap();
+        let clean = f.read_contiguous(0, 1000).unwrap();
+        let plan = FaultPlan::new(FaultSpec::parse("seed=1,read_slow=1,slow_factor=4").unwrap());
+        let slow = f.read_contiguous_with(0, 1000, Some(&plan), 0).unwrap();
+        assert_eq!(slow.data, clean.data, "slow read must deliver identical data");
+        assert!((slow.sim_seconds - clean.sim_seconds * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        use quakeviz_rt::fault::FaultSpec;
+        let disk = disk_with("f", seq_bytes(1000));
+        let f = PFile::open(disk, "f").unwrap();
+        let plan = FaultPlan::new(FaultSpec::parse("seed=99").unwrap());
+        let with = f.read_contiguous_with(0, 500, Some(&plan), 0).unwrap();
+        let without = f.read_contiguous(0, 500).unwrap();
+        assert_eq!(with, without);
+        assert!(plan.events().is_empty());
     }
 }

@@ -17,6 +17,7 @@
 //! message (rendezvous semantics) — the backpressure primitive behind the
 //! pipeline's bounded prefetch send queue.
 
+use crate::fault::{FaultPlan, SendFault};
 use crate::obs;
 use crate::stats::TrafficStats;
 use std::any::Any;
@@ -32,6 +33,13 @@ pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
 /// Tag bit reserved for internal collective traffic; user tags must not
 /// set it.
 const COLL_BIT: u64 = 1 << 63;
+
+/// Error of [`Comm::recv_timeout`]: the deadline expired with no matching
+/// message. Unlike the [`RECV_TIMEOUT`] deadlock guard this is a normal,
+/// recoverable outcome — the building block of the pipeline's per-step
+/// delivery deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvTimeout;
 
 /// Completion flag of a non-blocking send, signalled when the receiver
 /// *matches* the message (not when the transport buffers it — the channel
@@ -118,6 +126,8 @@ pub fn wait_all<I: IntoIterator<Item = SendHandle>>(handles: I) {
 struct Shared {
     senders: Vec<Sender<Envelope>>,
     stats: Arc<TrafficStats>,
+    /// Fault schedule consulted by lossy sends; `None` = reliable world.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 struct Mailbox {
@@ -145,6 +155,22 @@ impl World {
         R: Send,
         F: Fn(Comm) -> R + Send + Sync,
     {
+        Self::run_faulted(n, stats, None, f)
+    }
+
+    /// Like [`World::run_traced`] but with an optional fault plan: lossy
+    /// sends consult it, and sends to a rank that has already exited (a
+    /// scripted failure) are swallowed instead of panicking.
+    pub fn run_faulted<R, F>(
+        n: usize,
+        stats: Arc<TrafficStats>,
+        faults: Option<Arc<FaultPlan>>,
+        f: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
         assert!(n > 0, "world needs at least one rank");
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -153,7 +179,7 @@ impl World {
             senders.push(tx);
             receivers.push(rx);
         }
-        let shared = Arc::new(Shared { senders, stats });
+        let shared = Arc::new(Shared { senders, stats, faults });
         let f = &f;
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -266,6 +292,72 @@ impl Comm {
         SendHandle { ack, dst_world, tag }
     }
 
+    /// Buffered send subject to the world's fault plan: when a plan is
+    /// active the message may be dropped on the wire or delayed by the
+    /// plan's `delay_ms` (the sender blocks, modelling a congested link).
+    /// Without a plan this is exactly [`Comm::send_with_size`].
+    pub fn send_lossy_with_size<T: Send + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        value: T,
+        bytes: u64,
+    ) {
+        assert!(tag & COLL_BIT == 0, "user tags must not set the top bit");
+        match self.roll_send_fault(dst, tag) {
+            Some(SendFault::Drop) => {
+                // the sender did transmit it: charge the wire, deliver nothing
+                self.shared.stats.record_edge(
+                    self.ranks[self.my_rank],
+                    self.ranks[dst],
+                    tag,
+                    bytes,
+                );
+            }
+            Some(SendFault::Delay(d)) => {
+                std::thread::sleep(d);
+                self.send_raw(dst, tag, Box::new(value), bytes);
+            }
+            None => self.send_raw(dst, tag, Box::new(value), bytes),
+        }
+    }
+
+    /// [`Comm::isend_with_size`] subject to the fault plan. A dropped send
+    /// returns an already-completed handle (the loss happens on the wire,
+    /// after the local buffer was handed off), so [`SendHandle::wait`]
+    /// never hangs on a dropped message.
+    pub fn isend_lossy_with_size<T: Send + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        value: T,
+        bytes: u64,
+    ) -> SendHandle {
+        assert!(tag & COLL_BIT == 0, "user tags must not set the top bit");
+        match self.roll_send_fault(dst, tag) {
+            Some(SendFault::Drop) => {
+                self.shared.stats.record_edge(
+                    self.ranks[self.my_rank],
+                    self.ranks[dst],
+                    tag,
+                    bytes,
+                );
+                let ack = Arc::new(AckState::default());
+                ack.signal();
+                SendHandle { ack, dst_world: self.ranks[dst], tag }
+            }
+            Some(SendFault::Delay(d)) => {
+                std::thread::sleep(d);
+                self.isend_with_size(dst, tag, value, bytes)
+            }
+            None => self.isend_with_size(dst, tag, value, bytes),
+        }
+    }
+
+    fn roll_send_fault(&self, dst: usize, tag: u64) -> Option<SendFault> {
+        self.shared.faults.as_ref()?.send_fault(self.ranks[self.my_rank], self.ranks[dst], tag)
+    }
+
     fn send_raw(&self, dst: usize, tag: u64, payload: Box<dyn Any + Send>, bytes: u64) {
         self.send_raw_acked(dst, tag, payload, bytes, None);
     }
@@ -280,15 +372,26 @@ impl Comm {
     ) {
         let dst_world = self.ranks[dst];
         self.shared.stats.record_edge(self.ranks[self.my_rank], dst_world, tag, bytes);
-        self.shared.senders[dst_world]
-            .send(Envelope {
-                comm: self.id,
-                src_world: self.ranks[self.my_rank],
-                tag,
-                payload,
-                ack,
-            })
-            .expect("receiving rank has exited");
+        let result = self.shared.senders[dst_world].send(Envelope {
+            comm: self.id,
+            src_world: self.ranks[self.my_rank],
+            tag,
+            payload,
+            ack,
+        });
+        if let Err(e) = result {
+            // A dropped receiver means the destination thread returned. In
+            // a fault-injected world that is a scripted rank death — the
+            // send completes locally (like MPI eager to a failed process)
+            // so survivors keep running; otherwise it is a real bug.
+            if self.shared.faults.is_some() {
+                if let Some(ack) = e.0.ack {
+                    ack.signal();
+                }
+            } else {
+                panic!("receiving rank has exited");
+            }
+        }
     }
 
     /// Blocking receive of a `T` from communicator rank `src` with `tag`.
@@ -328,6 +431,81 @@ impl Comm {
             .position(|e| e.comm == self.id && e.src_world == src_world && e.tag == tag)?;
         let (_, payload) = mb.pending.swap_remove(pos).open();
         Some(Self::downcast(payload, tag))
+    }
+
+    /// Deadline-aware receive: block for at most `timeout` waiting for a
+    /// match from communicator rank `src`, then give up with
+    /// [`RecvTimeout`]. The message can still be claimed by a later
+    /// receive if it arrives afterwards (it parks in pending as usual).
+    pub fn recv_timeout<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<T, RecvTimeout> {
+        assert!(tag & COLL_BIT == 0, "user tags must not set the top bit");
+        match self.recv_matched_deadline(Some(self.ranks[src]), tag, timeout) {
+            Some((_, v)) => Ok(v),
+            None => Err(RecvTimeout),
+        }
+    }
+
+    /// [`Comm::recv_timeout`] with `Option` sugar: `None` on deadline.
+    pub fn try_recv_for<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Option<T> {
+        self.recv_timeout(src, tag, timeout).ok()
+    }
+
+    /// Deadline-aware receive from *any* source: `Some((source rank,
+    /// value))`, or `None` once `timeout` expires unmatched.
+    pub fn recv_any_for<T: Send + 'static>(
+        &self,
+        tag: u64,
+        timeout: Duration,
+    ) -> Option<(usize, T)> {
+        assert!(tag & COLL_BIT == 0, "user tags must not set the top bit");
+        let (src_world, v) = self.recv_matched_deadline(None, tag, timeout)?;
+        let src = self
+            .ranks
+            .iter()
+            .position(|&w| w == src_world)
+            .expect("message from a rank outside this communicator");
+        Some((src, v))
+    }
+
+    fn recv_matched_deadline<T: Send + 'static>(
+        &self,
+        src_world: Option<usize>,
+        tag: u64,
+        timeout: Duration,
+    ) -> Option<(usize, T)> {
+        let mut mb = self.mailbox.borrow_mut();
+        let matches = |e: &Envelope| {
+            e.comm == self.id && e.tag == tag && src_world.is_none_or(|s| e.src_world == s)
+        };
+        if let Some(pos) = mb.pending.iter().position(matches) {
+            let (src, payload) = mb.pending.swap_remove(pos).open();
+            return Some((src, Self::downcast(payload, tag)));
+        }
+        let _sp = obs::auto_span(obs::Phase::CommRecv, obs::NO_STEP);
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match mb.rx.recv_timeout(remaining) {
+                Ok(env) => {
+                    if matches(&env) {
+                        let (src, payload) = env.open();
+                        return Some((src, Self::downcast(payload, tag)));
+                    }
+                    mb.pending.push(env);
+                }
+                Err(_) => return None,
+            }
+        }
     }
 
     fn recv_matched<T: Send + 'static>(&self, src_world: Option<usize>, tag: u64) -> (usize, T) {
@@ -1028,6 +1206,150 @@ mod tests {
         });
         assert_eq!(stats.bytes(), 500);
         assert_eq!(stats.messages(), 1);
+    }
+
+    #[test]
+    fn recv_timeout_expires_then_matches() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.barrier();
+                comm.send(1, 8, 5u32);
+                true
+            } else {
+                // nothing sent yet: the deadline must expire
+                assert_eq!(
+                    comm.recv_timeout::<u32>(0, 8, Duration::from_millis(10)),
+                    Err(RecvTimeout)
+                );
+                comm.barrier();
+                comm.recv_timeout::<u32>(0, 8, Duration::from_secs(10)) == Ok(5)
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn try_recv_for_waits_for_late_arrival() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+                comm.send(1, 8, 7u32);
+                true
+            } else {
+                comm.try_recv_for::<u32>(0, 8, Duration::from_secs(10)) == Some(7)
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn timed_out_message_is_claimed_by_later_receive() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.barrier();
+                comm.send(1, 8, 9u32);
+                true
+            } else {
+                assert!(comm.try_recv_for::<u32>(0, 8, Duration::from_millis(5)).is_none());
+                comm.barrier();
+                // the message sent after our timeout must still match a
+                // plain blocking receive
+                comm.recv::<u32>(0, 8) == 9
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn recv_any_for_takes_parked_and_fresh() {
+        let out = World::run(3, |comm| {
+            if comm.rank() == 0 {
+                let mut got = Vec::new();
+                for _ in 1..comm.size() {
+                    let (src, v) = comm.recv_any_for::<usize>(4, Duration::from_secs(10)).unwrap();
+                    assert_eq!(v, src * 3);
+                    got.push(src);
+                }
+                got.sort();
+                assert!(comm.recv_any_for::<usize>(4, Duration::from_millis(5)).is_none());
+                got == vec![1, 2]
+            } else {
+                comm.send(0, 4, comm.rank() * 3);
+                true
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn lossy_send_without_plan_is_reliable() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_lossy_with_size(1, 5, 3u32, 4);
+                comm.isend_lossy_with_size(1, 6, 4u32, 4).wait();
+                true
+            } else {
+                comm.recv::<u32>(0, 5) == 3 && comm.recv::<u32>(0, 6) == 4
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn lossy_send_drops_deterministically_and_ack_completes() {
+        use crate::fault::{FaultKind, FaultSpec};
+        let plan = FaultPlan::new(FaultSpec::parse("seed=1,send_drop=1").unwrap());
+        let out = World::run_faulted(2, TrafficStats::new(), Some(Arc::clone(&plan)), |comm| {
+            if comm.rank() == 0 {
+                let h = comm.isend_lossy_with_size(1, 5, 1u32, 4);
+                assert!(h.is_complete(), "dropped isend must complete immediately");
+                h.wait(); // must not hang
+                comm.send_lossy_with_size(1, 5, 2u32, 4); // also dropped
+                comm.send(1, 6, 2u32); // reliable path unaffected
+                true
+            } else {
+                assert!(comm.try_recv_for::<u32>(0, 5, Duration::from_millis(50)).is_none());
+                comm.recv::<u32>(0, 6) == 2
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+        let events = plan.events();
+        assert!(events.iter().all(|e| e.kind == FaultKind::SendDrop));
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn lossy_send_delay_still_delivers() {
+        use crate::fault::FaultSpec;
+        let plan = FaultPlan::new(FaultSpec::parse("seed=1,send_delay=1,delay_ms=5").unwrap());
+        let out = World::run_faulted(2, TrafficStats::new(), Some(plan), |comm| {
+            if comm.rank() == 0 {
+                comm.send_lossy_with_size(1, 5, 9u32, 4);
+                true
+            } else {
+                comm.recv::<u32>(0, 5) == 9
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn send_to_exited_rank_swallowed_under_fault_plan() {
+        use crate::fault::FaultSpec;
+        // rank 1 exits immediately (scripted death); rank 0's later sends
+        // must not panic the world
+        let plan = FaultPlan::new(FaultSpec::parse("seed=1,fail_rank=1@0").unwrap());
+        let out = World::run_faulted(2, TrafficStats::new(), Some(plan), |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(50));
+                comm.send(1, 9, 1u32);
+                drop(comm.isend(1, 9, 2u32)); // fire-and-forget: no panic either way
+                true
+            } else {
+                true // exit at once, dropping the mailbox
+            }
+        });
+        assert!(out.iter().all(|&b| b));
     }
 
     #[test]

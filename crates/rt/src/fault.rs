@@ -1,0 +1,567 @@
+//! Deterministic fault injection for the pipeline's robustness layer.
+//!
+//! A terascale run will see slow stripes, transient read errors, corrupted
+//! payloads and stalled ranks; the pipeline must degrade instead of crash.
+//! To *test* that machinery reproducibly, faults are injected from a
+//! seeded, replayable [`FaultPlan`]: every decision is a pure function of
+//! `(seed, site, attempt)` hashed through [`SplitMix64`], never of wall
+//! clock or thread interleaving — two runs with the same spec inject the
+//! same faults at the same sites and therefore produce the same frames.
+//!
+//! The spec is a compact `key=value` string, settable via the
+//! `QUAKEVIZ_FAULTS` environment variable so the whole test suite can run
+//! under a fault matrix:
+//!
+//! ```text
+//! seed=42,read_transient=0.05,read_corrupt=0.02,read_slow=0.05,slow_factor=4,
+//! send_drop=0.02,send_delay=0.05,delay_ms=10,wire_corrupt=0.01,fail_rank=1@2
+//! ```
+//!
+//! Injection happens at two layers: the virtual parallel file system
+//! (`quakeviz-parfs`) consults [`FaultPlan::read_fault`] per read attempt,
+//! and the communication runtime ([`crate::Comm`]) consults
+//! [`FaultPlan::send_fault`] on lossy sends. The plan also keeps the
+//! injected-fault log and the recovery counters (retries, backoff time,
+//! degraded blocks, failover events) that `pipeline-report` surfaces.
+
+use crate::rng::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Parsed fault-injection specification. All probabilities are per-event
+/// (per read attempt, per lossy send) in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Seed of every injection decision.
+    pub seed: u64,
+    /// Probability a read attempt fails with a transient I/O error.
+    pub read_transient: f64,
+    /// Probability a read attempt returns a corrupted stripe (detected by
+    /// the file system's stripe checksum, surfaced as a retryable error).
+    pub read_corrupt: f64,
+    /// Probability a read is slowed by `slow_factor`.
+    pub read_slow: f64,
+    /// Simulated-time multiplier for slow reads (≥ 1).
+    pub slow_factor: f64,
+    /// Probability a lossy send is dropped on the wire.
+    pub send_drop: f64,
+    /// Probability a lossy send is delayed by `delay_ms`.
+    pub send_delay: f64,
+    /// Fixed sender-side delay for delayed sends, milliseconds.
+    pub delay_ms: u64,
+    /// Probability a lossy send's payload is corrupted in flight (one bit
+    /// flip, caught by the receiver's per-piece checksum).
+    pub wire_corrupt: f64,
+    /// `(rank, step)`: world `rank` permanently fails at `step` — it stops
+    /// participating and its 2DIP group reassigns its slice to survivors.
+    pub fail_rank: Option<(usize, usize)>,
+}
+
+impl FaultSpec {
+    /// Parse a `key=value,key=value` spec string. An empty string is the
+    /// all-zero (fault-free) spec.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec { slow_factor: 1.0, ..FaultSpec::default() };
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec item {part:?} is not key=value"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 =
+                    v.parse().map_err(|_| format!("fault spec {key}: bad number {v:?}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault spec {key}: probability {p} outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => {
+                    spec.seed =
+                        value.parse().map_err(|_| format!("fault spec seed: bad u64 {value:?}"))?
+                }
+                "read_transient" => spec.read_transient = prob(value)?,
+                "read_corrupt" => spec.read_corrupt = prob(value)?,
+                "read_slow" => spec.read_slow = prob(value)?,
+                "slow_factor" => {
+                    let f: f64 = value
+                        .parse()
+                        .map_err(|_| format!("fault spec slow_factor: bad number {value:?}"))?;
+                    if f < 1.0 {
+                        return Err(format!("fault spec slow_factor: {f} must be ≥ 1"));
+                    }
+                    spec.slow_factor = f;
+                }
+                "send_drop" => spec.send_drop = prob(value)?,
+                "send_delay" => spec.send_delay = prob(value)?,
+                "delay_ms" => {
+                    spec.delay_ms = value
+                        .parse()
+                        .map_err(|_| format!("fault spec delay_ms: bad u64 {value:?}"))?
+                }
+                "wire_corrupt" => spec.wire_corrupt = prob(value)?,
+                "fail_rank" => {
+                    let (r, t) = value.split_once('@').ok_or_else(|| {
+                        format!("fault spec fail_rank: want rank@step, got {value:?}")
+                    })?;
+                    let rank =
+                        r.parse().map_err(|_| format!("fault spec fail_rank: bad rank {r:?}"))?;
+                    let step =
+                        t.parse().map_err(|_| format!("fault spec fail_rank: bad step {t:?}"))?;
+                    spec.fail_rank = Some((rank, step));
+                }
+                _ => return Err(format!("fault spec: unknown key {key:?}")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The spec from `QUAKEVIZ_FAULTS`; `None` when unset, empty or `0`.
+    pub fn from_env() -> Option<FaultSpec> {
+        let v = std::env::var("QUAKEVIZ_FAULTS").ok()?;
+        if v.is_empty() || v == "0" {
+            return None;
+        }
+        match FaultSpec::parse(&v) {
+            Ok(spec) => Some(spec),
+            Err(e) => panic!("QUAKEVIZ_FAULTS: {e}"),
+        }
+    }
+}
+
+/// Kinds of injected faults, for the log and the per-kind counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    ReadTransient,
+    ReadCorrupt,
+    ReadSlow,
+    SendDrop,
+    SendDelay,
+    WireCorrupt,
+    RankFail,
+}
+
+impl FaultKind {
+    pub const COUNT: usize = 7;
+    pub const ALL: [FaultKind; FaultKind::COUNT] = [
+        FaultKind::ReadTransient,
+        FaultKind::ReadCorrupt,
+        FaultKind::ReadSlow,
+        FaultKind::SendDrop,
+        FaultKind::SendDelay,
+        FaultKind::WireCorrupt,
+        FaultKind::RankFail,
+    ];
+
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::ReadTransient => 0,
+            FaultKind::ReadCorrupt => 1,
+            FaultKind::ReadSlow => 2,
+            FaultKind::SendDrop => 3,
+            FaultKind::SendDelay => 4,
+            FaultKind::WireCorrupt => 5,
+            FaultKind::RankFail => 6,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::ReadTransient => "read_transient",
+            FaultKind::ReadCorrupt => "read_corrupt",
+            FaultKind::ReadSlow => "read_slow",
+            FaultKind::SendDrop => "send_drop",
+            FaultKind::SendDelay => "send_delay",
+            FaultKind::WireCorrupt => "wire_corrupt",
+            FaultKind::RankFail => "rank_fail",
+        }
+    }
+}
+
+/// One injected fault, as recorded in the replayable log. Log *order*
+/// depends on thread interleaving; the set does not — compare sorted.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultEvent {
+    pub kind: FaultKind,
+    /// Human-readable site, e.g. `read steps/0003.bin@0+12000` or
+    /// `send 0->3 tag 35184372088835`.
+    pub site: String,
+    /// Read attempt number the fault hit (0 for send faults).
+    pub attempt: u32,
+}
+
+/// Outcome of a read-fault roll for one attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReadFault {
+    /// The attempt fails with a transient I/O error (retryable).
+    Transient,
+    /// The attempt returns a corrupted stripe; the file system's stripe
+    /// checksum catches it and the read fails (retryable).
+    Corrupt,
+    /// The attempt succeeds but simulated disk time is multiplied.
+    Slow { factor: f64 },
+}
+
+/// Outcome of a send-fault roll for one lossy send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendFault {
+    /// The message never arrives (the local send still completes, as a
+    /// network-dropped MPI send would).
+    Drop,
+    /// The message is held back for the given duration before delivery.
+    Delay(Duration),
+}
+
+/// Recovery-action counters accumulated during a faulted run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Read attempts retried after a transient/corrupt fault.
+    pub read_retries: u64,
+    /// Total backoff sleep, microseconds.
+    pub backoff_us: u64,
+    /// Reads that exhausted their retry budget.
+    pub exhausted_reads: u64,
+    /// Wire checksum mismatches detected on receive.
+    pub checksum_failures: u64,
+    /// Blocks rendered degraded (coarser level / stale data), summed over
+    /// frames.
+    pub degraded_blocks: u64,
+    /// Frames flagged degraded.
+    pub degraded_frames: u64,
+    /// Group members declared dead and failed over.
+    pub failover_events: u64,
+}
+
+// distinct salts per decision kind so e.g. transient and corrupt rolls at
+// the same site are independent
+const SALT_TRANSIENT: u64 = 0x7261_6e73_6965_6e74;
+const SALT_CORRUPT: u64 = 0x636f_7272_7570_7431;
+const SALT_SLOW: u64 = 0x736c_6f77_7265_6164;
+const SALT_DROP: u64 = 0x6472_6f70_7365_6e64;
+const SALT_DELAY: u64 = 0x6465_6c61_7973_6e64;
+const SALT_WIRE: u64 = 0x7769_7265_666c_6970;
+const SALT_BIT: u64 = 0x6269_7470_6963_6b31;
+
+/// A live fault schedule: stateless seeded decisions plus the shared
+/// injected-fault log and recovery counters. One plan is shared by all
+/// ranks of a pipeline run.
+pub struct FaultPlan {
+    spec: FaultSpec,
+    events: Mutex<Vec<FaultEvent>>,
+    counts: [AtomicU64; FaultKind::COUNT],
+    read_retries: AtomicU64,
+    backoff_us: AtomicU64,
+    exhausted_reads: AtomicU64,
+    checksum_failures: AtomicU64,
+    degraded_blocks: AtomicU64,
+    degraded_frames: AtomicU64,
+    failover_events: AtomicU64,
+}
+
+impl FaultPlan {
+    pub fn new(spec: FaultSpec) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan {
+            spec,
+            events: Mutex::new(Vec::new()),
+            counts: [const { AtomicU64::new(0) }; FaultKind::COUNT],
+            read_retries: AtomicU64::new(0),
+            backoff_us: AtomicU64::new(0),
+            exhausted_reads: AtomicU64::new(0),
+            checksum_failures: AtomicU64::new(0),
+            degraded_blocks: AtomicU64::new(0),
+            degraded_frames: AtomicU64::new(0),
+            failover_events: AtomicU64::new(0),
+        })
+    }
+
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// FNV-1a hash of a site description — the deterministic identity of
+    /// an injection point.
+    pub fn site_hash(parts: &[u64]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &p in parts {
+            for b in p.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+
+    /// Site of a read: `(path, first byte offset, total bytes)`.
+    pub fn read_site(path: &str, offset: u64, bytes: u64) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in path.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        FaultPlan::site_hash(&[h, offset, bytes])
+    }
+
+    /// Uniform roll in `[0, 1)` for `(salt, site, attempt)` — pure, so
+    /// replay is exact.
+    fn roll(&self, salt: u64, site: u64, attempt: u32) -> f64 {
+        let mut rng = SplitMix64::new(
+            self.spec.seed.wrapping_mul(0x9e3779b97f4a7c15)
+                ^ salt.rotate_left(17)
+                ^ site.wrapping_mul(0xbf58476d1ce4e5b9)
+                ^ (attempt as u64).wrapping_mul(0x94d049bb133111eb),
+        );
+        rng.next_f64()
+    }
+
+    fn log(&self, kind: FaultKind, site: String, attempt: u32) {
+        self.counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+        self.events.lock().unwrap().push(FaultEvent { kind, site, attempt });
+    }
+
+    /// Roll the read faults for one attempt at `site` (precedence:
+    /// transient, then corrupt, then slow). `describe` builds the log
+    /// entry's site string lazily (faults are rare).
+    pub fn read_fault(
+        &self,
+        site: u64,
+        attempt: u32,
+        describe: impl Fn() -> String,
+    ) -> Option<ReadFault> {
+        if self.spec.read_transient > 0.0
+            && self.roll(SALT_TRANSIENT, site, attempt) < self.spec.read_transient
+        {
+            self.log(FaultKind::ReadTransient, describe(), attempt);
+            return Some(ReadFault::Transient);
+        }
+        if self.spec.read_corrupt > 0.0
+            && self.roll(SALT_CORRUPT, site, attempt) < self.spec.read_corrupt
+        {
+            self.log(FaultKind::ReadCorrupt, describe(), attempt);
+            return Some(ReadFault::Corrupt);
+        }
+        if self.spec.read_slow > 0.0 && self.roll(SALT_SLOW, site, attempt) < self.spec.read_slow {
+            self.log(FaultKind::ReadSlow, describe(), attempt);
+            return Some(ReadFault::Slow { factor: self.spec.slow_factor });
+        }
+        None
+    }
+
+    /// Roll the comm faults for one lossy send `(src, dst, tag)` in world
+    /// ranks (precedence: drop, then delay).
+    pub fn send_fault(&self, src: usize, dst: usize, tag: u64) -> Option<SendFault> {
+        let site = FaultPlan::site_hash(&[src as u64, dst as u64, tag]);
+        if self.spec.send_drop > 0.0 && self.roll(SALT_DROP, site, 0) < self.spec.send_drop {
+            self.log(FaultKind::SendDrop, format!("send {src}->{dst} tag {tag}"), 0);
+            return Some(SendFault::Drop);
+        }
+        if self.spec.send_delay > 0.0 && self.roll(SALT_DELAY, site, 0) < self.spec.send_delay {
+            self.log(FaultKind::SendDelay, format!("send {src}->{dst} tag {tag}"), 0);
+            return Some(SendFault::Delay(Duration::from_millis(self.spec.delay_ms)));
+        }
+        None
+    }
+
+    /// Roll wire corruption for one lossy send; `Some(bits)` means the
+    /// sender flips payload bit `bits % payload_bits` after checksumming,
+    /// so the receiver's verify-on-receive catches it.
+    pub fn wire_corrupt(&self, src: usize, dst: usize, tag: u64) -> Option<u64> {
+        let site = FaultPlan::site_hash(&[src as u64, dst as u64, tag]);
+        if self.spec.wire_corrupt > 0.0 && self.roll(SALT_WIRE, site, 0) < self.spec.wire_corrupt {
+            self.log(FaultKind::WireCorrupt, format!("send {src}->{dst} tag {tag}"), 0);
+            return Some(SplitMix64::new(self.spec.seed ^ SALT_BIT ^ site).next_u64());
+        }
+        None
+    }
+
+    /// Whether world rank `rank` is scripted dead at `step` (death is
+    /// permanent: failed from its fail step onwards).
+    pub fn rank_failed(&self, rank: usize, step: usize) -> bool {
+        matches!(self.spec.fail_rank, Some((r, s)) if r == rank && step >= s)
+    }
+
+    // --- recovery accounting -------------------------------------------
+
+    pub fn note_retry(&self, backoff: Duration) {
+        self.read_retries.fetch_add(1, Ordering::Relaxed);
+        self.backoff_us.fetch_add(backoff.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    pub fn note_exhausted(&self) {
+        self.exhausted_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_checksum_failure(&self) {
+        self.checksum_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_degraded_frame(&self, blocks: u64) {
+        self.degraded_frames.fetch_add(1, Ordering::Relaxed);
+        self.degraded_blocks.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    /// Record that `rank` was declared dead by its group (logged once per
+    /// surviving detector).
+    pub fn note_failover(&self, rank: usize, step: usize) {
+        self.failover_events.fetch_add(1, Ordering::Relaxed);
+        self.log(FaultKind::RankFail, format!("rank {rank} dead at step {step}"), 0);
+    }
+
+    /// Snapshot of the recovery counters.
+    pub fn recovery(&self) -> RecoveryStats {
+        RecoveryStats {
+            read_retries: self.read_retries.load(Ordering::Relaxed),
+            backoff_us: self.backoff_us.load(Ordering::Relaxed),
+            exhausted_reads: self.exhausted_reads.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            degraded_blocks: self.degraded_blocks.load(Ordering::Relaxed),
+            degraded_frames: self.degraded_frames.load(Ordering::Relaxed),
+            failover_events: self.failover_events.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Injected faults per kind (zero rows included).
+    pub fn counts(&self) -> Vec<(FaultKind, u64)> {
+        FaultKind::ALL
+            .iter()
+            .map(|&k| (k, self.counts[k.index()].load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Copy of the injected-fault log. Order is arrival order across
+    /// threads; sort before comparing runs.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.events.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip_of_every_key() {
+        let spec = FaultSpec::parse(
+            "seed=42,read_transient=0.05,read_corrupt=0.02,read_slow=0.5,slow_factor=4,\
+             send_drop=0.1,send_delay=0.2,delay_ms=10,wire_corrupt=0.01,fail_rank=1@2",
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.read_transient, 0.05);
+        assert_eq!(spec.read_corrupt, 0.02);
+        assert_eq!(spec.read_slow, 0.5);
+        assert_eq!(spec.slow_factor, 4.0);
+        assert_eq!(spec.send_drop, 0.1);
+        assert_eq!(spec.send_delay, 0.2);
+        assert_eq!(spec.delay_ms, 10);
+        assert_eq!(spec.wire_corrupt, 0.01);
+        assert_eq!(spec.fail_rank, Some((1, 2)));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultSpec::parse("nonsense").is_err());
+        assert!(FaultSpec::parse("unknown_key=1").is_err());
+        assert!(FaultSpec::parse("read_transient=1.5").is_err());
+        assert!(FaultSpec::parse("read_transient=-0.1").is_err());
+        assert!(FaultSpec::parse("slow_factor=0.5").is_err());
+        assert!(FaultSpec::parse("fail_rank=3").is_err());
+        assert!(FaultSpec::parse("seed=abc").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_fault_free() {
+        let spec = FaultSpec::parse("").unwrap();
+        let plan = FaultPlan::new(spec);
+        for site in 0..1000u64 {
+            assert_eq!(plan.read_fault(site, 0, String::new), None);
+            assert_eq!(plan.send_fault(0, site as usize, site), None);
+        }
+        assert!(plan.events().is_empty());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let spec =
+            FaultSpec::parse("seed=7,read_transient=0.3,read_corrupt=0.2,send_drop=0.25").unwrap();
+        let a = FaultPlan::new(spec.clone());
+        let b = FaultPlan::new(spec);
+        let c = FaultPlan::new(
+            FaultSpec::parse("seed=8,read_transient=0.3,read_corrupt=0.2,send_drop=0.25").unwrap(),
+        );
+        let mut differs = false;
+        for site in 0..500u64 {
+            for attempt in 0..3u32 {
+                let fa = a.read_fault(site, attempt, String::new);
+                let fb = b.read_fault(site, attempt, String::new);
+                let fc = c.read_fault(site, attempt, String::new);
+                assert_eq!(fa, fb, "site {site} attempt {attempt}");
+                differs |= fa != fc;
+            }
+            assert_eq!(a.send_fault(0, 1, site), b.send_fault(0, 1, site));
+        }
+        assert!(differs, "different seeds must give a different schedule");
+        // identical logs too (same injection order for a serial caller)
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn attempts_roll_independently() {
+        // p = 0.5 transient: over many sites, some must fail attempt 0 and
+        // pass attempt 1 (retry succeeds) — the retry loop depends on it
+        let plan = FaultPlan::new(FaultSpec::parse("seed=1,read_transient=0.5").unwrap());
+        let recovered = (0..200u64)
+            .filter(|&site| {
+                plan.read_fault(site, 0, String::new) == Some(ReadFault::Transient)
+                    && plan.read_fault(site, 1, String::new).is_none()
+            })
+            .count();
+        assert!(recovered > 20, "retries never recover ({recovered}/200)");
+    }
+
+    #[test]
+    fn probabilities_are_roughly_honoured() {
+        let plan = FaultPlan::new(FaultSpec::parse("seed=3,read_transient=0.2").unwrap());
+        let hits =
+            (0..5000u64).filter(|&site| plan.read_fault(site, 0, String::new).is_some()).count();
+        let rate = hits as f64 / 5000.0;
+        assert!((rate - 0.2).abs() < 0.03, "injection rate {rate} far from 0.2");
+    }
+
+    #[test]
+    fn rank_failure_is_permanent_from_its_step() {
+        let plan = FaultPlan::new(FaultSpec::parse("fail_rank=2@3").unwrap());
+        assert!(!plan.rank_failed(2, 0));
+        assert!(!plan.rank_failed(2, 2));
+        assert!(plan.rank_failed(2, 3));
+        assert!(plan.rank_failed(2, 100));
+        assert!(!plan.rank_failed(1, 100));
+    }
+
+    #[test]
+    fn counters_and_log_track_injections() {
+        let plan = FaultPlan::new(FaultSpec::parse("seed=5,read_transient=1").unwrap());
+        for site in 0..10u64 {
+            assert_eq!(
+                plan.read_fault(site, 0, || format!("site {site}")),
+                Some(ReadFault::Transient)
+            );
+        }
+        let counts = plan.counts();
+        assert_eq!(counts[FaultKind::ReadTransient.index()], (FaultKind::ReadTransient, 10));
+        assert_eq!(plan.events().len(), 10);
+        plan.note_retry(Duration::from_millis(2));
+        plan.note_exhausted();
+        plan.note_degraded_frame(3);
+        let rec = plan.recovery();
+        assert_eq!(rec.read_retries, 1);
+        assert_eq!(rec.backoff_us, 2000);
+        assert_eq!(rec.exhausted_reads, 1);
+        assert_eq!(rec.degraded_frames, 1);
+        assert_eq!(rec.degraded_blocks, 3);
+    }
+
+    #[test]
+    fn slow_fault_carries_factor() {
+        let plan = FaultPlan::new(FaultSpec::parse("seed=9,read_slow=1,slow_factor=4").unwrap());
+        assert_eq!(plan.read_fault(1, 0, String::new), Some(ReadFault::Slow { factor: 4.0 }));
+    }
+}

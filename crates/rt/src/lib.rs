@@ -39,10 +39,12 @@
 //! ```
 
 pub mod comm;
+pub mod fault;
 pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod stats;
 
-pub use comm::{wait_all, Comm, SendHandle, World};
+pub use comm::{wait_all, Comm, RecvTimeout, SendHandle, World};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, ReadFault, RecoveryStats, SendFault};
 pub use stats::{TagClass, TrafficEdge, TrafficStats};

@@ -55,6 +55,9 @@ pub enum Phase {
     Composite,
     /// Output processor: assemble/overlay/deliver one frame.
     Assemble,
+    /// Input processor: liveness exchange within a 2DIP group before a
+    /// step (failure detection for input-rank failover).
+    Heartbeat,
     /// Runtime: barrier wait.
     Barrier,
     /// Runtime: blocking receive.
@@ -63,12 +66,15 @@ pub enum Phase {
     IoRead,
     /// One communication phase inside a compositing algorithm.
     CompositeRound,
+    /// Retry backoff after a failed/corrupt read (nests inside [`Phase::Read`],
+    /// so it is an auto phase, not a stage).
+    Retry,
     /// Uncategorized.
     Other,
 }
 
 impl Phase {
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 16;
     pub const ALL: [Phase; Phase::COUNT] = [
         Phase::Read,
         Phase::Preprocess,
@@ -79,10 +85,12 @@ impl Phase {
         Phase::Render,
         Phase::Composite,
         Phase::Assemble,
+        Phase::Heartbeat,
         Phase::Barrier,
         Phase::CommRecv,
         Phase::IoRead,
         Phase::CompositeRound,
+        Phase::Retry,
         Phase::Other,
     ];
 
@@ -91,7 +99,7 @@ impl Phase {
     /// Read/Preprocess spans on the same rank *track*, where they overlap
     /// the consumer's Send/SendWait spans by design); auto phases may
     /// nest inside them.
-    pub const STAGES: [Phase; 9] = [
+    pub const STAGES: [Phase; 10] = [
         Phase::Read,
         Phase::Preprocess,
         Phase::Lic,
@@ -101,6 +109,7 @@ impl Phase {
         Phase::Render,
         Phase::Composite,
         Phase::Assemble,
+        Phase::Heartbeat,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -114,10 +123,12 @@ impl Phase {
             Phase::Render => "render",
             Phase::Composite => "composite",
             Phase::Assemble => "assemble",
+            Phase::Heartbeat => "heartbeat",
             Phase::Barrier => "barrier",
             Phase::CommRecv => "comm_recv",
             Phase::IoRead => "io_read",
             Phase::CompositeRound => "composite_round",
+            Phase::Retry => "retry",
             Phase::Other => "other",
         }
     }
@@ -134,10 +145,12 @@ impl Phase {
             Phase::Render => 'R',
             Phase::Composite => 'C',
             Phase::Assemble => 'A',
+            Phase::Heartbeat => 'H',
             Phase::Barrier => 'b',
             Phase::CommRecv => 'r',
             Phase::IoRead => 'i',
             Phase::CompositeRound => 'c',
+            Phase::Retry => 'B',
             Phase::Other => '?',
         }
     }

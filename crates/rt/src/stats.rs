@@ -32,12 +32,14 @@ pub enum TagClass {
     IoPieces,
     /// Runtime-internal collective traffic (barriers, bcast, gather…).
     Collective,
+    /// Recovery control traffic: heartbeats and degraded-block reports.
+    Recovery,
     /// Anything else.
     Other,
 }
 
 impl TagClass {
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
     pub const ALL: [TagClass; TagClass::COUNT] = [
         TagClass::BlockData,
         TagClass::LicImage,
@@ -45,6 +47,7 @@ impl TagClass {
         TagClass::Composite,
         TagClass::IoPieces,
         TagClass::Collective,
+        TagClass::Recovery,
         TagClass::Other,
     ];
 
@@ -57,7 +60,8 @@ impl TagClass {
             TagClass::Composite => 3,
             TagClass::IoPieces => 4,
             TagClass::Collective => 5,
-            TagClass::Other => 6,
+            TagClass::Recovery => 6,
+            TagClass::Other => 7,
         }
     }
 
@@ -69,6 +73,7 @@ impl TagClass {
             TagClass::Composite => "composite",
             TagClass::IoPieces => "io_pieces",
             TagClass::Collective => "collective",
+            TagClass::Recovery => "recovery",
             TagClass::Other => "other",
         }
     }

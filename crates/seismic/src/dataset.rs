@@ -83,16 +83,16 @@ impl Dataset {
     /// itself reads through the MPI-IO layer instead.
     pub fn load_step(&self, t: usize) -> VectorField {
         assert!(t < self.steps, "step {t} out of range ({} steps)", self.steps);
-        let (bytes, _) = self.disk.read_full(&Self::step_path(t));
+        let (bytes, _) =
+            self.disk.read_full(&Self::step_path(t)).expect("dataset step file readable");
         VectorField::from_bytes(&bytes)
     }
 
     /// Reopen a dataset previously written to `disk`.
     pub fn open(disk: Arc<Disk>) -> Result<Dataset, String> {
-        let (meshbytes, _) = if disk.file_len(MESH_FILE).is_some() {
-            disk.read_full(MESH_FILE)
-        } else {
-            return Err(format!("{MESH_FILE} missing"));
+        let (meshbytes, _) = match disk.read_full(MESH_FILE) {
+            Ok(r) => r,
+            Err(_) => return Err(format!("{MESH_FILE} missing")),
         };
         if meshbytes.len() < 6 + 24 + 8 || &meshbytes[0..6] != MESH_MAGIC {
             return Err("bad mesh.oct header".into());
@@ -107,10 +107,9 @@ impl Dataset {
         }
         let mesh = Arc::new(HexMesh::from_octree(Octree::from_leaf_keys(extent, &keys)));
 
-        let (metabytes, _) = if disk.file_len(META_FILE).is_some() {
-            disk.read_full(META_FILE)
-        } else {
-            return Err(format!("{META_FILE} missing"));
+        let (metabytes, _) = match disk.read_full(META_FILE) {
+            Ok(r) => r,
+            Err(_) => return Err(format!("{META_FILE} missing")),
         };
         let meta = String::from_utf8(metabytes).map_err(|e| e.to_string())?;
         let mut steps = None;

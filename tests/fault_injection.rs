@@ -1,0 +1,170 @@
+//! End-to-end fault-injection suite: the pipeline must survive every
+//! scripted fault schedule — recoverable faults leave frames
+//! bit-identical to the clean run, unrecoverable ones degrade frames
+//! (flagged, coarser level) instead of stalling or panicking, and the
+//! whole schedule replays deterministically from its seed.
+
+use quakeviz::pipeline::{IoStrategy, PipelineBuilder, PipelineReport, RetryPolicy};
+use quakeviz::rt::FaultSpec;
+use quakeviz::seismic::{Dataset, SimulationBuilder};
+
+fn dataset() -> Dataset {
+    SimulationBuilder::new().resolution(16).steps(4).run_to_dataset().unwrap()
+}
+
+fn builder(ds: &Dataset, io: IoStrategy) -> PipelineBuilder {
+    PipelineBuilder::new(ds).renderers(2).io_strategy(io).image_size(48, 48)
+}
+
+fn assert_all_frames_identical(a: &PipelineReport, b: &PipelineReport, what: &str) {
+    assert_eq!(a.frames.len(), b.frames.len(), "{what}: frame count differs");
+    for (t, (fa, fb)) in a.frames.iter().zip(&b.frames).enumerate() {
+        assert_eq!(fa.pixels(), fb.pixels(), "{what}: frame {t} not bit-identical");
+    }
+}
+
+/// Transient read faults below the retry budget are invisible in the
+/// output: every frame bit-identical to the clean run, with the recovery
+/// counters proving the faults actually fired.
+#[test]
+fn recoverable_read_faults_leave_frames_bit_identical() {
+    let ds = dataset();
+    let io = IoStrategy::OneDip { input_procs: 2 };
+    let clean = builder(&ds, io).run().expect("clean pipeline");
+    let spec = FaultSpec::parse("seed=11,read_transient=0.2,read_corrupt=0.1").unwrap();
+    let faulted = builder(&ds, io)
+        .faults(spec)
+        .retry(RetryPolicy { max_attempts: 8, backoff_ms: 1 })
+        .run()
+        .expect("faulted pipeline");
+    let rec = faulted.recovery.expect("fault plan active");
+    assert!(rec.read_retries > 0, "spec must actually inject read faults");
+    assert_eq!(rec.exhausted_reads, 0, "retry budget must absorb every fault");
+    assert_eq!(faulted.degraded_frame_count(), 0);
+    assert_all_frames_identical(&clean, &faulted, "recoverable read faults");
+}
+
+/// With every read attempt failing, no step's data can ever be fetched:
+/// all frames must still be delivered — flagged degraded — with zero
+/// panics and zero stalls.
+#[test]
+fn unrecoverable_reads_degrade_every_frame() {
+    let ds = dataset();
+    let io = IoStrategy::OneDip { input_procs: 2 };
+    let report = builder(&ds, io)
+        .lic(true)
+        .faults(FaultSpec::parse("seed=3,read_transient=1.0").unwrap())
+        .retry(RetryPolicy { max_attempts: 2, backoff_ms: 1 })
+        .delivery_deadline_ms(250)
+        .run()
+        .expect("pipeline must complete under total read failure");
+    assert_eq!(report.frames.len(), ds.steps(), "every frame must still be delivered");
+    assert_eq!(
+        report.degraded_frame_count(),
+        ds.steps(),
+        "every frame must be flagged degraded: {:?}",
+        report.degraded
+    );
+    // the LIC overlay could not be read either: its marker is present
+    assert!(report.degraded.iter().all(|d| d.contains(&u32::MAX)));
+    let rec = report.recovery.expect("fault plan active");
+    assert!(rec.exhausted_reads > 0);
+    assert!(rec.degraded_blocks > 0);
+}
+
+/// Dropped block-data messages degrade exactly the affected frames; the
+/// untouched frames stay bit-identical to the clean run.
+#[test]
+fn dropped_sends_degrade_only_affected_frames() {
+    let ds = dataset();
+    let io = IoStrategy::OneDip { input_procs: 2 };
+    let clean = builder(&ds, io).run().expect("clean pipeline");
+    let faulted = builder(&ds, io)
+        .faults(FaultSpec::parse("seed=5,send_drop=0.4").unwrap())
+        .delivery_deadline_ms(200)
+        .run()
+        .expect("pipeline must complete under message loss");
+    assert_eq!(faulted.frames.len(), ds.steps());
+    assert!(
+        faulted.degraded_frame_count() > 0,
+        "spec must actually drop messages: {:?}",
+        faulted.fault_events
+    );
+    assert!(faulted.degraded_frame_count() < ds.steps(), "some frames must survive");
+    for t in 0..ds.steps() {
+        if faulted.degraded[t].is_empty() {
+            assert_eq!(
+                clean.frames[t].pixels(),
+                faulted.frames[t].pixels(),
+                "clean frame {t} must be bit-identical to the fault-free run"
+            );
+        }
+    }
+}
+
+/// Corrupted wire payloads are caught by the per-piece checksum and never
+/// ingested: affected frames degrade, and the checksum-failure counter
+/// records each rejection.
+#[test]
+fn wire_corruption_is_caught_by_checksums() {
+    let ds = dataset();
+    let io = IoStrategy::OneDip { input_procs: 2 };
+    let report = builder(&ds, io)
+        .faults(FaultSpec::parse("seed=9,wire_corrupt=0.5").unwrap())
+        .delivery_deadline_ms(200)
+        .run()
+        .expect("pipeline must complete under wire corruption");
+    let rec = report.recovery.expect("fault plan active");
+    assert!(rec.checksum_failures > 0, "spec must actually corrupt messages");
+    assert!(report.degraded_frame_count() > 0);
+    assert_eq!(report.frames.len(), ds.steps());
+}
+
+/// A scripted input-rank death inside a 2DIP group: the survivors detect
+/// the silence via heartbeat timeouts and reassign the dead rank's slice,
+/// so every frame — including those after the failure — stays
+/// bit-identical to the clean run.
+#[test]
+fn input_rank_failover_keeps_frames_bit_identical() {
+    let ds = dataset();
+    let io = IoStrategy::TwoDip { groups: 1, per_group: 3 };
+    let clean = builder(&ds, io).run().expect("clean pipeline");
+    let faulted = builder(&ds, io)
+        .faults(FaultSpec::parse("seed=1,fail_rank=1@2").unwrap())
+        .delivery_deadline_ms(400)
+        .run()
+        .expect("pipeline must survive an input-rank failure");
+    let rec = faulted.recovery.expect("fault plan active");
+    assert!(rec.failover_events >= 1, "survivors must have detected the death");
+    assert_eq!(faulted.degraded_frame_count(), 0, "failover is full recovery");
+    assert_all_frames_identical(&clean, &faulted, "rank failover");
+}
+
+/// The whole fault schedule is a pure function of the spec: two runs with
+/// the same spec produce the same injection log and the same frames.
+#[test]
+fn identical_seeds_replay_identically() {
+    let ds = dataset();
+    let io = IoStrategy::OneDip { input_procs: 2 };
+    let run = || {
+        builder(&ds, io)
+            .faults(
+                FaultSpec::parse("seed=21,read_transient=0.2,send_drop=0.2,wire_corrupt=0.2")
+                    .unwrap(),
+            )
+            .retry(RetryPolicy { max_attempts: 4, backoff_ms: 1 })
+            .delivery_deadline_ms(200)
+            .run()
+            .expect("pipeline")
+    };
+    let a = run();
+    let b = run();
+    let mut ea = a.fault_events.clone();
+    let mut eb = b.fault_events.clone();
+    ea.sort();
+    eb.sort();
+    assert_eq!(ea, eb, "same seed must produce the same fault schedule");
+    assert!(!ea.is_empty(), "spec must actually inject faults");
+    assert_eq!(a.degraded, b.degraded, "same seed must degrade the same frames");
+    assert_all_frames_identical(&a, &b, "deterministic replay");
+}

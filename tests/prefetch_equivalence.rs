@@ -59,6 +59,41 @@ fn twodip_prefetch_frames_bit_identical() {
     }
 }
 
+/// An armed-but-silent fault plan (all probabilities zero) must not
+/// perturb a single pixel: the checksum, deadline-drain and degradation
+/// machinery only ever *observes* a clean run, never changes it.
+#[test]
+fn zero_probability_fault_plan_frames_bit_identical() {
+    let ds = dataset();
+    for io in
+        [IoStrategy::OneDip { input_procs: 2 }, IoStrategy::TwoDip { groups: 2, per_group: 2 }]
+    {
+        let clean = run(&ds, io, 3, false);
+        let armed = PipelineBuilder::new(&ds)
+            .renderers(3)
+            .io_strategy(io)
+            .image_size(64, 64)
+            .enhancement(true)
+            .lic(true)
+            .quantize(true)
+            .adaptive_fetch(true)
+            .faults(quakeviz::rt::FaultSpec::parse("seed=7").unwrap())
+            .run()
+            .expect("pipeline");
+        let rec = armed.recovery.expect("fault plan active");
+        assert_eq!(rec.read_retries + rec.checksum_failures + rec.degraded_frames, 0);
+        assert_eq!(armed.degraded_frame_count(), 0);
+        assert_eq!(clean.frames.len(), armed.frames.len());
+        for (t, (a, b)) in clean.frames.iter().zip(&armed.frames).enumerate() {
+            assert_eq!(
+                a.pixels(),
+                b.pixels(),
+                "{io:?}: frame {t} differs under a zero-probability fault plan"
+            );
+        }
+    }
+}
+
 #[test]
 fn prefetch_backpressure_engages_with_more_steps_than_slots() {
     // 1 input processor owning 6 steps with a 2-slot queue: the consumer

@@ -195,3 +195,77 @@ fn octree_blocks_tile_the_leaves_at_every_level() {
         }
     }
 }
+
+// --- wire checksum ------------------------------------------------------
+
+/// The block-piece wire checksum detects **every** single-bit flip: FNV-1a
+/// applies an injective mix per byte, so two streams differing in one byte
+/// can never re-converge. Flip every bit of random payloads and demand a
+/// different digest each time.
+#[test]
+fn wire_checksum_detects_every_single_bit_flip() {
+    use quakeviz::pipeline::wire_checksum;
+    for seed in 0..20u64 {
+        let mut rng = SplitMix64::new(0xC0FFEE ^ seed);
+        let len = 1 + rng.next_below(64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_below(256) as u8).collect();
+        let bid = rng.next_below(1 << 20) as u32;
+        let offset = rng.next_below(1 << 16) as u32;
+        let kind = rng.next_below(3) as u8;
+        let clean = wire_checksum(bid, offset, kind, bytes.iter().copied());
+        for bit in 0..len * 8 {
+            let mut flipped = bytes.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(
+                clean,
+                wire_checksum(bid, offset, kind, flipped.into_iter()),
+                "seed {seed}: flip of bit {bit} not detected"
+            );
+        }
+        // the header is covered too
+        assert_ne!(clean, wire_checksum(bid ^ 1, offset, kind, bytes.iter().copied()));
+        assert_ne!(clean, wire_checksum(bid, offset ^ 1, kind, bytes.iter().copied()));
+        assert_ne!(clean, wire_checksum(bid, offset, kind ^ 1, bytes.iter().copied()));
+    }
+}
+
+// --- fault plan determinism ---------------------------------------------
+
+/// A fault plan's schedule is a pure function of its spec: two plans built
+/// from the same spec answer every (site, attempt) and (src, dst, tag)
+/// query identically, and a different seed produces a different schedule.
+#[test]
+fn fault_plan_schedule_is_deterministic_in_its_seed() {
+    use quakeviz::rt::{FaultPlan, FaultSpec};
+    let spec = |seed: u64| {
+        FaultSpec::parse(&format!(
+            "seed={seed},read_transient=0.3,read_corrupt=0.2,read_slow=0.2,slow_factor=2,\
+             send_drop=0.3,send_delay=0.2,delay_ms=1,wire_corrupt=0.3"
+        ))
+        .unwrap()
+    };
+    for seed in 0..8u64 {
+        let a = FaultPlan::new(spec(seed));
+        let b = FaultPlan::new(spec(seed));
+        let c = FaultPlan::new(spec(seed + 1));
+        let mut differs = false;
+        for site in 0..200u64 {
+            for attempt in 0..3u32 {
+                let fa = a.read_fault(site, attempt, String::new);
+                let fb = b.read_fault(site, attempt, String::new);
+                assert_eq!(fa, fb, "seed {seed}: read decision diverged at {site}/{attempt}");
+                differs |= fa != c.read_fault(site, attempt, String::new);
+            }
+            let (src, dst, tag) = (site as usize % 7, site as usize % 5, site * 31);
+            let sa = a.send_fault(src, dst, tag);
+            assert_eq!(sa, b.send_fault(src, dst, tag), "seed {seed}: send decision diverged");
+            assert_eq!(
+                a.wire_corrupt(src, dst, tag),
+                b.wire_corrupt(src, dst, tag),
+                "seed {seed}: corruption decision diverged"
+            );
+            differs |= sa != c.send_fault(src, dst, tag);
+        }
+        assert!(differs, "seed {seed} and {} produced identical schedules", seed + 1);
+    }
+}
