@@ -12,13 +12,21 @@
 //!   pipeline-report [--renderers N] [--input-procs M] [--twodip NxM]
 //!                   [--steps K] [--io-delay S] [--size WxH] [--lic]
 //!                   [--prefetch] [--trace] [--faults SPEC]
-//!                   [--deadline-ms MS]
+//!                   [--deadline-ms MS] [--checkpoint-every K]
 //!
 //! `--faults SPEC` arms a deterministic fault plan (same `key=value,...`
 //! syntax as `QUAKEVIZ_FAULTS`, e.g.
-//! `seed=11,read_transient=0.1,send_drop=0.05`); the report then adds a
-//! recovery section: injected-fault counts by kind, the retry/backoff/
-//! checksum/failover counters, and a per-frame degraded-blocks column.
+//! `seed=11,read_transient=0.1,send_drop=0.05`, or `fail_rank=R@S` to
+//! script a rank death — input, render and output ranks all fail over);
+//! the report then adds a recovery section: injected-fault counts by
+//! kind, the retry/backoff/checksum counters, the input/render/output
+//! failover and migrated-frame counters, and a per-frame degradation
+//! column.
+//!
+//! `--checkpoint-every K` commits a checkpoint every K steps through the
+//! parallel file system and adds the checkpoint/restart section (resume
+//! itself is exercised by `tests/checkpoint_restart.rs`: the simulated
+//! disk lives in memory, so a checkpoint cannot outlive the process).
 //!
 //! `--prefetch` switches the input ranks to the overlapped runtime
 //! (read+preprocess on a worker thread, two-slot non-blocking send
@@ -57,6 +65,7 @@ fn main() {
     let mut trace = false;
     let mut faults: Option<FaultSpec> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut checkpoint_every: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |what: &str| args.next().unwrap_or_else(|| panic!("{what} needs a value"));
@@ -76,6 +85,10 @@ fn main() {
             "--faults" => faults = Some(FaultSpec::parse(&val("--faults")).expect("--faults SPEC")),
             "--deadline-ms" => {
                 deadline_ms = Some(val("--deadline-ms").parse().expect("--deadline-ms MS"))
+            }
+            "--checkpoint-every" => {
+                checkpoint_every =
+                    Some(val("--checkpoint-every").parse().expect("--checkpoint-every K"))
             }
             other => {
                 eprintln!("unknown flag {other} (see the doc comment for usage)");
@@ -104,6 +117,9 @@ fn main() {
     }
     if let Some(ms) = deadline_ms {
         builder = builder.delivery_deadline_ms(ms);
+    }
+    if let Some(k) = checkpoint_every {
+        builder = builder.checkpoint_every(k);
     }
     let report = builder.run().expect("pipeline");
     let tr = &report.trace;
@@ -226,7 +242,10 @@ fn main() {
         );
         println!("  exhausted reads     {:>6}", rec.exhausted_reads);
         println!("  checksum failures   {:>6}", rec.checksum_failures);
-        println!("  failover events     {:>6}", rec.failover_events);
+        println!("  input failovers     {:>6}", rec.failover_events);
+        println!("  render failovers    {:>6}", rec.render_failovers);
+        println!("  output failovers    {:>6}", rec.output_failovers);
+        println!("  migrated frames     {:>6}", rec.migrated_frames);
         println!(
             "  degraded            {:>6} blocks across {} of {} frames",
             rec.degraded_blocks,
@@ -234,17 +253,22 @@ fn main() {
             report.frame_done.len()
         );
         if report.degraded_frame_count() > 0 {
-            println!("  frame  degraded blocks");
+            println!("  frame  degradation flags");
             for (t, d) in report.degraded.iter().enumerate() {
                 if d.is_empty() {
                     continue;
                 }
-                let cells: Vec<String> = d
-                    .iter()
-                    .map(|&b| if b == u32::MAX { "LIC".into() } else { b.to_string() })
-                    .collect();
+                let cells: Vec<String> = d.iter().map(|f| f.to_string()).collect();
                 println!("  {t:>5}  {}", cells.join(" "));
             }
+        }
+    }
+    if report.checkpoints > 0 || report.resumed_from.is_some() {
+        println!("\ncheckpoint/restart:");
+        println!("  commits             {:>6}", report.checkpoints);
+        match report.resumed_from {
+            Some(step) => println!("  resumed from step   {step:>6}"),
+            None => println!("  resumed from        {:>6}", "-"),
         }
     }
 

@@ -73,6 +73,23 @@ impl SpanData {
     }
 }
 
+/// Sequential over-operator oracle: composite `frags` into a fresh
+/// `width × height` frame in the visibility order given by `order`
+/// (block ids, front to back). This is the single-processor reference
+/// every parallel algorithm — including SLIC rescheduled over a
+/// surviving rank subset — must match bit-for-bit.
+pub fn sequential_reference(
+    frags: &[Fragment],
+    order: &[u32],
+    width: u32,
+    height: u32,
+) -> RgbaImage {
+    let pos = |b: u32| order.iter().position(|&o| o == b).unwrap_or(usize::MAX);
+    let mut sorted: Vec<&Fragment> = frags.iter().collect();
+    sorted.sort_by_key(|f| pos(f.block));
+    quakeviz_render::composite_fragments(&sorted, width, height)
+}
+
 /// Slice `[x0, x1)` of row `y` out of a fragment.
 fn frag_span(f: &Fragment, y: u32, x0: u32, x1: u32) -> Vec<Rgba> {
     debug_assert!(y >= f.rect.y0 && y < f.rect.y1);

@@ -30,6 +30,8 @@ pub mod algorithms;
 pub mod rle;
 pub mod schedule;
 
-pub use algorithms::{binary_swap, direct_send, slic, CompositeOptions, CompositeResult};
+pub use algorithms::{
+    binary_swap, direct_send, sequential_reference, slic, CompositeOptions, CompositeResult,
+};
 pub use rle::{rle_decode, rle_encode};
 pub use schedule::{FrameInfo, Run};

@@ -164,6 +164,26 @@ impl FrameInfo {
         self.frags[run.frags[0]].2
     }
 
+    /// Project the schedule onto a surviving subset of ranks (render-side
+    /// failover): fragments owned by dead ranks are dropped and the
+    /// owners of the rest are renumbered to the compact `live` indexing —
+    /// exactly the [`FrameInfo`] a re-formed communicator of the
+    /// survivors would derive from its own allgather. Because the
+    /// schedule is a pure function of this structure, recomputing it over
+    /// any surviving subset needs no communication.
+    ///
+    /// `live` lists the surviving original rank ids in ascending order.
+    pub fn restrict_to(&self, live: &[u32]) -> FrameInfo {
+        let frags = self
+            .frags
+            .iter()
+            .filter_map(|&(b, r, owner)| {
+                live.iter().position(|&l| l == owner).map(|i| (b, r, i as u32))
+            })
+            .collect();
+        FrameInfo { frags, width: self.width, height: self.height }
+    }
+
     /// Predicted message count for SLIC with `collector`: the number of
     /// distinct (source → destination) pairs with traffic.
     pub fn slic_message_count(&self, ranks: usize, collector: u32) -> u64 {
@@ -272,6 +292,24 @@ mod tests {
         assert_eq!(f.slic_message_count(2, 0), 1);
         // with collector 1 instead: rank1->rank0 and rank0->rank1
         assert_eq!(f.slic_message_count(2, 1), 2);
+    }
+
+    #[test]
+    fn restrict_to_drops_dead_owners_and_renumbers() {
+        let f = fi(vec![
+            (0, ScreenRect::new(0, 0, 8, 1), 0),
+            (1, ScreenRect::new(4, 0, 12, 1), 1),
+            (2, ScreenRect::new(0, 1, 8, 2), 2),
+        ]);
+        // rank 1 died: its fragment disappears, rank 2 becomes live idx 1
+        let g = f.restrict_to(&[0, 2]);
+        assert_eq!(
+            g.frags,
+            vec![(0, ScreenRect::new(0, 0, 8, 1), 0), (2, ScreenRect::new(0, 1, 8, 2), 1),]
+        );
+        assert_eq!((g.width, g.height), (f.width, f.height));
+        // full subset is the identity
+        assert_eq!(f.restrict_to(&[0, 1, 2]).frags, f.frags);
     }
 
     #[test]

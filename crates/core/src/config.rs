@@ -156,6 +156,21 @@ pub struct PipelineConfig {
     /// active when faults are injected; the zero-fault path blocks
     /// indefinitely exactly like the reference oracle.
     pub deadline_ms: u64,
+    /// Write a versioned, checksummed checkpoint through `parfs` every
+    /// `K` steps (`Some(K)`, K ≥ 1): render ranks snapshot their resident
+    /// fields, the output rank collects acknowledgements and commits the
+    /// manifest last, so a torn checkpoint is never resumable. `None`
+    /// (the default) disables checkpointing entirely — the zero-fault
+    /// frame stream is bit-identical either way.
+    pub checkpoint_every: Option<usize>,
+    /// Directory (inside the dataset's simulated parallel file system)
+    /// that holds the checkpoint manifest and field snapshots.
+    pub checkpoint_path: String,
+    /// Resume from the latest checkpoint under
+    /// [`PipelineConfig::checkpoint_path`] instead of starting at step 0.
+    /// The manifest's config fingerprint must match the current run; the
+    /// resumed frame sequence is bit-identical to an uninterrupted run.
+    pub resume: bool,
 }
 
 impl Default for PipelineConfig {
@@ -185,6 +200,9 @@ impl Default for PipelineConfig {
             faults: None,
             retry: RetryPolicy::default(),
             deadline_ms: 1500,
+            checkpoint_every: None,
+            checkpoint_path: "ckpt".to_string(),
+            resume: false,
         }
     }
 }
@@ -322,6 +340,26 @@ impl PipelineBuilder {
     /// [`PipelineConfig::deadline_ms`]).
     pub fn delivery_deadline_ms(mut self, ms: u64) -> Self {
         self.config.deadline_ms = ms;
+        self
+    }
+
+    /// Checkpoint every `k` steps (see
+    /// [`PipelineConfig::checkpoint_every`]).
+    pub fn checkpoint_every(mut self, k: usize) -> Self {
+        self.config.checkpoint_every = Some(k);
+        self
+    }
+
+    /// Checkpoint directory on the simulated parallel file system.
+    pub fn checkpoint_path(mut self, path: &str) -> Self {
+        self.config.checkpoint_path = path.to_string();
+        self
+    }
+
+    /// Resume from the latest checkpoint (see
+    /// [`PipelineConfig::resume`]).
+    pub fn resume(mut self, on: bool) -> Self {
+        self.config.resume = on;
         self
     }
 

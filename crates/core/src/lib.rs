@@ -34,6 +34,7 @@
 //!   against the §5 closed forms.
 
 pub mod balance;
+pub mod checkpoint;
 pub mod config;
 pub mod des;
 pub mod insitu;
@@ -42,6 +43,7 @@ pub mod pipeline;
 pub mod reader;
 pub mod validate;
 
+pub use checkpoint::{CheckpointError, CheckpointManifest, CHECKPOINT_VERSION};
 pub use config::{IoStrategy, PipelineBuilder, PipelineConfig, ReadStrategy, RetryPolicy};
 pub use des::{simulate, CostTable, DesResult, DesStrategy};
 pub use insitu::{run_insitu, InsituConfig, InsituReport};
@@ -49,5 +51,5 @@ pub use model::{
     onedip_optimal_m, onedip_prefetch_delay, onedip_steady_delay, twodip_n, twodip_optimal_m,
     twodip_prefetch_delay, twodip_steady_delay,
 };
-pub use pipeline::{run_pipeline, wire_checksum, PipelineReport};
+pub use pipeline::{run_pipeline, wire_checksum, Degradation, FaultConfigError, PipelineReport};
 pub use validate::ModelValidation;

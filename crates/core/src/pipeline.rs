@@ -44,6 +44,14 @@ const TAG_VOL: u64 = 0x2200_0000_0000;
 const TAG_DEG: u64 = 0x2300_0000_0000;
 /// Per-step liveness heartbeats inside a 2DIP input group.
 const TAG_HB: u64 = 0x2400_0000_0000;
+/// Per-step liveness heartbeats among the rendering processors (active
+/// only when a render-rank failure is scripted).
+const TAG_HBR: u64 = 0x2500_0000_0000;
+/// Checkpoint acknowledgements, render ranks → the frame assembler.
+const TAG_CKPT: u64 = 0x2600_0000_0000;
+/// Output-processor liveness heartbeats to its render-root supervisor
+/// (active only when an output-rank failure is scripted).
+const TAG_HBO: u64 = 0x2700_0000_0000;
 
 /// Map the pipeline's wire tags to traffic-matrix classes (the runtime
 /// classifies its own collective traffic before consulting this).
@@ -52,7 +60,7 @@ fn classify_tag(tag: u64) -> TagClass {
         0x20 => TagClass::BlockData,
         0x21 => TagClass::LicImage,
         0x22 => TagClass::VolumeImage,
-        0x23 | 0x24 => TagClass::Recovery,
+        0x23..=0x27 => TagClass::Recovery,
         _ => {
             if (0xc0de_0000..=0xc0de_ffff).contains(&tag) {
                 TagClass::Composite
@@ -175,11 +183,70 @@ pub struct RenderFrameTiming {
     pub composite_s: f64,
 }
 
+/// Why a delivered frame is flagged degraded. Ordered so per-frame lists
+/// sort deterministically (block entries first, frame-wide flags last).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Degradation {
+    /// Block data arrived incomplete (deadline or checksum rejection):
+    /// the block was rendered one octree level coarser over its
+    /// last-known-good values.
+    CoarserLevel { block: u32 },
+    /// The input side exhausted its read retries and reported the
+    /// block's data *missing* outright.
+    MissingBlock { block: u32 },
+    /// The LIC surface overlay could not be read; the frame shipped
+    /// without it.
+    MissingLic,
+    /// The frame was assembled by the supervising render rank after the
+    /// output processor died (output failover epoch).
+    MigratedEpoch,
+}
+
+impl Degradation {
+    /// The affected block id, for the block-scoped variants.
+    pub fn block(&self) -> Option<u32> {
+        match *self {
+            Degradation::CoarserLevel { block } | Degradation::MissingBlock { block } => {
+                Some(block)
+            }
+            Degradation::MissingLic | Degradation::MigratedEpoch => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Degradation::CoarserLevel { block } => write!(f, "coarser:{block}"),
+            Degradation::MissingBlock { block } => write!(f, "missing:{block}"),
+            Degradation::MissingLic => write!(f, "no-lic"),
+            Degradation::MigratedEpoch => write!(f, "migrated"),
+        }
+    }
+}
+
+/// Frames the supervising render rank assembled after the output
+/// processor died, spliced into the report after the output's own.
+struct OutputTakeover {
+    frames: Vec<RgbaImage>,
+    done_at: Vec<f64>,
+    degraded: Vec<Vec<Degradation>>,
+    checkpoints: u64,
+}
+
 /// What one rank hands back at the end of the run.
 enum RankResult {
     Input(Vec<InputStepTiming>),
-    Render(Vec<RenderFrameTiming>),
-    Output { frames: Vec<RgbaImage>, done_at: Vec<f64>, degraded: Vec<Vec<u32>> },
+    Render {
+        timings: Vec<RenderFrameTiming>,
+        takeover: Option<OutputTakeover>,
+    },
+    Output {
+        frames: Vec<RgbaImage>,
+        done_at: Vec<f64>,
+        degraded: Vec<Vec<Degradation>>,
+        checkpoints: u64,
+    },
 }
 
 /// The assembled outcome of a pipeline run.
@@ -216,16 +283,23 @@ pub struct PipelineReport {
     /// spans only when tracing was enabled ([`PipelineConfig::trace`] or
     /// `QUAKEVIZ_TRACE`).
     pub trace: TraceData,
-    /// Per-frame degraded block ids (sorted, deduplicated); `u32::MAX`
-    /// marks a missing LIC overlay. A frame's list is empty when it was
-    /// assembled from complete, verified data. Always `steps` entries.
-    pub degraded: Vec<Vec<u32>>,
+    /// Per-frame degradation flags (sorted, deduplicated): which blocks
+    /// rendered coarser or went missing, whether the LIC overlay was
+    /// lost, and whether the frame was assembled by the output-failover
+    /// supervisor. A frame's list is empty when it was assembled from
+    /// complete, verified data. One entry per executed step.
+    pub degraded: Vec<Vec<Degradation>>,
     /// The fault-injection log of the run, in injection order per kind
     /// (empty without a fault plan).
     pub fault_events: Vec<FaultEvent>,
     /// Recovery counters (retries, backoff, checksum failures, degraded
     /// frames, failovers); `None` without a fault plan.
     pub recovery: Option<RecoveryStats>,
+    /// Checkpoints committed (manifest written) during the run.
+    pub checkpoints: u64,
+    /// The step the run resumed from, when
+    /// [`PipelineConfig::resume`] restored a checkpoint.
+    pub resumed_from: Option<usize>,
 }
 
 impl PipelineReport {
@@ -315,6 +389,35 @@ struct Shared {
     opacity_unit: f64,
     /// The run's deterministic fault plan, if injection is active.
     faults: Option<Arc<FaultPlan>>,
+    /// First step to execute (0 unless resuming from a checkpoint).
+    start_step: usize,
+    /// Checkpointed last-known-good fields by render-group rank, loaded
+    /// up-front on resume (empty otherwise).
+    resume_fields: Vec<Option<Vec<f32>>>,
+    /// Precomputed render-rank failover epoch when the fault plan scripts
+    /// the death of a rendering processor.
+    render_failover: Option<RenderFailover>,
+    /// The step at which the fault plan scripts the output processor's
+    /// death, making its render-root supervisor assume frame assembly.
+    output_failover_step: Option<usize>,
+    /// Fingerprint of every config field that shapes the frame stream;
+    /// stamped into checkpoints and verified on resume.
+    fingerprint: u64,
+}
+
+/// The deterministic post-failover epoch after a scripted render-rank
+/// death: every rank — survivors via heartbeat detection, inputs and the
+/// output processor by mirroring the plan — converges on the same
+/// surviving rank set and the same recomputed block partition.
+struct RenderFailover {
+    /// The step from which the scripted rank is dead.
+    step: usize,
+    /// Surviving render-group indices, ascending.
+    live: Vec<usize>,
+    /// The block partition recomputed over `live.len()` survivors with
+    /// the same balancer as the initial setup, indexed by position in
+    /// `live`.
+    partition: Partition,
 }
 
 impl Shared {
@@ -326,16 +429,140 @@ impl Shared {
     fn deadline(&self) -> Duration {
         Duration::from_millis(self.cfg.deadline_ms)
     }
+
+    /// The render failover epoch in force at step `t`, if any.
+    fn render_epoch(&self, t: usize) -> Option<&RenderFailover> {
+        self.render_failover.as_ref().filter(|f| t >= f.step)
+    }
+
+    /// The block partition and surviving render-group indices routing
+    /// block data at step `t` (partition index = position in the list).
+    fn routing(&self, t: usize) -> (&Partition, Vec<usize>) {
+        match self.render_epoch(t) {
+            Some(f) => (&f.partition, f.live.clone()),
+            None => (&self.partition, (0..self.n_renderers).collect()),
+        }
+    }
+
+    /// World rank delivering the composited frame of step `t` (the
+    /// lowest surviving render rank — SLIC's collector).
+    fn frame_source(&self, t: usize) -> usize {
+        match self.render_epoch(t) {
+            Some(f) => self.n_inputs + f.live[0],
+            None => self.n_inputs,
+        }
+    }
+
+    /// Whether the output processor is alive at step `t` under the plan.
+    fn output_alive(&self, t: usize) -> bool {
+        self.output_failover_step.is_none_or(|s| t < s)
+    }
+
+    /// World rank assembling the frame of step `t`: the output processor,
+    /// or its render-root supervisor once the plan scripts it dead.
+    fn output_dst(&self, t: usize) -> usize {
+        if self.output_alive(t) {
+            self.n_inputs + self.n_renderers
+        } else {
+            self.n_inputs
+        }
+    }
+
+    /// Whether a checkpoint is due after step `t`.
+    fn checkpoint_due(&self, t: usize) -> bool {
+        self.cfg.checkpoint_every.is_some_and(|k| (t + 1).is_multiple_of(k))
+    }
+}
+
+/// Why a scripted `fail_rank=R@S` cannot run under this configuration —
+/// surfaced at plan-build time instead of silently never firing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultConfigError {
+    /// The rank does not exist in the world `[inputs | renderers |
+    /// output]` this configuration spawns.
+    RankOutOfRange { rank: usize, world: usize },
+    /// The failure step is past the last executed step: the scripted
+    /// death would never fire.
+    StepOutOfRange { step: usize, steps: usize },
+    /// An input-rank death is only survivable inside a 2DIP group of at
+    /// least two (independent contiguous reads, synchronous runtime).
+    InputNotSurvivable { rank: usize, step: usize },
+    /// A render-rank death is only survivable with at least two
+    /// rendering processors to re-partition the dead rank's blocks over.
+    RenderNotSurvivable { rank: usize, step: usize },
+}
+
+impl std::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultConfigError::RankOutOfRange { rank, world } => write!(
+                f,
+                "fail_rank rank {rank} is outside the world: this configuration \
+                 spawns only {world} ranks (inputs | renderers | output)"
+            ),
+            FaultConfigError::StepOutOfRange { step, steps } => write!(
+                f,
+                "fail_rank step {step} is beyond the run's {steps} steps — \
+                 the scripted failure would never fire"
+            ),
+            FaultConfigError::InputNotSurvivable { rank, step } => write!(
+                f,
+                "fail_rank={rank}@{step} needs a 2DIP input group of at least 2 \
+                 (independent contiguous reads, synchronous runtime) so the dead \
+                 rank's slice can fail over to a survivor"
+            ),
+            FaultConfigError::RenderNotSurvivable { rank, step } => write!(
+                f,
+                "fail_rank={rank}@{step} kills a rendering processor: failover \
+                 needs at least 2 renderers so survivors can re-partition its \
+                 blocks and recompute the SLIC schedule"
+            ),
+        }
+    }
+}
+
+/// Validate a scripted rank failure against the actual world shape.
+fn validate_fail_rank(
+    config: &PipelineConfig,
+    n_inputs: usize,
+    steps: usize,
+    rank: usize,
+    step: usize,
+) -> Result<(), FaultConfigError> {
+    let world = n_inputs + config.renderers + 1;
+    if rank >= world {
+        return Err(FaultConfigError::RankOutOfRange { rank, world });
+    }
+    if step >= steps {
+        return Err(FaultConfigError::StepOutOfRange { step, steps });
+    }
+    if rank < n_inputs {
+        let survivable = matches!(config.io, IoStrategy::TwoDip { per_group, .. } if per_group >= 2)
+            && matches!(config.read, ReadStrategy::IndependentContiguous)
+            && !config.prefetch;
+        if !survivable {
+            return Err(FaultConfigError::InputNotSurvivable { rank, step });
+        }
+    } else if rank < n_inputs + config.renderers && config.renderers < 2 {
+        return Err(FaultConfigError::RenderNotSurvivable { rank, step });
+    }
+    // the output rank is always survivable: its render-root supervisor
+    // assumes frame assembly
+    Ok(())
 }
 
 /// Resolve the run's fault plan: an explicit [`PipelineConfig::faults`]
-/// spec (validated hard), else `QUAKEVIZ_FAULTS` (sanitized: a scripted
-/// rank failure the configuration cannot survive is dropped so a blanket
-/// environment spec still applies to every suite configuration).
+/// spec (validated hard, with a typed [`FaultConfigError`]), else
+/// `QUAKEVIZ_FAULTS` (sanitized: a scripted rank failure an arbitrary
+/// suite configuration cannot survive — or whose detection stall would
+/// skew its timing — is dropped so a blanket environment spec still
+/// applies everywhere; only input-group failover survives the blanket
+/// treatment, render/output kills must be requested explicitly).
 fn resolve_faults(
     config: &PipelineConfig,
     n_inputs: usize,
-) -> Result<Option<Arc<FaultPlan>>, String> {
+    steps: usize,
+) -> Result<Option<Arc<FaultPlan>>, FaultConfigError> {
     let (mut spec, from_env) = match &config.faults {
         Some(spec) => (spec.clone(), false),
         None => match FaultSpec::from_env() {
@@ -344,22 +571,128 @@ fn resolve_faults(
         },
     };
     if let Some((rank, step)) = spec.fail_rank {
-        let survivable = matches!(config.io, IoStrategy::TwoDip { per_group, .. } if per_group >= 2)
-            && matches!(config.read, ReadStrategy::IndependentContiguous)
-            && !config.prefetch
-            && rank < n_inputs;
-        if !survivable {
-            if !from_env {
-                return Err(format!(
-                    "fail_rank={rank}@{step} needs a 2DIP input group of at least 2 \
-                     (independent contiguous reads, synchronous runtime) so the dead \
-                     rank's slice can fail over to a survivor"
-                ));
+        let verdict = validate_fail_rank(config, n_inputs, steps, rank, step);
+        if from_env {
+            if verdict.is_err() || rank >= n_inputs {
+                spec.fail_rank = None;
             }
-            spec.fail_rank = None;
+        } else {
+            verdict?;
         }
     }
     Ok(Some(FaultPlan::new(spec)))
+}
+
+/// The block→renderer partition for `n` renderers. Extracted so the
+/// initial setup and the render-failover re-partition over the survivor
+/// count run the *identical* balancer: a post-failover run over `k`
+/// survivors owns exactly the blocks a clean `k`-renderer run would,
+/// which is what makes post-failover frames bit-identical to it.
+fn partition_for(
+    mesh: &HexMesh,
+    blocks: &[OctreeBlock],
+    n: usize,
+    camera: &Camera,
+    level: u8,
+    view_balance: bool,
+) -> Partition {
+    if view_balance {
+        crate::balance::view_balanced(mesh, blocks, n, camera, level)
+    } else {
+        Partition::balanced(mesh, blocks, n, WorkloadModel::CellCount)
+    }
+}
+
+/// FNV-1a fingerprint of every configuration field that shapes the frame
+/// stream (processor counts, octree levels, image geometry, preprocessing
+/// flags, camera, fault spec). `max_steps`, checkpoint settings and the
+/// prefetch flag are deliberately excluded: a run killed early and a run
+/// resumed to the end must agree with the uninterrupted run's checkpoint.
+fn config_fingerprint(config: &PipelineConfig, level: u8, camera: &Camera) -> u64 {
+    let desc = format!(
+        "{};{:?};{:?};{}x{};lvl{};blk{};l{}e{}lic{}q{}vb{}af{};{:?};{:?};{};{:?}",
+        config.renderers,
+        config.io,
+        config.read,
+        config.width,
+        config.height,
+        level,
+        config.block_level,
+        config.lighting as u8,
+        config.enhancement as u8,
+        config.lic as u8,
+        config.quantize as u8,
+        config.view_balance as u8,
+        config.adaptive_fetch as u8,
+        camera,
+        config.retry,
+        config.deadline_ms,
+        config.faults,
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in desc.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Read and validate the latest checkpoint: the manifest (version,
+/// checksum, fingerprint, shape) and every field snapshot it names.
+/// Returns `(next_step, fields by render-group rank)`.
+fn load_checkpoint(
+    disk: &quakeviz_parfs::Disk,
+    base: &str,
+    fingerprint: u64,
+    n_renderers: usize,
+    node_count: usize,
+    steps: usize,
+) -> Result<(usize, Vec<Option<Vec<f32>>>), crate::checkpoint::CheckpointError> {
+    use crate::checkpoint::{self, CheckpointError, CheckpointManifest};
+    let mpath = checkpoint::manifest_path(base);
+    let (bytes, _) =
+        disk.read_full(&mpath).map_err(|_| CheckpointError::Missing { path: mpath.clone() })?;
+    let manifest = CheckpointManifest::decode(&bytes, &mpath)?;
+    if manifest.fingerprint != fingerprint {
+        return Err(CheckpointError::ConfigMismatch {
+            expected: fingerprint,
+            found: manifest.fingerprint,
+        });
+    }
+    if manifest.block_map.len() != n_renderers {
+        return Err(CheckpointError::ShapeMismatch {
+            detail: format!(
+                "checkpoint maps blocks over {} render ranks, this run has {}",
+                manifest.block_map.len(),
+                n_renderers
+            ),
+        });
+    }
+    if manifest.next_step > steps {
+        return Err(CheckpointError::ShapeMismatch {
+            detail: format!(
+                "checkpoint resumes at step {} but the run has only {} steps",
+                manifest.next_step, steps
+            ),
+        });
+    }
+    let mut fields: Vec<Option<Vec<f32>>> = vec![None; n_renderers];
+    for &(rr, ck) in &manifest.fields {
+        let fpath = checkpoint::field_path(base, manifest.next_step, rr as usize);
+        let invalid = || CheckpointError::FieldInvalid { path: fpath.clone() };
+        if rr as usize >= n_renderers {
+            return Err(invalid());
+        }
+        let (fbytes, _) = disk.read_full(&fpath).map_err(|_| invalid())?;
+        if checkpoint::field_checksum(&fbytes) != ck {
+            return Err(invalid());
+        }
+        let (fstep, values) = checkpoint::decode_field(&fbytes, &fpath)?;
+        if fstep != manifest.next_step || values.len() != node_count {
+            return Err(invalid());
+        }
+        fields[rr as usize] = Some(values);
+    }
+    Ok((manifest.next_step, fields))
 }
 
 /// Run the pipeline for `dataset` under `config`.
@@ -371,6 +704,9 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
     let steps = config.max_steps.map_or(dataset.steps(), |m| m.min(dataset.steps()));
     if steps == 0 {
         return Err("dataset has no time steps".into());
+    }
+    if config.checkpoint_every == Some(0) {
+        return Err("checkpoint interval must be at least one step".into());
     }
     if let IoStrategy::TwoDip { per_group, .. } = config.io {
         let nodes = dataset.mesh().node_count();
@@ -402,11 +738,8 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
     let camera = config.camera.clone().unwrap_or_else(|| {
         Camera::default_for(&Aabb::from_extent(extent), config.width, config.height)
     });
-    let partition = if config.view_balance {
-        crate::balance::view_balanced(&mesh, &blocks, config.renderers, &camera, level)
-    } else {
-        Partition::balanced(&mesh, &blocks, config.renderers, WorkloadModel::CellCount)
-    };
+    let partition =
+        partition_for(&mesh, &blocks, config.renderers, &camera, level, config.view_balance);
     let order_ids: Vec<u32> = front_to_back_order(&blocks, extent, camera.eye)
         .into_iter()
         .map(|i| blocks[i].id)
@@ -422,7 +755,39 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         (Arc::new(qt), Arc::new(ids), Arc::new(noise))
     });
 
-    let faults = resolve_faults(&config, n_inputs)?;
+    let faults = resolve_faults(&config, n_inputs, steps).map_err(|e| e.to_string())?;
+
+    // precompute the deterministic failover epochs the scripted plan
+    // implies, so every rank mirrors the same post-failure schedule
+    let mut render_failover = None;
+    let mut output_failover_step = None;
+    if let Some((rank, step)) = faults.as_ref().and_then(|p| p.spec().fail_rank) {
+        if rank == n_inputs + config.renderers {
+            output_failover_step = Some(step);
+        } else if rank >= n_inputs {
+            let live: Vec<usize> =
+                (0..config.renderers).filter(|&r| n_inputs + r != rank).collect();
+            let partition =
+                partition_for(&mesh, &blocks, live.len(), &camera, level, config.view_balance);
+            render_failover = Some(RenderFailover { step, live, partition });
+        }
+    }
+
+    let fingerprint = config_fingerprint(&config, level, &camera);
+    let (start_step, resume_fields) = if config.resume {
+        load_checkpoint(
+            dataset.disk(),
+            &config.checkpoint_path,
+            fingerprint,
+            config.renderers,
+            mesh.node_count(),
+            steps,
+        )
+        .map_err(|e| format!("cannot resume: {e}"))?
+    } else {
+        (0, Vec::new())
+    };
+
     let shared = Shared {
         mesh,
         disk: Arc::clone(dataset.disk()),
@@ -440,6 +805,11 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         n_renderers: config.renderers,
         opacity_unit: extent.max_component() / 64.0,
         faults,
+        start_step,
+        resume_fields,
+        render_failover,
+        output_failover_step,
+        fingerprint,
         cfg: config,
     };
 
@@ -461,19 +831,33 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
     let mut frames = Vec::new();
     let mut frame_done = Vec::new();
     let mut degraded = Vec::new();
+    let mut checkpoints = 0u64;
+    let mut takeover_tail = None;
     for r in results {
         match r {
             RankResult::Input(v) => input_steps.extend(v),
-            RankResult::Render(v) => {
+            RankResult::Render { timings: v, takeover } => {
                 render_rank_seconds.push(v.iter().map(|f| f.render_s).sum::<f64>());
                 render_frames.extend(v);
+                if takeover.is_some() {
+                    takeover_tail = takeover;
+                }
             }
-            RankResult::Output { frames: f, done_at, degraded: d } => {
+            RankResult::Output { frames: f, done_at, degraded: d, checkpoints: c } => {
                 frames = f;
                 frame_done = done_at;
                 degraded = d;
+                checkpoints += c;
             }
         }
+    }
+    // splice the supervisor's output-failover frames after the dead
+    // output rank's own: the stream continues without a gap
+    if let Some(tk) = takeover_tail {
+        frames.extend(tk.frames);
+        frame_done.extend(tk.done_at);
+        degraded.extend(tk.degraded);
+        checkpoints += tk.checkpoints;
     }
     // surface the plan's counters as metrics so the snapshot carries them
     let (fault_events, recovery) = match &shared.faults {
@@ -494,6 +878,9 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
                 ("recovery.degraded_blocks", rec.degraded_blocks),
                 ("recovery.degraded_frames", rec.degraded_frames),
                 ("recovery.failover_events", rec.failover_events),
+                ("recovery.render_failovers", rec.render_failovers),
+                ("recovery.output_failovers", rec.output_failovers),
+                ("recovery.migrated_frames", rec.migrated_frames),
             ] {
                 if n > 0 {
                     m.counter(name).add(n);
@@ -502,6 +889,9 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
             (plan.events(), Some(rec))
         }
     };
+    if checkpoints > 0 {
+        session.metrics().counter("checkpoint.commits").add(checkpoints);
+    }
     let trace = session.snapshot(Some(&stats));
     write_trace_if_requested(&trace);
     Ok(PipelineReport {
@@ -521,6 +911,8 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         degraded,
         fault_events,
         recovery,
+        checkpoints,
+        resumed_from: shared.cfg.resume.then_some(shared.start_step),
     })
 }
 
@@ -571,7 +963,9 @@ fn rank_main(comm: Comm, session: &Arc<Obs>, s: &Shared) -> RankResult {
     if me < s.n_inputs {
         RankResult::Input(input_main(&comm, group_comm.as_ref(), s))
     } else if me < s.n_inputs + s.n_renderers {
-        RankResult::Render(render_main(&comm, render_comm.as_ref().unwrap(), s))
+        let (timings, takeover) =
+            render_main(&comm, render_comm.as_ref().unwrap(), session, s, start);
+        RankResult::Render { timings, takeover }
     } else {
         output_main(&comm, session, s, start)
     }
@@ -605,13 +999,20 @@ struct InputPlan {
 
 fn input_plan(me: usize, s: &Shared) -> InputPlan {
     // which steps do I work on, and which part of each?
+    // step ownership is keyed by the *absolute* step index, so a resumed
+    // run assigns each remaining step to the same rank the uninterrupted
+    // run would
     let (my_steps, member, group_size): (Vec<usize>, usize, usize) = match s.cfg.io {
         IoStrategy::OneDip { input_procs } => {
-            ((0..s.steps).filter(|t| t % input_procs == me).collect(), 0, 1)
+            ((s.start_step..s.steps).filter(|t| t % input_procs == me).collect(), 0, 1)
         }
         IoStrategy::TwoDip { groups, per_group } => {
             let g = me / per_group;
-            ((0..s.steps).filter(|t| t % groups == g).collect(), me % per_group, per_group)
+            (
+                (s.start_step..s.steps).filter(|t| t % groups == g).collect(),
+                me % per_group,
+                per_group,
+            )
         }
     };
 
@@ -749,11 +1150,15 @@ fn pack_batches(
     me: usize,
     t: usize,
 ) -> Vec<(usize, BlockBatch, u64)> {
-    let mut out = Vec::with_capacity(s.n_renderers);
-    for r in 0..s.n_renderers {
-        let dst = s.n_inputs + r;
+    // route over the render ranks alive at step `t` and the partition of
+    // the epoch in force — after a scripted render-rank death the dead
+    // rank receives nothing and its blocks go to the survivors
+    let (partition, live) = s.routing(t);
+    let mut out = Vec::with_capacity(live.len());
+    for (r, &rr) in live.iter().enumerate() {
+        let dst = s.n_inputs + rr;
         let mut batch: BlockBatch = Vec::new();
-        for &bid in s.partition.blocks_of(r) {
+        for &bid in partition.blocks_of(r) {
             let ids = &s.ids_per_block[bid as usize];
             let (a, b) = match my_span {
                 None => (0, ids.len()),
@@ -821,7 +1226,9 @@ fn lic_step(comm: &Comm, s: &Shared, t: usize, read: &mut ReadStats) {
     let Some((qt, surf_ids, noise)) = &s.surface else {
         return;
     };
-    let output_rank = s.n_inputs + s.n_renderers;
+    // the overlay goes to whichever rank assembles this step's frame —
+    // the output processor, or its supervisor once the plan kills it
+    let output_rank = s.output_dst(t);
     let mut lic_sp = obs::span(Phase::Lic, t as u32);
     // surface vectors: read explicitly (they may not be in the adaptive
     // fetch set or my slice); when the read fails for good the overlay
@@ -877,11 +1284,14 @@ fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputSt
     timings
 }
 
-/// This rank's 2DIP group as world ranks, when scripted rank failure —
-/// and with it the heartbeat/failover protocol — is active.
+/// This rank's 2DIP group as world ranks, when a scripted *input*-rank
+/// failure — and with it the heartbeat/failover protocol — is active.
 fn failover_group(me: usize, s: &Shared) -> Option<Vec<usize>> {
     let plan = s.faults.as_ref()?;
-    plan.spec().fail_rank?;
+    let (rank, _) = plan.spec().fail_rank?;
+    if rank >= s.n_inputs {
+        return None; // render/output kills don't concern the input groups
+    }
     match s.cfg.io {
         IoStrategy::OneDip { .. } => None,
         IoStrategy::TwoDip { per_group, .. } => {
@@ -1071,12 +1481,73 @@ fn input_main_prefetch(comm: &Comm, s: &Shared, plan: &InputPlan) -> Vec<InputSt
 // rendering processors
 // ---------------------------------------------------------------------
 
-fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTiming> {
+/// Write this render rank's field snapshot for the checkpoint after step
+/// `t`; returns its manifest acknowledgement `(rank, checksum)`.
+fn write_field_snapshot(s: &Shared, rr: usize, t: usize, field: &NodeField) -> (u32, u64) {
+    let next = t + 1;
+    let bytes = crate::checkpoint::encode_field(next, field.values());
+    let ck = crate::checkpoint::field_checksum(&bytes);
+    s.disk.write_file(&crate::checkpoint::field_path(&s.cfg.checkpoint_path, next, rr), bytes);
+    (rr as u32, ck)
+}
+
+/// Commit the checkpoint after step `t` at the frame assembler: collect
+/// the live render ranks' acknowledgements (each sent only after its
+/// snapshot hit the file system), write the manifest *last*, then prune
+/// every other step's snapshots. A crash before the manifest write
+/// leaves the previous checkpoint fully intact and resumable.
+fn commit_checkpoint(comm: &Comm, s: &Shared, t: usize, local: Option<(u32, u64)>) {
+    use crate::checkpoint::{self, CheckpointManifest, CHECKPOINT_VERSION};
+    let me = comm.rank();
+    let next = t + 1;
+    let (partition, live) = s.routing(t);
+    let mut fields: Vec<(u32, u64)> = local.into_iter().collect();
+    for &rr in &live {
+        let r = s.n_inputs + rr;
+        if r != me {
+            fields.push(comm.recv(r, TAG_CKPT + t as u64));
+        }
+    }
+    fields.sort_unstable();
+    let mut block_map = vec![Vec::new(); s.n_renderers];
+    for (v, &rr) in live.iter().enumerate() {
+        block_map[rr] = partition.blocks_of(v).to_vec();
+    }
+    let manifest = CheckpointManifest {
+        version: CHECKPOINT_VERSION,
+        fingerprint: s.fingerprint,
+        next_step: next,
+        block_map,
+        fields,
+    };
+    let base = &s.cfg.checkpoint_path;
+    s.disk.write_file(&checkpoint::manifest_path(base), manifest.encode());
+    let keep = format!("{base}/step{next}/");
+    let stale = format!("{base}/step");
+    for f in s.disk.list_files() {
+        if f.starts_with(&stale) && !f.starts_with(&keep) {
+            s.disk.remove_file(&f);
+        }
+    }
+}
+
+fn render_main(
+    comm: &Comm,
+    render_comm: &Comm,
+    session: &Arc<Obs>,
+    s: &Shared,
+    start: Instant,
+) -> (Vec<RenderFrameTiming>, Option<OutputTakeover>) {
     let me = comm.rank();
     let rr = me - s.n_inputs; // render-group rank
     let output_rank = s.n_inputs + s.n_renderers;
-    let my_blocks = s.partition.blocks_of(rr);
-    let mut field = NodeField::zeros(&s.mesh);
+    let mut field = match s.resume_fields.get(rr) {
+        // resume: restore the checkpointed last-known-good field, so
+        // degraded post-resume frames reuse the exact stale values an
+        // uninterrupted run would
+        Some(Some(values)) => NodeField::new(values.clone()),
+        _ => NodeField::zeros(&s.mesh),
+    };
     let params = RenderParams {
         lighting: s.cfg.lighting.then(LightingParams::default),
         opacity_unit: Some(s.opacity_unit),
@@ -1085,10 +1556,69 @@ fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTi
     let norm = (0.0f32, s.vmag_max);
     let mut timings = Vec::with_capacity(s.steps);
 
+    // render-group failover state: heartbeats run only when the plan
+    // scripts a render-rank death; survivors rebuild the group
+    // communicator in lockstep the step they detect the silence
+    let hb_active = s.render_failover.is_some();
+    let mut live_world: Vec<usize> = (s.n_inputs..s.n_inputs + s.n_renderers).collect();
+    let mut failover_comm: Option<Comm> = None;
+    let mut my_virtual = rr;
+    let mut cur_partition: &Partition = &s.partition;
+
+    // output-failover state (render root only)
+    let mut output_dead = false;
+    let mut takeover: Option<OutputTakeover> = None;
+
     let nblocks = s.blocks.len();
-    for t in 0..s.steps {
+    for t in s.start_step..s.steps {
+        // a scripted failure: this rank stops cold, mid-pipeline, with no
+        // farewell — survivors must *detect* it via heartbeat timeouts
+        if s.faults.as_ref().is_some_and(|p| p.rank_failed(me, t)) {
+            break;
+        }
+        if hb_active {
+            let _sp = obs::span(Phase::Heartbeat, t as u32);
+            let peers: Vec<usize> = live_world.iter().copied().filter(|&r| r != me).collect();
+            for &r in &peers {
+                comm.send_with_size(r, TAG_HBR + t as u64, (), 8);
+            }
+            let mut newly_dead = false;
+            for &r in &peers {
+                if comm.try_recv_for::<()>(r, TAG_HBR + t as u64, s.deadline()).is_none() {
+                    live_world.retain(|&x| x != r);
+                    newly_dead = true;
+                    if let Some(p) = &s.faults {
+                        p.note_render_failover(r, t);
+                    }
+                }
+            }
+            if newly_dead {
+                // every survivor reaches this point at the same step with
+                // the same member list: the new communicator ids agree
+                failover_comm = comm.group(&live_world);
+                let f = s.render_failover.as_ref().expect("scripted render failover");
+                my_virtual =
+                    f.live.iter().position(|&l| s.n_inputs + l == me).expect("I am a survivor");
+                cur_partition = &f.partition;
+            }
+        }
+        if s.output_failover_step.is_some() && me == s.n_inputs && !output_dead {
+            // output supervision: the render root waits for the output
+            // processor's heartbeat and assumes assembly on silence
+            let _sp = obs::span(Phase::Heartbeat, t as u32);
+            if comm.try_recv_for::<u64>(output_rank, TAG_HBO + t as u64, s.deadline()).is_none() {
+                output_dead = true;
+                if let Some(p) = &s.faults {
+                    p.note_output_failover(output_rank, t);
+                }
+            }
+        }
+        let active = failover_comm.as_ref().unwrap_or(render_comm);
+        let my_blocks = cur_partition.blocks_of(my_virtual);
+
         let mut recv_sp = obs::span(Phase::Receive, t as u32);
         let mut degraded: Vec<u32> = Vec::new();
+        let mut missing = vec![0usize; nblocks];
         match &s.faults {
             // the clean path: a fixed number of senders, blocking
             // receives, checksums verified — byte-identical behaviour to
@@ -1150,6 +1680,7 @@ fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTi
                             continue; // never ingest corrupt values
                         }
                         if matches!(piece.payload, Payload::Missing(_)) {
+                            missing[b] += piece.payload.len();
                             continue;
                         }
                         let ids = &s.ids_per_block[b];
@@ -1200,41 +1731,118 @@ fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTi
         }
         drop(render_sp);
 
-        // composite across the render group with SLIC; root delivers
+        // composite across the (surviving) render group with SLIC: the
+        // schedule is recomputed from this epoch's FrameInfo over the
+        // active communicator, whose rank 0 — the lowest live renderer —
+        // collects the frame
         let comp_sp = obs::span(Phase::Composite, t as u32);
-        let info =
-            FrameInfo::exchange(render_comm, &frags, &s.order_ids, s.cfg.width, s.cfg.height);
-        let result = slic(render_comm, &frags, &info, 0, CompositeOptions::default());
-        if let Some(img) = result.image {
-            let bytes = (img.width() * img.height() * 16) as u64;
-            comm.send_with_size(output_rank, TAG_VOL + t as u64, img, bytes);
-        }
+        let info = FrameInfo::exchange(active, &frags, &s.order_ids, s.cfg.width, s.cfg.height);
+        let result = slic(active, &frags, &info, 0, CompositeOptions::default());
         drop(comp_sp);
 
-        // pool the degraded-block lists at the render root and forward
-        // them to the output processor for the frame's quality flag
-        if s.faults.is_some() {
-            let all = render_comm.gather(0, degraded);
-            if let Some(lists) = all {
-                let mut merged: Vec<u32> = lists.into_iter().flatten().collect();
-                merged.sort_unstable();
-                merged.dedup();
-                let bytes = merged.len() as u64 * 4;
-                comm.send_with_size(output_rank, TAG_DEG + t as u64, merged, bytes);
+        // this step's degradation flags: blocks the input side reported
+        // missing outright vs. blocks rendered coarser after a deadline
+        // or checksum rejection
+        let deg_flags: Vec<Degradation> = degraded
+            .iter()
+            .map(|&b| {
+                if missing[b as usize] > 0 {
+                    Degradation::MissingBlock { block: b }
+                } else {
+                    Degradation::CoarserLevel { block: b }
+                }
+            })
+            .collect();
+        // pool the degradation flags at the active root for the frame's
+        // quality flag
+        let merged: Option<Vec<Degradation>> = if s.faults.is_some() {
+            active.gather(0, deg_flags).map(|lists| {
+                let mut m: Vec<Degradation> = lists.into_iter().flatten().collect();
+                m.sort_unstable();
+                m.dedup();
+                m
+            })
+        } else {
+            None
+        };
+
+        if s.output_alive(t) {
+            if let Some(img) = result.image {
+                let bytes = (img.width() * img.height() * 16) as u64;
+                comm.send_with_size(output_rank, TAG_VOL + t as u64, img, bytes);
+            }
+            if let Some(m) = merged {
+                let bytes = m.len() as u64 * 8;
+                comm.send_with_size(output_rank, TAG_DEG + t as u64, m, bytes);
+            }
+        } else if let Some(mut vol) = result.image {
+            // output-failover epoch: the supervising render root assumes
+            // frame assembly — frames continue, tagged migrated, never
+            // skipped silently
+            let tk = takeover.get_or_insert_with(|| OutputTakeover {
+                frames: Vec::new(),
+                done_at: Vec::new(),
+                degraded: Vec::new(),
+                checkpoints: 0,
+            });
+            let mut deg = merged.unwrap_or_default();
+            let mut sp = obs::span(Phase::Assemble, t as u32);
+            if s.surface.is_some() {
+                let lic_src = lic_source(s, t);
+                let (lic_img, lic_missing): (RgbaImage, bool) =
+                    comm.recv(lic_src, TAG_LIC + t as u64);
+                sp.add_bytes((lic_img.width() * lic_img.height() * 16) as u64);
+                if lic_missing {
+                    deg.push(Degradation::MissingLic);
+                }
+                vol.over_inplace(&lic_img);
+            }
+            drop(sp);
+            deg.push(Degradation::MigratedEpoch);
+            if let Some(plan) = &s.faults {
+                plan.note_migrated_frame();
+                plan.note_degraded_frame(deg.iter().filter(|d| d.block().is_some()).count() as u64);
+            }
+            tk.degraded.push(deg);
+            tk.done_at.push(start.elapsed().as_secs_f64());
+            session.metrics().counter("pipeline.frames").inc();
+            session
+                .metrics()
+                .counter("pipeline.frame_bytes")
+                .add((vol.width() * vol.height() * 16) as u64);
+            if s.cfg.keep_frames {
+                tk.frames.push(vol);
+            }
+        }
+
+        // checkpoint boundary: snapshot my resident field, then either
+        // acknowledge to the assembler or — if I am the assembler — commit
+        // the manifest myself after collecting the other survivors
+        if s.checkpoint_due(t) {
+            let _sp = obs::span(Phase::Checkpoint, t as u32);
+            let ack = write_field_snapshot(s, rr, t, &field);
+            let dst = s.output_dst(t);
+            if dst == me {
+                commit_checkpoint(comm, s, t, Some(ack));
+                if let Some(tk) = takeover.as_mut() {
+                    tk.checkpoints += 1;
+                }
+            } else {
+                comm.send_with_size(dst, TAG_CKPT + t as u64, ack, 12);
             }
         }
     }
 
     // derive the per-frame timings from the span stream
     let events = obs::current_events();
-    for t in 0..s.steps {
+    for t in s.start_step..s.steps {
         timings.push(RenderFrameTiming {
             receive_s: phase_seconds_by_step(&events, Phase::Receive, t),
             render_s: phase_seconds_by_step(&events, Phase::Render, t),
             composite_s: phase_seconds_by_step(&events, Phase::Composite, t),
         });
     }
-    timings
+    (timings, takeover)
 }
 
 // ---------------------------------------------------------------------
@@ -1242,20 +1850,32 @@ fn render_main(comm: &Comm, render_comm: &Comm, s: &Shared) -> Vec<RenderFrameTi
 // ---------------------------------------------------------------------
 
 fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> RankResult {
-    let render_root = s.n_inputs;
+    let me = s.n_inputs + s.cfg.renderers;
     let mut frames = Vec::new();
     let mut done_at = Vec::with_capacity(s.steps);
-    let mut degraded: Vec<Vec<u32>> = Vec::with_capacity(s.steps);
+    let mut degraded: Vec<Vec<Degradation>> = Vec::with_capacity(s.steps);
+    let mut checkpoints = 0u64;
     let m_frames = session.metrics().counter("pipeline.frames");
     let m_bytes = session.metrics().counter("pipeline.frame_bytes");
     let m_latency = session.metrics().histogram("pipeline.interframe_us");
     let mut prev = 0.0f64;
-    for t in 0..s.steps {
+    for t in s.start_step..s.steps {
+        if s.faults.as_ref().is_some_and(|p| p.rank_failed(me, t)) {
+            // scripted output-rank death: go silent; the supervising
+            // render root takes over frame assembly from this step on
+            break;
+        }
+        if s.output_failover_step.is_some() {
+            // a supervised run: heartbeat to the render root so it can
+            // detect the scripted death by silence
+            comm.send_with_size(s.n_inputs, TAG_HBO + t as u64, t as u64, 8);
+        }
+        let frame_src = s.frame_source(t);
         let mut sp = obs::span(Phase::Assemble, t as u32);
-        let mut vol: RgbaImage = comm.recv(render_root, TAG_VOL + t as u64);
+        let mut vol: RgbaImage = comm.recv(frame_src, TAG_VOL + t as u64);
         sp.add_bytes((vol.width() * vol.height() * 16) as u64);
-        let mut deg: Vec<u32> = match &s.faults {
-            Some(_) => comm.recv(render_root, TAG_DEG + t as u64),
+        let mut deg: Vec<Degradation> = match &s.faults {
+            Some(_) => comm.recv(frame_src, TAG_DEG + t as u64),
             None => Vec::new(),
         };
         if s.surface.is_some() {
@@ -1263,7 +1883,7 @@ fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> R
             let (lic_img, lic_missing): (RgbaImage, bool) = comm.recv(lic_src, TAG_LIC + t as u64);
             sp.add_bytes((lic_img.width() * lic_img.height() * 16) as u64);
             if lic_missing {
-                deg.push(u32::MAX);
+                deg.push(Degradation::MissingLic);
             }
             // the volume rendering sits in front of the surface texture
             vol.over_inplace(&lic_img);
@@ -1271,7 +1891,7 @@ fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> R
         drop(sp);
         if !deg.is_empty() {
             if let Some(plan) = &s.faults {
-                plan.note_degraded_frame(deg.iter().filter(|&&b| b != u32::MAX).count() as u64);
+                plan.note_degraded_frame(deg.iter().filter(|d| d.block().is_some()).count() as u64);
             }
         }
         degraded.push(deg);
@@ -1284,8 +1904,13 @@ fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> R
         if s.cfg.keep_frames {
             frames.push(vol);
         }
+        if s.checkpoint_due(t) {
+            let _sp = obs::span(Phase::Checkpoint, t as u32);
+            commit_checkpoint(comm, s, t, None);
+            checkpoints += 1;
+        }
     }
-    RankResult::Output { frames, done_at, degraded }
+    RankResult::Output { frames, done_at, degraded, checkpoints }
 }
 
 /// Which input rank ships the LIC overlay for step `t`: the step group's
@@ -1312,6 +1937,49 @@ mod tests {
 
     fn dataset() -> Dataset {
         SimulationBuilder::new().resolution(16).steps(4).run_to_dataset().unwrap()
+    }
+
+    /// The resume fingerprint must ignore run-length and checkpoint
+    /// bookkeeping (a killed `max_steps=j` run's checkpoint resumes into
+    /// the full run) but reject anything that reshapes the frames.
+    #[test]
+    fn config_fingerprint_excludes_run_length() {
+        let base = PipelineConfig::default();
+        let camera = Camera::default_for(
+            &Aabb::from_extent(quakeviz_mesh::Vec3 { x: 1.0, y: 1.0, z: 1.0 }),
+            base.width,
+            base.height,
+        );
+        let fp = |c: &PipelineConfig| config_fingerprint(c, 3, &camera);
+        let mut killed = base.clone();
+        killed.max_steps = Some(2);
+        killed.checkpoint_every = Some(2);
+        killed.checkpoint_path = "elsewhere".into();
+        killed.resume = true;
+        assert_eq!(fp(&base), fp(&killed), "run length must not invalidate a checkpoint");
+        let mut reshaped = base.clone();
+        reshaped.width = 97;
+        assert_ne!(fp(&base), fp(&reshaped), "image geometry must invalidate a checkpoint");
+        let mut refaulted = base;
+        refaulted.faults = Some(FaultSpec::parse("seed=1,read_transient=0.5").unwrap());
+        assert_ne!(fp(&refaulted), fp(&reshaped), "the fault schedule shapes frames");
+    }
+
+    /// Degradation flags order blocks first and frame-level flags last,
+    /// and print compactly for the report tooling.
+    #[test]
+    fn degradation_flags_order_and_display() {
+        let mut flags = [
+            Degradation::MigratedEpoch,
+            Degradation::MissingLic,
+            Degradation::MissingBlock { block: 7 },
+            Degradation::CoarserLevel { block: 2 },
+        ];
+        flags.sort_unstable();
+        let shown: Vec<String> = flags.iter().map(|d| d.to_string()).collect();
+        assert_eq!(shown, ["coarser:2", "missing:7", "no-lic", "migrated"]);
+        assert_eq!(flags[0].block(), Some(2));
+        assert_eq!(flags[3].block(), None);
     }
 
     #[test]

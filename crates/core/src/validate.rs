@@ -173,6 +173,8 @@ mod tests {
             degraded: Vec::new(),
             fault_events: Vec::new(),
             recovery: None,
+            checkpoints: 0,
+            resumed_from: None,
         }
     }
 

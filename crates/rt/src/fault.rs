@@ -231,6 +231,14 @@ pub struct RecoveryStats {
     pub degraded_frames: u64,
     /// Group members declared dead and failed over.
     pub failover_events: u64,
+    /// Render ranks declared dead by a surviving render peer (one count
+    /// per surviving detector, like [`RecoveryStats::failover_events`]).
+    pub render_failovers: u64,
+    /// Output-rank deaths detected by the supervising render rank.
+    pub output_failovers: u64,
+    /// Frames assembled by the failover supervisor after the output rank
+    /// died (shipped flagged, never silently skipped).
+    pub migrated_frames: u64,
 }
 
 // distinct salts per decision kind so e.g. transient and corrupt rolls at
@@ -257,6 +265,9 @@ pub struct FaultPlan {
     degraded_blocks: AtomicU64,
     degraded_frames: AtomicU64,
     failover_events: AtomicU64,
+    render_failovers: AtomicU64,
+    output_failovers: AtomicU64,
+    migrated_frames: AtomicU64,
 }
 
 impl FaultPlan {
@@ -272,6 +283,9 @@ impl FaultPlan {
             degraded_blocks: AtomicU64::new(0),
             degraded_frames: AtomicU64::new(0),
             failover_events: AtomicU64::new(0),
+            render_failovers: AtomicU64::new(0),
+            output_failovers: AtomicU64::new(0),
+            migrated_frames: AtomicU64::new(0),
         })
     }
 
@@ -405,6 +419,27 @@ impl FaultPlan {
         self.log(FaultKind::RankFail, format!("rank {rank} dead at step {step}"), 0);
     }
 
+    /// Record that render-world rank `rank` was declared dead by a
+    /// surviving render peer (logged once per surviving detector, like
+    /// [`FaultPlan::note_failover`]).
+    pub fn note_render_failover(&self, rank: usize, step: usize) {
+        self.render_failovers.fetch_add(1, Ordering::Relaxed);
+        self.log(FaultKind::RankFail, format!("render rank {rank} dead at step {step}"), 0);
+    }
+
+    /// Record that the output rank was declared dead by the supervising
+    /// render rank, which assumes frame assembly from `step` onwards.
+    pub fn note_output_failover(&self, rank: usize, step: usize) {
+        self.output_failovers.fetch_add(1, Ordering::Relaxed);
+        self.log(FaultKind::RankFail, format!("output rank {rank} dead at step {step}"), 0);
+    }
+
+    /// Record one frame assembled by the failover supervisor instead of
+    /// the (dead) output rank.
+    pub fn note_migrated_frame(&self) {
+        self.migrated_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of the recovery counters.
     pub fn recovery(&self) -> RecoveryStats {
         RecoveryStats {
@@ -415,6 +450,9 @@ impl FaultPlan {
             degraded_blocks: self.degraded_blocks.load(Ordering::Relaxed),
             degraded_frames: self.degraded_frames.load(Ordering::Relaxed),
             failover_events: self.failover_events.load(Ordering::Relaxed),
+            render_failovers: self.render_failovers.load(Ordering::Relaxed),
+            output_failovers: self.output_failovers.load(Ordering::Relaxed),
+            migrated_frames: self.migrated_frames.load(Ordering::Relaxed),
         }
     }
 

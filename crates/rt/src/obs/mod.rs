@@ -69,12 +69,15 @@ pub enum Phase {
     /// Retry backoff after a failed/corrupt read (nests inside [`Phase::Read`],
     /// so it is an auto phase, not a stage).
     Retry,
+    /// Checkpoint write/collect at a checkpoint boundary (render field
+    /// snapshots, output manifest).
+    Checkpoint,
     /// Uncategorized.
     Other,
 }
 
 impl Phase {
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 17;
     pub const ALL: [Phase; Phase::COUNT] = [
         Phase::Read,
         Phase::Preprocess,
@@ -91,6 +94,7 @@ impl Phase {
         Phase::IoRead,
         Phase::CompositeRound,
         Phase::Retry,
+        Phase::Checkpoint,
         Phase::Other,
     ];
 
@@ -99,7 +103,7 @@ impl Phase {
     /// Read/Preprocess spans on the same rank *track*, where they overlap
     /// the consumer's Send/SendWait spans by design); auto phases may
     /// nest inside them.
-    pub const STAGES: [Phase; 10] = [
+    pub const STAGES: [Phase; 11] = [
         Phase::Read,
         Phase::Preprocess,
         Phase::Lic,
@@ -110,6 +114,7 @@ impl Phase {
         Phase::Composite,
         Phase::Assemble,
         Phase::Heartbeat,
+        Phase::Checkpoint,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -129,6 +134,7 @@ impl Phase {
             Phase::IoRead => "io_read",
             Phase::CompositeRound => "composite_round",
             Phase::Retry => "retry",
+            Phase::Checkpoint => "checkpoint",
             Phase::Other => "other",
         }
     }
@@ -151,6 +157,7 @@ impl Phase {
             Phase::IoRead => 'i',
             Phase::CompositeRound => 'c',
             Phase::Retry => 'B',
+            Phase::Checkpoint => 'K',
             Phase::Other => '?',
         }
     }

@@ -1,0 +1,208 @@
+//! Checkpoint/restart suite: a run killed after `j` steps and resumed
+//! from its checkpoint must be bit-identical to the uninterrupted run —
+//! clean, under faults, and across a render-rank failover — while
+//! checkpointing itself must never perturb frames, and every torn or
+//! mismatched checkpoint must be rejected with a typed error instead of
+//! silently resuming wrong.
+
+use quakeviz::pipeline::{IoStrategy, PipelineBuilder, PipelineReport, RetryPolicy};
+use quakeviz::rt::FaultSpec;
+use quakeviz::seismic::{Dataset, SimulationBuilder};
+
+fn dataset() -> Dataset {
+    SimulationBuilder::new().resolution(16).steps(4).run_to_dataset().unwrap()
+}
+
+fn builder(ds: &Dataset) -> PipelineBuilder {
+    PipelineBuilder::new(ds)
+        .renderers(2)
+        .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+        .image_size(48, 48)
+}
+
+/// `killed ++ resumed` must replay `full` frame-for-frame, bit-exact.
+fn assert_splice_identical(
+    full: &PipelineReport,
+    killed: &PipelineReport,
+    resumed: &PipelineReport,
+) {
+    assert_eq!(
+        killed.frames.len() + resumed.frames.len(),
+        full.frames.len(),
+        "kill + resume must cover every step exactly once"
+    );
+    for (t, (f, g)) in
+        full.frames.iter().zip(killed.frames.iter().chain(&resumed.frames)).enumerate()
+    {
+        assert_eq!(f.pixels(), g.pixels(), "frame {t} differs from the uninterrupted run");
+    }
+}
+
+/// Checkpointing is pure bookkeeping: a run with checkpoints enabled
+/// renders bit-identical frames to one without.
+#[test]
+fn checkpointing_does_not_perturb_frames() {
+    let ds = dataset();
+    let plain = builder(&ds).run().expect("plain pipeline");
+    let ckpt = builder(&ds)
+        .checkpoint_every(2)
+        .checkpoint_path("ckpt-perturb")
+        .run()
+        .expect("checkpointed pipeline");
+    assert_eq!(ckpt.checkpoints, 2, "4 steps / every 2 = 2 commits");
+    assert_eq!(plain.checkpoints, 0);
+    assert_eq!(ckpt.resumed_from, None);
+    for (t, (a, b)) in plain.frames.iter().zip(&ckpt.frames).enumerate() {
+        assert_eq!(a.pixels(), b.pixels(), "frame {t} perturbed by checkpointing");
+    }
+}
+
+/// The core restart guarantee: kill after the first checkpoint, resume,
+/// and the spliced frame sequence is bit-identical to the uninterrupted
+/// run.
+#[test]
+fn killed_and_resumed_run_is_bit_identical() {
+    let ds = dataset();
+    let full = builder(&ds).run().expect("uninterrupted pipeline");
+    // the kill: only the first 2 steps run, committing one checkpoint
+    let killed = builder(&ds)
+        .max_steps(2)
+        .checkpoint_every(2)
+        .checkpoint_path("ckpt-restart")
+        .run()
+        .expect("killed pipeline");
+    assert_eq!(killed.frames.len(), 2);
+    assert_eq!(killed.checkpoints, 1);
+    // the resume: picks up at step 2 from the same checkpoint directory
+    let resumed = builder(&ds)
+        .checkpoint_every(2)
+        .checkpoint_path("ckpt-restart")
+        .resume(true)
+        .run()
+        .expect("resumed pipeline");
+    assert_eq!(resumed.resumed_from, Some(2), "must resume exactly after the checkpoint");
+    assert_eq!(resumed.frames.len(), 2, "resume renders only the remaining steps");
+    assert_splice_identical(&full, &killed, &resumed);
+}
+
+/// Restart under an active fault plan: the checkpoint's last-known-good
+/// fields restore the exact stale values degraded blocks would have
+/// reused, so the resumed frames match the uninterrupted faulted run
+/// bit-for-bit.
+#[test]
+fn faulted_resume_is_bit_identical() {
+    let ds = dataset();
+    let with_faults = |b: PipelineBuilder| {
+        b.faults(FaultSpec::parse("seed=7,read_transient=0.45").unwrap())
+            .retry(RetryPolicy { max_attempts: 2, backoff_ms: 1 })
+            .delivery_deadline_ms(400)
+    };
+    let full = with_faults(builder(&ds)).run().expect("uninterrupted faulted pipeline");
+    assert!(full.degraded_frame_count() > 0, "spec must actually degrade frames");
+    let killed = with_faults(builder(&ds))
+        .max_steps(2)
+        .checkpoint_every(2)
+        .checkpoint_path("ckpt-faulted")
+        .run()
+        .expect("killed faulted pipeline");
+    let resumed = with_faults(builder(&ds))
+        .checkpoint_every(2)
+        .checkpoint_path("ckpt-faulted")
+        .resume(true)
+        .run()
+        .expect("resumed faulted pipeline");
+    assert_eq!(resumed.resumed_from, Some(2));
+    assert_splice_identical(&full, &killed, &resumed);
+    // the fault schedule replays by absolute step: the resumed half
+    // degrades exactly the frames the uninterrupted run degraded there
+    assert_eq!(&full.degraded[2..], &resumed.degraded[..]);
+}
+
+/// Restart across a render-rank failover: the checkpoint's block map
+/// reflects the survivor partition, and the resumed run re-derives the
+/// same failover epoch from the fault plan — spliced frames stay
+/// bit-identical to the uninterrupted failover run.
+#[test]
+fn resume_across_render_failover_is_bit_identical() {
+    let ds = dataset();
+    // world: [0,1 inputs | 2,3,4 renderers | 5 output] — kill renderer 3
+    // at step 1, checkpoint after step 2 (inside the failover epoch)
+    let with_faults = |b: PipelineBuilder| {
+        b.renderers(3)
+            .faults(FaultSpec::parse("seed=1,fail_rank=3@1").unwrap())
+            .delivery_deadline_ms(500)
+    };
+    let full = with_faults(builder(&ds)).run().expect("uninterrupted failover pipeline");
+    let killed = with_faults(builder(&ds))
+        .max_steps(3)
+        .checkpoint_every(3)
+        .checkpoint_path("ckpt-failover")
+        .run()
+        .expect("killed failover pipeline");
+    assert_eq!(killed.checkpoints, 1);
+    let resumed = with_faults(builder(&ds))
+        .checkpoint_every(3)
+        .checkpoint_path("ckpt-failover")
+        .resume(true)
+        .run()
+        .expect("resumed failover pipeline");
+    assert_eq!(resumed.resumed_from, Some(3));
+    assert_splice_identical(&full, &killed, &resumed);
+}
+
+/// Only the newest checkpoint survives a commit: stale step directories
+/// are pruned once the manifest that supersedes them is on disk.
+#[test]
+fn commit_prunes_stale_checkpoints() {
+    let ds = dataset();
+    builder(&ds)
+        .checkpoint_every(1)
+        .checkpoint_path("ckpt-prune")
+        .run()
+        .expect("checkpointed pipeline");
+    let files = ds.disk().list_files();
+    let snapshots: Vec<&String> =
+        files.iter().filter(|f| f.starts_with("ckpt-prune/step")).collect();
+    assert!(!snapshots.is_empty(), "the final checkpoint must remain");
+    assert!(
+        snapshots.iter().all(|f| f.starts_with("ckpt-prune/step4/")),
+        "only the newest step directory may survive: {snapshots:?}"
+    );
+}
+
+/// Resuming without a manifest, from a torn manifest, or into a different
+/// configuration must fail fast with a descriptive error — never start a
+/// silently-wrong run.
+#[test]
+fn invalid_checkpoints_are_rejected() {
+    let ds = dataset();
+    let expect_err = |b: PipelineBuilder| match b.run() {
+        Err(e) => e,
+        Ok(_) => panic!("invalid checkpoint must be rejected"),
+    };
+    // no checkpoint ever written under this path
+    let err = expect_err(builder(&ds).checkpoint_path("ckpt-absent").resume(true));
+    assert!(err.contains("cannot resume"), "unexpected error: {err}");
+    assert!(err.contains("no checkpoint manifest"), "unexpected error: {err}");
+    // a torn manifest: flip a byte and the trailer checksum catches it
+    builder(&ds).checkpoint_every(2).checkpoint_path("ckpt-torn").run().expect("seed checkpoint");
+    let (mut bytes, _) = ds.disk().read_full("ckpt-torn/manifest.bin").expect("manifest exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    ds.disk().write_file("ckpt-torn/manifest.bin", bytes);
+    let err = expect_err(builder(&ds).checkpoint_path("ckpt-torn").resume(true));
+    assert!(err.contains("torn or corrupt"), "unexpected error: {err}");
+    // garbage instead of a manifest: wrong magic
+    ds.disk().write_file("ckpt-junk/manifest.bin", b"not a checkpoint".to_vec());
+    let err = expect_err(builder(&ds).checkpoint_path("ckpt-junk").resume(true));
+    assert!(err.contains("bad magic"), "unexpected error: {err}");
+    // a checkpoint from a different configuration: fingerprint mismatch
+    builder(&ds).checkpoint_every(2).checkpoint_path("ckpt-other").run().expect("seed checkpoint");
+    let err = expect_err(
+        builder(&ds).renderers(3).image_size(64, 64).checkpoint_path("ckpt-other").resume(true),
+    );
+    assert!(err.contains("different configuration"), "unexpected error: {err}");
+    // a zero checkpoint interval is meaningless
+    let err = expect_err(builder(&ds).checkpoint_every(0));
+    assert!(err.contains("at least one step"), "unexpected error: {err}");
+}

@@ -4,7 +4,7 @@
 //! (flagged, coarser level) instead of stalling or panicking, and the
 //! whole schedule replays deterministically from its seed.
 
-use quakeviz::pipeline::{IoStrategy, PipelineBuilder, PipelineReport, RetryPolicy};
+use quakeviz::pipeline::{Degradation, IoStrategy, PipelineBuilder, PipelineReport, RetryPolicy};
 use quakeviz::rt::FaultSpec;
 use quakeviz::seismic::{Dataset, SimulationBuilder};
 
@@ -65,8 +65,8 @@ fn unrecoverable_reads_degrade_every_frame() {
         "every frame must be flagged degraded: {:?}",
         report.degraded
     );
-    // the LIC overlay could not be read either: its marker is present
-    assert!(report.degraded.iter().all(|d| d.contains(&u32::MAX)));
+    // the LIC overlay could not be read either: its flag is present
+    assert!(report.degraded.iter().all(|d| d.contains(&Degradation::MissingLic)));
     let rec = report.recovery.expect("fault plan active");
     assert!(rec.exhausted_reads > 0);
     assert!(rec.degraded_blocks > 0);
@@ -167,4 +167,138 @@ fn identical_seeds_replay_identically() {
     assert!(!ea.is_empty(), "spec must actually inject faults");
     assert_eq!(a.degraded, b.degraded, "same seed must degrade the same frames");
     assert_all_frames_identical(&a, &b, "deterministic replay");
+}
+
+/// A scripted render-rank death: the surviving renderers detect the
+/// silence via render-group heartbeats, deterministically re-partition
+/// the dead rank's blocks, and recompute the SLIC schedule over the
+/// survivor communicator. Pre-failover frames match the clean run with
+/// all renderers; post-failover frames are bit-identical to a run
+/// executed over the surviving renderer count from the start — and no
+/// frame is degraded, because the inputs re-route block data at exactly
+/// the failure step.
+#[test]
+fn render_rank_failover_keeps_frames_bit_identical() {
+    let ds = dataset();
+    let io = IoStrategy::OneDip { input_procs: 2 };
+    let clean3 = builder(&ds, io).renderers(3).run().expect("clean 3-renderer pipeline");
+    let clean2 = builder(&ds, io).renderers(2).run().expect("clean 2-renderer pipeline");
+    // world: [0,1 inputs | 2,3,4 renderers | 5 output] — kill renderer 3 at step 2
+    let faulted = builder(&ds, io)
+        .renderers(3)
+        .faults(FaultSpec::parse("seed=1,fail_rank=3@2").unwrap())
+        .delivery_deadline_ms(500)
+        .run()
+        .expect("pipeline must survive a render-rank failure");
+    let rec = faulted.recovery.expect("fault plan active");
+    assert!(rec.render_failovers >= 1, "survivors must have detected the death");
+    assert_eq!(faulted.degraded_frame_count(), 0, "render failover is full recovery");
+    assert_eq!(faulted.frames.len(), ds.steps(), "cadence must never stall");
+    for t in 0..ds.steps() {
+        let oracle = if t < 2 { &clean3 } else { &clean2 };
+        assert_eq!(
+            faulted.frames[t].pixels(),
+            oracle.frames[t].pixels(),
+            "frame {t} must be bit-identical to the clean run over the same live set"
+        );
+    }
+}
+
+/// A scripted output-rank death: the designated render-root supervisor
+/// detects the silence, assumes frame assembly, and ships every frame of
+/// the dead epoch tagged [`Degradation::MigratedEpoch`] — frames are
+/// never silently skipped, and their pixels stay bit-identical to the
+/// clean run (migration moves assembly, not data).
+#[test]
+fn output_rank_failover_migrates_frames() {
+    let ds = dataset();
+    let io = IoStrategy::OneDip { input_procs: 2 };
+    let clean = builder(&ds, io).lic(true).run().expect("clean pipeline");
+    // world: [0,1 inputs | 2,3 renderers | 4 output] — kill the output at step 2
+    let faulted = builder(&ds, io)
+        .lic(true)
+        .faults(FaultSpec::parse("seed=1,fail_rank=4@2").unwrap())
+        .delivery_deadline_ms(500)
+        .run()
+        .expect("pipeline must survive the output-rank failure");
+    let rec = faulted.recovery.expect("fault plan active");
+    assert!(rec.output_failovers >= 1, "the supervisor must have detected the death");
+    assert_eq!(rec.migrated_frames, 2, "steps 2..4 are assembled by the supervisor");
+    assert_eq!(faulted.frames.len(), ds.steps(), "no frame may be skipped");
+    for t in 0..ds.steps() {
+        assert_eq!(
+            faulted.frames[t].pixels(),
+            clean.frames[t].pixels(),
+            "frame {t}: migration must not change pixels"
+        );
+        let migrated = faulted.degraded[t].contains(&Degradation::MigratedEpoch);
+        assert_eq!(migrated, t >= 2, "exactly the dead epoch's frames carry the tag");
+    }
+}
+
+/// Pinned-seed render-kill cell (CI): a render-rank death layered over
+/// transient read faults must complete with full recovery.
+#[test]
+fn pinned_seed_render_kill_404() {
+    let ds = dataset();
+    let io = IoStrategy::OneDip { input_procs: 2 };
+    let report = builder(&ds, io)
+        .renderers(3)
+        .faults(FaultSpec::parse("seed=404,read_transient=0.2,fail_rank=3@1").unwrap())
+        .retry(RetryPolicy { max_attempts: 8, backoff_ms: 1 })
+        .delivery_deadline_ms(500)
+        .run()
+        .expect("pinned seed 404 must survive");
+    let rec = report.recovery.expect("fault plan active");
+    assert!(rec.render_failovers >= 1);
+    assert_eq!(report.frames.len(), ds.steps());
+    assert_eq!(report.degraded_frame_count(), 0, "retries + failover absorb everything");
+}
+
+/// Pinned-seed render-kill cell (CI): a render-rank death layered over
+/// wire corruption under 2DIP — corrupt pieces degrade frames, the
+/// failover itself stays lossless, and cadence never stalls.
+#[test]
+fn pinned_seed_render_kill_505() {
+    let ds = dataset();
+    let io = IoStrategy::TwoDip { groups: 1, per_group: 2 };
+    // world: [0,1 inputs | 2,3 renderers | 4 output] — kill renderer 3 at step 2
+    let report = builder(&ds, io)
+        .faults(FaultSpec::parse("seed=505,wire_corrupt=0.3,fail_rank=3@2").unwrap())
+        .delivery_deadline_ms(500)
+        .run()
+        .expect("pinned seed 505 must survive");
+    let rec = report.recovery.expect("fault plan active");
+    assert!(rec.render_failovers >= 1);
+    assert_eq!(report.frames.len(), ds.steps());
+}
+
+/// `fail_rank=R@S` is validated against the actual world shape at
+/// plan-build time: impossible schedules fail fast with a typed error
+/// instead of silently never firing.
+#[test]
+fn fail_rank_validation_rejects_impossible_schedules() {
+    let ds = dataset();
+    let io = IoStrategy::OneDip { input_procs: 2 };
+    let expect_err = |b: PipelineBuilder| match b.run() {
+        Err(e) => e,
+        Ok(_) => panic!("impossible fail_rank schedule must be rejected"),
+    };
+    // rank beyond the world [2 inputs | 2 renderers | 1 output] = 5 ranks
+    let err =
+        expect_err(builder(&ds, io).faults(FaultSpec::parse("seed=1,fail_rank=9@1").unwrap()));
+    assert!(err.contains("outside the world"), "unexpected error: {err}");
+    // step beyond the run
+    let err =
+        expect_err(builder(&ds, io).faults(FaultSpec::parse("seed=1,fail_rank=1@99").unwrap()));
+    assert!(err.contains("beyond the run"), "unexpected error: {err}");
+    // killing the only renderer leaves nobody to fail over to
+    let err = expect_err(
+        builder(&ds, io).renderers(1).faults(FaultSpec::parse("seed=1,fail_rank=2@1").unwrap()),
+    );
+    assert!(err.contains("at least 2 renderers"), "unexpected error: {err}");
+    // killing an input under 1DIP is not survivable
+    let err =
+        expect_err(builder(&ds, io).faults(FaultSpec::parse("seed=1,fail_rank=0@1").unwrap()));
+    assert!(err.contains("2DIP input group"), "unexpected error: {err}");
 }

@@ -132,6 +132,126 @@ fn slic_matches_sequential_over_for_random_layouts() {
     }
 }
 
+/// All fragments of an `n`-rank panel, owner `r` producing `per_rank`
+/// fragments with globally unique block ids (total visibility order).
+fn panel_fragments(rng: &mut SplitMix64, n: usize, per_rank: usize) -> Vec<(u32, Fragment)> {
+    (0..n)
+        .flat_map(|r| {
+            (0..per_rank)
+                .map(|i| (r as u32, random_fragment(rng, (r * per_rank + i) as u32)))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Render-rank failover invariant, schedule level: for panels of 2..6
+/// ranks, restricting the SLIC schedule to **every** proper surviving
+/// subset still covers each fragment-covered pixel exactly once, owners
+/// renumber into the compact survivor indexing, and each run's
+/// compositor owns its front-most fragment.
+#[test]
+fn slic_schedule_over_every_surviving_subset_partitions_the_frame() {
+    for n in 2..=6usize {
+        let mut rng = SplitMix64::new(0xFA11 ^ (n as u64) << 4);
+        let per_rank = 2;
+        let all = panel_fragments(&mut rng, n, per_rank);
+        let frags: Vec<(u32, ScreenRect, u32)> =
+            all.iter().map(|(owner, f)| (f.block, f.rect, *owner)).collect();
+        let info = FrameInfo::from_sorted(frags, W, H);
+        for mask in 1..(1u32 << n) - 1 {
+            let live: Vec<u32> = (0..n as u32).filter(|r| mask & (1 << r) != 0).collect();
+            let sub = info.restrict_to(&live);
+            assert!(
+                sub.frags.iter().all(|&(_, _, o)| (o as usize) < live.len()),
+                "n={n} mask={mask:b}: owner not renumbered into the survivor indexing"
+            );
+            // survivors' fragments survive verbatim, dead ranks' vanish
+            assert_eq!(sub.frags.len(), live.len() * per_rank, "n={n} mask={mask:b}");
+            // paint every run: each covered pixel lands in exactly one run
+            let mut painted = vec![0u32; (W * H) as usize];
+            for run in sub.runs() {
+                assert!(!run.frags.is_empty(), "n={n} mask={mask:b}: empty run emitted");
+                let comp = sub.compositor_of(&run);
+                assert_eq!(
+                    comp, sub.frags[run.frags[0]].2,
+                    "n={n} mask={mask:b}: compositor is not the front-most owner"
+                );
+                for y in run.y0..run.y1 {
+                    for x in run.x0..run.x1 {
+                        painted[(y * W + x) as usize] += 1;
+                    }
+                }
+            }
+            for y in 0..H {
+                for x in 0..W {
+                    let covered = sub
+                        .frags
+                        .iter()
+                        .any(|&(_, r, _)| x >= r.x0 && x < r.x1 && y >= r.y0 && y < r.y1);
+                    assert_eq!(
+                        painted[(y * W + x) as usize],
+                        covered as u32,
+                        "n={n} mask={mask:b}: pixel ({x},{y}) not covered exactly once"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Render-rank failover invariant, end to end: compositing any surviving
+/// subset's fragments over a world of exactly the survivors matches the
+/// sequential over-operator reference — the property that makes
+/// post-failover frames bit-identical to a clean run over the survivors.
+#[test]
+fn slic_over_surviving_subsets_matches_sequential_reference() {
+    use quakeviz::composite::sequential_reference;
+    for n in 3..=6usize {
+        let mut rng = SplitMix64::new(0xDEAD ^ (n as u64) << 4);
+        let per_rank = 2;
+        let seed = 0x5EED ^ (n as u64) << 16;
+        let drop_rank = rng.next_below(n as u64) as u32;
+        // drop one rank, and independently keep only the odd ranks
+        let subsets: Vec<Vec<u32>> = vec![
+            (0..n as u32).filter(|&r| r != drop_rank).collect(),
+            (0..n as u32).filter(|&r| r % 2 == 1).collect(),
+        ];
+        for live in subsets.into_iter().filter(|l| l.len() >= 2) {
+            let order: Vec<u32> = (0..(n * per_rank) as u32).collect();
+            let k = live.len();
+            let live_ref = &live;
+            let order_ref = &order;
+            World::run(k, move |comm| {
+                // every rank regenerates the full panel deterministically,
+                // then takes over the fragments of one survivor
+                let mut rng = SplitMix64::new(seed);
+                let all = panel_fragments(&mut rng, n, per_rank);
+                let mine = live_ref[comm.rank()];
+                let local: Vec<Fragment> =
+                    all.iter().filter(|(o, _)| *o == mine).map(|(_, f)| f.clone()).collect();
+                let subset: Vec<Fragment> = all
+                    .iter()
+                    .filter(|(o, _)| live_ref.contains(o))
+                    .map(|(_, f)| f.clone())
+                    .collect();
+                let info = FrameInfo::exchange(&comm, &local, order_ref, W, H);
+                let got = slic(&comm, &local, &info, 0, CompositeOptions::default());
+                if comm.rank() == 0 {
+                    let want = sequential_reference(&subset, order_ref, W, H);
+                    let img = got.image.expect("collector image");
+                    let rms = img.rms_difference(&want);
+                    assert!(
+                        rms < 1e-6,
+                        "n={n} live={live_ref:?}: subset SLIC differs from reference (rms {rms})"
+                    );
+                } else {
+                    assert!(got.image.is_none());
+                }
+            });
+        }
+    }
+}
+
 // --- Octree block decomposition -----------------------------------------
 
 /// Deterministic pseudo-random refinement: split based on a hash of the
