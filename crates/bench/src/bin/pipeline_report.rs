@@ -13,6 +13,15 @@
 //!                   [--steps K] [--io-delay S] [--size WxH] [--lic]
 //!                   [--prefetch] [--trace] [--faults SPEC]
 //!                   [--deadline-ms MS] [--checkpoint-every K]
+//!   pipeline-report --compare BASELINE.json CURRENT.json
+//!                   [--tolerance R]
+//!
+//! `--compare` skips the pipeline run entirely and diffs two
+//! `BENCH_*.json` files (see `bench-baseline`): per-metric deltas are
+//! printed, and the process exits 1 if any metric regressed beyond the
+//! tolerance ratio (default 3.0) plus an absolute noise floor, or 2 if
+//! the files are not comparable (different area, quick vs full, or a
+//! faulted run against a clean one).
 //!
 //! `--faults SPEC` arms a deterministic fault plan (same `key=value,...`
 //! syntax as `QUAKEVIZ_FAULTS`, e.g.
@@ -38,11 +47,48 @@
 //! too; `QUAKEVIZ_TRACE=out/trace.json` additionally writes the
 //! Perfetto-loadable Chrome trace plus span/traffic CSVs.
 
+use quakeviz_bench::baseline::{compare, BenchFile, DEFAULT_TOLERANCE};
 use quakeviz_bench::standard_dataset;
 use quakeviz_core::{IoStrategy, ModelValidation, PipelineBuilder};
-use quakeviz_rt::obs::Phase;
+use quakeviz_rt::obs::{prof, Phase};
 use quakeviz_rt::FaultSpec;
 use std::collections::BTreeMap;
+
+/// Diff two BENCH_*.json files; never returns.
+fn compare_mode(base_path: &str, cur_path: &str, tolerance: f64) -> ! {
+    let load = |path: &str| -> BenchFile {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        });
+        BenchFile::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (base, cur) = (load(base_path), load(cur_path));
+    match compare(&base, &cur, tolerance) {
+        Err(e) => {
+            eprintln!("not comparable: {e}");
+            std::process::exit(2);
+        }
+        Ok(cmp) => {
+            println!(
+                "comparing {cur_path} against {base_path} (area {}, tolerance {tolerance:.1}x):",
+                base.area
+            );
+            for line in &cmp.lines {
+                println!("  {line}");
+            }
+            if cmp.regressions.is_empty() {
+                println!("ok: no regressions");
+                std::process::exit(0);
+            }
+            println!("{} regression(s)", cmp.regressions.len());
+            std::process::exit(1);
+        }
+    }
+}
 
 fn parse_pair(v: &str, sep: char, what: &str) -> (usize, usize) {
     if let Some((a, b)) = v.split_once(sep) {
@@ -66,6 +112,8 @@ fn main() {
     let mut faults: Option<FaultSpec> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut checkpoint_every: Option<usize> = None;
+    let mut compare_paths: Option<(String, String)> = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |what: &str| args.next().unwrap_or_else(|| panic!("{what} needs a value"));
@@ -90,11 +138,20 @@ fn main() {
                 checkpoint_every =
                     Some(val("--checkpoint-every").parse().expect("--checkpoint-every K"))
             }
+            "--compare" => {
+                let base = val("--compare");
+                let cur = val("--compare");
+                compare_paths = Some((base, cur));
+            }
+            "--tolerance" => tolerance = val("--tolerance").parse().expect("--tolerance R"),
             other => {
                 eprintln!("unknown flag {other} (see the doc comment for usage)");
                 std::process::exit(2);
             }
         }
+    }
+    if let Some((base, cur)) = compare_paths {
+        compare_mode(&base, &cur, tolerance);
     }
     let io = twodip.map_or(IoStrategy::OneDip { input_procs }, |(n, m)| IoStrategy::TwoDip {
         groups: n,
@@ -279,11 +336,24 @@ fn main() {
             let text = match &m.value {
                 Counter(v) => format!("{v}"),
                 Gauge { value, max } => format!("{value} (max {max})"),
-                Histogram { count, mean, p50, p95, max, .. } => {
-                    format!("n={count} mean={mean:.0} p50={p50} p95={p95} max={max}")
+                Histogram { count, mean, p50, p95, p99, max, .. } => {
+                    format!("n={count} mean={mean:.0} p50={p50} p95={p95} p99={p99} max={max}")
                 }
             };
             println!("  {:<28} {}", m.name, text);
+        }
+    }
+
+    let self_times = tr.self_times();
+    if !self_times.is_empty() {
+        println!("\ntop self-time (exclusive, per phase across ranks):");
+        print!("{}", prof::top_table(&self_times, 8));
+    }
+    let work = prof::snapshot();
+    if !work.is_empty() {
+        println!("\nkernel work (QUAKEVIZ_PROF=1):");
+        for (name, n) in work {
+            println!("  {name:<28} {n}");
         }
     }
 }

@@ -2,13 +2,26 @@
 //! targets compile and run without the `criterion` crate (offline-build
 //! policy — see the workspace `Cargo.toml`).
 //!
-//! Semantics: each `bench_function` warms up once, then repeats the body
-//! until a ~300 ms time budget (or `sample_size` iterations for slow
-//! bodies) and reports the mean wall time per iteration. That is enough
-//! to compare algorithm variants and catch order-of-magnitude
-//! regressions; it makes no claim to criterion's statistical rigor.
+//! Semantics: each `bench_function` warms up once, then times individual
+//! iterations of the body until a wall-clock budget (default ~300 ms) or
+//! a sample-count cap, whichever comes first, with a hard floor of
+//! [`MIN_SAMPLES`] timed iterations so no result ever rests on fewer
+//! than three samples. Every per-iteration wall time is recorded, so
+//! results carry a full sample vector (median / p95 / min / max), and a
+//! run reports whether the *budget* — not the sample cap — terminated
+//! sampling. That is enough to compare algorithm variants and catch
+//! order-of-magnitude regressions; it makes no claim to criterion's
+//! statistical rigor, and the per-iteration `Instant` reads put a
+//! ~20-40 ns floor under nanosecond-scale bodies.
 
 use std::time::{Duration, Instant};
+
+/// Hard floor on timed iterations: a benchmark result never rests on
+/// fewer than this many samples, even when the body blows the budget.
+pub const MIN_SAMPLES: usize = 3;
+
+/// Default wall-clock sampling budget per benchmark.
+pub const DEFAULT_BUDGET: Duration = Duration::from_millis(300);
 
 /// Opaque value barrier: prevents the optimizer from deleting a benchmark
 /// body whose result is unused.
@@ -17,10 +30,98 @@ pub fn black_box<T>(v: T) -> T {
     std::hint::black_box(v)
 }
 
-/// Top-level harness handle, one per bench binary.
+/// One benchmark's recorded outcome: the full per-iteration sample
+/// vector plus how sampling ended. This is the stable machine-readable
+/// result type the bench baselines build on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Stable identifier, `group/function[/param]`.
+    pub id: String,
+    /// Wall time of each timed iteration, nanoseconds, in run order.
+    pub samples_ns: Vec<u64>,
+    /// True when the wall-clock budget (not the sample-count cap)
+    /// terminated sampling — slow bodies under a tight budget.
+    pub budget_limited: bool,
+}
+
+impl BenchResult {
+    pub fn iters(&self) -> u64 {
+        self.samples_ns.len() as u64
+    }
+
+    pub fn min_ns(&self) -> u64 {
+        self.samples_ns.iter().copied().min().unwrap_or(0)
+    }
+
+    pub fn max_ns(&self) -> u64 {
+        self.samples_ns.iter().copied().max().unwrap_or(0)
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().map(|&n| n as f64).sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    /// Nearest-rank quantile over the recorded samples (exact, not
+    /// bucketed — the full vector is kept).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.samples_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+
+    pub fn median_ns(&self) -> u64 {
+        self.quantile_ns(0.5)
+    }
+
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+}
+
+/// Time `sample`d iterations of `f` under `budget`, recording each
+/// iteration. The programmatic entry point used by the bench baselines;
+/// [`BenchmarkGroup::bench_function`] routes through the same logic.
+pub fn measure<O, F: FnMut() -> O>(
+    id: &str,
+    sample_cap: usize,
+    budget: Duration,
+    mut f: F,
+) -> BenchResult {
+    black_box(f()); // warmup / first-touch
+    let cap = sample_cap.max(MIN_SAMPLES);
+    let mut samples_ns = Vec::with_capacity(cap.min(4096));
+    let mut budget_limited = false;
+    let start = Instant::now();
+    loop {
+        let t = Instant::now();
+        black_box(f());
+        samples_ns.push(t.elapsed().as_nanos() as u64);
+        let n = samples_ns.len();
+        if n >= cap {
+            break;
+        }
+        if start.elapsed() >= budget && n >= MIN_SAMPLES {
+            budget_limited = true;
+            break;
+        }
+    }
+    BenchResult { id: id.to_string(), samples_ns, budget_limited }
+}
+
+/// Top-level harness handle, one per bench binary. Collects every
+/// [`BenchResult`] it runs so callers (the baseline emitter) can read
+/// them back instead of scraping stdout.
 #[derive(Default)]
 pub struct Criterion {
-    _private: (),
+    results: Vec<BenchResult>,
 }
 
 impl Criterion {
@@ -31,7 +132,22 @@ impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("{name}");
-        BenchmarkGroup { _c: self, sample_size: 100 }
+        BenchmarkGroup {
+            c: self,
+            group: name.to_string(),
+            sample_cap: 1000,
+            budget: DEFAULT_BUDGET,
+        }
+    }
+
+    /// Every result recorded so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Drain the recorded results.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
     }
 }
 
@@ -48,14 +164,24 @@ impl BenchmarkId {
 
 /// A group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
-    _c: &'a mut Criterion,
-    sample_size: usize,
+    c: &'a mut Criterion,
+    group: String,
+    sample_cap: usize,
+    budget: Duration,
 }
 
 impl BenchmarkGroup<'_> {
     /// Upper bound on timed iterations (criterion's sample count knob).
+    /// The [`MIN_SAMPLES`] floor still applies.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_cap = n.max(1);
+        self
+    }
+
+    /// Wall-clock sampling budget per benchmark (criterion's
+    /// `measurement_time` knob).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
         self
     }
 
@@ -63,9 +189,9 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { sample_size: self.sample_size, report: None };
+        let mut b = Bencher { sample_cap: self.sample_cap, budget: self.budget, result: None };
         f(&mut b);
-        Self::print(id, &b);
+        self.record(id, b);
         self
     }
 
@@ -74,9 +200,9 @@ impl BenchmarkGroup<'_> {
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { sample_size: self.sample_size, report: None };
+        let mut b = Bencher { sample_cap: self.sample_cap, budget: self.budget, result: None };
         f(&mut b, input);
-        Self::print(&id.label, &b);
+        self.record(&id.label, b);
         self
     }
 
@@ -84,18 +210,26 @@ impl BenchmarkGroup<'_> {
         println!();
     }
 
-    fn print(id: &str, b: &Bencher) {
-        match b.report {
-            Some((mean, iters)) => {
-                println!("  {id:<40} {:>14}  ({iters} iters)", fmt_duration(mean))
+    fn record(&mut self, id: &str, b: Bencher) {
+        match b.result {
+            Some(mut r) => {
+                r.id = format!("{}/{id}", self.group);
+                let tail = if r.budget_limited { ", budget-limited" } else { "" };
+                println!(
+                    "  {id:<40} {:>12} median {:>12} p95 {:>12} min  ({} iters{tail})",
+                    fmt_ns(r.median_ns()),
+                    fmt_ns(r.p95_ns()),
+                    fmt_ns(r.min_ns()),
+                    r.iters(),
+                );
+                self.c.results.push(r);
             }
             None => println!("  {id:<40} (no measurement)"),
         }
     }
 }
 
-fn fmt_duration(d: Duration) -> String {
-    let ns = d.as_nanos();
+fn fmt_ns(ns: u64) -> String {
     if ns < 10_000 {
         format!("{ns} ns")
     } else if ns < 10_000_000 {
@@ -109,25 +243,15 @@ fn fmt_duration(d: Duration) -> String {
 
 /// Passed to each benchmark body; [`Bencher::iter`] does the timing.
 pub struct Bencher {
-    sample_size: usize,
-    report: Option<(Duration, u64)>,
+    sample_cap: usize,
+    budget: Duration,
+    result: Option<BenchResult>,
 }
 
 impl Bencher {
-    /// Time repeated calls of `f` and record the mean.
-    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        black_box(f()); // warmup / first-touch
-        let budget = Duration::from_millis(300);
-        let start = Instant::now();
-        let mut iters = 0u64;
-        loop {
-            black_box(f());
-            iters += 1;
-            if start.elapsed() >= budget || iters >= self.sample_size as u64 * 1000 {
-                break;
-            }
-        }
-        self.report = Some((start.elapsed() / iters as u32, iters));
+    /// Time repeated calls of `f`, recording every iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, f: F) {
+        self.result = Some(measure("", self.sample_cap, self.budget, f));
     }
 }
 
@@ -158,18 +282,62 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bencher_reports_mean() {
+    fn bencher_records_samples_and_result() {
         let mut c = Criterion::new();
-        let mut g = c.benchmark_group("t");
-        g.sample_size(10);
-        let mut ran = 0u64;
-        g.bench_function("noop", |b| {
-            b.iter(|| {
-                ran += 1;
-                black_box(ran)
-            })
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(10);
+            let mut ran = 0u64;
+            g.bench_function("noop", |b| {
+                b.iter(|| {
+                    ran += 1;
+                    black_box(ran)
+                })
+            });
+            g.finish();
+            assert!(ran > 1);
+        }
+        let results = c.results();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.id, "t/noop");
+        assert!(r.iters() >= MIN_SAMPLES as u64 && r.iters() <= 10);
+        assert_eq!(r.samples_ns.len() as u64, r.iters());
+        assert!(r.min_ns() <= r.median_ns());
+        assert!(r.median_ns() <= r.p95_ns());
+        assert!(r.p95_ns() <= r.max_ns());
+    }
+
+    #[test]
+    fn minimum_three_samples_even_over_budget() {
+        // a body slower than the whole budget must still be sampled
+        // MIN_SAMPLES times, and the result must say the budget — not
+        // the sample cap — ended sampling.
+        let r = measure("slow", 1000, Duration::from_millis(1), || {
+            std::thread::sleep(Duration::from_millis(2));
         });
-        g.finish();
-        assert!(ran > 1);
+        assert_eq!(r.iters(), MIN_SAMPLES as u64);
+        assert!(r.budget_limited, "budget termination must be reported");
+    }
+
+    #[test]
+    fn sample_cap_not_flagged_as_budget() {
+        let r = measure("fast", 5, Duration::from_secs(10), || black_box(1 + 1));
+        assert_eq!(r.iters(), 5);
+        assert!(!r.budget_limited);
+    }
+
+    #[test]
+    fn quantiles_exact_on_known_vector() {
+        let r = BenchResult {
+            id: "x".into(),
+            samples_ns: vec![50, 10, 30, 20, 40],
+            budget_limited: false,
+        };
+        assert_eq!(r.min_ns(), 10);
+        assert_eq!(r.max_ns(), 50);
+        assert_eq!(r.median_ns(), 30);
+        assert_eq!(r.quantile_ns(1.0), 50);
+        assert!((r.mean_ns() - 30.0).abs() < 1e-9);
     }
 }

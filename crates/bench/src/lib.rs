@@ -7,7 +7,9 @@
 //! binaries print machine-greppable rows (`col1 col2 …`) after a `#`
 //! header line.
 
+pub mod baseline;
 pub mod harness;
+pub mod json;
 
 use quakeviz_seismic::{Dataset, SimulationBuilder};
 

@@ -355,6 +355,9 @@ pub fn slic(
     let sp = obs::auto_span(obs::Phase::CompositeRound, 3);
     let mut final_batch: Vec<Span> = Vec::new();
     let mut local_paint: Vec<(usize, Vec<Rgba>)> = Vec::new();
+    // over-operator pixel blends performed by this rank (QUAKEVIZ_PROF
+    // work metric — deterministic for a fixed fragment layout)
+    let mut over_px = 0u64;
     for (run_id, run) in runs.iter().enumerate() {
         let comp = info.compositor_of(run);
         if run.frags.len() == 1 {
@@ -394,6 +397,7 @@ pub fn slic(
             for (a, p) in acc.iter_mut().zip(&pixels) {
                 *a = over(*a, *p);
             }
+            over_px += run.len() as u64;
         }
         if me as usize == collector {
             local_paint.push((run_id, acc));
@@ -406,6 +410,7 @@ pub fn slic(
             });
         }
     }
+    quakeviz_rt::obs::prof::ticks("slic.over_px", over_px);
     if me as usize != collector && out_traffic[me as usize] {
         send_batch(comm, collector, TAG_SLIC_OUT, final_batch);
     }

@@ -141,6 +141,13 @@ pub struct PipelineConfig {
     /// `0`; a value with a `/` or a `.json` suffix additionally names a
     /// Chrome-trace output file).
     pub trace: bool,
+    /// Kernel self-time profiling: turn on the `rt::obs::prof` tick
+    /// registry for this run, so the raycast/LIC/SLIC hot loops publish
+    /// their deterministic work counts (rays cast, volume samples,
+    /// streamline steps, over-operator blends). Also enabled by setting
+    /// `QUAKEVIZ_PROF=1`. Off by default: the counters cost one relaxed
+    /// atomic load per kernel invocation when disabled.
+    pub profile: bool,
     /// Deterministic fault-injection spec. `None` falls back to the
     /// `QUAKEVIZ_FAULTS` environment variable (unset/empty/`0` = no
     /// faults). With faults active the pipeline runs its recovery paths:
@@ -197,6 +204,7 @@ impl Default for PipelineConfig {
             max_steps: None,
             prefetch: false,
             trace: false,
+            profile: false,
             faults: None,
             retry: RetryPolicy::default(),
             deadline_ms: 1500,
@@ -320,6 +328,13 @@ impl PipelineBuilder {
     /// Record detailed runtime spans (see [`PipelineConfig::trace`]).
     pub fn trace(mut self, on: bool) -> Self {
         self.config.trace = on;
+        self
+    }
+
+    /// Enable kernel work-count profiling (see
+    /// [`PipelineConfig::profile`]).
+    pub fn profile(mut self, on: bool) -> Self {
+        self.config.profile = on;
         self
     }
 

@@ -817,6 +817,10 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
     let shared = &shared;
     let detail = shared.cfg.trace || Obs::detail_from_env();
     let session = Obs::new(detail);
+    if shared.cfg.profile {
+        // config wins over the QUAKEVIZ_PROF env default
+        quakeviz_rt::obs::prof::set_enabled(true);
+    }
     let stats = TrafficStats::with_matrix(world, classify_tag);
     let obs_ref = &session;
     let results =
@@ -891,6 +895,15 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
     };
     if checkpoints > 0 {
         session.metrics().counter("checkpoint.commits").add(checkpoints);
+    }
+    // per-class traffic volume as metrics, so the snapshot (and the
+    // BENCH_pipeline.json baseline built from it) carries bytes moved
+    // per TagClass without re-deriving from the edge list
+    for (class, msgs, bytes) in stats.class_totals() {
+        if msgs > 0 {
+            session.metrics().counter(&format!("traffic.{}.msgs", class.as_str())).add(msgs);
+            session.metrics().counter(&format!("traffic.{}.bytes", class.as_str())).add(bytes);
+        }
     }
     let trace = session.snapshot(Some(&stats));
     write_trace_if_requested(&trace);

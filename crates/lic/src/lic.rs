@@ -7,7 +7,9 @@
 
 use crate::field2d::RegularField2D;
 use quakeviz_render::{RgbaImage, TransferFunction};
+use quakeviz_rt::obs::prof;
 use quakeviz_rt::par::par_map;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// LIC parameters.
 #[derive(Debug, Clone, Copy)]
@@ -52,13 +54,18 @@ pub fn compute_lic(field: &RegularField2D, noise: &[f32], params: &LicParams) ->
         })
         .collect();
 
-    par_map(w * h, |idx| {
+    // streamline step count is deterministic for a fixed field; under
+    // QUAKEVIZ_PROF it feeds the bench baseline as a work metric
+    let prof_on = prof::enabled();
+    let steps = AtomicU64::new(0);
+    let gray = par_map(w * h, |idx| {
         let x0 = (idx % w) as f64 + 0.5;
         let y0 = (idx / w) as f64 + 0.5;
         let (vx, vy) = field.sample_px(x0, y0);
         if (vx * vx + vy * vy).sqrt() <= floor {
             return noise[idx];
         }
+        let mut nsteps = 0u64;
         let sample_noise = |x: f64, y: f64| -> f64 {
             let i = (x as usize).min(w - 1);
             let j = (y as usize).min(h - 1);
@@ -70,6 +77,7 @@ pub fn compute_lic(field: &RegularField2D, noise: &[f32], params: &LicParams) ->
         for dir in [1.0f64, -1.0] {
             let (mut x, mut y) = (x0, y0);
             for s in 1..=params.kernel_half {
+                nsteps += 1;
                 // RK2 midpoint step
                 let (vx, vy) = field.sample_px(x, y);
                 let m = ((vx * vx + vy * vy) as f64).sqrt();
@@ -93,12 +101,20 @@ pub fn compute_lic(field: &RegularField2D, noise: &[f32], params: &LicParams) ->
                 wsum += kernel[ki];
             }
         }
+        if prof_on {
+            steps.fetch_add(nsteps, Ordering::Relaxed);
+        }
         if wsum > 0.0 {
             (acc / wsum) as f32
         } else {
             noise[idx]
         }
-    })
+    });
+    if prof_on {
+        prof::ticks("lic.pixels", (w * h) as u64);
+        prof::ticks("lic.streamline_steps", steps.load(Ordering::Relaxed));
+    }
+    gray
 }
 
 /// Colorize a LIC gray texture by velocity magnitude: hue/opacity from the

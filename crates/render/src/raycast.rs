@@ -12,6 +12,7 @@ use crate::camera::Camera;
 use crate::image::{over, Rgba, RgbaImage, ScreenRect};
 use crate::transfer::TransferFunction;
 use quakeviz_mesh::{HexMesh, NodeField, OctreeBlock, Vec3};
+use quakeviz_rt::obs::prof;
 use quakeviz_rt::par::par_map;
 
 /// Blinn-Phong lighting parameters (paper §6: "lighting requires
@@ -116,16 +117,22 @@ pub fn render_brick(
     let mut pixels = vec![[0.0f32; 4]; w * h];
     let mut any = false;
 
-    let cast_row = |ry: usize| -> (Vec<Rgba>, bool) {
+    // (rays that hit the brick, volume samples taken, rays stopped by
+    // early termination) — published as prof ticks when QUAKEVIZ_PROF is
+    // on; the counts are deterministic for a fixed scene, so the bench
+    // baseline can catch work regressions wall-clock noise would hide
+    let cast_row = |ry: usize| -> (Vec<Rgba>, bool, (u64, u64, u64)) {
         let y = rect.y0 + ry as u32;
         let mut row = vec![[0.0f32; 4]; w];
         let mut row_any = false;
+        let (mut rays, mut samples, mut early) = (0u64, 0u64, 0u64);
         for rx in 0..w {
             let x = rect.x0 + rx as u32;
             let (o, d) = camera.ray(x, y);
             let Some((t0, t1)) = brick.bounds.ray_intersect(o, d) else {
                 continue;
             };
+            rays += 1;
             let mut acc = [0.0f32; 4];
             let mut t = t0 + ds * 0.5;
             while t < t1 && acc[3] < params.early_termination {
@@ -143,28 +150,40 @@ pub fn render_brick(
                     acc[2] += s[2] * tr;
                     acc[3] += s[3] * tr;
                 }
+                samples += 1;
                 t += ds;
+            }
+            if acc[3] >= params.early_termination {
+                early += 1;
             }
             if acc[3] > 0.0 {
                 row_any = true;
                 row[rx] = acc;
             }
         }
-        (row, row_any)
+        (row, row_any, (rays, samples, early))
     };
 
+    let (mut rays, mut samples, mut early) = (0u64, 0u64, 0u64);
     if params.parallel_rows {
-        let rows: Vec<(Vec<Rgba>, bool)> = par_map(h, cast_row);
-        for (ry, (row, row_any)) in rows.into_iter().enumerate() {
+        let rows: Vec<(Vec<Rgba>, bool, (u64, u64, u64))> = par_map(h, cast_row);
+        for (ry, (row, row_any, n)) in rows.into_iter().enumerate() {
             any |= row_any;
             pixels[ry * w..(ry + 1) * w].copy_from_slice(&row);
+            (rays, samples, early) = (rays + n.0, samples + n.1, early + n.2);
         }
     } else {
         for ry in 0..h {
-            let (row, row_any) = cast_row(ry);
+            let (row, row_any, n) = cast_row(ry);
             any |= row_any;
             pixels[ry * w..(ry + 1) * w].copy_from_slice(&row);
+            (rays, samples, early) = (rays + n.0, samples + n.1, early + n.2);
         }
+    }
+    if prof::enabled() {
+        prof::ticks("raycast.rays", rays);
+        prof::ticks("raycast.samples", samples);
+        prof::ticks("raycast.early_terminated", early);
     }
     if !any {
         return None;

@@ -23,6 +23,7 @@
 //!   session is attached at all.
 
 pub mod metrics;
+pub mod prof;
 pub mod trace;
 
 use std::cell::RefCell;

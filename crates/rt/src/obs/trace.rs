@@ -81,6 +81,11 @@ impl TraceData {
     /// events (one track per rank, `tid` = rank), `"M"` metadata naming
     /// each track `rank<r> (<group>)`, and the traffic matrix / metrics
     /// attached to instant events. Load in Perfetto or `chrome://tracing`.
+    ///
+    /// Events within a track are emitted sorted by `ts`: spans are
+    /// *recorded* at drop time, so a nested auto span lands before its
+    /// enclosing stage span in recording order, and some consumers
+    /// require non-decreasing timestamps per tid.
     pub fn chrome_trace_json(&self) -> String {
         let mut out = String::from("{\"traceEvents\":[\n");
         let mut first = true;
@@ -101,7 +106,9 @@ impl TraceData {
                 ),
                 &mut out,
             );
-            for s in &t.spans {
+            let mut ordered: Vec<&SpanEvent> = t.spans.iter().collect();
+            ordered.sort_by_key(|s| (s.start_us, std::cmp::Reverse(s.dur_us)));
+            for s in ordered {
                 let step =
                     if s.step == NO_STEP { String::new() } else { format!(",\"step\":{}", s.step) };
                 let bytes =
@@ -146,9 +153,9 @@ impl TraceData {
                 MetricValue::Gauge { value, max } => {
                     format!("{{\"gauge\":{value},\"max\":{max}}}")
                 }
-                MetricValue::Histogram { count, sum, min, max, mean, p50, p95 } => format!(
+                MetricValue::Histogram { count, sum, min, max, mean, p50, p95, p99 } => format!(
                     "{{\"count\":{count},\"sum\":{sum},\"min\":{min},\"max\":{max},\
-                     \"mean\":{mean:.3},\"p50\":{p50},\"p95\":{p95}}}"
+                     \"mean\":{mean:.3},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}}"
                 ),
             };
             push(
@@ -294,6 +301,12 @@ impl TraceData {
     /// concurrent ranks don't double-count wall time).
     pub fn group_busy_seconds(&self, group: &str) -> f64 {
         self.group_overlap_seconds(group, group)
+    }
+
+    /// Per-phase exclusive (self) time derived from the span tree —
+    /// see [`crate::obs::prof::self_times`].
+    pub fn self_times(&self) -> Vec<crate::obs::prof::SelfTime> {
+        crate::obs::prof::self_times(self)
     }
 
     /// ASCII Gantt chart, one row per rank, `width` columns spanning the

@@ -29,6 +29,33 @@ if [[ -n "${QUAKEVIZ_FAULT_FOCUS:-}" ]]; then
     exit 0
 fi
 
+# Bench smoke: regenerate the quick-mode BENCH_*.json baselines, schema-
+# validate them, and diff against the committed files with a generous 3x
+# tolerance (shared CI runners are noisy; the gate exists to catch
+# order-of-magnitude regressions and schema drift, not percent-level
+# jitter). Fresh files land in out/bench-smoke so the committed baselines
+# stay untouched; regenerate those deliberately with
+# `cargo run --release -p quakeviz-bench --bin bench-baseline -- --quick`.
+run_bench_smoke() {
+    cargo build --release -q -p quakeviz-bench
+    target/release/bench-baseline --quick --out out/bench-smoke
+    target/release/bench-baseline --validate \
+        out/bench-smoke/BENCH_pipeline.json \
+        out/bench-smoke/BENCH_render.json \
+        out/bench-smoke/BENCH_io.json
+    for area in pipeline render io; do
+        echo "==> bench compare (${area})"
+        target/release/pipeline-report --compare \
+            "BENCH_${area}.json" "out/bench-smoke/BENCH_${area}.json" --tolerance 3.0
+    done
+}
+if [[ -n "${QUAKEVIZ_BENCH_SMOKE:-}" ]]; then
+    echo "==> bench smoke cell"
+    run_bench_smoke
+    echo "CI OK (bench smoke)"
+    exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -81,6 +108,8 @@ if [[ -z "${QUAKEVIZ_FAULTS:-}" && -z "${QUAKEVIZ_TRACE+x}" ]]; then
         echo "==> fault focus cell ${cell}"
         run_fault_focus "${cell}"
     done
+    echo "==> bench smoke"
+    run_bench_smoke
 fi
 
 echo "CI OK"

@@ -1,12 +1,17 @@
 //! End-to-end observability tests: a traced pipeline run must export a
 //! valid Chrome trace with one track per rank, disjoint stage spans, a
 //! populated traffic matrix, and metrics; an untraced run must record
-//! stage spans only (the auto instrumentation stays off).
+//! stage spans only (the auto instrumentation stays off); the JSON/CSV
+//! exporters must round-trip the metrics registry and the traffic
+//! matrix, and the Chrome trace must keep timestamps non-decreasing
+//! per tid (spans are recorded at drop time, so the exporter has to
+//! reorder them).
 
 use quakeviz::pipeline::{IoStrategy, PipelineBuilder};
-use quakeviz::rt::obs::{Obs, Phase};
+use quakeviz::rt::obs::{MetricValue, Obs, Phase};
 use quakeviz::rt::TagClass;
 use quakeviz::seismic::SimulationBuilder;
+use quakeviz_bench::json::Json;
 
 fn run(trace: bool) -> quakeviz::pipeline::PipelineReport {
     let ds = SimulationBuilder::new().resolution(16).steps(4).run_to_dataset().unwrap();
@@ -200,4 +205,133 @@ fn untraced_run_records_stage_spans_only() {
         (span_render - timing_render).abs() < 1e-6,
         "span-derived render time {span_render} != reported {timing_render}"
     );
+}
+
+#[test]
+fn chrome_trace_ts_non_decreasing_per_tid() {
+    let report = run(true);
+    let doc = Json::parse(&report.trace.chrome_trace_json()).expect("chrome trace parses");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    // spans are recorded at drop time (a nested auto span drops before
+    // its parent), so ordered output proves the exporter re-sorts
+    let mut last_ts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut span_events = 0usize;
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        span_events += 1;
+        let tid = ev.get("tid").and_then(Json::as_u64).expect("tid");
+        let ts = ev.get("ts").and_then(Json::as_u64).expect("ts");
+        if let Some(&prev) = last_ts.get(&tid) {
+            assert!(prev <= ts, "tid {tid}: ts went backwards ({prev} -> {ts})");
+        }
+        last_ts.insert(tid, ts);
+    }
+    let recorded: usize = report.trace.tracks.iter().map(|t| t.spans.len()).sum();
+    assert_eq!(span_events, recorded, "every recorded span must be exported");
+}
+
+#[test]
+fn traffic_matrix_round_trips_through_csv() {
+    let report = run(true);
+    let tr = &report.trace;
+    let csv = tr.traffic_csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some("src,dst,class,messages,bytes"));
+    let parsed: Vec<(usize, usize, String, u64, u64)> = lines
+        .map(|l| {
+            let f: Vec<&str> = l.split(',').collect();
+            assert_eq!(f.len(), 5, "bad traffic row {l:?}");
+            (
+                f[0].parse().unwrap(),
+                f[1].parse().unwrap(),
+                f[2].to_string(),
+                f[3].parse().unwrap(),
+                f[4].parse().unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(parsed.len(), tr.edges.len(), "one row per traffic edge");
+    for (edge, row) in tr.edges.iter().zip(&parsed) {
+        assert_eq!(
+            (edge.src, edge.dst, edge.class.as_str(), edge.messages, edge.bytes),
+            (row.0, row.1, row.2.as_str(), row.3, row.4)
+        );
+    }
+    // the Chrome export carries the same matrix as instant events
+    let doc = Json::parse(&tr.chrome_trace_json()).unwrap();
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let traffic: Vec<&Json> =
+        events.iter().filter(|e| e.get("name").and_then(Json::as_str) == Some("traffic")).collect();
+    assert_eq!(traffic.len(), tr.edges.len());
+    for (edge, ev) in tr.edges.iter().zip(&traffic) {
+        let args = ev.get("args").expect("traffic args");
+        assert_eq!(args.get("src").and_then(Json::as_u64), Some(edge.src as u64));
+        assert_eq!(args.get("dst").and_then(Json::as_u64), Some(edge.dst as u64));
+        assert_eq!(args.get("class").and_then(Json::as_str), Some(edge.class.as_str()));
+        assert_eq!(args.get("messages").and_then(Json::as_u64), Some(edge.messages));
+        assert_eq!(args.get("bytes").and_then(Json::as_u64), Some(edge.bytes));
+    }
+}
+
+#[test]
+fn metrics_registry_round_trips_through_chrome_export() {
+    let report = run(true);
+    let tr = &report.trace;
+    assert!(!tr.metrics.is_empty());
+    let doc = Json::parse(&tr.chrome_trace_json()).unwrap();
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    for m in &tr.metrics {
+        let name = format!("metric:{}", m.name);
+        let ev = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(name.as_str()))
+            .unwrap_or_else(|| panic!("metric {:?} missing from chrome export", m.name));
+        let args = ev.get("args").expect("metric args");
+        match &m.value {
+            MetricValue::Counter(v) => {
+                assert_eq!(args.get("counter").and_then(Json::as_u64), Some(*v), "{}", m.name);
+            }
+            MetricValue::Gauge { value, max } => {
+                assert_eq!(args.get("gauge").and_then(Json::as_f64), Some(*value as f64));
+                assert_eq!(args.get("max").and_then(Json::as_f64), Some(*max as f64));
+            }
+            MetricValue::Histogram { count, sum, min, max, p50, p95, p99, .. } => {
+                assert_eq!(args.get("count").and_then(Json::as_u64), Some(*count), "{}", m.name);
+                assert_eq!(args.get("sum").and_then(Json::as_u64), Some(*sum));
+                assert_eq!(args.get("min").and_then(Json::as_u64), Some(*min));
+                assert_eq!(args.get("max").and_then(Json::as_u64), Some(*max));
+                assert_eq!(args.get("p50").and_then(Json::as_u64), Some(*p50));
+                assert_eq!(args.get("p95").and_then(Json::as_u64), Some(*p95));
+                assert_eq!(args.get("p99").and_then(Json::as_u64), Some(*p99));
+                assert!(p50 <= p95 && p95 <= p99, "{}: quantiles out of order", m.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn span_csv_matches_recorded_tracks() {
+    let report = run(true);
+    let tr = &report.trace;
+    let csv = tr.csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some("rank,group,phase,step,start_us,dur_us,bytes"));
+    let rows: Vec<Vec<String>> =
+        lines.map(|l| l.split(',').map(str::to_string).collect()).collect();
+    let recorded: usize = tr.tracks.iter().map(|t| t.spans.len()).sum();
+    assert_eq!(rows.len(), recorded, "one CSV row per span");
+    let mut iter = rows.iter();
+    for t in &tr.tracks {
+        for s in &t.spans {
+            let row = iter.next().unwrap();
+            assert_eq!(row[0], t.rank.to_string());
+            assert_eq!(row[1], t.group);
+            assert_eq!(row[2], s.phase.as_str());
+            assert_eq!(row[4], s.start_us.to_string());
+            assert_eq!(row[5], s.dur_us.to_string());
+            assert_eq!(row[6], s.bytes.to_string());
+        }
+    }
 }
