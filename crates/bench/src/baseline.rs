@@ -1,7 +1,8 @@
 //! Versioned, machine-readable performance baselines: the
-//! `BENCH_pipeline.json` / `BENCH_render.json` / `BENCH_io.json` files
-//! committed at the repo root, the runners that regenerate them, and the
-//! regression comparison `pipeline-report --compare` runs in CI.
+//! `BENCH_pipeline.json` / `BENCH_render.json` / `BENCH_io.json` /
+//! `BENCH_wire.json` files committed at the repo root, the runners that
+//! regenerate them, and the regression comparison `pipeline-report
+//! --compare` runs in CI.
 //!
 //! Schema (see DESIGN.md "Performance trajectory" for field-by-field
 //! units):
@@ -9,7 +10,7 @@
 //! ```json
 //! {
 //!   "schema_version": 1,
-//!   "area": "pipeline",            // pipeline | render | io
+//!   "area": "pipeline",            // pipeline | render | io | wire
 //!   "quick": true,                 // quick-mode run (CI smoke); compare
 //!                                  // refuses a quick-vs-full mix
 //!   "runs": [{
@@ -36,15 +37,15 @@ use crate::harness::{measure, BenchResult};
 use crate::json::Json;
 use quakeviz_core::{IoStrategy, PipelineBuilder, PipelineReport};
 use quakeviz_rt::obs::{prof, Phase};
-use quakeviz_rt::FaultSpec;
+use quakeviz_rt::{FaultSpec, WireSpec};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Bump on any incompatible change to the emitted JSON layout.
 pub const SCHEMA_VERSION: u64 = 1;
 
-/// The three bench areas, in emission order.
-pub const AREAS: [&str; 3] = ["pipeline", "render", "io"];
+/// The four bench areas, in emission order.
+pub const AREAS: [&str; 4] = ["pipeline", "render", "io", "wire"];
 
 /// Relative tolerance ratio a regression must exceed (CI passes 3.0:
 /// current > 3x baseline fails).
@@ -313,6 +314,7 @@ pub fn run_area(area: &str, quick: bool) -> Result<BenchFile, String> {
         "pipeline" => Ok(run_pipeline_area(quick)),
         "render" => Ok(run_render_area(quick)),
         "io" => Ok(run_io_area(quick)),
+        "wire" => Ok(run_wire_area(quick)),
         other => Err(format!("unknown area {other:?} (expected one of {AREAS:?})")),
     }
 }
@@ -568,6 +570,69 @@ pub fn run_io_area(quick: bool) -> BenchFile {
     run.counters.insert("bytes.indexed_useful".into(), ids.len() as u64 * 12);
 
     BenchFile { area: "io".into(), quick, runs: vec![run] }
+}
+
+/// One wire-codec run on the canonical quantized basin workload.
+///
+/// `bytes.raw.*` / `bytes.wire.*` are deterministic for a fixed config
+/// and gate regressions; the per-class ratio (x100 so it survives the
+/// integer counter schema), piece mix, and codec CPU cost ride along
+/// informationally. The measured BlockData ratio here is the number the
+/// §5 validation scales its `Ts` term by in `pipeline-report`.
+fn wire_run(name: &str, quick: bool, spec: &str) -> BaselineRun {
+    let (steps, size) = if quick { (6usize, 64u32) } else { (10, 96) };
+    let wire = WireSpec::parse(spec).expect("baseline wire spec must parse");
+    let mut run = BaselineRun::new(
+        name,
+        true,
+        &[
+            ("wire", spec.to_string()),
+            ("quantize", "true".into()),
+            ("steps", steps.to_string()),
+            ("size", format!("{size}x{size}")),
+        ],
+    );
+    let ds = crate::standard_dataset();
+    let report = PipelineBuilder::new(&ds)
+        .renderers(3)
+        .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+        .image_size(size, size)
+        .quantize(true)
+        .keep_frames(false)
+        .wire_spec(wire)
+        .max_steps(steps)
+        .run()
+        .expect("baseline wire run failed");
+    if let Some(s) = Stat::from_seconds(&report.interframe()) {
+        run.stats.insert("interframe_ms".into(), s);
+    }
+    for w in &report.wire {
+        let class = w.class.as_str();
+        run.counters.insert(format!("bytes.raw.{class}"), w.raw_bytes);
+        run.counters.insert(format!("bytes.wire.{class}"), w.wire_bytes);
+        run.counters.insert(format!("wire.ratio_x100.{class}"), (w.ratio() * 100.0).round() as u64);
+        run.counters.insert(format!("wire.encode_us.{class}"), w.encode_ns / 1_000);
+        run.counters.insert(format!("wire.decode_us.{class}"), w.decode_ns / 1_000);
+        if w.keyframe_pieces + w.delta_pieces > 0 {
+            run.counters.insert(format!("wire.keyframes.{class}"), w.keyframe_pieces);
+            run.counters.insert(format!("wire.deltas.{class}"), w.delta_pieces);
+        }
+    }
+    run
+}
+
+/// Wire-codec baselines: every codec with and without temporal deltas,
+/// all on the same quantized workload so the `bytes.wire.*` columns are
+/// directly comparable across runs.
+pub fn run_wire_area(quick: bool) -> BenchFile {
+    let runs = vec![
+        wire_run("raw", quick, "raw"),
+        wire_run("rle", quick, "rle"),
+        wire_run("rle_delta_k4", quick, "rle,delta,keyframe=4"),
+        wire_run("shuffle", quick, "shuffle"),
+        wire_run("shuffle_delta_k4", quick, "shuffle,delta,keyframe=4"),
+    ];
+    BenchFile { area: "wire".into(), quick, runs }
 }
 
 // ---------------------------------------------------------------------

@@ -11,8 +11,9 @@
 //! Usage:
 //!   pipeline-report [--renderers N] [--input-procs M] [--twodip NxM]
 //!                   [--steps K] [--io-delay S] [--size WxH] [--lic]
-//!                   [--prefetch] [--trace] [--faults SPEC]
+//!                   [--quantize] [--prefetch] [--trace] [--faults SPEC]
 //!                   [--deadline-ms MS] [--checkpoint-every K]
+//!                   [--codec SPEC]
 //!   pipeline-report --compare BASELINE.json CURRENT.json
 //!                   [--tolerance R]
 //!
@@ -37,6 +38,13 @@
 //! itself is exercised by `tests/checkpoint_restart.rs`: the simulated
 //! disk lives in memory, so a checkpoint cannot outlive the process).
 //!
+//! `--codec SPEC` selects the wire codec (same grammar as
+//! `QUAKEVIZ_CODEC`, e.g. `rle`, `shuffle,delta,keyframe=4`, or
+//! `block_data=shuffle,lic_image=rle`); the report then adds a wire
+//! compression section — per-class raw vs wire bytes, the compression
+//! ratio, codec CPU cost, and the keyframe/delta piece mix — and the
+//! model table annotates `Ts` with the measured block-data ratio.
+//!
 //! `--prefetch` switches the input ranks to the overlapped runtime
 //! (read+preprocess on a worker thread, two-slot non-blocking send
 //! queue); the report then adds a prefetch-overlap section measuring how
@@ -51,7 +59,7 @@ use quakeviz_bench::baseline::{compare, BenchFile, DEFAULT_TOLERANCE};
 use quakeviz_bench::standard_dataset;
 use quakeviz_core::{IoStrategy, ModelValidation, PipelineBuilder};
 use quakeviz_rt::obs::{prof, Phase};
-use quakeviz_rt::FaultSpec;
+use quakeviz_rt::{FaultSpec, WireSpec};
 use std::collections::BTreeMap;
 
 /// Diff two BENCH_*.json files; never returns.
@@ -107,9 +115,11 @@ fn main() {
     let mut io_delay = 25.0f64;
     let mut size = (128u32, 128u32);
     let mut lic = false;
+    let mut quantize = false;
     let mut prefetch = false;
     let mut trace = false;
     let mut faults: Option<FaultSpec> = None;
+    let mut codec: Option<WireSpec> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut checkpoint_every: Option<usize> = None;
     let mut compare_paths: Option<(String, String)> = None;
@@ -128,9 +138,13 @@ fn main() {
                 size = (w as u32, h as u32);
             }
             "--lic" => lic = true,
+            "--quantize" => quantize = true,
             "--prefetch" => prefetch = true,
             "--trace" => trace = true,
             "--faults" => faults = Some(FaultSpec::parse(&val("--faults")).expect("--faults SPEC")),
+            "--codec" => {
+                codec = Some(WireSpec::parse(&val("--codec")).expect("--codec SPEC"));
+            }
             "--deadline-ms" => {
                 deadline_ms = Some(val("--deadline-ms").parse().expect("--deadline-ms MS"))
             }
@@ -166,11 +180,15 @@ fn main() {
         .keep_frames(false)
         .io_delay_scale(io_delay)
         .lic(lic)
+        .quantize(quantize)
         .prefetch(prefetch)
         .max_steps(steps)
         .trace(trace);
     if let Some(spec) = faults {
         builder = builder.faults(spec);
+    }
+    if let Some(spec) = codec {
+        builder = builder.wire_spec(spec);
     }
     if let Some(ms) = deadline_ms {
         builder = builder.delivery_deadline_ms(ms);
@@ -276,6 +294,27 @@ fn main() {
     }
     for (class, (msgs, bytes)) in classes {
         println!("  {class:<14} {msgs:>8} msgs {bytes:>14} bytes");
+    }
+
+    if !report.wire.is_empty() {
+        println!("\nwire compression ({}):", report.wire_spec);
+        println!(
+            "  {:<14} {:>12} {:>12} {:>7} {:>8} {:>8} {:>9}",
+            "class", "raw_bytes", "wire_bytes", "ratio", "enc_ms", "dec_ms", "kf/delta"
+        );
+        for w in &report.wire {
+            println!(
+                "  {:<14} {:>12} {:>12} {:>6.2}x {:>8.3} {:>8.3} {:>4}/{}",
+                w.class.as_str(),
+                w.raw_bytes,
+                w.wire_bytes,
+                w.ratio(),
+                w.encode_ns as f64 / 1e6,
+                w.decode_ns as f64 / 1e6,
+                w.keyframe_pieces,
+                w.delta_pieces
+            );
+        }
     }
 
     if let Some(rec) = &report.recovery {

@@ -2,6 +2,7 @@
 
 use quakeviz_render::{AdaptivePolicy, Camera, TransferFunction};
 use quakeviz_rt::fault::FaultSpec;
+use quakeviz_rt::wire::{Codec, WireSpec};
 use quakeviz_seismic::Dataset;
 use std::time::Duration;
 
@@ -178,6 +179,13 @@ pub struct PipelineConfig {
     /// The manifest's config fingerprint must match the current run; the
     /// resumed frame sequence is bit-identical to an uninterrupted run.
     pub resume: bool,
+    /// Wire codecs + temporal block deltas for the payload-bearing sends
+    /// (block distribution, LIC and volume images). `None` falls back to
+    /// the `QUAKEVIZ_CODEC` environment variable (unset/empty/`0` = plain
+    /// raw wire). Decoded payloads are bit-identical to the raw path, so
+    /// the setting is excluded from the checkpoint config fingerprint —
+    /// checkpoints written under one codec resume under any other.
+    pub wire: Option<WireSpec>,
 }
 
 impl Default for PipelineConfig {
@@ -211,6 +219,7 @@ impl Default for PipelineConfig {
             checkpoint_every: None,
             checkpoint_path: "ckpt".to_string(),
             resume: false,
+            wire: None,
         }
     }
 }
@@ -375,6 +384,32 @@ impl PipelineBuilder {
     /// [`PipelineConfig::resume`]).
     pub fn resume(mut self, on: bool) -> Self {
         self.config.resume = on;
+        self
+    }
+
+    /// Full wire configuration (see [`PipelineConfig::wire`]).
+    pub fn wire_spec(mut self, spec: WireSpec) -> Self {
+        self.config.wire = Some(spec);
+        self
+    }
+
+    /// Select `codec` for every payload class, keeping any delta settings
+    /// already configured.
+    pub fn codec(mut self, codec: Codec) -> Self {
+        let spec = self.config.wire.get_or_insert_with(WireSpec::default);
+        spec.codecs = [codec; quakeviz_rt::TagClass::COUNT];
+        self
+    }
+
+    /// Toggle temporal block deltas (see [`WireSpec::delta`]).
+    pub fn delta(mut self, on: bool) -> Self {
+        self.config.wire.get_or_insert_with(WireSpec::default).delta = on;
+        self
+    }
+
+    /// Keyframe period for delta streams (see [`WireSpec::keyframe_every`]).
+    pub fn keyframe_every(mut self, k: u32) -> Self {
+        self.config.wire.get_or_insert_with(WireSpec::default).keyframe_every = k;
         self
     }
 

@@ -29,11 +29,13 @@ use quakeviz_render::{
     front_to_back_order, Camera, Fragment, LightingParams, RenderParams, RgbaImage, TemporalEnhance,
 };
 use quakeviz_rt::obs::{self, Obs, Phase, TraceData};
+use quakeviz_rt::wire::{self, Codec, WireClassStats, WireLedger, WireSpec};
 use quakeviz_rt::{
     wait_all, Comm, FaultEvent, FaultPlan, FaultSpec, RecoveryStats, SendHandle, TagClass,
     TrafficEdge, TrafficStats, World,
 };
 use quakeviz_seismic::Dataset;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -73,11 +75,11 @@ fn classify_tag(tag: u64) -> TagClass {
     }
 }
 
-/// Block data on the wire: raw `f32` values or 8-bit quantized (paper §4
-/// lists quantization among the input-processor preprocessing tasks), or
-/// an explicit *missing* marker: the sender exhausted its read retries
-/// and reports the slice length so the receiver can account for it
-/// without waiting out its delivery deadline.
+/// Block data as decoded on the receive side: raw `f32` values or 8-bit
+/// quantized (paper §4 lists quantization among the input-processor
+/// preprocessing tasks), or an explicit *missing* marker: the sender
+/// exhausted its read retries and reports the slice length so the
+/// receiver can account for it without waiting out its delivery deadline.
 #[derive(Debug, Clone)]
 enum Payload {
     F32(Vec<f32>),
@@ -95,11 +97,45 @@ impl Payload {
         }
     }
 
-    fn wire_bytes(&self) -> u64 {
+    /// Payload kind tag on the wire: 0 = f32, 1 = quantized u8, 2 = missing.
+    fn kind(&self) -> u8 {
         match self {
-            Payload::F32(v) => v.len() as u64 * 4,
-            Payload::U8(v) => v.len() as u64,
-            Payload::Missing(_) => 4,
+            Payload::F32(_) => 0,
+            Payload::U8(_) => 1,
+            Payload::Missing(_) => 2,
+        }
+    }
+
+    /// Element width in bytes, the codec shuffle stride.
+    fn stride(&self) -> usize {
+        match self {
+            Payload::F32(_) => 4,
+            Payload::U8(_) | Payload::Missing(_) => 1,
+        }
+    }
+
+    /// The raw (pre-codec) byte serialization: f32 values little-endian,
+    /// u8 verbatim, missing markers as the LE slice length.
+    fn raw_bytes(&self) -> Vec<u8> {
+        match self {
+            Payload::F32(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            Payload::U8(v) => v.clone(),
+            Payload::Missing(n) => n.to_le_bytes().to_vec(),
+        }
+    }
+
+    /// Reconstruct from decoded raw bytes; `None` on a kind/length the
+    /// wire format cannot have produced.
+    fn from_raw(kind: u8, raw: &[u8]) -> Option<Payload> {
+        match kind {
+            0 if raw.len().is_multiple_of(4) => Some(Payload::F32(
+                raw.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect(),
+            )),
+            1 => Some(Payload::U8(raw.to_vec())),
+            2 if raw.len() == 4 => {
+                Some(Payload::Missing(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]])))
+            }
+            _ => None,
         }
     }
 
@@ -141,27 +177,242 @@ pub fn wire_checksum(bid: u32, offset: u32, kind: u8, bytes: impl Iterator<Item 
     h
 }
 
-fn piece_checksum(bid: u32, offset: u32, payload: &Payload) -> u64 {
-    match payload {
-        Payload::F32(v) => wire_checksum(bid, offset, 0, v.iter().flat_map(|x| x.to_le_bytes())),
-        Payload::U8(v) => wire_checksum(bid, offset, 1, v.iter().copied()),
-        Payload::Missing(n) => wire_checksum(bid, offset, 2, n.to_le_bytes().into_iter()),
-    }
+/// `base_step` sentinel for a self-contained keyframe piece.
+const KEYFRAME: u32 = u32::MAX;
+
+/// The checksum of a piece's *encoded* wire representation — header fields
+/// plus the codec body exactly as transmitted, so verification happens
+/// before any decode work touches the bytes.
+fn piece_checksum(p: &WirePiece) -> u64 {
+    let header =
+        [p.coded as u8].into_iter().chain(p.base_step.to_le_bytes()).chain(p.raw_len.to_le_bytes());
+    wire_checksum(p.bid, p.offset, p.kind, header.chain(p.body.iter().copied()))
 }
 
 /// One piece of a per-renderer data message: the values of `[offset,
-/// offset + len)` of block `bid`'s id list, guarded by a wire checksum
-/// computed at pack time and verified on receive.
+/// offset + len)` of block `bid`'s id list, codec-encoded (and optionally
+/// XOR-delta'd against the sender's previous step) and guarded by a wire
+/// checksum over the encoded bytes, computed at pack time and verified on
+/// receive *before* decode.
 #[derive(Debug, Clone)]
-struct BlockPiece {
+struct WirePiece {
     bid: u32,
     offset: u32,
+    /// Payload kind: 0 = f32 values, 1 = quantized u8, 2 = missing marker.
+    kind: u8,
+    /// `body` is codec-compressed (vs stored raw verbatim after the
+    /// no-expansion fallback).
+    coded: bool,
+    /// The sender-owned step whose raw payload `body` XORs against, or
+    /// [`KEYFRAME`] for a self-contained piece.
+    base_step: u32,
+    /// Raw (decoded, un-delta'd) byte length.
+    raw_len: u32,
     checksum: u64,
-    payload: Payload,
+    body: Vec<u8>,
+}
+
+impl WirePiece {
+    /// Declared node-value count, derived from envelope fields so a piece can
+    /// be *accounted for* in degraded-frame bookkeeping even when its body is
+    /// corrupt or its delta base is gone. (A missing marker stores its count
+    /// in the 4-byte body; a corrupted one misreports, which only shifts the
+    /// step toward its delivery deadline — same as a dropped message.)
+    fn value_len(&self) -> usize {
+        match self.kind {
+            0 => self.raw_len as usize / 4,
+            2 => Payload::from_raw(2, &self.body).map_or(0, |p| p.len()),
+            _ => self.raw_len as usize,
+        }
+    }
 }
 
 /// One per-renderer data message: a batch of block pieces.
-type BlockBatch = Vec<BlockPiece>;
+type BlockBatch = Vec<WirePiece>;
+
+/// Temporal-delta state, one side each: senders key by `(dst, bid,
+/// offset)` (a piece re-routed by failover misses and forces a keyframe),
+/// receivers by `(src, bid, offset)`. The value is the step and raw bytes
+/// of the last successfully packed/decoded payload — missing markers,
+/// rejected pieces, and sends the lossy transport reports dropped update
+/// neither side, which is what keeps faulted delta runs bit-identical to
+/// raw ones.
+type DeltaMap = HashMap<(usize, u32, u32), (u32, Vec<u8>)>;
+
+/// Pack one payload into its wire piece: XOR-delta against the sender's
+/// previous step when allowed (delta mode on, not a keyframe boundary,
+/// same-length base available for this destination), then codec-encode,
+/// then checksum the encoded bytes.
+fn pack_piece(
+    spec: &WireSpec,
+    codec: Codec,
+    key: (usize, u32, u32), // (dst rank, block id, offset) — the delta-state lane
+    payload: &Payload,
+    t: u32,
+    state: &mut DeltaMap,
+    advance: bool,
+) -> WirePiece {
+    let (_, bid, offset) = key;
+    let kind = payload.kind();
+    let raw = payload.raw_bytes();
+    let raw_len = raw.len() as u32;
+    let (base_step, input) = if kind == 2 || !spec.delta {
+        (KEYFRAME, raw)
+    } else {
+        let base = match state.get(&key) {
+            Some((ps, prev))
+                if !t.is_multiple_of(spec.keyframe_every) && prev.len() == raw.len() =>
+            {
+                let mut d = raw.clone();
+                wire::xor_in_place(&mut d, prev);
+                Some((*ps, d))
+            }
+            _ => None,
+        };
+        // a send the transport already reported lost (`advance = false`)
+        // must not advance the sender's idea of what the receiver holds
+        if advance {
+            state.insert(key, (t, raw.clone()));
+        }
+        match base {
+            Some((ps, d)) => (ps, d),
+            None => (KEYFRAME, raw),
+        }
+    };
+    // missing markers are 4 bytes of fault bookkeeping: never codec-encoded,
+    // so the receiver classifies them from the envelope alone and the
+    // degradation flags stay codec-invariant
+    let encoded = if kind == 2 {
+        wire::Encoded { coded: false, body: input }
+    } else {
+        codec.encode(input, payload.stride())
+    };
+    let mut piece = WirePiece {
+        bid,
+        offset,
+        kind,
+        coded: encoded.coded,
+        base_step,
+        raw_len,
+        checksum: 0,
+        body: encoded.body,
+    };
+    piece.checksum = piece_checksum(&piece);
+    piece
+}
+
+/// Outcome of verifying + decoding one received piece.
+enum Ingest {
+    Data(Payload),
+    Missing(u32),
+    /// Undecodable: malformed body, or a delta whose base this receiver
+    /// does not hold (dropped/rejected earlier, or state lost to
+    /// failover before the sender's next keyframe).
+    Reject(&'static str),
+}
+
+/// Decode a checksum-verified piece: codec-decode the body, resolve the
+/// XOR delta against this receiver's stored base, and advance the
+/// receiver's delta state. Missing markers and rejects leave the state
+/// untouched, mirroring the pack side.
+fn decode_piece(
+    codec: Codec,
+    piece: &WirePiece,
+    src: usize,
+    t: u32,
+    state: &mut DeltaMap,
+) -> Ingest {
+    if piece.kind == 2 {
+        return match Payload::from_raw(2, &piece.body) {
+            Some(Payload::Missing(n)) if !piece.coded && piece.base_step == KEYFRAME => {
+                Ingest::Missing(n)
+            }
+            _ => Ingest::Reject("malformed missing marker"),
+        };
+    }
+    let stride = if piece.kind == 0 { 4 } else { 1 };
+    let mut raw = match codec.decode(piece.coded, &piece.body, piece.raw_len as usize, stride) {
+        Ok(r) => r,
+        Err(_) => return Ingest::Reject("undecodable body"),
+    };
+    if piece.base_step != KEYFRAME {
+        match state.get(&(src, piece.bid, piece.offset)) {
+            Some((ps, prev)) if *ps == piece.base_step && prev.len() == raw.len() => {
+                wire::xor_in_place(&mut raw, prev)
+            }
+            _ => return Ingest::Reject("delta base unavailable"),
+        }
+    }
+    let Some(payload) = Payload::from_raw(piece.kind, &raw) else {
+        return Ingest::Reject("raw payload inconsistent with kind");
+    };
+    state.insert((src, piece.bid, piece.offset), (t, raw));
+    Ingest::Data(payload)
+}
+
+/// An image payload on the wire: `Plain` keeps the zero-copy path for
+/// [`Codec::Raw`]; `Coded` carries codec-compressed little-endian pixel
+/// bytes (stride 16 = one RGBA pixel). Images are never delta'd — each
+/// frame's LIC/volume image stands alone, so failover and resume need no
+/// image-side keyframe rules.
+#[derive(Debug, Clone)]
+enum WireImage {
+    Plain(RgbaImage),
+    Coded { width: u32, height: u32, coded: bool, body: Vec<u8> },
+}
+
+/// Encode an outgoing image, recording raw/wire bytes and encode time to
+/// the ledger. Returns the message and its wire size.
+fn encode_image(s: &Shared, class: TagClass, t: u32, img: RgbaImage) -> (WireImage, u64) {
+    let raw_len = img.pixels().len() as u64 * 16;
+    let codec = s.wire.codec_for(class);
+    if codec == Codec::Raw {
+        s.ledger.record_send(class, raw_len, raw_len, 0);
+        return (WireImage::Plain(img), raw_len);
+    }
+    let t0 = Instant::now();
+    let mut span = obs::auto_span(Phase::Encode, t);
+    let mut raw = Vec::with_capacity(raw_len as usize);
+    for px in img.pixels() {
+        for c in px {
+            raw.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    let e = codec.encode(raw, 16);
+    let bytes = e.body.len() as u64;
+    span.add_bytes(bytes);
+    s.ledger.record_send(class, raw_len, bytes, t0.elapsed().as_nanos() as u64);
+    let msg =
+        WireImage::Coded { width: img.width(), height: img.height(), coded: e.coded, body: e.body };
+    (msg, bytes)
+}
+
+/// Decode a received image bit-identically. Images are outside the fault
+/// plan's wire corruption (only block batches are corrupted), so a
+/// malformed body is a logic error, not a recoverable fault.
+fn decode_image(s: &Shared, class: TagClass, t: u32, msg: WireImage) -> RgbaImage {
+    match msg {
+        WireImage::Plain(img) => img,
+        WireImage::Coded { width, height, coded, body } => {
+            let t0 = Instant::now();
+            let _span = obs::auto_span(Phase::Decode, t);
+            let raw_len = width as usize * height as usize * 16;
+            let raw = s
+                .wire
+                .codec_for(class)
+                .decode(coded, &body, raw_len, 16)
+                .expect("image wire body corrupted without a fault plan");
+            let mut img = RgbaImage::new(width, height);
+            for (px, c) in img.pixels_mut().iter_mut().zip(raw.chunks_exact(16)) {
+                for (k, ch) in px.iter_mut().enumerate() {
+                    *ch = f32::from_le_bytes([c[4 * k], c[4 * k + 1], c[4 * k + 2], c[4 * k + 3]]);
+                }
+            }
+            s.ledger.record_decode(class, t0.elapsed().as_nanos() as u64);
+            img
+        }
+    }
+}
 
 /// Per-step timing recorded by an input processor.
 #[derive(Debug, Clone, Copy, Default)]
@@ -300,6 +551,15 @@ pub struct PipelineReport {
     /// The step the run resumed from, when
     /// [`PipelineConfig::resume`] restored a checkpoint.
     pub resumed_from: Option<usize>,
+    /// Per-class raw-vs-wire accounting: raw payload bytes before
+    /// codec+delta, wire bytes actually sent, encode/decode time, and the
+    /// keyframe/delta piece split. Only classes with payload traffic
+    /// appear; `wire_bytes ≤ raw_bytes` holds per class by the codecs'
+    /// no-expansion guarantee.
+    pub wire: Vec<WireClassStats>,
+    /// Human description of the run's resolved wire configuration
+    /// (`"raw"` when no codec or delta is configured).
+    pub wire_spec: String,
 }
 
 impl PipelineReport {
@@ -403,6 +663,11 @@ struct Shared {
     /// Fingerprint of every config field that shapes the frame stream;
     /// stamped into checkpoints and verified on resume.
     fingerprint: u64,
+    /// Resolved wire configuration: per-class codecs + temporal deltas.
+    wire: WireSpec,
+    /// Raw-vs-wire byte and encode/decode-time accounting, shared by
+    /// every rank thread.
+    ledger: Arc<WireLedger>,
 }
 
 /// The deterministic post-failover epoch after a scripted render-rank
@@ -756,6 +1021,12 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
     });
 
     let faults = resolve_faults(&config, n_inputs, steps).map_err(|e| e.to_string())?;
+    // explicit wire config wins; else the QUAKEVIZ_CODEC environment
+    // variable; else the plain raw wire. Deliberately *not* part of the
+    // config fingerprint: decoded payloads are bit-identical to the raw
+    // path, so checkpoints stay interchangeable across codec settings.
+    let wire_spec = config.wire.clone().or_else(WireSpec::from_env).unwrap_or_default();
+    let ledger = Arc::new(WireLedger::new());
 
     // precompute the deterministic failover epochs the scripted plan
     // implies, so every rank mirrors the same post-failure schedule
@@ -810,6 +1081,8 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         render_failover,
         output_failover_step,
         fingerprint,
+        wire: wire_spec,
+        ledger,
         cfg: config,
     };
 
@@ -879,6 +1152,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
                 ("recovery.backoff_us", rec.backoff_us),
                 ("recovery.exhausted_reads", rec.exhausted_reads),
                 ("recovery.checksum_failures", rec.checksum_failures),
+                ("recovery.wire_rejects", rec.wire_rejects),
                 ("recovery.degraded_blocks", rec.degraded_blocks),
                 ("recovery.degraded_frames", rec.degraded_frames),
                 ("recovery.failover_events", rec.failover_events),
@@ -905,6 +1179,13 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
             session.metrics().counter(&format!("traffic.{}.bytes", class.as_str())).add(bytes);
         }
     }
+    // raw-vs-wire ledger per payload class: what the codec+delta layer
+    // saved (wire ≤ raw always; equal on the plain raw wire)
+    for w in shared.ledger.snapshot() {
+        let m = session.metrics();
+        m.counter(&format!("traffic.{}.raw_bytes", w.class.as_str())).add(w.raw_bytes);
+        m.counter(&format!("traffic.{}.wire_bytes", w.class.as_str())).add(w.wire_bytes);
+    }
     let trace = session.snapshot(Some(&stats));
     write_trace_if_requested(&trace);
     Ok(PipelineReport {
@@ -926,6 +1207,8 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         recovery,
         checkpoints,
         resumed_from: shared.cfg.resume.then_some(shared.start_step),
+        wire: shared.ledger.snapshot(),
+        wire_spec: shared.wire.describe(),
     })
 }
 
@@ -1149,27 +1432,42 @@ fn prepare_step(
 }
 
 /// Pack the per-renderer block batches for one prepared step: every
-/// message is a batch of checksummed [`BlockPiece`]s — whole blocks
+/// message is a batch of checksummed [`WirePiece`]s — whole blocks
 /// (offset 0) for solo readers, slice intersections for 2DIP group
 /// members. `mag = None` (the read failed for good) packs *missing*
-/// pieces of the right lengths instead of values. When the fault plan
-/// scripts wire corruption for a message, one payload bit is flipped
-/// *after* the checksum was computed, so the receiver's verify catches
-/// it. Returns `(destination rank, batch, wire bytes)`.
+/// pieces of the right lengths instead of values. Each piece goes through
+/// the temporal-delta + codec layer of [`pack_piece`] against `delta`,
+/// the sender's per-destination state. When the fault plan scripts wire
+/// corruption for a message, one encoded-body bit is flipped *after* the
+/// checksum was computed, so the receiver's verify catches it — for
+/// every codec, since the checksum covers the encoded bytes. Returns
+/// `(destination rank, batch, wire bytes)`.
 fn pack_batches(
     s: &Shared,
     my_span: Option<(NodeId, NodeId)>,
     mag: Option<&[f32]>,
     me: usize,
     t: usize,
+    delta: &mut DeltaMap,
 ) -> Vec<(usize, BlockBatch, u64)> {
     // route over the render ranks alive at step `t` and the partition of
     // the epoch in force — after a scripted render-rank death the dead
     // rank receives nothing and its blocks go to the survivors
     let (partition, live) = s.routing(t);
+    let codec = s.wire.codec_for(TagClass::BlockData);
     let mut out = Vec::with_capacity(live.len());
     for (r, &rr) in live.iter().enumerate() {
         let dst = s.n_inputs + rr;
+        // the lossy transport completes a dropped send locally, so the
+        // sender knows this batch will never arrive: pack it without
+        // advancing delta state, and the next real send deltas against
+        // the last bytes the receiver actually holds — degradation stays
+        // codec-invariant under message loss
+        let delivered =
+            s.faults.as_ref().is_none_or(|p| !p.send_will_drop(me, dst, TAG_DATA + t as u64));
+        let t0 = Instant::now();
+        let mut enc_sp = obs::auto_span(Phase::Encode, t as u32);
+        let (mut raw_bytes, mut keyframes, mut deltas) = (0u64, 0u64, 0u64);
         let mut batch: BlockBatch = Vec::new();
         for &bid in partition.blocks_of(r) {
             let ids = &s.ids_per_block[bid as usize];
@@ -1188,8 +1486,22 @@ fn pack_batches(
                     }
                     None => Payload::Missing((b - a) as u32),
                 };
-                let checksum = piece_checksum(bid, a as u32, &payload);
-                batch.push(BlockPiece { bid, offset: a as u32, checksum, payload });
+                let piece = pack_piece(
+                    &s.wire,
+                    codec,
+                    (dst, bid, a as u32),
+                    &payload,
+                    t as u32,
+                    delta,
+                    delivered,
+                );
+                raw_bytes += piece.raw_len as u64;
+                if piece.base_step == KEYFRAME {
+                    keyframes += 1;
+                } else {
+                    deltas += 1;
+                }
+                batch.push(piece);
             }
         }
         if let Some(plan) = &s.faults {
@@ -1197,35 +1509,28 @@ fn pack_batches(
                 corrupt_one_bit(&mut batch, seed);
             }
         }
-        let bytes: u64 = batch.iter().map(|p| p.payload.wire_bytes()).sum();
+        let bytes: u64 = batch.iter().map(|p| p.body.len() as u64).sum();
+        enc_sp.add_bytes(bytes);
+        s.ledger.record_send(TagClass::BlockData, raw_bytes, bytes, t0.elapsed().as_nanos() as u64);
+        s.ledger.record_pieces(TagClass::BlockData, keyframes, deltas);
         out.push((dst, batch, bytes));
     }
     out
 }
 
-/// Flip one deterministically-chosen payload bit of a batch (the wire
-/// corruption model; missing markers carry no corruptible values).
+/// Flip one deterministically-chosen bit of a batch's encoded wire bodies
+/// (the wire corruption model). Works uniformly for every codec and for
+/// delta pieces, because the checksum guards the encoded bytes.
 fn corrupt_one_bit(batch: &mut BlockBatch, seed: u64) {
-    let bits_of = |p: &Payload| match p {
-        Payload::F32(v) => v.len() * 32,
-        Payload::U8(v) => v.len() * 8,
-        Payload::Missing(_) => 0,
-    };
-    let total: usize = batch.iter().map(|p| bits_of(&p.payload)).sum();
+    let total: usize = batch.iter().map(|p| p.body.len() * 8).sum();
     if total == 0 {
         return;
     }
     let mut k = (seed % total as u64) as usize;
     for piece in batch.iter_mut() {
-        let bits = bits_of(&piece.payload);
+        let bits = piece.body.len() * 8;
         if k < bits {
-            match &mut piece.payload {
-                Payload::F32(v) => {
-                    v[k / 32] = f32::from_bits(v[k / 32].to_bits() ^ (1 << (k % 32)));
-                }
-                Payload::U8(v) => v[k / 8] ^= 1 << (k % 8),
-                Payload::Missing(_) => unreachable!("missing pieces have no bits"),
-            }
+            piece.body[k / 8] ^= 1 << (k % 8);
             return;
         }
         k -= bits;
@@ -1271,10 +1576,10 @@ fn lic_step(comm: &Comm, s: &Shared, t: usize, read: &mut ReadStats) {
                 (colorize(&reg, &gray, &s.cfg.transfer, reg.max_magnitude()), false)
             }
         };
-    let bytes = (img.width() * img.height() * 16) as u64;
+    let (msg, bytes) = encode_image(s, TagClass::LicImage, t as u32, img);
     lic_sp.add_bytes(bytes);
     drop(lic_sp);
-    comm.send_with_size(output_rank, TAG_LIC + t as u64, (img, missing), bytes);
+    comm.send_with_size(output_rank, TAG_LIC + t as u64, (msg, missing), bytes);
 }
 
 fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputStepTiming> {
@@ -1379,6 +1684,7 @@ fn input_main_sync(
     let me = comm.rank();
     let group = failover_group(me, s);
     let mut dead: Vec<usize> = Vec::new();
+    let mut delta = DeltaMap::new();
     let mut timings = Vec::with_capacity(plan.my_steps.len());
     for &t in &plan.my_steps {
         // a scripted failure: this rank stops cold, mid-pipeline, with no
@@ -1399,7 +1705,7 @@ fn input_main_sync(
             lic_step(comm, s, t, &mut timing.read);
         }
         let mut send_sp = obs::span(Phase::Send, t as u32);
-        for (dst, batch, bytes) in pack_batches(s, my_span, mag.as_deref(), me, t) {
+        for (dst, batch, bytes) in pack_batches(s, my_span, mag.as_deref(), me, t, &mut delta) {
             send_sp.add_bytes(bytes);
             comm.send_lossy_with_size(dst, TAG_DATA + t as u64, batch, bytes);
         }
@@ -1443,12 +1749,15 @@ fn input_main_prefetch(comm: &Comm, s: &Shared, plan: &InputPlan) -> Vec<InputSt
             // record the worker's Read/Preprocess/Send(pack) spans on this
             // rank's own track
             let _g = track.as_ref().map(|h| h.attach());
+            // delta state lives with the packer: the worker walks this
+            // rank's steps in order, exactly like the synchronous loop
+            let mut delta = DeltaMap::new();
             for &t in &plan.my_steps {
                 // collective reads are rejected at config validation, so
                 // the worker never needs the group communicator
                 let (mag, stats) = prepare_step(None, s, &plan.fetch, &enhance, t);
                 let mut sp = obs::span(Phase::Send, t as u32);
-                let batches = pack_batches(s, plan.my_span, mag.as_deref(), me, t);
+                let batches = pack_batches(s, plan.my_span, mag.as_deref(), me, t, &mut delta);
                 for (_, _, bytes) in &batches {
                     sp.add_bytes(*bytes);
                 }
@@ -1582,6 +1891,11 @@ fn render_main(
     let mut output_dead = false;
     let mut takeover: Option<OutputTakeover> = None;
 
+    // receiver-side temporal-delta state, keyed (src, bid, offset); a
+    // resumed run starts empty, matched by the senders' forced keyframes
+    let codec = s.wire.codec_for(TagClass::BlockData);
+    let mut rx_delta = DeltaMap::new();
+
     let nblocks = s.blocks.len();
     for t in s.start_step..s.steps {
         // a scripted failure: this rank stops cold, mid-pipeline, with no
@@ -1646,22 +1960,36 @@ fn render_main(
                 // write disjoint (block, offset) slices, so ingest order
                 // cannot change the frame
                 for _ in 0..n_sources {
-                    let (_src, batch): (usize, BlockBatch) = comm.recv_any(TAG_DATA + t as u64);
-                    recv_sp.add_bytes(batch.iter().map(|p| p.payload.wire_bytes()).sum());
+                    let (src, batch): (usize, BlockBatch) = comm.recv_any(TAG_DATA + t as u64);
+                    recv_sp.add_bytes(batch.iter().map(|p| p.body.len() as u64).sum());
+                    let t0 = Instant::now();
+                    let _dec_sp = obs::auto_span(Phase::Decode, t as u32);
                     for piece in batch {
                         assert_eq!(
-                            piece_checksum(piece.bid, piece.offset, &piece.payload),
+                            piece_checksum(&piece),
                             piece.checksum,
                             "block data corrupted in transit without a fault plan"
                         );
+                        // every clean-path piece decodes: the sender only
+                        // deltas against payloads this receiver ingested
+                        let payload =
+                            match decode_piece(codec, &piece, src, t as u32, &mut rx_delta) {
+                                Ingest::Data(p) => p,
+                                Ingest::Missing(_) => {
+                                    unreachable!("missing block data without a fault plan")
+                                }
+                                Ingest::Reject(why) => {
+                                    unreachable!(
+                                        "undecodable block data without a fault plan: {why}"
+                                    )
+                                }
+                            };
                         let ids = &s.ids_per_block[piece.bid as usize];
-                        for k in 0..piece.payload.len() {
-                            field.set(
-                                ids[piece.offset as usize + k],
-                                piece.payload.get(k, s.vmag_max),
-                            );
+                        for k in 0..payload.len() {
+                            field.set(ids[piece.offset as usize + k], payload.get(k, s.vmag_max));
                         }
                     }
+                    s.ledger.record_decode(TagClass::BlockData, t0.elapsed().as_nanos() as u64);
                 }
             }
             // under a fault plan the sender set is unknowable (drops,
@@ -1678,33 +2006,49 @@ fn render_main(
                 };
                 while pending(&seen) {
                     let remaining = step_deadline.saturating_duration_since(Instant::now());
-                    let Some((_src, batch)) =
+                    let Some((src, batch)) =
                         comm.recv_any_for::<BlockBatch>(TAG_DATA + t as u64, remaining)
                     else {
                         break; // deadline: degrade, don't stall the frame
                     };
-                    recv_sp.add_bytes(batch.iter().map(|p| p.payload.wire_bytes()).sum());
+                    recv_sp.add_bytes(batch.iter().map(|p| p.body.len() as u64).sum());
+                    let t0 = Instant::now();
+                    let _dec_sp = obs::auto_span(Phase::Decode, t as u32);
                     for piece in batch {
                         let b = piece.bid as usize;
-                        seen[b] += piece.payload.len();
-                        if piece_checksum(piece.bid, piece.offset, &piece.payload) != piece.checksum
-                        {
+                        if piece_checksum(&piece) != piece.checksum {
+                            // accounted, never ingested — and never fed to the
+                            // codec: corruption is caught on the encoded bytes
+                            seen[b] += piece.value_len();
                             plan.note_checksum_failure();
-                            continue; // never ingest corrupt values
-                        }
-                        if matches!(piece.payload, Payload::Missing(_)) {
-                            missing[b] += piece.payload.len();
                             continue;
                         }
-                        let ids = &s.ids_per_block[b];
-                        for k in 0..piece.payload.len() {
-                            field.set(
-                                ids[piece.offset as usize + k],
-                                piece.payload.get(k, s.vmag_max),
-                            );
+                        match decode_piece(codec, &piece, src, t as u32, &mut rx_delta) {
+                            Ingest::Missing(n) => {
+                                seen[b] += n as usize;
+                                missing[b] += n as usize;
+                            }
+                            Ingest::Reject(_) => {
+                                // verified envelope but unusable contents
+                                // (e.g. delta base lost to an earlier fault):
+                                // treat like a drop and let degradation cover
+                                seen[b] += piece.value_len();
+                                plan.note_wire_reject();
+                            }
+                            Ingest::Data(payload) => {
+                                seen[b] += payload.len();
+                                let ids = &s.ids_per_block[b];
+                                for k in 0..payload.len() {
+                                    field.set(
+                                        ids[piece.offset as usize + k],
+                                        payload.get(k, s.vmag_max),
+                                    );
+                                }
+                                got[b] += payload.len();
+                            }
                         }
-                        got[b] += piece.payload.len();
                     }
+                    s.ledger.record_decode(TagClass::BlockData, t0.elapsed().as_nanos() as u64);
                 }
                 degraded = my_blocks
                     .iter()
@@ -1781,8 +2125,8 @@ fn render_main(
 
         if s.output_alive(t) {
             if let Some(img) = result.image {
-                let bytes = (img.width() * img.height() * 16) as u64;
-                comm.send_with_size(output_rank, TAG_VOL + t as u64, img, bytes);
+                let (msg, bytes) = encode_image(s, TagClass::VolumeImage, t as u32, img);
+                comm.send_with_size(output_rank, TAG_VOL + t as u64, msg, bytes);
             }
             if let Some(m) = merged {
                 let bytes = m.len() as u64 * 8;
@@ -1802,8 +2146,9 @@ fn render_main(
             let mut sp = obs::span(Phase::Assemble, t as u32);
             if s.surface.is_some() {
                 let lic_src = lic_source(s, t);
-                let (lic_img, lic_missing): (RgbaImage, bool) =
+                let (lic_msg, lic_missing): (WireImage, bool) =
                     comm.recv(lic_src, TAG_LIC + t as u64);
+                let lic_img = decode_image(s, TagClass::LicImage, t as u32, lic_msg);
                 sp.add_bytes((lic_img.width() * lic_img.height() * 16) as u64);
                 if lic_missing {
                     deg.push(Degradation::MissingLic);
@@ -1885,7 +2230,8 @@ fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> R
         }
         let frame_src = s.frame_source(t);
         let mut sp = obs::span(Phase::Assemble, t as u32);
-        let mut vol: RgbaImage = comm.recv(frame_src, TAG_VOL + t as u64);
+        let vol_msg: WireImage = comm.recv(frame_src, TAG_VOL + t as u64);
+        let mut vol = decode_image(s, TagClass::VolumeImage, t as u32, vol_msg);
         sp.add_bytes((vol.width() * vol.height() * 16) as u64);
         let mut deg: Vec<Degradation> = match &s.faults {
             Some(_) => comm.recv(frame_src, TAG_DEG + t as u64),
@@ -1893,7 +2239,8 @@ fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> R
         };
         if s.surface.is_some() {
             let lic_src = lic_source(s, t);
-            let (lic_img, lic_missing): (RgbaImage, bool) = comm.recv(lic_src, TAG_LIC + t as u64);
+            let (lic_msg, lic_missing): (WireImage, bool) = comm.recv(lic_src, TAG_LIC + t as u64);
+            let lic_img = decode_image(s, TagClass::LicImage, t as u32, lic_msg);
             sp.add_bytes((lic_img.width() * lic_img.height() * 16) as u64);
             if lic_missing {
                 deg.push(Degradation::MissingLic);
@@ -1973,9 +2320,14 @@ mod tests {
         let mut reshaped = base.clone();
         reshaped.width = 97;
         assert_ne!(fp(&base), fp(&reshaped), "image geometry must invalidate a checkpoint");
-        let mut refaulted = base;
+        let mut refaulted = base.clone();
         refaulted.faults = Some(FaultSpec::parse("seed=1,read_transient=0.5").unwrap());
         assert_ne!(fp(&refaulted), fp(&reshaped), "the fault schedule shapes frames");
+        // wire codecs shape bytes in flight, never decoded values: a
+        // checkpoint written under one codec must resume under another
+        let mut recoded = base.clone();
+        recoded.wire = Some(WireSpec::parse("rle,delta,keyframe=3").unwrap());
+        assert_eq!(fp(&base), fp(&recoded), "wire codec must not invalidate a checkpoint");
     }
 
     /// Degradation flags order blocks first and frame-level flags last,
@@ -2137,6 +2489,11 @@ mod tests {
                 .io_strategy(IoStrategy::OneDip { input_procs: 2 })
                 .image_size(64, 64)
                 .quantize(q)
+                // the full-vs-quantized byte ratio below is about payload
+                // width, not wire compression: pin the raw codec so a
+                // QUAKEVIZ_CODEC environment (the CI codec matrix) cannot
+                // shrink one side's traffic differently
+                .wire_spec(WireSpec::raw())
                 .run()
                 .expect("pipeline")
         };

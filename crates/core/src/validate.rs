@@ -47,6 +47,11 @@ pub struct ModelValidation {
     /// Whether the run used the overlapped prefetch runtime (echoed from
     /// [`PipelineReport::prefetch`]; selects the prediction formula).
     pub prefetch: bool,
+    /// Measured block-distribution compression (raw/wire bytes, ≥ 1).
+    /// `Ts` is measured from live sends, so the wire codec's smaller
+    /// payloads are already inside it — this records how much smaller;
+    /// `ts * wire_ratio` estimates the raw-codec send cost.
+    pub wire_ratio: f64,
 }
 
 fn median(mut v: Vec<f64>) -> f64 {
@@ -96,6 +101,11 @@ impl ModelValidation {
             mean_delay: report.mean_interframe_delay(),
             predicted_delay,
             prefetch: report.prefetch,
+            wire_ratio: report
+                .wire
+                .iter()
+                .find(|w| w.class == quakeviz_rt::TagClass::BlockData)
+                .map_or(1.0, |w| w.ratio()),
         }
     }
 
@@ -124,6 +134,14 @@ impl fmt::Display for ModelValidation {
             writeln!(f, "    of which LIC        {:>9.4} s/step", self.lic)?;
         }
         writeln!(f, "  Ts send               {:>9.4} s/step", self.ts)?;
+        if self.wire_ratio > 1.001 {
+            writeln!(
+                f,
+                "    wire ratio          {:>8.2}x (block data raw/wire; raw-codec Ts ≈ {:.4} s)",
+                self.wire_ratio,
+                self.ts * self.wire_ratio
+            )?;
+        }
         writeln!(f, "  Tr render+composite   {:>9.4} s/frame", self.tr)?;
         writeln!(
             f,
@@ -175,6 +193,8 @@ mod tests {
             recovery: None,
             checkpoints: 0,
             resumed_from: None,
+            wire: Vec::new(),
+            wire_spec: String::new(),
         }
     }
 

@@ -224,6 +224,10 @@ pub struct RecoveryStats {
     pub exhausted_reads: u64,
     /// Wire checksum mismatches detected on receive.
     pub checksum_failures: u64,
+    /// Pieces whose checksum verified but whose contents were unusable
+    /// (undecodable codec body, or a temporal-delta base the receiver no
+    /// longer holds after an upstream fault); dropped and degraded over.
+    pub wire_rejects: u64,
     /// Blocks rendered degraded (coarser level / stale data), summed over
     /// frames.
     pub degraded_blocks: u64,
@@ -262,6 +266,7 @@ pub struct FaultPlan {
     backoff_us: AtomicU64,
     exhausted_reads: AtomicU64,
     checksum_failures: AtomicU64,
+    wire_rejects: AtomicU64,
     degraded_blocks: AtomicU64,
     degraded_frames: AtomicU64,
     failover_events: AtomicU64,
@@ -280,6 +285,7 @@ impl FaultPlan {
             backoff_us: AtomicU64::new(0),
             exhausted_reads: AtomicU64::new(0),
             checksum_failures: AtomicU64::new(0),
+            wire_rejects: AtomicU64::new(0),
             degraded_blocks: AtomicU64::new(0),
             degraded_frames: AtomicU64::new(0),
             failover_events: AtomicU64::new(0),
@@ -374,6 +380,19 @@ impl FaultPlan {
         None
     }
 
+    /// Whether the lossy send `(src, dst, tag)` will be dropped: the same
+    /// deterministic roll [`FaultPlan::send_fault`] makes at the send
+    /// site, as a side-effect-free peek (no log entry — the send itself
+    /// logs when it happens). This is the sender-local transmit-failure
+    /// notification a real lossy transport delivers: layers that keep
+    /// cross-step wire state (the temporal-delta codec) must not let a
+    /// message the transport reported lost advance their idea of what
+    /// the receiver holds.
+    pub fn send_will_drop(&self, src: usize, dst: usize, tag: u64) -> bool {
+        let site = FaultPlan::site_hash(&[src as u64, dst as u64, tag]);
+        self.spec.send_drop > 0.0 && self.roll(SALT_DROP, site, 0) < self.spec.send_drop
+    }
+
     /// Roll wire corruption for one lossy send; `Some(bits)` means the
     /// sender flips payload bit `bits % payload_bits` after checksumming,
     /// so the receiver's verify-on-receive catches it.
@@ -405,6 +424,10 @@ impl FaultPlan {
 
     pub fn note_checksum_failure(&self) {
         self.checksum_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_wire_reject(&self) {
+        self.wire_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn note_degraded_frame(&self, blocks: u64) {
@@ -447,6 +470,7 @@ impl FaultPlan {
             backoff_us: self.backoff_us.load(Ordering::Relaxed),
             exhausted_reads: self.exhausted_reads.load(Ordering::Relaxed),
             checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            wire_rejects: self.wire_rejects.load(Ordering::Relaxed),
             degraded_blocks: self.degraded_blocks.load(Ordering::Relaxed),
             degraded_frames: self.degraded_frames.load(Ordering::Relaxed),
             failover_events: self.failover_events.load(Ordering::Relaxed),

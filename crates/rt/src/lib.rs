@@ -44,7 +44,9 @@ pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod stats;
+pub mod wire;
 
 pub use comm::{wait_all, Comm, RecvTimeout, SendHandle, World};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, ReadFault, RecoveryStats, SendFault};
 pub use stats::{TagClass, TrafficEdge, TrafficStats};
+pub use wire::{Codec, WireClassStats, WireLedger, WireSpec};

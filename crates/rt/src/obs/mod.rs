@@ -73,12 +73,18 @@ pub enum Phase {
     /// Checkpoint write/collect at a checkpoint boundary (render field
     /// snapshots, output manifest).
     Checkpoint,
+    /// Wire-codec compression of an outgoing payload (nests inside
+    /// [`Phase::Send`]/[`Phase::Lic`], so it is an auto phase, not a stage).
+    Encode,
+    /// Wire-codec decompression of an incoming payload (nests inside
+    /// [`Phase::Receive`]/[`Phase::Assemble`]; auto phase).
+    Decode,
     /// Uncategorized.
     Other,
 }
 
 impl Phase {
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 19;
     pub const ALL: [Phase; Phase::COUNT] = [
         Phase::Read,
         Phase::Preprocess,
@@ -96,6 +102,8 @@ impl Phase {
         Phase::CompositeRound,
         Phase::Retry,
         Phase::Checkpoint,
+        Phase::Encode,
+        Phase::Decode,
         Phase::Other,
     ];
 
@@ -136,6 +144,8 @@ impl Phase {
             Phase::CompositeRound => "composite_round",
             Phase::Retry => "retry",
             Phase::Checkpoint => "checkpoint",
+            Phase::Encode => "encode",
+            Phase::Decode => "decode",
             Phase::Other => "other",
         }
     }
@@ -159,6 +169,8 @@ impl Phase {
             Phase::CompositeRound => 'c',
             Phase::Retry => 'B',
             Phase::Checkpoint => 'K',
+            Phase::Encode => 'e',
+            Phase::Decode => 'd',
             Phase::Other => '?',
         }
     }

@@ -42,8 +42,9 @@ run_bench_smoke() {
     target/release/bench-baseline --validate \
         out/bench-smoke/BENCH_pipeline.json \
         out/bench-smoke/BENCH_render.json \
-        out/bench-smoke/BENCH_io.json
-    for area in pipeline render io; do
+        out/bench-smoke/BENCH_io.json \
+        out/bench-smoke/BENCH_wire.json
+    for area in pipeline render io wire; do
         echo "==> bench compare (${area})"
         target/release/pipeline-report --compare \
             "BENCH_${area}.json" "out/bench-smoke/BENCH_${area}.json" --tolerance 3.0
@@ -78,7 +79,7 @@ cargo test --workspace -q
 # An externally pinned QUAKEVIZ_TRACE (the CI job matrix) runs just that
 # cell; locally both cells run.
 if [[ -n "${QUAKEVIZ_TRACE+x}" ]]; then
-    echo "==> cargo test --release (QUAKEVIZ_TRACE=${QUAKEVIZ_TRACE} QUAKEVIZ_FAULTS=${QUAKEVIZ_FAULTS:-})"
+    echo "==> cargo test --release (QUAKEVIZ_TRACE=${QUAKEVIZ_TRACE} QUAKEVIZ_FAULTS=${QUAKEVIZ_FAULTS:-} QUAKEVIZ_CODEC=${QUAKEVIZ_CODEC:-})"
     cargo test --workspace -q --release
 else
     for trace in 0 1; do
@@ -102,6 +103,23 @@ if [[ -z "${QUAKEVIZ_FAULTS:-}" && -z "${QUAKEVIZ_TRACE+x}" ]]; then
         "seed=303,read_transient=0.03,read_corrupt=0.01,read_slow=0.02,slow_factor=2"; do
         echo "==> cargo test --release (QUAKEVIZ_FAULTS=${spec})"
         QUAKEVIZ_FAULTS="${spec}" QUAKEVIZ_TRACE=0 cargo test --workspace -q --release
+    done
+    # Codec matrix: the whole release suite must also pass with a wire
+    # codec (and temporal deltas) injected through QUAKEVIZ_CODEC. Every
+    # differential oracle still demands bit-identical frames, so these
+    # cells prove the codec layer is invisible to everything above it.
+    # Tests that pin .wire_spec() explicitly (the raw baselines of the
+    # delta/codec oracles) are unaffected by the env. An externally
+    # pinned QUAKEVIZ_CODEC (the CI job matrix) is covered by the
+    # release pass above; locally all cells run.
+    for codec in \
+        "raw,delta,keyframe=3" \
+        "rle" \
+        "rle,delta,keyframe=3" \
+        "shuffle" \
+        "shuffle,delta,keyframe=4"; do
+        echo "==> cargo test --release (QUAKEVIZ_CODEC=${codec})"
+        QUAKEVIZ_CODEC="${codec}" QUAKEVIZ_TRACE=0 cargo test --workspace -q --release
     done
     # the focus cells CI runs as dedicated jobs, replayed here for parity
     for cell in render-kill-404 render-kill-505 checkpoint-restart; do

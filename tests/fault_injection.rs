@@ -5,7 +5,7 @@
 //! whole schedule replays deterministically from its seed.
 
 use quakeviz::pipeline::{Degradation, IoStrategy, PipelineBuilder, PipelineReport, RetryPolicy};
-use quakeviz::rt::FaultSpec;
+use quakeviz::rt::{FaultSpec, WireSpec};
 use quakeviz::seismic::{Dataset, SimulationBuilder};
 
 fn dataset() -> Dataset {
@@ -118,6 +118,33 @@ fn wire_corruption_is_caught_by_checksums() {
     assert!(rec.checksum_failures > 0, "spec must actually corrupt messages");
     assert!(report.degraded_frame_count() > 0);
     assert_eq!(report.frames.len(), ds.steps());
+}
+
+/// The corruption guarantee holds for every wire codec, with and without
+/// temporal deltas: single-bit flips land in the *encoded* body, the
+/// per-piece checksum rejects the piece before any codec decode runs,
+/// and the run still delivers a full (degraded, never stalled) frame
+/// sequence. The quantized variant exercises the stride-1 encode path.
+#[test]
+fn wire_corruption_is_caught_under_every_codec() {
+    let ds = dataset();
+    let io = IoStrategy::OneDip { input_procs: 2 };
+    for spec in ["raw", "rle", "shuffle", "rle,delta,keyframe=2", "shuffle,delta,keyframe=2"] {
+        for quantize in [false, true] {
+            let report = builder(&ds, io)
+                .quantize(quantize)
+                .wire_spec(WireSpec::parse(spec).unwrap())
+                .faults(FaultSpec::parse("seed=9,wire_corrupt=0.5").unwrap())
+                .delivery_deadline_ms(200)
+                .run()
+                .expect("pipeline must complete under wire corruption");
+            let rec = report.recovery.expect("fault plan active");
+            let what = format!("codec={spec} quantize={quantize}");
+            assert!(rec.checksum_failures > 0, "{what}: spec must actually corrupt messages");
+            assert!(report.degraded_frame_count() > 0, "{what}: corruption must degrade frames");
+            assert_eq!(report.frames.len(), ds.steps(), "{what}: every frame must be delivered");
+        }
+    }
 }
 
 /// A scripted input-rank death inside a 2DIP group: the survivors detect

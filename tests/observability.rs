@@ -9,7 +9,7 @@
 
 use quakeviz::pipeline::{IoStrategy, PipelineBuilder};
 use quakeviz::rt::obs::{MetricValue, Obs, Phase};
-use quakeviz::rt::TagClass;
+use quakeviz::rt::{TagClass, WireSpec};
 use quakeviz::seismic::SimulationBuilder;
 use quakeviz_bench::json::Json;
 
@@ -138,6 +138,27 @@ fn traced_run_exports_valid_chrome_trace() {
         assert!(
             tr.edges.iter().any(|e| e.class == class && e.bytes > 0),
             "no {class:?} traffic recorded"
+        );
+    }
+
+    // the codec ledger publishes both sides of every encoded class
+    for w in &report.wire {
+        let counter = |name: String| {
+            tr.metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+                .value
+                .clone()
+        };
+        let class = w.class.as_str();
+        assert_eq!(
+            counter(format!("traffic.{class}.raw_bytes")),
+            MetricValue::Counter(w.raw_bytes)
+        );
+        assert_eq!(
+            counter(format!("traffic.{class}.wire_bytes")),
+            MetricValue::Counter(w.wire_bytes)
         );
     }
 
@@ -333,5 +354,70 @@ fn span_csv_matches_recorded_tracks() {
             assert_eq!(row[5], s.dur_us.to_string());
             assert_eq!(row[6], s.bytes.to_string());
         }
+    }
+}
+
+/// Raw-vs-wire traffic invariants across codec configurations: the raw
+/// side of the ledger is a property of the workload (identical whatever
+/// codec runs), the wire side never exceeds it (the no-expansion
+/// envelope stores raw on incompressible payloads), the plain raw codec
+/// ships exactly its input, and a compressing codec over quantized block
+/// data must actually shrink the wire.
+#[test]
+fn traffic_raw_vs_wire_invariants_hold_across_codecs() {
+    let ds = SimulationBuilder::new().resolution(16).steps(4).run_to_dataset().unwrap();
+    let run_spec = |spec: &str| {
+        PipelineBuilder::new(&ds)
+            .renderers(3)
+            .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+            .image_size(64, 64)
+            .quantize(true)
+            .keep_frames(false)
+            .wire_spec(WireSpec::parse(spec).unwrap())
+            .run()
+            .expect("pipeline")
+    };
+    let baseline = run_spec("raw");
+    assert!(!baseline.wire.is_empty(), "raw run must still populate the wire ledger");
+    for w in &baseline.wire {
+        assert_eq!(
+            w.wire_bytes, w.raw_bytes,
+            "{:?}: the raw codec must ship exactly its input",
+            w.class
+        );
+    }
+    for spec in ["rle", "shuffle", "rle,delta,keyframe=2"] {
+        let report = run_spec(spec);
+        assert_eq!(
+            report.wire.len(),
+            baseline.wire.len(),
+            "{spec}: codec choice must not change which classes hit the wire"
+        );
+        for (w, base) in report.wire.iter().zip(&baseline.wire) {
+            assert_eq!(w.class, base.class);
+            assert_eq!(
+                w.raw_bytes, base.raw_bytes,
+                "{spec}/{:?}: raw bytes are a workload property, not a codec property",
+                w.class
+            );
+            assert!(
+                w.wire_bytes <= w.raw_bytes,
+                "{spec}/{:?}: payload expanded on the wire ({} -> {})",
+                w.class,
+                w.raw_bytes,
+                w.wire_bytes
+            );
+        }
+        let block = report
+            .wire
+            .iter()
+            .find(|w| w.class == TagClass::BlockData)
+            .expect("block data on the wire");
+        assert!(
+            block.wire_bytes < block.raw_bytes,
+            "{spec}: quantized block data must compress ({} -> {})",
+            block.raw_bytes,
+            block.wire_bytes
+        );
     }
 }
