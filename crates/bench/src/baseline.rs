@@ -338,6 +338,7 @@ fn pipeline_run(
     io: IoStrategy,
     renderers: usize,
     faults: Option<FaultSpec>,
+    elastic: Option<usize>,
 ) -> BaselineRun {
     let (steps, size, io_delay) = if quick { (4usize, 64u32, 5.0) } else { (8, 128, 25.0) };
     let clean = faults.is_none();
@@ -345,17 +346,17 @@ fn pipeline_run(
         IoStrategy::OneDip { input_procs } => format!("1dip x{input_procs}"),
         IoStrategy::TwoDip { groups, per_group } => format!("2dip {groups}x{per_group}"),
     };
-    let mut run = BaselineRun::new(
-        name,
-        clean,
-        &[
-            ("io", io_desc),
-            ("renderers", renderers.to_string()),
-            ("steps", steps.to_string()),
-            ("size", format!("{size}x{size}")),
-            ("io_delay", format!("{io_delay}")),
-        ],
-    );
+    let mut config = vec![
+        ("io", io_desc),
+        ("renderers", renderers.to_string()),
+        ("steps", steps.to_string()),
+        ("size", format!("{size}x{size}")),
+        ("io_delay", format!("{io_delay}")),
+    ];
+    if let Some(every) = elastic {
+        config.push(("elastic", format!("every {every}")));
+    }
+    let mut run = BaselineRun::new(name, clean, &config);
 
     // capture deterministic kernel work counts alongside the wall times
     prof::reset();
@@ -371,11 +372,25 @@ fn pipeline_run(
     if let Some(spec) = faults {
         builder = builder.faults(spec);
     }
+    if let Some(every) = elastic {
+        builder = builder.elastic(every);
+    }
     let report = builder.run().expect("baseline pipeline run failed");
     for (k, v) in prof::snapshot() {
         run.counters.insert(format!("work.{k}"), v);
     }
     prof::set_enabled(false);
+    // span-derived render utilization (per-rank busy/makespan, permille)
+    // and control-plane counters ride along from the session metrics.
+    // Permille deltas can never clear WORK_FLOOR and control.* has no
+    // floor, so both inform the trajectory without gating it.
+    for m in &report.trace.metrics {
+        if m.name.starts_with("work.render_utilization.") || m.name.starts_with("control.") {
+            if let quakeviz_rt::obs::MetricValue::Counter(v) = m.value {
+                run.counters.insert(m.name.clone(), v);
+            }
+        }
+    }
 
     if let Some(s) = Stat::from_seconds(&report.interframe()) {
         run.stats.insert("interframe_ms".into(), s);
@@ -413,16 +428,19 @@ fn pipeline_run(
 }
 
 /// End-to-end pipeline baselines: the canonical 1DIP and 2DIP
-/// configurations plus one deliberately faulted 1DIP run (tagged
-/// `clean: false` so compare refuses to mix it with clean data).
+/// configurations, one deliberately faulted 1DIP run (tagged
+/// `clean: false` so compare refuses to mix it with clean data), and an
+/// elastic run with the control plane ticking (its `control.*` counters
+/// record how often the controller found anything to change).
 pub fn run_pipeline_area(quick: bool) -> BenchFile {
     let runs = vec![
-        pipeline_run("1dip_r3_i2", quick, IoStrategy::OneDip { input_procs: 2 }, 3, None),
+        pipeline_run("1dip_r3_i2", quick, IoStrategy::OneDip { input_procs: 2 }, 3, None, None),
         pipeline_run(
             "2dip_g2x2_r3",
             quick,
             IoStrategy::TwoDip { groups: 2, per_group: 2 },
             3,
+            None,
             None,
         ),
         pipeline_run(
@@ -434,6 +452,15 @@ pub fn run_pipeline_area(quick: bool) -> BenchFile {
                 FaultSpec::parse("seed=11,read_transient=0.2")
                     .expect("baseline fault spec must parse"),
             ),
+            None,
+        ),
+        pipeline_run(
+            "1dip_r3_elastic_t2",
+            quick,
+            IoStrategy::OneDip { input_procs: 2 },
+            3,
+            None,
+            Some(2),
         ),
     ];
     BenchFile { area: "pipeline".into(), quick, runs }

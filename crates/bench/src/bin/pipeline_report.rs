@@ -13,7 +13,8 @@
 //!                   [--steps K] [--io-delay S] [--size WxH] [--lic]
 //!                   [--quantize] [--prefetch] [--trace] [--faults SPEC]
 //!                   [--deadline-ms MS] [--checkpoint-every K]
-//!                   [--codec SPEC]
+//!                   [--codec SPEC] [--elastic K] [--elastic-resize]
+//!                   [--elastic-reshape]
 //!   pipeline-report --compare BASELINE.json CURRENT.json
 //!                   [--tolerance R]
 //!
@@ -44,6 +45,16 @@
 //! compression section — per-class raw vs wire bytes, the compression
 //! ratio, codec CPU cost, and the keyframe/delta piece mix — and the
 //! model table annotates `Ts` with the measured block-data ratio.
+//!
+//! `--elastic K` arms the closed-loop control plane (DESIGN.md "Control
+//! plane"): the output rank measures phase spans over each K-step window
+//! and two-phase-commits rebalance plans at epoch boundaries;
+//! `--elastic-resize` / `--elastic-reshape` additionally let it
+//! grow/shrink the active render group and switch the 2DIP group width.
+//! The report then adds a control-plane section listing every committed
+//! plan (epoch, apply step, active ranks, input width, per-rank block
+//! counts). Combine with `--faults seed=1,slow_rank=R@F` to watch the
+//! controller shed load off a scripted straggler.
 //!
 //! `--prefetch` switches the input ranks to the overlapped runtime
 //! (read+preprocess on a worker thread, two-slot non-blocking send
@@ -122,6 +133,9 @@ fn main() {
     let mut codec: Option<WireSpec> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut checkpoint_every: Option<usize> = None;
+    let mut elastic: Option<usize> = None;
+    let mut elastic_resize = false;
+    let mut elastic_reshape = false;
     let mut compare_paths: Option<(String, String)> = None;
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut args = std::env::args().skip(1);
@@ -152,6 +166,9 @@ fn main() {
                 checkpoint_every =
                     Some(val("--checkpoint-every").parse().expect("--checkpoint-every K"))
             }
+            "--elastic" => elastic = Some(val("--elastic").parse().expect("--elastic K")),
+            "--elastic-resize" => elastic_resize = true,
+            "--elastic-reshape" => elastic_reshape = true,
             "--compare" => {
                 let base = val("--compare");
                 let cur = val("--compare");
@@ -195,6 +212,12 @@ fn main() {
     }
     if let Some(k) = checkpoint_every {
         builder = builder.checkpoint_every(k);
+    }
+    if let Some(every) = elastic {
+        builder = builder.elastic(every).elastic_resize(elastic_resize);
+        if elastic_reshape {
+            builder = builder.elastic_reshape(true);
+        }
     }
     let report = builder.run().expect("pipeline");
     let tr = &report.trace;
@@ -365,6 +388,20 @@ fn main() {
         match report.resumed_from {
             Some(step) => println!("  resumed from step   {step:>6}"),
             None => println!("  resumed from        {:>6}", "-"),
+        }
+    }
+
+    if let Some(every) = elastic {
+        println!("\ncontrol plane (tick every {every} steps):");
+        if report.control_plans.is_empty() {
+            println!("  no plans committed (load already balanced)");
+        }
+        for p in &report.control_plans {
+            let counts: Vec<usize> = p.assignment.iter().map(Vec::len).collect();
+            println!(
+                "  epoch {:>3} @ step {:>4}: active {}, input width {}, blocks/rank {counts:?}",
+                p.epoch, p.apply_at, p.active, p.input_width
+            );
         }
     }
 

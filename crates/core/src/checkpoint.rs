@@ -36,10 +36,14 @@
 
 use std::fmt;
 
+use crate::control::ControlPlan;
+
 /// Manifest file name under the checkpoint directory.
 pub const MANIFEST_FILE: &str = "manifest.bin";
 /// On-disk format version; bumped on any layout change.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// v2: appended the committed elastic-plan history, so a resumed run
+/// replays the same epoch sequence before running live.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 const MAGIC_MANIFEST: u32 = 0x5156_434b; // "QVCK"
 const MAGIC_FIELD: u32 = 0x5156_4346; // "QVCF"
@@ -61,6 +65,11 @@ pub struct CheckpointManifest {
     /// Per render-rank-index checksum of its field snapshot file, as
     /// acknowledged during the commit.
     pub fields: Vec<(u32, u64)>,
+    /// Elastic control-plane history: every plan committed before
+    /// `next_step`, in commit order. A resumed run replays these epochs
+    /// (re-deriving the same routing and communicator groups) before its
+    /// controller runs live; empty for static runs.
+    pub plans: Vec<ControlPlan>,
 }
 
 /// Typed checkpoint failures, surfaced before the pipeline starts.
@@ -182,6 +191,20 @@ impl CheckpointManifest {
             put_u32(&mut out, r);
             put_u64(&mut out, ck);
         }
+        put_u32(&mut out, self.plans.len() as u32);
+        for plan in &self.plans {
+            put_u64(&mut out, plan.epoch);
+            put_u32(&mut out, plan.apply_at);
+            put_u32(&mut out, plan.active as u32);
+            put_u32(&mut out, plan.input_width as u32);
+            put_u32(&mut out, plan.assignment.len() as u32);
+            for blocks in &plan.assignment {
+                put_u32(&mut out, blocks.len() as u32);
+                for &b in blocks {
+                    put_u32(&mut out, b);
+                }
+            }
+        }
         let trailer = fnv1a(&out);
         put_u64(&mut out, trailer);
         out
@@ -230,10 +253,29 @@ impl CheckpointManifest {
             let ck = c.u64().ok_or_else(corrupt)?;
             fields.push((r, ck));
         }
+        let n_plans = c.u32().ok_or_else(corrupt)? as usize;
+        let mut plans = Vec::with_capacity(n_plans.min(1024));
+        for _ in 0..n_plans {
+            let epoch = c.u64().ok_or_else(corrupt)?;
+            let apply_at = c.u32().ok_or_else(corrupt)?;
+            let active = c.u32().ok_or_else(corrupt)? as usize;
+            let input_width = c.u32().ok_or_else(corrupt)? as usize;
+            let n_ranks = c.u32().ok_or_else(corrupt)? as usize;
+            let mut assignment = Vec::with_capacity(n_ranks.min(1024));
+            for _ in 0..n_ranks {
+                let n = c.u32().ok_or_else(corrupt)? as usize;
+                let mut blocks = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    blocks.push(c.u32().ok_or_else(corrupt)?);
+                }
+                assignment.push(blocks);
+            }
+            plans.push(ControlPlan { epoch, apply_at, active, assignment, input_width });
+        }
         if c.pos != body.len() {
             return Err(corrupt());
         }
-        Ok(CheckpointManifest { version, fingerprint, next_step, block_map, fields })
+        Ok(CheckpointManifest { version, fingerprint, next_step, block_map, fields, plans })
     }
 }
 
@@ -296,6 +338,13 @@ mod tests {
             next_step: 6,
             block_map: vec![vec![0, 2, 5], vec![1, 3], vec![4]],
             fields: vec![(0, 11), (1, 22), (2, 33)],
+            plans: vec![ControlPlan {
+                epoch: 1,
+                apply_at: 4,
+                active: 3,
+                assignment: vec![vec![0, 2], vec![1, 3, 5], vec![4]],
+                input_width: 2,
+            }],
         }
     }
 
@@ -304,6 +353,10 @@ mod tests {
         let m = manifest();
         let bytes = m.encode();
         assert_eq!(CheckpointManifest::decode(&bytes, "x").unwrap(), m);
+        // static runs carry no plan history
+        let mut empty = manifest();
+        empty.plans.clear();
+        assert_eq!(CheckpointManifest::decode(&empty.encode(), "x").unwrap(), empty);
     }
 
     #[test]

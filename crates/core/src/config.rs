@@ -1,5 +1,6 @@
 //! Pipeline configuration and the builder API.
 
+use crate::control::ControlConfig;
 use quakeviz_render::{AdaptivePolicy, Camera, TransferFunction};
 use quakeviz_rt::fault::FaultSpec;
 use quakeviz_rt::wire::{Codec, WireSpec};
@@ -186,6 +187,13 @@ pub struct PipelineConfig {
     /// the setting is excluded from the checkpoint config fingerprint —
     /// checkpoints written under one codec resume under any other.
     pub wire: Option<WireSpec>,
+    /// Closed-loop elastic control plane: a controller on the output rank
+    /// watches the live phase spans and periodically commits epoch-stamped
+    /// rebalance plans (see [`crate::control`]). `None` (the default) runs
+    /// the static partition. Excluded from the checkpoint fingerprint —
+    /// elastic and static runs produce bit-identical frames, so their
+    /// checkpoints are interchangeable.
+    pub control: Option<ControlConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -220,6 +228,7 @@ impl Default for PipelineConfig {
             checkpoint_path: "ckpt".to_string(),
             resume: false,
             wire: None,
+            control: None,
         }
     }
 }
@@ -410,6 +419,30 @@ impl PipelineBuilder {
     /// Keyframe period for delta streams (see [`WireSpec::keyframe_every`]).
     pub fn keyframe_every(mut self, k: u32) -> Self {
         self.config.wire.get_or_insert_with(WireSpec::default).keyframe_every = k;
+        self
+    }
+
+    /// Enable the elastic control plane, ticking every `every` steps
+    /// (rebalance on, resize/reshape off — see
+    /// [`PipelineConfig::control`]).
+    pub fn elastic(mut self, every: usize) -> Self {
+        self.config.control = Some(ControlConfig::every(every));
+        self
+    }
+
+    /// Let the controller grow/shrink the active render prefix (see
+    /// [`ControlConfig::resize`]). Implies elastic mode with the current
+    /// (or default 2-step) tick period.
+    pub fn elastic_resize(mut self, on: bool) -> Self {
+        self.config.control.get_or_insert_with(|| ControlConfig::every(2)).resize = on;
+        self
+    }
+
+    /// Let the controller switch the effective 2DIP group width (see
+    /// [`ControlConfig::reshape`]). Implies elastic mode with the current
+    /// (or default 2-step) tick period.
+    pub fn elastic_reshape(mut self, on: bool) -> Self {
+        self.config.control.get_or_insert_with(|| ControlConfig::every(2)).reshape = on;
         self
     }
 

@@ -1,0 +1,501 @@
+//! Closed-loop elastic control plane: epoch-clocked rebalancing that
+//! generalizes failover from "react to death" to "react to load".
+//!
+//! The failover machinery (survivor re-partition, `FrameInfo::restrict_to`,
+//! communicator regroup) is already a mechanism for changing the active
+//! rank set at runtime; this module drives the *same* actuation path from
+//! measured load instead of detected death. A controller hosted on the
+//! output rank watches the live `rt::obs` phase spans and periodically
+//! emits an epoch-stamped [`ControlPlan`]:
+//!
+//! * **rebalance** — shift octree blocks between render ranks using a
+//!   capacity-aware variant of the LPT balancer (a rank measured 4× slower
+//!   per unit of work gets ~¼ the weight),
+//! * **resize** — grow/shrink the active render prefix to the §5 closed
+//!   form [`crate::model::optimal_renderers`],
+//! * **reshape** — switch the effective 2DIP group width when the measured
+//!   `Ts/Tr` ratio crosses the [`crate::model::twodip_optimal_m`]
+//!   crossover.
+//!
+//! **Epoch clock + two-phase commit.** Plans are stamped with a
+//! monotonically increasing epoch and an `apply_at` step. The controller
+//! broadcasts the proposal to every participant, collects one ack per
+//! participant, and broadcasts the commit decision; every rank applies a
+//! committed plan at the same step boundary, so a reconfiguration is
+//! indistinguishable from the failovers the test suite already proves
+//! bit-identical. A plan that fails to ack commits nowhere — every rank
+//! keeps running the last committed epoch.
+//!
+//! **Determinism.** The *decisions* depend on wall-clock measurements and
+//! are therefore not replay-stable, but the *frames* are: a block renders
+//! to the same fragment on any rank (its field values ride with it), and
+//! the SLIC composite order is fixed by block visibility order, not
+//! ownership. Every elastic run is bit-identical to the static oracle —
+//! the property `tests/elastic.rs` pins.
+//!
+//! The measurement→decision math lives here, pure and unit-tested; the
+//! propose/ack/commit wire protocol lives in `core::pipeline` next to the
+//! other tag traffic.
+
+/// Elastic control-plane configuration (off unless
+/// `PipelineConfig::control` is set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlConfig {
+    /// Tick period: the controller evaluates a plan before every step `S`
+    /// with `S % every == 0` (S ≥ 1).
+    pub every: usize,
+    /// Shift blocks between render ranks on measured per-rank skew.
+    pub rebalance: bool,
+    /// Grow/shrink the active render prefix to the §5 closed form.
+    pub resize: bool,
+    /// Switch the effective 2DIP group width at the Ts/Tr crossover.
+    pub reshape: bool,
+}
+
+impl ControlConfig {
+    /// Rebalance-only controller with the given tick period — the
+    /// default elastic mode.
+    pub fn every(every: usize) -> ControlConfig {
+        ControlConfig { every, rebalance: true, resize: false, reshape: false }
+    }
+
+    /// Steps `S` at which the controller ticks: every `every` steps,
+    /// never at step 0 (there is no measurement window yet).
+    pub fn is_tick(&self, step: usize) -> bool {
+        self.every > 0 && step > 0 && step.is_multiple_of(self.every)
+    }
+}
+
+/// One epoch-stamped reconfiguration, as proposed and committed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlPlan {
+    /// Lamport-style epoch: strictly increasing over committed plans,
+    /// starting at 1 (epoch 0 is the static partition).
+    pub epoch: u64,
+    /// Step boundary every rank applies the plan at (the tick step).
+    pub apply_at: u32,
+    /// Active render ranks: the prefix `0..active` of the render group.
+    pub active: usize,
+    /// Block ids owned by each render rank index (sorted ascending;
+    /// empty for inactive ranks). Indexed by render rank, `n_renderers`
+    /// entries always — inactive tails stay, so the world shape is
+    /// explicit in the plan.
+    pub assignment: Vec<Vec<u32>>,
+    /// Effective 2DIP group width: the first `input_width` members of
+    /// each input group fetch+send; the rest idle that step. Always 1
+    /// for 1DIP.
+    pub input_width: usize,
+}
+
+/// The committed elastic state every rank tracks (epoch 0 = static).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochState {
+    pub epoch: u64,
+    pub active: usize,
+    pub assignment: Vec<Vec<u32>>,
+    pub input_width: usize,
+}
+
+impl EpochState {
+    /// Epoch 0: the static partition over all `n` render ranks.
+    pub fn initial(assignment: Vec<Vec<u32>>, input_width: usize) -> EpochState {
+        let active = assignment.len();
+        EpochState { epoch: 0, active, assignment, input_width }
+    }
+
+    /// Apply a committed plan.
+    pub fn apply(&mut self, plan: &ControlPlan) {
+        self.epoch = plan.epoch;
+        self.active = plan.active;
+        self.assignment = plan.assignment.clone();
+        self.input_width = plan.input_width;
+    }
+
+    /// Owner render rank index of `block`, from the committed assignment.
+    pub fn owner_of(&self, block: u32) -> Option<usize> {
+        self.assignment.iter().position(|blocks| blocks.binary_search(&block).is_ok())
+    }
+}
+
+/// One measurement window, condensed from the live span recorders by the
+/// controller host (the output rank).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowMeasurement {
+    /// Render-phase busy seconds per render rank index over the window.
+    pub render_busy: Vec<f64>,
+    /// Aggregate input-side busy seconds (read+preprocess+LIC+send) over
+    /// the window, all input ranks pooled.
+    pub input_busy: f64,
+    /// Aggregate send-phase busy seconds over the window.
+    pub send_busy: f64,
+    /// Steps the window spans (≥ 1 for a usable measurement).
+    pub steps: usize,
+}
+
+/// Per-unit-weight slowness rates, quantized for hysteresis.
+///
+/// `busy[r] / weight[r]` measures how slowly rank `r` retires one unit
+/// of block weight — a property of the *rank* (scripted slowdown,
+/// noisy neighbor), not of its current assignment, so it survives the
+/// rebalance it triggers. Rates are normalized to the fastest rank and
+/// snapped to powers of two (capped at [`MAX_RATE`]): between re-ticks
+/// the measured ratios wobble, but the quantized rates — and therefore
+/// the recomputed assignment — stay fixed, which is what stops the
+/// controller from churning plans every tick.
+pub fn quantized_rates(busy: &[f64], weights: &[u64]) -> Vec<u64> {
+    let raw: Vec<f64> = busy
+        .iter()
+        .zip(weights)
+        .map(|(&b, &w)| if b > 0.0 && w > 0 { b / w as f64 } else { 0.0 })
+        .collect();
+    let min_pos = raw.iter().copied().filter(|&r| r > 0.0).fold(f64::INFINITY, f64::min);
+    raw.iter()
+        .map(|&r| {
+            if r <= 0.0 || !min_pos.is_finite() {
+                return 1;
+            }
+            let norm = (r / min_pos).max(1.0);
+            // nearest power of two in log space, capped
+            let exp = norm.log2().round().max(0.0) as u32;
+            1u64 << exp.min(MAX_RATE_EXP)
+        })
+        .collect()
+}
+
+/// Cap on the quantized slowness rate (2^4 = 16×): beyond this the rank
+/// is effectively excluded anyway, and an unbounded exponent would let
+/// one stalled measurement blow up the integer load arithmetic.
+pub const MAX_RATE_EXP: u32 = 4;
+pub const MAX_RATE: u64 = 1 << MAX_RATE_EXP;
+
+/// Capacity-aware LPT: assign `blocks` (id, weight) to `rates.len()`
+/// ranks, minimizing the projected completion time `load × rate` — a
+/// rank with rate 4 is charged 4× for every unit of weight it accepts.
+/// Deterministic: blocks are placed heaviest-first (id ascending on
+/// ties), ranks tie-break lowest-index-first; per-rank outputs are
+/// sorted ascending like `Partition::blocks_of`.
+pub fn assign_capacity(blocks: &[(u32, u64)], rates: &[u64]) -> Vec<Vec<u32>> {
+    assert!(!rates.is_empty(), "capacity assignment needs at least one rank");
+    let mut order: Vec<&(u32, u64)> = blocks.iter().collect();
+    order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut load = vec![0u64; rates.len()];
+    let mut out = vec![Vec::new(); rates.len()];
+    for &&(id, w) in &order {
+        let best =
+            (0..rates.len()).min_by_key(|&r| ((load[r] + w).saturating_mul(rates[r]), r)).unwrap();
+        load[best] += w;
+        out[best].push(id);
+    }
+    for blocks in &mut out {
+        blocks.sort_unstable();
+    }
+    out
+}
+
+/// The controller: committed state, plan history, and the decision
+/// function. Lives on the output rank; every other rank tracks only the
+/// [`EpochState`].
+pub struct Controller {
+    pub cfg: ControlConfig,
+    pub state: EpochState,
+    /// Committed plans in commit order (checkpointed, replayed on
+    /// resume).
+    pub history: Vec<ControlPlan>,
+    n_renderers: usize,
+    per_group: usize,
+}
+
+impl Controller {
+    /// `per_group` is the 2DIP group width (1 for 1DIP) — the reshape
+    /// decision's upper bound.
+    pub fn new(cfg: ControlConfig, initial: EpochState, per_group: usize) -> Controller {
+        let n_renderers = initial.assignment.len();
+        Controller { cfg, state: initial, history: Vec::new(), n_renderers, per_group }
+    }
+
+    /// Seed state and epoch counter from checkpointed plans (replayed in
+    /// commit order).
+    pub fn replay(&mut self, plans: &[ControlPlan]) {
+        for plan in plans {
+            self.state.apply(plan);
+            self.history.push(plan.clone());
+        }
+    }
+
+    /// Evaluate the measurement window and propose a plan for the
+    /// `apply_at` boundary, or `None` when the committed state is already
+    /// the right one. Pure in its inputs — no wall clock, no randomness.
+    pub fn decide(
+        &self,
+        m: &WindowMeasurement,
+        block_weights: &[u64],
+        apply_at: u32,
+    ) -> Option<ControlPlan> {
+        if m.steps == 0 {
+            return None; // empty window (e.g. first tick after resume)
+        }
+        let steps = m.steps as f64;
+        // -- resize: §5 optimal renderer count from measured costs ------
+        let active = if self.cfg.resize {
+            let r_total = m.render_busy.iter().sum::<f64>() / steps;
+            let delivery = m.input_busy / steps;
+            if r_total > 0.0 && delivery > 0.0 {
+                crate::model::optimal_renderers(r_total, delivery).clamp(1, self.n_renderers)
+            } else {
+                self.state.active
+            }
+        } else {
+            self.state.active
+        };
+        // -- reshape: 2DIP width at the measured Ts/Tr crossover --------
+        let input_width = if self.cfg.reshape && self.per_group > 1 {
+            let ts = m.send_busy / steps;
+            let k = active.max(1) as f64;
+            let tr = m.render_busy.iter().sum::<f64>() / steps / k;
+            if ts > 0.0 && tr > 0.0 {
+                crate::model::twodip_optimal_m(ts, tr).clamp(1, self.per_group)
+            } else {
+                self.state.input_width
+            }
+        } else {
+            self.state.input_width
+        };
+        // -- rebalance: capacity-aware LPT over quantized skew ----------
+        let assignment = if self.cfg.rebalance {
+            let weights: Vec<u64> = (0..active)
+                .map(|r| {
+                    self.state
+                        .assignment
+                        .get(r)
+                        .map_or(0, |blocks| blocks.iter().map(|&b| block_weights[b as usize]).sum())
+                })
+                .collect();
+            let busy: Vec<f64> =
+                (0..active).map(|r| m.render_busy.get(r).copied().unwrap_or(0.0)).collect();
+            let rates = quantized_rates(&busy, &weights);
+            let skewed = rates.iter().any(|&r| r >= 2);
+            if skewed || active != self.state.active {
+                let blocks: Vec<(u32, u64)> =
+                    (0..block_weights.len()).map(|b| (b as u32, block_weights[b])).collect();
+                let mut a = assign_capacity(&blocks, &rates);
+                a.resize(self.n_renderers, Vec::new());
+                a
+            } else {
+                self.state.assignment.clone()
+            }
+        } else if active != self.state.active {
+            // resize without rebalance still needs an assignment over the
+            // new prefix: uniform rates
+            let blocks: Vec<(u32, u64)> =
+                (0..block_weights.len()).map(|b| (b as u32, block_weights[b])).collect();
+            let mut a = assign_capacity(&blocks, &vec![1; active]);
+            a.resize(self.n_renderers, Vec::new());
+            a
+        } else {
+            self.state.assignment.clone()
+        };
+        if active == self.state.active
+            && input_width == self.state.input_width
+            && assignment == self.state.assignment
+        {
+            return None;
+        }
+        Some(ControlPlan { epoch: self.state.epoch + 1, apply_at, active, assignment, input_width })
+    }
+
+    /// Record a committed plan (every ack collected, commit broadcast).
+    pub fn commit(&mut self, plan: &ControlPlan) {
+        debug_assert_eq!(plan.epoch, self.state.epoch + 1, "epochs must be consecutive");
+        self.state.apply(plan);
+        self.history.push(plan.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights8() -> Vec<u64> {
+        vec![10, 10, 10, 10, 10, 10, 10, 10]
+    }
+
+    fn initial(n: usize, weights: &[u64]) -> EpochState {
+        let blocks: Vec<(u32, u64)> =
+            weights.iter().enumerate().map(|(b, &w)| (b as u32, w)).collect();
+        EpochState::initial(assign_capacity(&blocks, &vec![1; n]), 1)
+    }
+
+    #[test]
+    fn tick_schedule_skips_step_zero() {
+        let cfg = ControlConfig::every(2);
+        assert!(!cfg.is_tick(0));
+        assert!(!cfg.is_tick(1));
+        assert!(cfg.is_tick(2));
+        assert!(!cfg.is_tick(3));
+        assert!(cfg.is_tick(4));
+    }
+
+    #[test]
+    fn capacity_assignment_is_deterministic_and_complete() {
+        let blocks: Vec<(u32, u64)> = (0..17u32).map(|b| (b, 1 + (b as u64 * 7) % 13)).collect();
+        for rates in [vec![1, 1, 1], vec![1, 4, 1], vec![16, 1, 2]] {
+            let a = assign_capacity(&blocks, &rates);
+            let b = assign_capacity(&blocks, &rates);
+            assert_eq!(a, b, "rates {rates:?}: not deterministic");
+            let mut all: Vec<u32> = a.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..17u32).collect::<Vec<_>>(), "rates {rates:?}: blocks lost");
+            for r in &a {
+                assert!(r.windows(2).all(|w| w[0] < w[1]), "per-rank ids not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_rates_balance_within_one_block() {
+        let blocks: Vec<(u32, u64)> = (0..24u32).map(|b| (b, 5)).collect();
+        let a = assign_capacity(&blocks, &[1, 1, 1, 1]);
+        let loads: Vec<u64> = a.iter().map(|r| r.len() as u64 * 5).collect();
+        let (min, max) = (loads.iter().min().unwrap(), loads.iter().max().unwrap());
+        assert!(max - min <= 5, "uniform LPT should balance within one block: {loads:?}");
+    }
+
+    #[test]
+    fn slow_rank_gets_proportionally_less() {
+        let blocks: Vec<(u32, u64)> = (0..32u32).map(|b| (b, 4)).collect();
+        let a = assign_capacity(&blocks, &[1, 1, 4]);
+        // completion-time balance: rank 2 is 4x slower, so it should end
+        // with roughly a quarter of a fast rank's weight
+        assert!(
+            a[2].len() * 3 < a[0].len() + a[1].len(),
+            "slow rank kept too much: {:?}",
+            a.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+        assert!(!a[2].is_empty(), "slow rank should still contribute");
+    }
+
+    #[test]
+    fn quantized_rates_have_hysteresis() {
+        // same per-unit slowness, wobbling ±20%: identical quantization
+        let w = [40u64, 40, 40];
+        let a = quantized_rates(&[1.0, 1.0, 4.0], &w);
+        let b = quantized_rates(&[1.2, 0.95, 4.6], &w);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 1, 4]);
+        // zero-measurement ranks are neutral, extreme skew is capped
+        assert_eq!(quantized_rates(&[0.0, 1.0], &[10, 10]), vec![1, 1]);
+        assert_eq!(quantized_rates(&[1.0, 1000.0], &[10, 10]), vec![1, MAX_RATE]);
+    }
+
+    #[test]
+    fn decide_emits_plan_on_skew_then_settles() {
+        let w = weights8();
+        let ctl = Controller::new(ControlConfig::every(2), initial(2, &w), 1);
+        // rank 1 is 4x slower per unit of weight
+        let busy = |state: &EpochState| -> Vec<f64> {
+            (0..2)
+                .map(|r| {
+                    let weight: u64 = state.assignment[r].iter().map(|&b| w[b as usize]).sum();
+                    weight as f64 * if r == 1 { 4.0 } else { 1.0 }
+                })
+                .collect()
+        };
+        let m = WindowMeasurement {
+            render_busy: busy(&ctl.state),
+            input_busy: 1.0,
+            send_busy: 0.2,
+            steps: 2,
+        };
+        let plan = ctl.decide(&m, &w, 2).expect("skew must produce a plan");
+        assert_eq!(plan.epoch, 1);
+        assert_eq!(plan.apply_at, 2);
+        assert_eq!(plan.active, 2);
+        let w1: u64 = plan.assignment[1].iter().map(|&b| w[b as usize]).sum();
+        let w0: u64 = plan.assignment[0].iter().map(|&b| w[b as usize]).sum();
+        assert!(w1 < w0, "slow rank must shed weight: {w0} vs {w1}");
+        // commit, re-measure under the same per-unit rates: stable
+        let mut ctl = ctl;
+        ctl.commit(&plan);
+        let m2 = WindowMeasurement {
+            render_busy: busy(&ctl.state),
+            input_busy: 1.0,
+            send_busy: 0.2,
+            steps: 2,
+        };
+        assert_eq!(ctl.decide(&m2, &w, 4), None, "controller must settle after one plan");
+    }
+
+    #[test]
+    fn decide_is_quiet_without_skew() {
+        let w = weights8();
+        let ctl = Controller::new(ControlConfig::every(1), initial(4, &w), 1);
+        let m = WindowMeasurement {
+            render_busy: vec![1.0, 1.1, 0.9, 1.05],
+            input_busy: 2.0,
+            send_busy: 0.5,
+            steps: 1,
+        };
+        assert_eq!(ctl.decide(&m, &w, 1), None);
+        // an empty window never produces a plan
+        assert_eq!(ctl.decide(&WindowMeasurement::default(), &w, 1), None);
+    }
+
+    #[test]
+    fn resize_shrinks_to_the_model_optimum() {
+        let w = weights8();
+        let cfg = ControlConfig { every: 1, rebalance: true, resize: true, reshape: false };
+        let ctl = Controller::new(cfg, initial(4, &w), 1);
+        // rendering is cheap (0.4 s/frame aggregate) against a 2 s
+        // delivery cadence: one renderer suffices
+        let m = WindowMeasurement {
+            render_busy: vec![0.1, 0.1, 0.1, 0.1],
+            input_busy: 2.0,
+            send_busy: 0.1,
+            steps: 1,
+        };
+        let plan = ctl.decide(&m, &w, 3).expect("resize must produce a plan");
+        assert_eq!(plan.active, 1);
+        assert_eq!(plan.assignment.len(), 4, "inactive tail stays in the plan");
+        assert!(plan.assignment[1].is_empty() && plan.assignment[3].is_empty());
+        let all: usize = plan.assignment.iter().map(Vec::len).sum();
+        assert_eq!(all, 8, "every block still owned");
+    }
+
+    #[test]
+    fn reshape_follows_the_ts_tr_crossover() {
+        let w = weights8();
+        let cfg = ControlConfig { every: 1, rebalance: false, resize: false, reshape: true };
+        let ctl = Controller::new(cfg, initial(2, &w), 4);
+        // Ts = 3 s vs Tr = 1 s per frame: the §5 crossover wants m = 3
+        let m = WindowMeasurement {
+            render_busy: vec![1.0, 1.0],
+            input_busy: 4.0,
+            send_busy: 3.0,
+            steps: 1,
+        };
+        let plan = ctl.decide(&m, &w, 2).expect("crossover must produce a plan");
+        assert_eq!(plan.input_width, 3);
+        // width is capped by the configured group size
+        let m_huge = WindowMeasurement { send_busy: 100.0, ..m };
+        assert_eq!(ctl.decide(&m_huge, &w, 2).unwrap().input_width, 4);
+    }
+
+    #[test]
+    fn replay_seeds_epochs_from_history() {
+        let w = weights8();
+        let mut ctl = Controller::new(ControlConfig::every(2), initial(2, &w), 1);
+        let plan = ControlPlan {
+            epoch: 1,
+            apply_at: 2,
+            active: 2,
+            assignment: vec![vec![0, 1, 2], vec![3, 4, 5, 6, 7]],
+            input_width: 1,
+        };
+        ctl.replay(std::slice::from_ref(&plan));
+        assert_eq!(ctl.state.epoch, 1);
+        assert_eq!(ctl.state.assignment, plan.assignment);
+        assert_eq!(ctl.history.len(), 1);
+        assert_eq!(ctl.state.owner_of(4), Some(1));
+        assert_eq!(ctl.state.owner_of(99), None);
+    }
+}

@@ -29,6 +29,10 @@
 //!   preprocess → distribute → render → SLIC-composite → deliver) and
 //!   reports per-stage timings.
 //! * [`config`] — [`PipelineBuilder`] and friends.
+//! * [`control`] — the closed-loop elastic control plane: an
+//!   epoch-clocked controller on the output rank that rebalances blocks,
+//!   resizes the render group, and reshapes the input width from live
+//!   span measurements, committed to every rank via two-phase commit.
 //! * [`validate`] — condenses a run's span-derived timings into the
 //!   model's `Tf`/`Tp`/`Ts`/`Tr` and compares measured interframe delay
 //!   against the §5 closed forms.
@@ -36,6 +40,7 @@
 pub mod balance;
 pub mod checkpoint;
 pub mod config;
+pub mod control;
 pub mod des;
 pub mod insitu;
 pub mod model;
@@ -45,6 +50,7 @@ pub mod validate;
 
 pub use checkpoint::{CheckpointError, CheckpointManifest, CHECKPOINT_VERSION};
 pub use config::{IoStrategy, PipelineBuilder, PipelineConfig, ReadStrategy, RetryPolicy};
+pub use control::{ControlConfig, ControlPlan};
 pub use des::{simulate, CostTable, DesResult, DesStrategy};
 pub use insitu::{run_insitu, InsituConfig, InsituReport};
 pub use model::{

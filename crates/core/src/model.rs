@@ -98,6 +98,17 @@ pub fn twodip_steady_delay(tf: f64, tp: f64, ts: f64, tr: f64, n: usize, m: usiz
     ((tf / m + tp / m + ts / m) / n).max(ts / m).max(tr)
 }
 
+/// Fewest render processors that keep rendering off the critical path:
+/// the input side delivers a step every `delivery` seconds, the render
+/// group costs `r_total` aggregate render seconds per frame, so `k`
+/// renderers suffice once `r_total / k ≤ delivery` — i.e.
+/// `k = ceil(r_total / delivery)` (≥ 1). The elastic controller's resize
+/// decision evaluates this with *measured* per-window costs.
+pub fn optimal_renderers(r_total: f64, delivery: f64) -> usize {
+    assert!(delivery > 0.0, "delivery time must be positive");
+    (r_total / delivery).ceil().max(1.0) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +258,18 @@ mod tests {
         let (tf, tp, lic, ts, tr) = (1.0, 0.5, 4.0, 2.0, 0.1);
         let pre = onedip_prefetch_delay(tf, tp, lic, ts, tr, 3);
         assert!((pre - (lic + ts) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_renderers_tracks_the_delivery_ratio() {
+        // 6 s of aggregate render work against a 2 s delivery cadence
+        // needs 3 renderers; faster delivery demands more
+        assert_eq!(optimal_renderers(6.0, 2.0), 3);
+        assert_eq!(optimal_renderers(6.0, 1.0), 6);
+        assert_eq!(optimal_renderers(6.0, 2.5), 3); // ceil(2.4)
+                                                    // cheap rendering never goes below one renderer
+        assert_eq!(optimal_renderers(0.1, 10.0), 1);
+        assert_eq!(optimal_renderers(0.0, 1.0), 1);
     }
 
     #[test]

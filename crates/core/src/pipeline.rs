@@ -16,6 +16,7 @@
 //! the paper's Figures 8–9 can be reproduced *physically* at small scale.
 
 use crate::config::{IoStrategy, PipelineConfig, ReadStrategy};
+use crate::control::{ControlPlan, Controller, EpochState, WindowMeasurement};
 use crate::reader::{
     self, block_level_nodes, level_node_ids, member_node_range, FaultCtx, FetchPlan, ReadStats,
 };
@@ -54,6 +55,11 @@ const TAG_CKPT: u64 = 0x2600_0000_0000;
 /// Output-processor liveness heartbeats to its render-root supervisor
 /// (active only when an output-rank failure is scripted).
 const TAG_HBO: u64 = 0x2700_0000_0000;
+/// Elastic control-plane plan proposals, controller → participants.
+const TAG_CTL: u64 = 0x2800_0000_0000;
+/// Plan acks (participants → controller) and the commit broadcast back
+/// (controller → participants); src disambiguates the two directions.
+const TAG_CTLA: u64 = 0x2900_0000_0000;
 
 /// Map the pipeline's wire tags to traffic-matrix classes (the runtime
 /// classifies its own collective traffic before consulting this).
@@ -62,7 +68,7 @@ fn classify_tag(tag: u64) -> TagClass {
         0x20 => TagClass::BlockData,
         0x21 => TagClass::LicImage,
         0x22 => TagClass::VolumeImage,
-        0x23..=0x27 => TagClass::Recovery,
+        0x23..=0x29 => TagClass::Recovery,
         _ => {
             if (0xc0de_0000..=0xc0de_ffff).contains(&tag) {
                 TagClass::Composite
@@ -387,30 +393,58 @@ fn encode_image(s: &Shared, class: TagClass, t: u32, img: RgbaImage) -> (WireIma
     (msg, bytes)
 }
 
-/// Decode a received image bit-identically. Images are outside the fault
-/// plan's wire corruption (only block batches are corrupted), so a
-/// malformed body is a logic error, not a recoverable fault.
-fn decode_image(s: &Shared, class: TagClass, t: u32, msg: WireImage) -> RgbaImage {
+/// Decode coded image bytes back to pixels. Split out of
+/// [`decode_image`] so the corrupt-envelope path is unit-testable
+/// without a full pipeline.
+fn decode_image_bytes(
+    codec: Codec,
+    width: u32,
+    height: u32,
+    coded: bool,
+    body: &[u8],
+) -> Result<RgbaImage, &'static str> {
+    let raw_len = width as usize * height as usize * 16;
+    let raw = codec.decode(coded, body, raw_len, 16).map_err(|_| "undecodable image body")?;
+    let mut img = RgbaImage::new(width, height);
+    for (px, c) in img.pixels_mut().iter_mut().zip(raw.chunks_exact(16)) {
+        for (k, ch) in px.iter_mut().enumerate() {
+            *ch = f32::from_le_bytes([c[4 * k], c[4 * k + 1], c[4 * k + 2], c[4 * k + 3]]);
+        }
+    }
+    Ok(img)
+}
+
+/// Decode a received image bit-identically. The fault plan never corrupts
+/// image payloads (only block batches), but a receiver must not trust
+/// that: an undecodable envelope is returned as `Err`, and the caller
+/// degrades the frame ([`Degradation::CorruptImage`]) instead of
+/// aborting the run.
+fn decode_image(
+    s: &Shared,
+    class: TagClass,
+    t: u32,
+    msg: WireImage,
+) -> Result<RgbaImage, &'static str> {
     match msg {
-        WireImage::Plain(img) => img,
+        WireImage::Plain(img) => Ok(img),
         WireImage::Coded { width, height, coded, body } => {
             let t0 = Instant::now();
             let _span = obs::auto_span(Phase::Decode, t);
-            let raw_len = width as usize * height as usize * 16;
-            let raw = s
-                .wire
-                .codec_for(class)
-                .decode(coded, &body, raw_len, 16)
-                .expect("image wire body corrupted without a fault plan");
-            let mut img = RgbaImage::new(width, height);
-            for (px, c) in img.pixels_mut().iter_mut().zip(raw.chunks_exact(16)) {
-                for (k, ch) in px.iter_mut().enumerate() {
-                    *ch = f32::from_le_bytes([c[4 * k], c[4 * k + 1], c[4 * k + 2], c[4 * k + 3]]);
-                }
-            }
+            let img = decode_image_bytes(s.wire.codec_for(class), width, height, coded, &body)?;
             s.ledger.record_decode(class, t0.elapsed().as_nanos() as u64);
-            img
+            Ok(img)
         }
+    }
+}
+
+/// Count a corrupt image envelope: it joins the fault plan's wire-reject
+/// tally when a plan is active, and still lands in the metrics snapshot
+/// when none is — the degradation is never silent.
+fn note_corrupt_image(session: &Arc<Obs>, s: &Shared, why: &'static str, t: usize) {
+    eprintln!("quakeviz: step {t}: corrupt image envelope ({why}); frame degraded");
+    match &s.faults {
+        Some(plan) => plan.note_wire_reject(),
+        None => session.metrics().counter("recovery.wire_rejects").inc(),
     }
 }
 
@@ -448,6 +482,10 @@ pub enum Degradation {
     /// The LIC surface overlay could not be read; the frame shipped
     /// without it.
     MissingLic,
+    /// An image payload (volume frame or LIC overlay) arrived with an
+    /// undecodable wire body: the frame shipped blank or without the
+    /// overlay instead of aborting the run.
+    CorruptImage,
     /// The frame was assembled by the supervising render rank after the
     /// output processor died (output failover epoch).
     MigratedEpoch,
@@ -460,7 +498,9 @@ impl Degradation {
             Degradation::CoarserLevel { block } | Degradation::MissingBlock { block } => {
                 Some(block)
             }
-            Degradation::MissingLic | Degradation::MigratedEpoch => None,
+            Degradation::MissingLic | Degradation::CorruptImage | Degradation::MigratedEpoch => {
+                None
+            }
         }
     }
 }
@@ -471,6 +511,7 @@ impl std::fmt::Display for Degradation {
             Degradation::CoarserLevel { block } => write!(f, "coarser:{block}"),
             Degradation::MissingBlock { block } => write!(f, "missing:{block}"),
             Degradation::MissingLic => write!(f, "no-lic"),
+            Degradation::CorruptImage => write!(f, "corrupt-image"),
             Degradation::MigratedEpoch => write!(f, "migrated"),
         }
     }
@@ -497,6 +538,9 @@ enum RankResult {
         done_at: Vec<f64>,
         degraded: Vec<Vec<Degradation>>,
         checkpoints: u64,
+        /// Elastic plans committed by the hosted controller, in epoch
+        /// order (empty without the control plane).
+        plans: Vec<ControlPlan>,
     },
 }
 
@@ -560,6 +604,11 @@ pub struct PipelineReport {
     /// Human description of the run's resolved wire configuration
     /// (`"raw"` when no codec or delta is configured).
     pub wire_spec: String,
+    /// Elastic control-plane plans committed during the run, in epoch
+    /// order — including plans replayed from a resumed checkpoint, so a
+    /// resumed run's history prefix equals the manifest it loaded. Empty
+    /// unless [`PipelineConfig::control`] is set.
+    pub control_plans: Vec<ControlPlan>,
 }
 
 impl PipelineReport {
@@ -668,6 +717,16 @@ struct Shared {
     /// Raw-vs-wire byte and encode/decode-time accounting, shared by
     /// every rank thread.
     ledger: Arc<WireLedger>,
+    /// Epoch-0 elastic state (the static partition expressed as an
+    /// assignment), present iff the control plane is on.
+    elastic: Option<EpochState>,
+    /// Committed plans restored from the resumed checkpoint; every rank
+    /// replays them in order before running live, so a resumed run's
+    /// routing and communicator sequence match the uninterrupted run's.
+    resume_plans: Vec<ControlPlan>,
+    /// Per-block weights the controller balances over — the same workload
+    /// model as the static partition (empty without the control plane).
+    block_weights: Vec<u64>,
 }
 
 /// The deterministic post-failover epoch after a scripted render-rank
@@ -736,6 +795,25 @@ impl Shared {
     /// Whether a checkpoint is due after step `t`.
     fn checkpoint_due(&self, t: usize) -> bool {
         self.cfg.checkpoint_every.is_some_and(|k| (t + 1).is_multiple_of(k))
+    }
+
+    /// Whether the fault plan has killed the elastic controller by step
+    /// `t`. The kill step lives in the shared plan, so every rank mirrors
+    /// it — ticks at or after it happen *nowhere*, which is what keeps
+    /// the protocol deadlock-free without timeout detection.
+    fn controller_dead(&self, t: usize) -> bool {
+        self.faults.as_ref().is_some_and(|p| p.controller_failed(t))
+    }
+
+    /// Whether a control tick runs before step `t`: the configured
+    /// schedule, skipping the resume boundary (no measurement window
+    /// within this run yet) and everything at or after a scripted
+    /// controller kill. Every rank derives the same answer from shared
+    /// state — the tick is a collective.
+    fn control_tick(&self, t: usize) -> bool {
+        self.cfg.control.as_ref().is_some_and(|c| c.is_tick(t))
+            && t > self.start_step
+            && !self.controller_dead(t)
     }
 }
 
@@ -835,6 +913,12 @@ fn resolve_faults(
             None => return Ok(None),
         },
     };
+    // the elastic control plane's two-phase commit needs every
+    // participant alive to ack; a blanket env spec's rank kill is
+    // dropped rather than deadlocking the plan broadcast
+    if from_env && config.control.is_some() {
+        spec.fail_rank = None;
+    }
     if let Some((rank, step)) = spec.fail_rank {
         let verdict = validate_fail_rank(config, n_inputs, steps, rank, step);
         if from_env {
@@ -903,7 +987,9 @@ fn config_fingerprint(config: &PipelineConfig, level: u8, camera: &Camera) -> u6
 
 /// Read and validate the latest checkpoint: the manifest (version,
 /// checksum, fingerprint, shape) and every field snapshot it names.
-/// Returns `(next_step, fields by render-group rank)`.
+/// Returns `(next_step, fields by render-group rank, committed elastic
+/// plans)`.
+#[allow(clippy::type_complexity)]
 fn load_checkpoint(
     disk: &quakeviz_parfs::Disk,
     base: &str,
@@ -911,7 +997,7 @@ fn load_checkpoint(
     n_renderers: usize,
     node_count: usize,
     steps: usize,
-) -> Result<(usize, Vec<Option<Vec<f32>>>), crate::checkpoint::CheckpointError> {
+) -> Result<(usize, Vec<Option<Vec<f32>>>, Vec<ControlPlan>), crate::checkpoint::CheckpointError> {
     use crate::checkpoint::{self, CheckpointError, CheckpointManifest};
     let mpath = checkpoint::manifest_path(base);
     let (bytes, _) =
@@ -957,7 +1043,7 @@ fn load_checkpoint(
         }
         fields[rr as usize] = Some(values);
     }
-    Ok((manifest.next_step, fields))
+    Ok((manifest.next_step, fields, manifest.plans))
 }
 
 /// Run the pipeline for `dataset` under `config`.
@@ -987,6 +1073,33 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
                  the collective read is lock-step across the {per_group} group members and \
                  cannot run on a per-rank prefetch worker"
             ));
+        }
+    }
+    if let Some(ctl) = &config.control {
+        if ctl.every == 0 {
+            return Err("elastic control tick period must be at least one step".into());
+        }
+        if config.prefetch {
+            return Err("elastic control plane cannot run with the prefetch runtime: \
+                 prefetch workers pack batches ahead of the epoch clock, so a committed \
+                 plan could not take effect at its step boundary"
+                .into());
+        }
+        if ctl.reshape {
+            let survivable = matches!(config.io, IoStrategy::TwoDip { per_group, .. } if per_group >= 2)
+                && matches!(config.read, ReadStrategy::IndependentContiguous);
+            if !survivable {
+                return Err("elastic reshape requires 2DIP groups of at least two members \
+                     with ReadStrategy::IndependentContiguous, so a narrowed input width \
+                     still covers every node slice"
+                    .into());
+            }
+        }
+        if config.faults.as_ref().is_some_and(|f| f.fail_rank.is_some()) {
+            return Err("elastic control plane cannot run with a scripted rank failure: \
+                 a dead rank would never acknowledge a plan proposal, so no plan could \
+                 ever commit"
+                .into());
         }
     }
 
@@ -1045,7 +1158,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
     }
 
     let fingerprint = config_fingerprint(&config, level, &camera);
-    let (start_step, resume_fields) = if config.resume {
+    let (start_step, resume_fields, resume_plans) = if config.resume {
         load_checkpoint(
             dataset.disk(),
             &config.checkpoint_path,
@@ -1056,7 +1169,33 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         )
         .map_err(|e| format!("cannot resume: {e}"))?
     } else {
-        (0, Vec::new())
+        (0, Vec::new(), Vec::new())
+    };
+
+    // elastic control plane: epoch 0 is the static partition, and the
+    // controller's capacity model reuses the same per-block workload
+    // weights the static balancer used
+    let (elastic, block_weights) = match &config.control {
+        None => (None, Vec::new()),
+        Some(_) => {
+            let assignment: Vec<Vec<u32>> =
+                (0..config.renderers).map(|r| partition.blocks_of(r).to_vec()).collect();
+            let input_width = match config.io {
+                IoStrategy::TwoDip { per_group, .. } => per_group,
+                _ => 1,
+            };
+            let weights: Vec<u64> = blocks
+                .iter()
+                .map(|b| {
+                    if config.view_balance {
+                        crate::balance::view_weight(&mesh, b, &camera, level)
+                    } else {
+                        WorkloadModel::CellCount.weight(&mesh, b)
+                    }
+                })
+                .collect();
+            (Some(EpochState::initial(assignment, input_width)), weights)
+        }
     };
 
     let shared = Shared {
@@ -1083,6 +1222,9 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         fingerprint,
         wire: wire_spec,
         ledger,
+        elastic,
+        resume_plans,
+        block_weights,
         cfg: config,
     };
 
@@ -1109,6 +1251,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
     let mut frame_done = Vec::new();
     let mut degraded = Vec::new();
     let mut checkpoints = 0u64;
+    let mut control_plans = Vec::new();
     let mut takeover_tail = None;
     for r in results {
         match r {
@@ -1120,11 +1263,12 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
                     takeover_tail = takeover;
                 }
             }
-            RankResult::Output { frames: f, done_at, degraded: d, checkpoints: c } => {
+            RankResult::Output { frames: f, done_at, degraded: d, checkpoints: c, plans } => {
                 frames = f;
                 frame_done = done_at;
                 degraded = d;
                 checkpoints += c;
+                control_plans = plans;
             }
         }
     }
@@ -1159,6 +1303,8 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
                 ("recovery.render_failovers", rec.render_failovers),
                 ("recovery.output_failovers", rec.output_failovers),
                 ("recovery.migrated_frames", rec.migrated_frames),
+                ("recovery.prefetch_fallbacks", rec.prefetch_fallbacks),
+                ("recovery.controller_kills", rec.controller_kills),
             ] {
                 if n > 0 {
                     m.counter(name).add(n);
@@ -1186,6 +1332,53 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         m.counter(&format!("traffic.{}.raw_bytes", w.class.as_str())).add(w.raw_bytes);
         m.counter(&format!("traffic.{}.wire_bytes", w.class.as_str())).add(w.wire_bytes);
     }
+    // per-render-rank utilization: each rank's Render-phase busy time
+    // against the per-step makespan (the slowest rank each step), in
+    // permille so the counters stay integral. This is the number the
+    // elastic control plane exists to move — rebalancing narrows the
+    // spread between the busiest and idlest render rank.
+    {
+        let mut busy: Vec<HashMap<u32, u64>> = vec![HashMap::new(); shared.n_renderers];
+        for rec in session.recorders() {
+            if rec.group() != "render" || rec.rank() < n_inputs {
+                continue;
+            }
+            let rr = rec.rank() - n_inputs;
+            if rr >= shared.n_renderers {
+                continue;
+            }
+            for ev in rec.events() {
+                if ev.phase == Phase::Render {
+                    *busy[rr].entry(ev.step).or_insert(0) += ev.dur_us;
+                }
+            }
+        }
+        let mut makespan: HashMap<u32, u64> = HashMap::new();
+        for per_step in &busy {
+            for (&t, &us) in per_step {
+                let e = makespan.entry(t).or_insert(0);
+                *e = (*e).max(us);
+            }
+        }
+        let total: u64 = makespan.values().sum();
+        let m = session.metrics();
+        let mut sum = 0u64;
+        let mut measured = false;
+        for (rr, per_step) in busy.iter().enumerate() {
+            let Some(permille) = (per_step.values().sum::<u64>() * 1000).checked_div(total) else {
+                break; // no render spans recorded at all
+            };
+            m.counter(&format!("work.render_utilization.r{rr}")).add(permille);
+            sum += permille;
+            measured = true;
+        }
+        if measured {
+            m.counter("work.render_utilization.mean").add(sum / shared.n_renderers as u64);
+        }
+    }
+    if !control_plans.is_empty() {
+        session.metrics().counter("control.plans_committed").add(control_plans.len() as u64);
+    }
     let trace = session.snapshot(Some(&stats));
     write_trace_if_requested(&trace);
     Ok(PipelineReport {
@@ -1209,6 +1402,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         resumed_from: shared.cfg.resume.then_some(shared.start_step),
         wire: shared.ledger.snapshot(),
         wire_spec: shared.wire.describe(),
+        control_plans,
     })
 }
 
@@ -1257,7 +1451,7 @@ fn rank_main(comm: Comm, session: &Arc<Obs>, s: &Shared) -> RankResult {
     let start = Instant::now();
 
     if me < s.n_inputs {
-        RankResult::Input(input_main(&comm, group_comm.as_ref(), s))
+        RankResult::Input(input_main(&comm, group_comm.as_ref(), session, s))
     } else if me < s.n_inputs + s.n_renderers {
         let (timings, takeover) =
             render_main(&comm, render_comm.as_ref().unwrap(), session, s, start);
@@ -1444,6 +1638,7 @@ fn prepare_step(
 /// `(destination rank, batch, wire bytes)`.
 fn pack_batches(
     s: &Shared,
+    elastic: Option<&EpochState>,
     my_span: Option<(NodeId, NodeId)>,
     mag: Option<&[f32]>,
     me: usize,
@@ -1452,12 +1647,22 @@ fn pack_batches(
 ) -> Vec<(usize, BlockBatch, u64)> {
     // route over the render ranks alive at step `t` and the partition of
     // the epoch in force — after a scripted render-rank death the dead
-    // rank receives nothing and its blocks go to the survivors
+    // rank receives nothing and its blocks go to the survivors. With the
+    // elastic control plane, `elastic` is the caller's committed epoch
+    // state: the active render prefix and its block assignment replace
+    // the static routing wholesale.
     let (partition, live) = s.routing(t);
+    let routes: Vec<(usize, &[u32])> = match elastic {
+        Some(e) => (0..e.active).map(|r| (s.n_inputs + r, e.assignment[r].as_slice())).collect(),
+        None => live
+            .iter()
+            .enumerate()
+            .map(|(v, &rr)| (s.n_inputs + rr, partition.blocks_of(v)))
+            .collect(),
+    };
     let codec = s.wire.codec_for(TagClass::BlockData);
-    let mut out = Vec::with_capacity(live.len());
-    for (r, &rr) in live.iter().enumerate() {
-        let dst = s.n_inputs + rr;
+    let mut out = Vec::with_capacity(routes.len());
+    for &(dst, blocks) in &routes {
         // the lossy transport completes a dropped send locally, so the
         // sender knows this batch will never arrive: pack it without
         // advancing delta state, and the next real send deltas against
@@ -1469,7 +1674,7 @@ fn pack_batches(
         let mut enc_sp = obs::auto_span(Phase::Encode, t as u32);
         let (mut raw_bytes, mut keyframes, mut deltas) = (0u64, 0u64, 0u64);
         let mut batch: BlockBatch = Vec::new();
-        for &bid in partition.blocks_of(r) {
+        for &bid in blocks {
             let ids = &s.ids_per_block[bid as usize];
             let (a, b) = match my_span {
                 None => (0, ids.len()),
@@ -1582,10 +1787,15 @@ fn lic_step(comm: &Comm, s: &Shared, t: usize, read: &mut ReadStats) {
     comm.send_with_size(output_rank, TAG_LIC + t as u64, (msg, missing), bytes);
 }
 
-fn input_main(comm: &Comm, group_comm: Option<&Comm>, s: &Shared) -> Vec<InputStepTiming> {
+fn input_main(
+    comm: &Comm,
+    group_comm: Option<&Comm>,
+    session: &Arc<Obs>,
+    s: &Shared,
+) -> Vec<InputStepTiming> {
     let plan = input_plan(comm.rank(), s);
     let mut timings = if s.cfg.prefetch {
-        input_main_prefetch(comm, s, &plan)
+        input_main_prefetch(comm, session, s, &plan)
     } else {
         input_main_sync(comm, group_comm, s, &plan)
     };
@@ -1672,6 +1882,46 @@ fn heartbeat_and_slice(
     (Some(member_fetch(s, idx, live.len())), lead)
 }
 
+/// Participate in every pending control-plane tick `S` in
+/// `(*cursor)..=upto`: receive the controller's proposal, acknowledge it,
+/// and apply it on commit. An input rank owns only every `groups`-th
+/// step, so before working step `t` it must catch up on every tick the
+/// controller clocked in between — and drain the remainder after its
+/// last owned step, so the controller's ack collection never starves.
+/// A committed plan clears the sender-side delta state: the next send on
+/// every (possibly reconfigured) route is a natural keyframe.
+fn input_ticks(
+    comm: &Comm,
+    s: &Shared,
+    elastic: &mut Option<EpochState>,
+    delta: &mut DeltaMap,
+    cursor: &mut usize,
+    upto: usize,
+) {
+    if s.cfg.control.is_none() {
+        return;
+    }
+    let ctl_rank = s.n_inputs + s.n_renderers;
+    while *cursor <= upto {
+        let t = *cursor;
+        *cursor += 1;
+        if !s.control_tick(t) {
+            continue;
+        }
+        let _sp = obs::span(Phase::Control, t as u32);
+        let proposal: Option<ControlPlan> = comm.recv(ctl_rank, TAG_CTL + t as u64);
+        if let Some(plan) = proposal {
+            comm.send_with_size(ctl_rank, TAG_CTLA + t as u64, (), 8);
+            let committed: bool = comm.recv(ctl_rank, TAG_CTLA + t as u64);
+            if committed {
+                let e = elastic.as_mut().expect("control tick without elastic state");
+                e.apply(&plan);
+                delta.clear();
+            }
+        }
+    }
+}
+
 /// The reference runtime: read, preprocess, LIC, pack and send each step
 /// serially.
 fn input_main_sync(
@@ -1685,6 +1935,20 @@ fn input_main_sync(
     let group = failover_group(me, s);
     let mut dead: Vec<usize> = Vec::new();
     let mut delta = DeltaMap::new();
+    // elastic epoch state: start from epoch 0 (or a resumed run's
+    // replayed history — the delta map is fresh anyway, so the replay is
+    // pure state application) and advance at every committed tick
+    let mut elastic = s.elastic.clone();
+    if let Some(e) = elastic.as_mut() {
+        for p in &s.resume_plans {
+            e.apply(p);
+        }
+    }
+    let mut tick_cursor = s.start_step;
+    let per_group = match s.cfg.io {
+        IoStrategy::TwoDip { per_group, .. } => per_group,
+        IoStrategy::OneDip { .. } => 1,
+    };
     let mut timings = Vec::with_capacity(plan.my_steps.len());
     for &t in &plan.my_steps {
         // a scripted failure: this rank stops cold, mid-pipeline, with no
@@ -1692,9 +1956,27 @@ fn input_main_sync(
         if s.faults.as_ref().is_some_and(|p| p.rank_failed(me, t)) {
             break;
         }
+        // catch up on the epoch clock before this step's routing decisions
+        input_ticks(comm, s, &mut elastic, &mut delta, &mut tick_cursor, t);
+        // elastic reshape: the committed input width overrides the static
+        // 2DIP slice plan. Members past the width sit the step out (their
+        // slice is empty); the active members re-slice over the narrower
+        // live count, exactly like the failover path — same helper, so a
+        // reshaped run computes bit-identical slices to a shrunken group.
+        let width = elastic.as_ref().map_or(usize::MAX, |e| e.input_width);
+        if plan.member >= width {
+            timings.push(InputStepTiming::default());
+            continue;
+        }
         let (fetch_override, lead) = match &group {
             Some(g) => heartbeat_and_slice(comm, s, g, &mut dead, t),
-            None => (None, plan.member == 0),
+            None => {
+                if width < per_group {
+                    (Some(member_fetch(s, plan.member, width)), plan.member == 0)
+                } else {
+                    (None, plan.member == 0)
+                }
+            }
         };
         let fetch = fetch_override.as_ref().map_or(&plan.fetch, |(f, _)| f);
         let my_span = fetch_override.as_ref().map_or(plan.my_span, |&(_, sp)| sp);
@@ -1705,13 +1987,18 @@ fn input_main_sync(
             lic_step(comm, s, t, &mut timing.read);
         }
         let mut send_sp = obs::span(Phase::Send, t as u32);
-        for (dst, batch, bytes) in pack_batches(s, my_span, mag.as_deref(), me, t, &mut delta) {
+        for (dst, batch, bytes) in
+            pack_batches(s, elastic.as_ref(), my_span, mag.as_deref(), me, t, &mut delta)
+        {
             send_sp.add_bytes(bytes);
             comm.send_lossy_with_size(dst, TAG_DATA + t as u64, batch, bytes);
         }
         drop(send_sp);
         timings.push(timing);
     }
+    // the controller keeps clocking ticks after my last owned step:
+    // stay on the line until the schedule runs out
+    input_ticks(comm, s, &mut elastic, &mut delta, &mut tick_cursor, s.steps.saturating_sub(1));
     timings
 }
 
@@ -1732,7 +2019,12 @@ const PREFETCH_SLOTS: usize = 2;
 /// Deadlock-free: sends of a step are always issued before any wait on an
 /// older step, renderers consume steps in monotone order, and the LIC /
 /// volume sends stay buffered (plain sends, never waited on).
-fn input_main_prefetch(comm: &Comm, s: &Shared, plan: &InputPlan) -> Vec<InputStepTiming> {
+fn input_main_prefetch(
+    comm: &Comm,
+    session: &Arc<Obs>,
+    s: &Shared,
+    plan: &InputPlan,
+) -> Vec<InputStepTiming> {
     let enhance = TemporalEnhance::default();
     let mut timings = Vec::with_capacity(plan.my_steps.len());
     // bounded two-slot hand-off: worker blocks when the consumer is two
@@ -1743,35 +2035,83 @@ fn input_main_prefetch(comm: &Comm, s: &Shared, plan: &InputPlan) -> Vec<InputSt
     let track = obs::current_attachment();
     let me = comm.rank();
     std::thread::scope(|scope| {
-        // `move` hands the worker its own tx: if it panics, tx drops and
-        // the consumer's recv fails instead of blocking forever
+        // `move` hands the worker its own tx: if it dies — a panic
+        // (contained below) or the scripted `fail_prefetch` kill — tx
+        // drops and the consumer's recv fails instead of blocking forever
         scope.spawn(move || {
             // record the worker's Read/Preprocess/Send(pack) spans on this
             // rank's own track
             let _g = track.as_ref().map(|h| h.attach());
-            // delta state lives with the packer: the worker walks this
-            // rank's steps in order, exactly like the synchronous loop
-            let mut delta = DeltaMap::new();
-            for &t in &plan.my_steps {
-                // collective reads are rejected at config validation, so
-                // the worker never needs the group communicator
-                let (mag, stats) = prepare_step(None, s, &plan.fetch, &enhance, t);
-                let mut sp = obs::span(Phase::Send, t as u32);
-                let batches = pack_batches(s, plan.my_span, mag.as_deref(), me, t, &mut delta);
-                for (_, _, bytes) in &batches {
-                    sp.add_bytes(*bytes);
+            // a worker panic must not abort the rank through the scope:
+            // contain it here and let the closed channel carry the news
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // delta state lives with the packer: the worker walks this
+                // rank's steps in order, exactly like the synchronous loop
+                let mut delta = DeltaMap::new();
+                for &t in &plan.my_steps {
+                    if s.faults.as_ref().is_some_and(|p| p.prefetch_failed(t)) {
+                        return; // scripted worker death: go silent mid-run
+                    }
+                    // collective reads are rejected at config validation, so
+                    // the worker never needs the group communicator
+                    let (mag, stats) = prepare_step(None, s, &plan.fetch, &enhance, t);
+                    let mut sp = obs::span(Phase::Send, t as u32);
+                    let batches =
+                        pack_batches(s, None, plan.my_span, mag.as_deref(), me, t, &mut delta);
+                    for (_, _, bytes) in &batches {
+                        sp.add_bytes(*bytes);
+                    }
+                    drop(sp);
+                    if tx.send((t, batches, stats)).is_err() {
+                        break; // consumer died (panic unwinding)
+                    }
                 }
-                drop(sp);
-                if tx.send((t, batches, stats)).is_err() {
-                    break; // consumer died (panic unwinding)
-                }
-            }
+            }));
         });
         let mut inflight: std::collections::VecDeque<(usize, Vec<SendHandle>)> =
             std::collections::VecDeque::with_capacity(PREFETCH_SLOTS);
+        // once the worker dies, the consumer serves the remaining steps
+        // itself, synchronously, with fresh delta state — the forced
+        // keyframes decode against any receiver state, so the fallback
+        // frames stay bit-identical to an unfaulted run's
+        let mut fallback_delta: Option<DeltaMap> = None;
         for &t in &plan.my_steps {
-            let (tp, batches, mut stats) = rx.recv().expect("prefetch worker died");
-            debug_assert_eq!(tp, t, "prefetch worker must deliver steps in order");
+            let handed = if fallback_delta.is_some() {
+                None
+            } else {
+                match rx.recv() {
+                    Ok(v) => Some(v),
+                    Err(_) => {
+                        eprintln!(
+                            "quakeviz: rank {me}: prefetch worker died before step {t}; \
+                             serving remaining steps synchronously"
+                        );
+                        fallback_delta = Some(DeltaMap::new());
+                        None
+                    }
+                }
+            };
+            let (batches, mut stats) = match handed {
+                Some((tp, batches, stats)) => {
+                    debug_assert_eq!(tp, t, "prefetch worker must deliver steps in order");
+                    (batches, stats)
+                }
+                None => {
+                    match &s.faults {
+                        Some(p) => p.note_prefetch_fallback(),
+                        None => session.metrics().counter("recovery.prefetch_fallbacks").inc(),
+                    }
+                    let (mag, stats) = prepare_step(None, s, &plan.fetch, &enhance, t);
+                    let delta = fallback_delta.as_mut().expect("fallback delta state");
+                    let mut sp = obs::span(Phase::Send, t as u32);
+                    let batches = pack_batches(s, None, plan.my_span, mag.as_deref(), me, t, delta);
+                    for (_, _, bytes) in &batches {
+                        sp.add_bytes(*bytes);
+                    }
+                    drop(sp);
+                    (batches, stats)
+                }
+            };
             if plan.member == 0 {
                 lic_step(comm, s, t, &mut stats);
             }
@@ -1818,7 +2158,13 @@ fn write_field_snapshot(s: &Shared, rr: usize, t: usize, field: &NodeField) -> (
 /// snapshot hit the file system), write the manifest *last*, then prune
 /// every other step's snapshots. A crash before the manifest write
 /// leaves the previous checkpoint fully intact and resumable.
-fn commit_checkpoint(comm: &Comm, s: &Shared, t: usize, local: Option<(u32, u64)>) {
+fn commit_checkpoint(
+    comm: &Comm,
+    s: &Shared,
+    t: usize,
+    local: Option<(u32, u64)>,
+    elastic: Option<(&EpochState, &[ControlPlan])>,
+) {
     use crate::checkpoint::{self, CheckpointManifest, CHECKPOINT_VERSION};
     let me = comm.rank();
     let next = t + 1;
@@ -1831,16 +2177,26 @@ fn commit_checkpoint(comm: &Comm, s: &Shared, t: usize, local: Option<(u32, u64)
         }
     }
     fields.sort_unstable();
-    let mut block_map = vec![Vec::new(); s.n_renderers];
-    for (v, &rr) in live.iter().enumerate() {
-        block_map[rr] = partition.blocks_of(v).to_vec();
-    }
+    // elastic runs snapshot the committed epoch: the block map in force
+    // and the full plan history, so a resumed run replays the identical
+    // epoch sequence before clocking any new ticks
+    let (block_map, plans) = match elastic {
+        Some((state, history)) => (state.assignment.clone(), history.to_vec()),
+        None => {
+            let mut block_map = vec![Vec::new(); s.n_renderers];
+            for (v, &rr) in live.iter().enumerate() {
+                block_map[rr] = partition.blocks_of(v).to_vec();
+            }
+            (block_map, Vec::new())
+        }
+    };
     let manifest = CheckpointManifest {
         version: CHECKPOINT_VERSION,
         fingerprint: s.fingerprint,
         next_step: next,
         block_map,
         fields,
+        plans,
     };
     let base = &s.cfg.checkpoint_path;
     s.disk.write_file(&checkpoint::manifest_path(base), manifest.encode());
@@ -1896,6 +2252,22 @@ fn render_main(
     let codec = s.wire.codec_for(TagClass::BlockData);
     let mut rx_delta = DeltaMap::new();
 
+    // elastic control-plane state: epoch 0, or a resumed run's replayed
+    // plan history. Every committed plan regroups the active render
+    // prefix — every render rank calls group() in lockstep (non-members
+    // get None back), so the derived communicator ids agree without any
+    // global coordination.
+    let ctl_rank = s.n_inputs + s.n_renderers;
+    let mut epoch_state = s.elastic.clone();
+    let mut elastic_comm: Option<Comm> = None;
+    if let Some(e) = epoch_state.as_mut() {
+        for p in &s.resume_plans {
+            e.apply(p);
+            let members: Vec<usize> = (s.n_inputs..s.n_inputs + e.active).collect();
+            elastic_comm = comm.group(&members);
+        }
+    }
+
     let nblocks = s.blocks.len();
     for t in s.start_step..s.steps {
         // a scripted failure: this rank stops cold, mid-pipeline, with no
@@ -1940,8 +2312,41 @@ fn render_main(
                 }
             }
         }
-        let active = failover_comm.as_ref().unwrap_or(render_comm);
-        let my_blocks = cur_partition.blocks_of(my_virtual);
+        // elastic epoch clock: the controller's tick arrives before any
+        // of this step's data. Apply-on-commit keeps every rank's epoch
+        // state in lockstep, and the cleared receive-delta state matches
+        // the senders' forced keyframes on the (possibly new) routes.
+        if s.control_tick(t) {
+            let _sp = obs::span(Phase::Control, t as u32);
+            let proposal: Option<ControlPlan> = comm.recv(ctl_rank, TAG_CTL + t as u64);
+            if let Some(plan) = proposal {
+                comm.send_with_size(ctl_rank, TAG_CTLA + t as u64, (), 8);
+                let committed: bool = comm.recv(ctl_rank, TAG_CTLA + t as u64);
+                if committed {
+                    let e = epoch_state.as_mut().expect("control tick without elastic state");
+                    e.apply(&plan);
+                    let members: Vec<usize> = (s.n_inputs..s.n_inputs + e.active).collect();
+                    elastic_comm = comm.group(&members);
+                    rx_delta.clear();
+                }
+            }
+        }
+        if epoch_state.as_ref().is_some_and(|e| rr >= e.active) {
+            // shrunk out of the active set this epoch: no data arrives
+            // and no fragment is owed, but the rank stays on the epoch
+            // clock and the checkpoint barrier
+            if s.checkpoint_due(t) {
+                let _sp = obs::span(Phase::Checkpoint, t as u32);
+                let ack = write_field_snapshot(s, rr, t, &field);
+                comm.send_with_size(s.output_dst(t), TAG_CKPT + t as u64, ack, 12);
+            }
+            continue;
+        }
+        let active = elastic_comm.as_ref().or(failover_comm.as_ref()).unwrap_or(render_comm);
+        let my_blocks: &[u32] = match epoch_state.as_ref() {
+            Some(e) => &e.assignment[rr],
+            None => cur_partition.blocks_of(my_virtual),
+        };
 
         let mut recv_sp = obs::span(Phase::Receive, t as u32);
         let mut degraded: Vec<u32> = Vec::new();
@@ -1953,7 +2358,11 @@ fn render_main(
             None => {
                 let n_sources = match s.cfg.io {
                     IoStrategy::OneDip { .. } => 1,
-                    IoStrategy::TwoDip { per_group, .. } => per_group,
+                    IoStrategy::TwoDip { per_group, .. } => {
+                        // elastic reshape narrows the sender set to the
+                        // committed epoch's input width
+                        epoch_state.as_ref().map_or(per_group, |e| e.input_width)
+                    }
                 };
                 // drain whichever member's batch arrives next: the
                 // per-step tag already identifies the step, and batches
@@ -2065,6 +2474,7 @@ fn render_main(
         // last-known-good values, and the coarser tiling reads only the
         // corner subset, shrinking the visual footprint of the gap
         let render_sp = obs::span(Phase::Render, t as u32);
+        let render_t0 = Instant::now();
         let mut frags: Vec<Fragment> = Vec::new();
         for &bid in my_blocks {
             let block = &s.blocks[bid as usize];
@@ -2084,6 +2494,14 @@ fn render_main(
                 &params,
             ) {
                 frags.push(f);
+            }
+        }
+        // scripted load skew: stretch this rank's render phase by the
+        // plan's factor, inside the Render span, so the controller sees
+        // real measured imbalance to rebalance away
+        if let Some(f) = s.faults.as_ref().map(|p| p.slow_rank_factor(me)) {
+            if f > 1.0 {
+                std::thread::sleep(render_t0.elapsed().mul_f64(f - 1.0));
             }
         }
         drop(render_sp);
@@ -2148,12 +2566,21 @@ fn render_main(
                 let lic_src = lic_source(s, t);
                 let (lic_msg, lic_missing): (WireImage, bool) =
                     comm.recv(lic_src, TAG_LIC + t as u64);
-                let lic_img = decode_image(s, TagClass::LicImage, t as u32, lic_msg);
-                sp.add_bytes((lic_img.width() * lic_img.height() * 16) as u64);
+                match decode_image(s, TagClass::LicImage, t as u32, lic_msg) {
+                    Ok(lic_img) => {
+                        sp.add_bytes((lic_img.width() * lic_img.height() * 16) as u64);
+                        vol.over_inplace(&lic_img);
+                    }
+                    Err(why) => {
+                        // ship the frame without its overlay rather than
+                        // aborting the takeover epoch
+                        note_corrupt_image(session, s, why, t);
+                        deg.push(Degradation::CorruptImage);
+                    }
+                }
                 if lic_missing {
                     deg.push(Degradation::MissingLic);
                 }
-                vol.over_inplace(&lic_img);
             }
             drop(sp);
             deg.push(Degradation::MigratedEpoch);
@@ -2181,7 +2608,7 @@ fn render_main(
             let ack = write_field_snapshot(s, rr, t, &field);
             let dst = s.output_dst(t);
             if dst == me {
-                commit_checkpoint(comm, s, t, Some(ack));
+                commit_checkpoint(comm, s, t, Some(ack), None);
                 if let Some(tk) = takeover.as_mut() {
                     tk.checkpoints += 1;
                 }
@@ -2207,6 +2634,52 @@ fn render_main(
 // output processor
 // ---------------------------------------------------------------------
 
+/// Condense the live span stream into the controller's view of steps
+/// `[lo, hi)`: per-render-rank busy seconds in the Render phase, and the
+/// input side's aggregate busy/send seconds. Complete by construction —
+/// the controller measures at tick `hi` only after assembling frame
+/// `hi - 1`, which every rank finishes (and drops its spans for) first.
+fn measure_window(session: &Arc<Obs>, s: &Shared, lo: usize, hi: usize) -> WindowMeasurement {
+    let mut m = WindowMeasurement {
+        render_busy: vec![0.0; s.n_renderers],
+        input_busy: 0.0,
+        send_busy: 0.0,
+        steps: hi.saturating_sub(lo),
+    };
+    for rec in session.recorders() {
+        let group = rec.group();
+        if group == "render" {
+            let Some(rr) = rec.rank().checked_sub(s.n_inputs).filter(|&r| r < s.n_renderers) else {
+                continue;
+            };
+            for ev in rec.events() {
+                let t = ev.step as usize;
+                if t >= lo && t < hi && ev.phase == Phase::Render {
+                    m.render_busy[rr] += ev.dur_us as f64 / 1e6;
+                }
+            }
+        } else if group == "input" {
+            for ev in rec.events() {
+                let t = ev.step as usize;
+                if t < lo || t >= hi {
+                    continue;
+                }
+                match ev.phase {
+                    Phase::Read | Phase::Preprocess | Phase::Lic => {
+                        m.input_busy += ev.dur_us as f64 / 1e6;
+                    }
+                    Phase::Send => {
+                        m.input_busy += ev.dur_us as f64 / 1e6;
+                        m.send_busy += ev.dur_us as f64 / 1e6;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    m
+}
+
 fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> RankResult {
     let me = s.n_inputs + s.cfg.renderers;
     let mut frames = Vec::new();
@@ -2217,6 +2690,20 @@ fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> R
     let m_bytes = session.metrics().counter("pipeline.frame_bytes");
     let m_latency = session.metrics().histogram("pipeline.interframe_us");
     let mut prev = 0.0f64;
+    // the hosted elastic controller: seeded from epoch 0, fast-forwarded
+    // through a resumed checkpoint's plan history so new ticks continue
+    // the epoch sequence instead of restarting it
+    let mut controller: Option<Controller> = s.elastic.as_ref().map(|init| {
+        let per_group = match s.cfg.io {
+            IoStrategy::TwoDip { per_group, .. } => per_group,
+            IoStrategy::OneDip { .. } => 1,
+        };
+        let cfg = s.cfg.control.expect("elastic state implies control config");
+        let mut c = Controller::new(cfg, init.clone(), per_group);
+        c.replay(&s.resume_plans);
+        c
+    });
+    let mut kill_noted = false;
     for t in s.start_step..s.steps {
         if s.faults.as_ref().is_some_and(|p| p.rank_failed(me, t)) {
             // scripted output-rank death: go silent; the supervising
@@ -2228,25 +2715,83 @@ fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> R
             // detect the scripted death by silence
             comm.send_with_size(s.n_inputs, TAG_HBO + t as u64, t as u64, 8);
         }
+        // elastic epoch clock: host the scheduled tick. A scripted
+        // controller kill is mirrored from the shared plan — the tick
+        // happens *nowhere*, every participant degrades to the last
+        // committed epoch, and the frame cadence below never stalls.
+        if let Some(ctl) = controller.as_mut() {
+            if ctl.cfg.is_tick(t) && t > s.start_step {
+                if s.controller_dead(t) {
+                    if !kill_noted {
+                        kill_noted = true;
+                        if let Some(p) = &s.faults {
+                            p.note_controller_kill(t);
+                        }
+                    }
+                } else {
+                    let _sp = obs::span(Phase::Control, t as u32);
+                    let lo = t.saturating_sub(ctl.cfg.every).max(s.start_step);
+                    let m = measure_window(session, s, lo, t);
+                    let proposal = ctl.decide(&m, &s.block_weights, t as u32);
+                    session.metrics().counter("control.ticks").inc();
+                    let participants = 0..s.n_inputs + s.n_renderers;
+                    for p in participants.clone() {
+                        comm.send_with_size(p, TAG_CTL + t as u64, proposal.clone(), 64);
+                    }
+                    if let Some(plan) = proposal {
+                        // two-phase commit: every participant acks the
+                        // proposal before anyone is told to apply it — a
+                        // plan that fails to ack commits nowhere
+                        for p in participants.clone() {
+                            comm.recv::<()>(p, TAG_CTLA + t as u64);
+                        }
+                        for p in participants {
+                            comm.send_with_size(p, TAG_CTLA + t as u64, true, 1);
+                        }
+                        ctl.commit(&plan);
+                    }
+                }
+            }
+        }
         let frame_src = s.frame_source(t);
         let mut sp = obs::span(Phase::Assemble, t as u32);
         let vol_msg: WireImage = comm.recv(frame_src, TAG_VOL + t as u64);
-        let mut vol = decode_image(s, TagClass::VolumeImage, t as u32, vol_msg);
+        let (mut vol, vol_corrupt) = match decode_image(s, TagClass::VolumeImage, t as u32, vol_msg)
+        {
+            Ok(img) => (img, false),
+            Err(why) => {
+                // an undecodable frame body degrades this frame to blank
+                // instead of aborting the whole run
+                note_corrupt_image(session, s, why, t);
+                (RgbaImage::new(s.cfg.width, s.cfg.height), true)
+            }
+        };
         sp.add_bytes((vol.width() * vol.height() * 16) as u64);
         let mut deg: Vec<Degradation> = match &s.faults {
             Some(_) => comm.recv(frame_src, TAG_DEG + t as u64),
             None => Vec::new(),
         };
+        if vol_corrupt {
+            deg.push(Degradation::CorruptImage);
+        }
         if s.surface.is_some() {
             let lic_src = lic_source(s, t);
             let (lic_msg, lic_missing): (WireImage, bool) = comm.recv(lic_src, TAG_LIC + t as u64);
-            let lic_img = decode_image(s, TagClass::LicImage, t as u32, lic_msg);
-            sp.add_bytes((lic_img.width() * lic_img.height() * 16) as u64);
+            match decode_image(s, TagClass::LicImage, t as u32, lic_msg) {
+                Ok(lic_img) => {
+                    sp.add_bytes((lic_img.width() * lic_img.height() * 16) as u64);
+                    // the volume rendering sits in front of the surface
+                    vol.over_inplace(&lic_img);
+                }
+                Err(why) => {
+                    // ship the frame without its overlay
+                    note_corrupt_image(session, s, why, t);
+                    deg.push(Degradation::CorruptImage);
+                }
+            }
             if lic_missing {
                 deg.push(Degradation::MissingLic);
             }
-            // the volume rendering sits in front of the surface texture
-            vol.over_inplace(&lic_img);
         }
         drop(sp);
         if !deg.is_empty() {
@@ -2266,11 +2811,18 @@ fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> R
         }
         if s.checkpoint_due(t) {
             let _sp = obs::span(Phase::Checkpoint, t as u32);
-            commit_checkpoint(comm, s, t, None);
+            let elastic = controller.as_ref().map(|c| (&c.state, c.history.as_slice()));
+            commit_checkpoint(comm, s, t, None, elastic);
             checkpoints += 1;
         }
     }
-    RankResult::Output { frames, done_at, degraded, checkpoints }
+    RankResult::Output {
+        frames,
+        done_at,
+        degraded,
+        checkpoints,
+        plans: controller.map_or(Vec::new(), |c| c.history),
+    }
 }
 
 /// Which input rank ships the LIC overlay for step `t`: the step group's
@@ -2336,15 +2888,31 @@ mod tests {
     fn degradation_flags_order_and_display() {
         let mut flags = [
             Degradation::MigratedEpoch,
+            Degradation::CorruptImage,
             Degradation::MissingLic,
             Degradation::MissingBlock { block: 7 },
             Degradation::CoarserLevel { block: 2 },
         ];
         flags.sort_unstable();
         let shown: Vec<String> = flags.iter().map(|d| d.to_string()).collect();
-        assert_eq!(shown, ["coarser:2", "missing:7", "no-lic", "migrated"]);
+        assert_eq!(shown, ["coarser:2", "missing:7", "no-lic", "corrupt-image", "migrated"]);
         assert_eq!(flags[0].block(), Some(2));
         assert_eq!(flags[3].block(), None);
+        assert_eq!(flags[4].block(), None);
+    }
+
+    /// A wire body that fails to decode must surface as an `Err`, never
+    /// panic: the callers degrade the frame and count the reject.
+    #[test]
+    fn corrupt_image_bodies_are_rejected_not_fatal() {
+        // RLE stream truncated mid-run: undecodable
+        assert!(decode_image_bytes(Codec::Rle, 2, 2, true, &[7]).is_err());
+        // raw body of the wrong length for the claimed geometry
+        assert!(decode_image_bytes(Codec::Raw, 2, 2, false, &[0u8; 16]).is_err());
+        // the happy path still round-trips a well-formed raw body
+        let good = vec![0u8; 2 * 2 * 16];
+        let img = decode_image_bytes(Codec::Raw, 2, 2, false, &good).expect("decodes");
+        assert_eq!((img.width(), img.height()), (2, 2));
     }
 
     #[test]
@@ -2547,6 +3115,22 @@ mod tests {
             .prefetch(true))
         .contains("prefetch requires"));
         assert!(err(PipelineBuilder::new(&ds).max_steps(0)).contains("step"));
+        // elastic control-plane constraints
+        assert!(err(PipelineBuilder::new(&ds).elastic(0)).contains("control tick period"));
+        assert!(err(PipelineBuilder::new(&ds).elastic(2).prefetch(true))
+            .contains("cannot run with the prefetch"));
+        // reshape needs a 2DIP group wide enough to narrow
+        assert!(err(PipelineBuilder::new(&ds)
+            .elastic(2)
+            .elastic_reshape(true)
+            .io_strategy(IoStrategy::OneDip { input_procs: 2 }))
+        .contains("reshape requires"));
+        // a scripted rank kill would never ack a plan proposal
+        assert!(err(PipelineBuilder::new(&ds)
+            .renderers(3)
+            .elastic(2)
+            .faults(quakeviz_rt::FaultSpec::parse("fail_rank=3@2").unwrap()))
+        .contains("scripted rank failure"));
     }
 
     #[test]

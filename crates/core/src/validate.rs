@@ -195,6 +195,7 @@ mod tests {
             resumed_from: None,
             wire: Vec::new(),
             wire_spec: String::new(),
+            control_plans: Vec::new(),
         }
     }
 

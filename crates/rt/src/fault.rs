@@ -56,6 +56,22 @@ pub struct FaultSpec {
     /// `(rank, step)`: world `rank` permanently fails at `step` — it stops
     /// participating and its 2DIP group reassigns its slice to survivors.
     pub fail_rank: Option<(usize, usize)>,
+    /// Step at which the elastic controller (hosted on the output rank)
+    /// permanently stops issuing rebalance plans. The schedule is shared
+    /// state, so every rank mirrors the kill deterministically: control
+    /// ticks at or after this step happen nowhere, and the pipeline keeps
+    /// running on its last committed epoch with unchanged cadence.
+    pub fail_controller: Option<usize>,
+    /// `(rank, factor)`: world `rank` renders `factor`× slower (factor
+    /// ≥ 1) — the deterministic load-skew knob the elastic controller is
+    /// tested against. Only the render phase is inflated, so the skew is
+    /// visible exactly where the controller measures.
+    pub slow_rank: Option<(usize, f64)>,
+    /// Step at which every input rank's prefetch worker thread dies
+    /// (scripted). The consumer detects the closed hand-off channel and
+    /// serves the remaining steps synchronously, counted per step as
+    /// `recovery.prefetch_fallbacks`; a no-op on the synchronous runtime.
+    pub fail_prefetch: Option<usize>,
 }
 
 impl FaultSpec {
@@ -109,6 +125,31 @@ impl FaultSpec {
                     let step =
                         t.parse().map_err(|_| format!("fault spec fail_rank: bad step {t:?}"))?;
                     spec.fail_rank = Some((rank, step));
+                }
+                "fail_controller" => {
+                    let step = value
+                        .parse()
+                        .map_err(|_| format!("fault spec fail_controller: bad step {value:?}"))?;
+                    spec.fail_controller = Some(step);
+                }
+                "slow_rank" => {
+                    let (r, f) = value.split_once('@').ok_or_else(|| {
+                        format!("fault spec slow_rank: want rank@factor, got {value:?}")
+                    })?;
+                    let rank =
+                        r.parse().map_err(|_| format!("fault spec slow_rank: bad rank {r:?}"))?;
+                    let factor: f64 =
+                        f.parse().map_err(|_| format!("fault spec slow_rank: bad factor {f:?}"))?;
+                    if factor < 1.0 {
+                        return Err(format!("fault spec slow_rank: factor {factor} must be ≥ 1"));
+                    }
+                    spec.slow_rank = Some((rank, factor));
+                }
+                "fail_prefetch" => {
+                    let step = value
+                        .parse()
+                        .map_err(|_| format!("fault spec fail_prefetch: bad step {value:?}"))?;
+                    spec.fail_prefetch = Some(step);
                 }
                 _ => return Err(format!("fault spec: unknown key {key:?}")),
             }
@@ -243,6 +284,12 @@ pub struct RecoveryStats {
     /// Frames assembled by the failover supervisor after the output rank
     /// died (shipped flagged, never silently skipped).
     pub migrated_frames: u64,
+    /// Steps an input rank served synchronously after its prefetch worker
+    /// thread died (the overlapped runtime degraded, never aborted).
+    pub prefetch_fallbacks: u64,
+    /// Scripted elastic-controller kills observed (at most 1): the
+    /// pipeline froze on its last committed epoch from that step on.
+    pub controller_kills: u64,
 }
 
 // distinct salts per decision kind so e.g. transient and corrupt rolls at
@@ -273,6 +320,8 @@ pub struct FaultPlan {
     render_failovers: AtomicU64,
     output_failovers: AtomicU64,
     migrated_frames: AtomicU64,
+    prefetch_fallbacks: AtomicU64,
+    controller_kills: AtomicU64,
 }
 
 impl FaultPlan {
@@ -292,6 +341,8 @@ impl FaultPlan {
             render_failovers: AtomicU64::new(0),
             output_failovers: AtomicU64::new(0),
             migrated_frames: AtomicU64::new(0),
+            prefetch_fallbacks: AtomicU64::new(0),
+            controller_kills: AtomicU64::new(0),
         })
     }
 
@@ -411,6 +462,26 @@ impl FaultPlan {
         matches!(self.spec.fail_rank, Some((r, s)) if r == rank && step >= s)
     }
 
+    /// Whether the elastic controller is scripted dead at `step` (the
+    /// kill is permanent, like [`FaultPlan::rank_failed`]).
+    pub fn controller_failed(&self, step: usize) -> bool {
+        matches!(self.spec.fail_controller, Some(s) if step >= s)
+    }
+
+    /// Whether the prefetch worker is scripted dead at `step` (permanent,
+    /// like [`FaultPlan::rank_failed`]).
+    pub fn prefetch_failed(&self, step: usize) -> bool {
+        matches!(self.spec.fail_prefetch, Some(s) if step >= s)
+    }
+
+    /// The scripted render slowdown for world rank `rank` (1.0 = none).
+    pub fn slow_rank_factor(&self, rank: usize) -> f64 {
+        match self.spec.slow_rank {
+            Some((r, f)) if r == rank => f,
+            _ => 1.0,
+        }
+    }
+
     // --- recovery accounting -------------------------------------------
 
     pub fn note_retry(&self, backoff: Duration) {
@@ -463,6 +534,19 @@ impl FaultPlan {
         self.migrated_frames.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one step served synchronously after the prefetch worker
+    /// thread died.
+    pub fn note_prefetch_fallback(&self) {
+        self.prefetch_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the scripted controller kill taking effect at `step`
+    /// (logged once, by the rank that hosted the controller).
+    pub fn note_controller_kill(&self, step: usize) {
+        self.controller_kills.fetch_add(1, Ordering::Relaxed);
+        self.log(FaultKind::RankFail, format!("controller dead at step {step}"), 0);
+    }
+
     /// Snapshot of the recovery counters.
     pub fn recovery(&self) -> RecoveryStats {
         RecoveryStats {
@@ -477,6 +561,8 @@ impl FaultPlan {
             render_failovers: self.render_failovers.load(Ordering::Relaxed),
             output_failovers: self.output_failovers.load(Ordering::Relaxed),
             migrated_frames: self.migrated_frames.load(Ordering::Relaxed),
+            prefetch_fallbacks: self.prefetch_fallbacks.load(Ordering::Relaxed),
+            controller_kills: self.controller_kills.load(Ordering::Relaxed),
         }
     }
 
@@ -503,7 +589,8 @@ mod tests {
     fn parse_roundtrip_of_every_key() {
         let spec = FaultSpec::parse(
             "seed=42,read_transient=0.05,read_corrupt=0.02,read_slow=0.5,slow_factor=4,\
-             send_drop=0.1,send_delay=0.2,delay_ms=10,wire_corrupt=0.01,fail_rank=1@2",
+             send_drop=0.1,send_delay=0.2,delay_ms=10,wire_corrupt=0.01,fail_rank=1@2,\
+             fail_controller=4,slow_rank=3@2.5,fail_prefetch=2",
         )
         .unwrap();
         assert_eq!(spec.seed, 42);
@@ -516,6 +603,9 @@ mod tests {
         assert_eq!(spec.delay_ms, 10);
         assert_eq!(spec.wire_corrupt, 0.01);
         assert_eq!(spec.fail_rank, Some((1, 2)));
+        assert_eq!(spec.fail_controller, Some(4));
+        assert_eq!(spec.slow_rank, Some((3, 2.5)));
+        assert_eq!(spec.fail_prefetch, Some(2));
     }
 
     #[test]
@@ -527,6 +617,10 @@ mod tests {
         assert!(FaultSpec::parse("slow_factor=0.5").is_err());
         assert!(FaultSpec::parse("fail_rank=3").is_err());
         assert!(FaultSpec::parse("seed=abc").is_err());
+        assert!(FaultSpec::parse("fail_controller=abc").is_err());
+        assert!(FaultSpec::parse("slow_rank=3").is_err());
+        assert!(FaultSpec::parse("slow_rank=1@0.5").is_err());
+        assert!(FaultSpec::parse("fail_prefetch=abc").is_err());
     }
 
     #[test]
@@ -596,6 +690,36 @@ mod tests {
         assert!(plan.rank_failed(2, 3));
         assert!(plan.rank_failed(2, 100));
         assert!(!plan.rank_failed(1, 100));
+    }
+
+    #[test]
+    fn controller_failure_is_permanent_from_its_step() {
+        let plan = FaultPlan::new(FaultSpec::parse("fail_controller=3").unwrap());
+        assert!(!plan.controller_failed(0));
+        assert!(!plan.controller_failed(2));
+        assert!(plan.controller_failed(3));
+        assert!(plan.controller_failed(100));
+        let clean = FaultPlan::new(FaultSpec::parse("").unwrap());
+        assert!(!clean.controller_failed(100));
+    }
+
+    #[test]
+    fn prefetch_failure_is_permanent_from_its_step() {
+        let plan = FaultPlan::new(FaultSpec::parse("fail_prefetch=2").unwrap());
+        assert!(!plan.prefetch_failed(1));
+        assert!(plan.prefetch_failed(2));
+        assert!(plan.prefetch_failed(50));
+        let clean = FaultPlan::new(FaultSpec::parse("").unwrap());
+        assert!(!clean.prefetch_failed(50));
+    }
+
+    #[test]
+    fn slow_rank_factor_targets_one_rank() {
+        let plan = FaultPlan::new(FaultSpec::parse("slow_rank=4@3.5").unwrap());
+        assert_eq!(plan.slow_rank_factor(4), 3.5);
+        assert_eq!(plan.slow_rank_factor(3), 1.0);
+        let clean = FaultPlan::new(FaultSpec::parse("").unwrap());
+        assert_eq!(clean.slow_rank_factor(4), 1.0);
     }
 
     #[test]

@@ -73,6 +73,10 @@ pub enum Phase {
     /// Checkpoint write/collect at a checkpoint boundary (render field
     /// snapshots, output manifest).
     Checkpoint,
+    /// Elastic control-plane tick: plan decision on the controller,
+    /// propose/ack/commit exchange and plan application on every
+    /// participant.
+    Control,
     /// Wire-codec compression of an outgoing payload (nests inside
     /// [`Phase::Send`]/[`Phase::Lic`], so it is an auto phase, not a stage).
     Encode,
@@ -84,7 +88,7 @@ pub enum Phase {
 }
 
 impl Phase {
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 20;
     pub const ALL: [Phase; Phase::COUNT] = [
         Phase::Read,
         Phase::Preprocess,
@@ -102,6 +106,7 @@ impl Phase {
         Phase::CompositeRound,
         Phase::Retry,
         Phase::Checkpoint,
+        Phase::Control,
         Phase::Encode,
         Phase::Decode,
         Phase::Other,
@@ -112,7 +117,7 @@ impl Phase {
     /// Read/Preprocess spans on the same rank *track*, where they overlap
     /// the consumer's Send/SendWait spans by design); auto phases may
     /// nest inside them.
-    pub const STAGES: [Phase; 11] = [
+    pub const STAGES: [Phase; 12] = [
         Phase::Read,
         Phase::Preprocess,
         Phase::Lic,
@@ -124,6 +129,7 @@ impl Phase {
         Phase::Assemble,
         Phase::Heartbeat,
         Phase::Checkpoint,
+        Phase::Control,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -144,6 +150,7 @@ impl Phase {
             Phase::CompositeRound => "composite_round",
             Phase::Retry => "retry",
             Phase::Checkpoint => "checkpoint",
+            Phase::Control => "control",
             Phase::Encode => "encode",
             Phase::Decode => "decode",
             Phase::Other => "other",
@@ -169,6 +176,7 @@ impl Phase {
             Phase::CompositeRound => 'c',
             Phase::Retry => 'B',
             Phase::Checkpoint => 'K',
+            Phase::Control => 'X',
             Phase::Encode => 'e',
             Phase::Decode => 'd',
             Phase::Other => '?',

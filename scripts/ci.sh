@@ -17,6 +17,12 @@ run_fault_focus() {
             cargo test -q --release --test fault_injection pinned_seed_render_kill_505 ;;
         checkpoint-restart)
             cargo test -q --release --test checkpoint_restart ;;
+        elastic-skew)
+            cargo test -q --release --test elastic skewed_load ;;
+        elastic-controller-kill)
+            cargo test -q --release --test elastic controller_kill ;;
+        elastic-resume)
+            cargo test -q --release --test elastic resume_across ;;
         *)
             echo "unknown QUAKEVIZ_FAULT_FOCUS cell: $1" >&2
             exit 2 ;;
@@ -122,7 +128,8 @@ if [[ -z "${QUAKEVIZ_FAULTS:-}" && -z "${QUAKEVIZ_TRACE+x}" ]]; then
         QUAKEVIZ_CODEC="${codec}" QUAKEVIZ_TRACE=0 cargo test --workspace -q --release
     done
     # the focus cells CI runs as dedicated jobs, replayed here for parity
-    for cell in render-kill-404 render-kill-505 checkpoint-restart; do
+    for cell in render-kill-404 render-kill-505 checkpoint-restart \
+        elastic-skew elastic-controller-kill elastic-resume; do
         echo "==> fault focus cell ${cell}"
         run_fault_focus "${cell}"
     done

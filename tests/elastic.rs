@@ -1,0 +1,172 @@
+//! Elastic control-plane suite: the closed-loop controller generalizes
+//! failover from "react to death" to "react to load". The invariant the
+//! whole suite leans on: *frames are partition-invariant* — a block
+//! renders to the same fragment on any rank and the SLIC order is fixed
+//! by visibility, so every elastic run must be bit-identical to the
+//! static oracle no matter what (wall-clock-driven) plans the controller
+//! commits. On top of that:
+//!
+//! * a scripted load skew must make the controller commit at least one
+//!   rebalance plan that sheds weight off the slow rank,
+//! * killing the controller freezes the epoch without stalling the frame
+//!   cadence,
+//! * checkpoint/restart snapshots the plan history, so a resumed run
+//!   replays the identical epoch prefix before clocking new ticks.
+
+use quakeviz::pipeline::{ControlPlan, IoStrategy, PipelineBuilder, PipelineReport};
+use quakeviz::rt::FaultSpec;
+use quakeviz::seismic::{Dataset, SimulationBuilder};
+
+fn dataset() -> Dataset {
+    SimulationBuilder::new().resolution(16).steps(8).run_to_dataset().unwrap()
+}
+
+/// Base shape: world `[0,1 inputs | 2,3,4 renderers | 5 output]`.
+fn builder(ds: &Dataset) -> PipelineBuilder {
+    PipelineBuilder::new(ds)
+        .renderers(3)
+        .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+        .image_size(48, 48)
+}
+
+/// World rank 2 — render rank 0 — scripted 8× slower per rendered step.
+fn skew(b: PipelineBuilder) -> PipelineBuilder {
+    b.faults(FaultSpec::parse("seed=11,slow_rank=2@8").unwrap())
+}
+
+fn assert_frames_identical(oracle: &PipelineReport, elastic: &PipelineReport) {
+    assert_eq!(oracle.frames.len(), elastic.frames.len(), "frame counts differ");
+    for (t, (a, b)) in oracle.frames.iter().zip(&elastic.frames).enumerate() {
+        assert_eq!(a.pixels(), b.pixels(), "frame {t} differs from the static oracle");
+    }
+}
+
+/// Every committed plan must keep the world shape intact: each block
+/// owned exactly once, the active prefix non-empty and within bounds.
+fn assert_plans_wellformed(plans: &[ControlPlan], renderers: usize, max_width: usize) {
+    for plan in plans {
+        assert!(plan.active >= 1 && plan.active <= renderers, "bad active {}", plan.active);
+        assert!(
+            plan.input_width >= 1 && plan.input_width <= max_width,
+            "bad input width {}",
+            plan.input_width
+        );
+        assert_eq!(plan.assignment.len(), renderers, "assignment must span the render group");
+        let mut owned: Vec<u32> = plan.assignment.iter().flatten().copied().collect();
+        let total = owned.len();
+        owned.sort_unstable();
+        owned.dedup();
+        assert_eq!(owned.len(), total, "epoch {}: a block is owned twice", plan.epoch);
+        for (r, blocks) in plan.assignment.iter().enumerate() {
+            if r >= plan.active {
+                assert!(blocks.is_empty(), "epoch {}: inactive rank {r} owns blocks", plan.epoch);
+            }
+        }
+    }
+    for (i, w) in plans.windows(2).map(|w| (w[0].epoch, w[1].epoch)).enumerate() {
+        assert_eq!(w.1, w.0 + 1, "plan {i}: epochs must be consecutive");
+    }
+}
+
+/// Headline: a scripted load skew makes the controller commit a
+/// rebalance that sheds weight off the slow rank — and the rebalanced
+/// frames stay bit-identical to the static, unfaulted oracle.
+#[test]
+fn skewed_load_triggers_rebalance_and_frames_stay_identical() {
+    let ds = dataset();
+    let oracle = builder(&ds).run().expect("static oracle");
+    let elastic = skew(builder(&ds)).elastic(2).run().expect("elastic pipeline");
+    assert_frames_identical(&oracle, &elastic);
+    assert!(
+        !elastic.control_plans.is_empty(),
+        "an 8x render skew must produce at least one committed plan"
+    );
+    assert_plans_wellformed(&elastic.control_plans, 3, 1);
+    let last = elastic.control_plans.last().unwrap();
+    assert!(
+        last.assignment[0].len() < last.assignment[1].len()
+            && last.assignment[0].len() < last.assignment[2].len(),
+        "slow render rank 0 must shed blocks: {:?}",
+        last.assignment.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+}
+
+/// Robustness headline: killing the controller mid-run freezes every
+/// rank on the last committed epoch — the tick stops happening anywhere,
+/// no two-phase commit dangles, and the frame cadence never stalls.
+#[test]
+fn controller_kill_degrades_to_static_without_stalling() {
+    let ds = dataset();
+    let oracle = builder(&ds).run().expect("static oracle");
+    let killed = builder(&ds)
+        .faults(FaultSpec::parse("seed=11,slow_rank=2@8,fail_controller=4").unwrap())
+        .elastic(2)
+        .run()
+        .expect("controller-kill pipeline");
+    assert_frames_identical(&oracle, &killed);
+    assert!(
+        killed.control_plans.iter().all(|p| p.apply_at < 4),
+        "no plan may commit at or after the kill step: {:?}",
+        killed.control_plans.iter().map(|p| p.apply_at).collect::<Vec<_>>()
+    );
+    let rec = killed.recovery.expect("fault plan must report recovery stats");
+    assert_eq!(rec.controller_kills, 1, "the kill must be detected and counted exactly once");
+}
+
+/// Checkpoint/restart across an epoch change: the manifest snapshots the
+/// committed plan history, the resumed run replays it as its epoch
+/// prefix, and the spliced frame sequence matches the static oracle
+/// bit-for-bit.
+#[test]
+fn resume_across_epoch_change_replays_plan_history() {
+    let ds = dataset();
+    let oracle = builder(&ds).run().expect("static oracle");
+    let with_elastic =
+        |b: PipelineBuilder| skew(b).elastic(2).checkpoint_every(4).checkpoint_path("ckpt-elastic");
+    // the kill: steps 0..4 run, one tick at step 2, checkpoint after
+    // step 3 — inside the rebalanced epoch
+    let killed = with_elastic(builder(&ds)).max_steps(4).run().expect("killed elastic pipeline");
+    assert_eq!(killed.checkpoints, 1);
+    assert!(!killed.control_plans.is_empty(), "the skew must commit a plan before the kill");
+    let resumed = with_elastic(builder(&ds)).resume(true).run().expect("resumed elastic pipeline");
+    assert_eq!(resumed.resumed_from, Some(4));
+    // the resumed run's history starts with the checkpointed prefix
+    assert!(
+        resumed.control_plans.len() >= killed.control_plans.len(),
+        "replayed history lost plans"
+    );
+    assert_eq!(
+        &resumed.control_plans[..killed.control_plans.len()],
+        &killed.control_plans[..],
+        "resumed run must replay the identical epoch prefix"
+    );
+    assert_plans_wellformed(&resumed.control_plans, 3, 1);
+    // killed ++ resumed equals the uninterrupted static oracle
+    assert_eq!(killed.frames.len() + resumed.frames.len(), oracle.frames.len());
+    for (t, (f, g)) in
+        oracle.frames.iter().zip(killed.frames.iter().chain(&resumed.frames)).enumerate()
+    {
+        assert_eq!(f.pixels(), g.pixels(), "frame {t} differs from the static oracle");
+    }
+}
+
+/// Resize + reshape smoke over 2DIP: whatever the controller decides
+/// from live measurements — shrinking the render prefix, narrowing the
+/// input width, growing either back — the frames must stay bit-identical
+/// to the static oracle and every plan must keep the world well-formed.
+#[test]
+fn resize_and_reshape_keep_frames_identical() {
+    let ds = dataset();
+    let io = IoStrategy::TwoDip { groups: 2, per_group: 2 };
+    let base =
+        |ds: &Dataset| PipelineBuilder::new(ds).renderers(3).io_strategy(io).image_size(48, 48);
+    let oracle = base(&ds).run().expect("static 2DIP oracle");
+    let elastic = base(&ds)
+        .elastic(2)
+        .elastic_resize(true)
+        .elastic_reshape(true)
+        .run()
+        .expect("resize+reshape pipeline");
+    assert_frames_identical(&oracle, &elastic);
+    assert_plans_wellformed(&elastic.control_plans, 3, 2);
+}

@@ -389,3 +389,117 @@ fn fault_plan_schedule_is_deterministic_in_its_seed() {
         assert!(differs, "seed {seed} and {} produced identical schedules", seed + 1);
     }
 }
+
+// --- elastic partitioning -----------------------------------------------
+
+/// The elastic control plane's core determinism claim: partitioning the
+/// same blocks over the same processor count is a pure function — no
+/// wall-clock, no iteration order — so every rank recomputing a plan's
+/// routing arrives at the identical answer. And LPT's balance guarantee
+/// holds for every survivor-group size: no renderer's load exceeds the
+/// perfect split by more than one block's weight.
+#[test]
+fn partition_over_survivor_subsets_is_deterministic_and_balanced() {
+    use quakeviz::mesh::Partition;
+    for seed in 0..16u64 {
+        let oracle = RandomRefinement { seed: 0xE1A5 ^ seed, max: 4 };
+        let tree = Octree::build(Vec3 { x: 1.0, y: 1.0, z: 1.0 }, &oracle);
+        let blocks = tree.blocks(2);
+        let mut rng = SplitMix64::new(0x5EED ^ seed);
+        let weights: Vec<u64> = blocks.iter().map(|_| 1 + rng.next_below(64)).collect();
+        let total: u64 = weights.iter().sum();
+        let wmax = *weights.iter().max().unwrap();
+        for survivors in 1..=6usize.min(blocks.len()) {
+            let a = Partition::balanced_weighted(&blocks, &weights, survivors);
+            let b = Partition::balanced_weighted(&blocks, &weights, survivors);
+            assert_eq!(a, b, "seed {seed}, {survivors} survivors: partition not deterministic");
+            // exhaustive, disjoint, SFC-sorted coverage
+            let mut owned: Vec<u32> = Vec::new();
+            for r in 0..survivors {
+                assert!(a.blocks_of(r).windows(2).all(|w| w[0] < w[1]), "not SFC-sorted");
+                owned.extend_from_slice(a.blocks_of(r));
+            }
+            owned.sort_unstable();
+            assert_eq!(
+                owned,
+                (0..blocks.len() as u32).collect::<Vec<_>>(),
+                "seed {seed}, {survivors} survivors: blocks lost or duplicated"
+            );
+            // list-scheduling balance: load_r <= total/n + wmax
+            for r in 0..survivors {
+                let load: u64 = a.blocks_of(r).iter().map(|&b| weights[b as usize]).sum();
+                assert!(
+                    load <= total / survivors as u64 + wmax,
+                    "seed {seed}, {survivors} survivors: rank {r} load {load} \
+                     breaks the LPT bound (total {total}, wmax {wmax})"
+                );
+            }
+        }
+    }
+}
+
+/// Capacity-aware assignment (the controller's rebalance step) shares the
+/// determinism/coverage contract and satisfies the greedy optimality
+/// certificate: each rank's projected completion `load x rate` is justified
+/// by its *last-placed* block — moving that block to any other rank could
+/// not have looked cheaper at placement time. Rates themselves must be
+/// powers of two within the hysteresis cap, with unmeasured ranks at 1.
+#[test]
+fn capacity_assignment_is_deterministic_exhaustive_and_greedy_stable() {
+    use quakeviz::pipeline::control::{assign_capacity, quantized_rates, MAX_RATE};
+    // the scripted-skew shape: one rank 8x slower per unit of weight
+    assert_eq!(quantized_rates(&[8.0, 1.0, 1.0], &[1, 1, 1]), vec![8, 1, 1]);
+    for seed in 0..100u64 {
+        let mut rng = SplitMix64::new(0xCA9A ^ seed);
+        let n_blocks = 1 + rng.next_below(96) as usize;
+        let n_ranks = 1 + rng.next_below(8) as usize;
+        let blocks: Vec<(u32, u64)> =
+            (0..n_blocks).map(|i| (i as u32, 1 + rng.next_below(64))).collect();
+        let busy: Vec<f64> = (0..n_ranks)
+            .map(|_| if rng.next_below(5) == 0 { 0.0 } else { 1.0 + rng.next_below(31) as f64 })
+            .collect();
+        let unit: Vec<u64> = (0..n_ranks).map(|_| 1 + rng.next_below(16)).collect();
+        let rates = quantized_rates(&busy, &unit);
+        for (r, &rate) in rates.iter().enumerate() {
+            assert!(
+                rate.is_power_of_two() && rate <= MAX_RATE,
+                "seed {seed}: rate {rate} out of the quantized range"
+            );
+            if busy[r] == 0.0 {
+                assert_eq!(rate, 1, "seed {seed}: unmeasured rank {r} must default to rate 1");
+            }
+        }
+        let a = assign_capacity(&blocks, &rates);
+        assert_eq!(a, assign_capacity(&blocks, &rates), "seed {seed}: not deterministic");
+        let mut owned: Vec<u32> = a.iter().flatten().copied().collect();
+        owned.sort_unstable();
+        assert_eq!(
+            owned,
+            (0..n_blocks as u32).collect::<Vec<_>>(),
+            "seed {seed}: blocks lost or duplicated"
+        );
+        for ranks in &a {
+            assert!(ranks.windows(2).all(|w| w[0] < w[1]), "seed {seed}: output not sorted");
+        }
+        // greedy certificate: blocks are placed heaviest-first, so the
+        // last block placed on rank r is its lightest; when it was
+        // placed, r's projected completion was minimal over all ranks,
+        // whose loads could only have grown since:
+        //   load_r * rate_r <= (load_q + wlast_r) * rate_q   for all q
+        let load: Vec<u64> =
+            a.iter().map(|ids| ids.iter().map(|&b| blocks[b as usize].1).sum()).collect();
+        for r in 0..n_ranks {
+            let Some(wlast) = a[r].iter().map(|&b| blocks[b as usize].1).min() else {
+                continue;
+            };
+            for q in 0..n_ranks {
+                assert!(
+                    load[r] * rates[r] <= (load[q] + wlast) * rates[q],
+                    "seed {seed}: rank {r} completion {} not justified vs rank {q} \
+                     (loads {load:?}, rates {rates:?})",
+                    load[r] * rates[r]
+                );
+            }
+        }
+    }
+}
