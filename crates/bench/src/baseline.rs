@@ -551,7 +551,11 @@ pub fn run_render_area(quick: bool) -> BenchFile {
 }
 
 /// Parallel-file-system baselines: contiguous vs indexed vs sieved
-/// reads and the 4-rank collective two-phase read.
+/// reads, the 4-rank collective two-phase read, a 4-OST sharded disk
+/// under concurrent readers (per-OST traffic and contention counters),
+/// and the storage-tier headline — the same pipeline run cold then warm
+/// against one shared cache tier, where the warm leg's interframe delay
+/// collapses because every frame is served from the cache.
 pub fn run_io_area(quick: bool) -> BenchFile {
     use quakeviz_parfs::{CostModel, Disk, IndexedBlockType, PFile};
     use quakeviz_rt::World;
@@ -596,7 +600,140 @@ pub fn run_io_area(quick: bool) -> BenchFile {
     run.push_bench("read_collective_r4_ms", &collective);
     run.counters.insert("bytes.indexed_useful".into(), ids.len() as u64 * 12);
 
-    BenchFile { area: "io".into(), quick, runs: vec![run] }
+    // storage-tier headline: identical pipeline twice over one shared
+    // cache tier — leg order is the experiment (cold populates, warm
+    // replays)
+    let ds = crate::standard_dataset();
+    let tier =
+        quakeviz_core::CacheTier::new(quakeviz_core::CacheConfig { blocks_mb: 64, frames: 64 });
+    let cold = cache_pipeline_leg("pipeline_cache_cold", quick, &ds, &tier);
+    let warm = cache_pipeline_leg("pipeline_cache_warm", quick, &ds, &tier);
+
+    BenchFile { area: "io".into(), quick, runs: vec![run, sharded_run(quick, len), cold, warm] }
+}
+
+/// The 4-OST sharded disk under 4 concurrent readers: wall time of the
+/// contended read, the flat-vs-sharded simulated cost of one full-file
+/// read, and the per-OST reads/bytes/peak-queue counters from a single
+/// clean 4-rank pass (counters reset before it, so the committed numbers
+/// are one pass, not `measure`'s whole sample loop).
+fn sharded_run(quick: bool, len: usize) -> BaselineRun {
+    use quakeviz_parfs::{CostModel, Disk, PFile};
+    use quakeviz_rt::World;
+    use std::sync::Arc;
+
+    let (cap, budget) = mode(quick);
+    let osts = 4usize;
+    // shrink the stripe so even the quick 1 MiB file spans many stripes
+    // and every reader touches every OST
+    let model = CostModel { stripe_size: 1 << 16, ..CostModel::default() };
+    let disk = Disk::new(model);
+    disk.write_file("step", (0..len).map(|i| (i % 251) as u8).collect());
+    let mut run = BaselineRun::new(
+        "parfs_ost4",
+        true,
+        &[
+            ("file_bytes", len.to_string()),
+            ("osts", osts.to_string()),
+            ("stripe", model.stripe_size.to_string()),
+        ],
+    );
+
+    // simulated cost of one full-file read, flat vs sharded (µs): the
+    // striping win the shard model exists to show
+    let flat_us = {
+        let f = PFile::open(Arc::clone(&disk), "step").unwrap();
+        (f.read_contiguous(0, len as u64).unwrap().sim_seconds * 1e6).round() as u64
+    };
+    disk.set_shards(osts);
+    let sharded_us = {
+        let f = PFile::open(Arc::clone(&disk), "step").unwrap();
+        (f.read_contiguous(0, len as u64).unwrap().sim_seconds * 1e6).round() as u64
+    };
+    run.counters.insert("parfs.sim_contig_us.flat".into(), flat_us);
+    run.counters.insert("parfs.sim_contig_us.ost4".into(), sharded_us);
+
+    // wall time of 4 ranks reading disjoint quarters concurrently
+    let quarter = (len as u64 / 4).max(1);
+    let contended = {
+        let disk = Arc::clone(&disk);
+        measure("sharded_r4", cap.min(10), budget, move || {
+            let disk = Arc::clone(&disk);
+            World::run(4, move |comm| {
+                let f = PFile::open(Arc::clone(&disk), "step").unwrap();
+                f.read_contiguous(comm.rank() as u64 * quarter, quarter).unwrap().useful_bytes
+            })
+        })
+    };
+    run.push_bench("read_contiguous_4ost_r4_ms", &contended);
+
+    // one clean contended pass for the committed per-OST counters
+    disk.set_shards(osts);
+    {
+        let disk = Arc::clone(&disk);
+        World::run(4, move |comm| {
+            let f = PFile::open(Arc::clone(&disk), "step").unwrap();
+            f.read_contiguous(comm.rank() as u64 * quarter, quarter).unwrap().useful_bytes
+        });
+    }
+    for (i, st) in disk.ost_stats().iter().enumerate() {
+        run.counters.insert(format!("parfs.ost{i}.reads"), st.reads);
+        run.counters.insert(format!("parfs.ost{i}.bytes"), st.bytes);
+        run.counters.insert(format!("parfs.ost{i}.peak_queue"), st.peak_queue);
+    }
+    run
+}
+
+/// One leg of the storage-tier headline: the canonical 1DIP pipeline on
+/// a 4-OST sharded dataset disk with a block+frame cache tier attached.
+/// The caller runs this twice against the *same* tier — the first (cold)
+/// leg renders everything and populates the tier, the second (warm) leg
+/// replays entirely from the frame cache. `interframe_ms` is the
+/// headline; the `cache.*` / `parfs.ost*` counters ride along so the
+/// committed file shows nonzero hits on the warm leg.
+fn cache_pipeline_leg(
+    name: &str,
+    quick: bool,
+    ds: &quakeviz_seismic::Dataset,
+    tier: &std::sync::Arc<quakeviz_core::CacheTier>,
+) -> BaselineRun {
+    let (steps, size, io_delay) = if quick { (4usize, 64u32, 5.0) } else { (8, 96, 25.0) };
+    let mut run = BaselineRun::new(
+        name,
+        true,
+        &[
+            ("io", "1dip x2".into()),
+            ("renderers", "3".to_string()),
+            ("steps", steps.to_string()),
+            ("size", format!("{size}x{size}")),
+            ("io_delay", format!("{io_delay}")),
+            ("cache", "blocks_mb=64,frames=64".into()),
+            ("ost_shards", "4".into()),
+        ],
+    );
+    let report = PipelineBuilder::new(ds)
+        .renderers(3)
+        .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+        .image_size(size, size)
+        .keep_frames(false)
+        .io_delay_scale(io_delay)
+        .cache_tier(std::sync::Arc::clone(tier))
+        .ost_shards(4)
+        .max_steps(steps)
+        .run()
+        .expect("baseline cache run failed");
+    if let Some(s) = Stat::from_seconds(&report.interframe()) {
+        run.stats.insert("interframe_ms".into(), s);
+    }
+    run.counters.insert("frames".into(), report.frame_done.len() as u64);
+    for m in &report.trace.metrics {
+        if m.name.starts_with("cache.") || m.name.starts_with("parfs.ost") {
+            if let quakeviz_rt::obs::MetricValue::Counter(v) = m.value {
+                run.counters.insert(m.name.clone(), v);
+            }
+        }
+    }
+    run
 }
 
 /// One wire-codec run on the canonical quantized basin workload.
@@ -851,5 +988,28 @@ mod tests {
         assert!(run.stats.contains_key("read_contiguous_ms"));
         assert!(run.stats.contains_key("read_collective_r4_ms"));
         assert!(run.stats.values().all(|s| s.n >= 3));
+
+        // sharded run: every OST saw traffic, and striping beat the flat
+        // model on the full-file simulated read
+        let sharded = back.runs.iter().find(|r| r.name == "parfs_ost4").expect("parfs_ost4 run");
+        for i in 0..4 {
+            assert!(
+                sharded.counters.get(&format!("parfs.ost{i}.bytes")).copied().unwrap_or(0) > 0,
+                "ost{i} delivered no bytes"
+            );
+        }
+        assert!(
+            sharded.counters["parfs.sim_contig_us.ost4"]
+                < sharded.counters["parfs.sim_contig_us.flat"],
+            "striping must beat the flat model on a large sequential read"
+        );
+
+        // cache legs: the warm replay must actually hit, and beat cold
+        let cold = back.runs.iter().find(|r| r.name == "pipeline_cache_cold").expect("cold leg");
+        let warm = back.runs.iter().find(|r| r.name == "pipeline_cache_warm").expect("warm leg");
+        assert!(warm.counters.get("cache.frame.hits").copied().unwrap_or(0) > 0);
+        assert_eq!(cold.counters.get("cache.frame.hits").copied().unwrap_or(0), 0);
+        let (c, w) = (cold.stats["interframe_ms"].median_ms, warm.stats["interframe_ms"].median_ms);
+        assert!(w < c, "warm interframe {w} ms must undercut cold {c} ms");
     }
 }

@@ -14,7 +14,8 @@
 //!                   [--quantize] [--prefetch] [--trace] [--faults SPEC]
 //!                   [--deadline-ms MS] [--checkpoint-every K]
 //!                   [--codec SPEC] [--elastic K] [--elastic-resize]
-//!                   [--elastic-reshape]
+//!                   [--elastic-reshape] [--cache SPEC] [--warm]
+//!                   [--osts N]
 //!   pipeline-report --compare BASELINE.json CURRENT.json
 //!                   [--tolerance R]
 //!
@@ -56,6 +57,15 @@
 //! counts). Combine with `--faults seed=1,slow_rank=R@F` to watch the
 //! controller shed load off a scripted straggler.
 //!
+//! `--cache SPEC` arms the block/frame cache tier (same grammar as
+//! `QUAKEVIZ_CACHE`, e.g. `1` or `blocks_mb=32,frames=16`) and
+//! `--osts N` shards the dataset disk across N simulated object storage
+//! targets; either adds the storage-tier section — per-level cache
+//! hit/miss/eviction counters and the per-OST reads/bytes/peak-queue
+//! table. `--warm` first primes the tier with an unreported identical
+//! run, so the reported run shows the warm-replay path (frame hits,
+//! collapsed interframe delay).
+//!
 //! `--prefetch` switches the input ranks to the overlapped runtime
 //! (read+preprocess on a worker thread, two-slot non-blocking send
 //! queue); the report then adds a prefetch-overlap section measuring how
@@ -68,7 +78,7 @@
 
 use quakeviz_bench::baseline::{compare, BenchFile, DEFAULT_TOLERANCE};
 use quakeviz_bench::standard_dataset;
-use quakeviz_core::{IoStrategy, ModelValidation, PipelineBuilder};
+use quakeviz_core::{CacheConfig, CacheTier, IoStrategy, ModelValidation, PipelineBuilder};
 use quakeviz_rt::obs::{prof, Phase};
 use quakeviz_rt::{FaultSpec, WireSpec};
 use std::collections::BTreeMap;
@@ -136,6 +146,9 @@ fn main() {
     let mut elastic: Option<usize> = None;
     let mut elastic_resize = false;
     let mut elastic_reshape = false;
+    let mut cache: Option<CacheConfig> = None;
+    let mut warm = false;
+    let mut osts = 0usize;
     let mut compare_paths: Option<(String, String)> = None;
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut args = std::env::args().skip(1);
@@ -169,6 +182,11 @@ fn main() {
             "--elastic" => elastic = Some(val("--elastic").parse().expect("--elastic K")),
             "--elastic-resize" => elastic_resize = true,
             "--elastic-reshape" => elastic_reshape = true,
+            "--cache" => {
+                cache = Some(CacheConfig::parse(&val("--cache")).expect("--cache SPEC"));
+            }
+            "--warm" => warm = true,
+            "--osts" => osts = val("--osts").parse().expect("--osts N"),
             "--compare" => {
                 let base = val("--compare");
                 let cur = val("--compare");
@@ -190,36 +208,55 @@ fn main() {
     });
 
     let ds = standard_dataset();
-    let mut builder = PipelineBuilder::new(&ds)
-        .renderers(renderers)
-        .io_strategy(io)
-        .image_size(size.0, size.1)
-        .keep_frames(false)
-        .io_delay_scale(io_delay)
-        .lic(lic)
-        .quantize(quantize)
-        .prefetch(prefetch)
-        .max_steps(steps)
-        .trace(trace);
-    if let Some(spec) = faults {
-        builder = builder.faults(spec);
-    }
-    if let Some(spec) = codec {
-        builder = builder.wire_spec(spec);
-    }
-    if let Some(ms) = deadline_ms {
-        builder = builder.delivery_deadline_ms(ms);
-    }
-    if let Some(k) = checkpoint_every {
-        builder = builder.checkpoint_every(k);
-    }
-    if let Some(every) = elastic {
-        builder = builder.elastic(every).elastic_resize(elastic_resize);
-        if elastic_reshape {
-            builder = builder.elastic_reshape(true);
+    let tier = cache.filter(CacheConfig::enabled).map(CacheTier::new);
+    let build = || {
+        let mut builder = PipelineBuilder::new(&ds)
+            .renderers(renderers)
+            .io_strategy(io)
+            .image_size(size.0, size.1)
+            .keep_frames(false)
+            .io_delay_scale(io_delay)
+            .lic(lic)
+            .quantize(quantize)
+            .prefetch(prefetch)
+            .max_steps(steps)
+            .trace(trace);
+        if let Some(spec) = faults.clone() {
+            builder = builder.faults(spec);
         }
+        if let Some(spec) = codec.clone() {
+            builder = builder.wire_spec(spec);
+        }
+        if let Some(ms) = deadline_ms {
+            builder = builder.delivery_deadline_ms(ms);
+        }
+        if let Some(k) = checkpoint_every {
+            builder = builder.checkpoint_every(k);
+        }
+        if let Some(every) = elastic {
+            builder = builder.elastic(every).elastic_resize(elastic_resize);
+            if elastic_reshape {
+                builder = builder.elastic_reshape(true);
+            }
+        }
+        if let Some(t) = &tier {
+            builder = builder.cache_tier(std::sync::Arc::clone(t));
+        }
+        if osts > 0 {
+            builder = builder.ost_shards(osts);
+        }
+        builder
+    };
+    if warm {
+        if tier.is_none() {
+            eprintln!("--warm needs an enabled --cache tier to prime");
+            std::process::exit(2);
+        }
+        // unreported priming run against the same tier: the reported run
+        // below is the warm replay
+        build().run().expect("priming run");
     }
-    let report = builder.run().expect("pipeline");
+    let report = build().run().expect("pipeline");
     let tr = &report.trace;
 
     println!(
@@ -402,6 +439,51 @@ fn main() {
                 "  epoch {:>3} @ step {:>4}: active {}, input width {}, blocks/rank {counts:?}",
                 p.epoch, p.apply_at, p.active, p.input_width
             );
+        }
+    }
+
+    if tier.is_some() || osts > 0 {
+        use quakeviz_rt::obs::MetricValue;
+        let counter = |name: &str| {
+            tr.metrics.iter().find(|m| m.name == name).map_or(0, |m| match m.value {
+                MetricValue::Counter(v) => v,
+                MetricValue::Gauge { value, .. } => value.max(0) as u64,
+                MetricValue::Histogram { .. } => 0,
+            })
+        };
+        println!("\nstorage tier:");
+        if tier.is_some() {
+            println!(
+                "  {:<8} {:>8} {:>8} {:>10} {:>8} {:>12}",
+                "cache", "hits", "misses", "evictions", "rejects", "bytes"
+            );
+            for level in ["block", "frame"] {
+                println!(
+                    "  {:<8} {:>8} {:>8} {:>10} {:>8} {:>12}",
+                    level,
+                    counter(&format!("cache.{level}.hits")),
+                    counter(&format!("cache.{level}.misses")),
+                    counter(&format!("cache.{level}.evictions")),
+                    counter(&format!("cache.{level}.rejects")),
+                    if level == "block" {
+                        format!("{}", counter("cache.block.bytes"))
+                    } else {
+                        "-".into()
+                    },
+                );
+            }
+        }
+        if osts > 0 {
+            println!("  {:<8} {:>8} {:>14} {:>10}", "ost", "reads", "bytes", "peak_queue");
+            for i in 0..osts {
+                println!(
+                    "  {:<8} {:>8} {:>14} {:>10}",
+                    i,
+                    counter(&format!("parfs.ost{i}.reads")),
+                    counter(&format!("parfs.ost{i}.bytes")),
+                    counter(&format!("parfs.ost{i}.peak_queue")),
+                );
+            }
         }
     }
 

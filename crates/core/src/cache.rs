@@ -1,0 +1,692 @@
+//! The two-level cache tier between the sharded parfs and the viewer.
+//!
+//! The network-data-cache architecture of Bethel et al. (PAPERS.md), cut
+//! to this pipeline's two repeat-consumers:
+//!
+//! * a **block cache** — an LRU over decoded field data keyed by
+//!   `(step, block, level)`, capacity-bounded in bytes, sitting between
+//!   the input ranks and the parallel file system. A hit skips the disk
+//!   read (and its simulated cost) entirely; temporal enhancement's
+//!   re-read of step `t-1` and any rerun/seek over the same steps hit it.
+//! * a **frame cache** — rendered frames keyed by
+//!   `(step, camera, transfer function, level)`, consulted by the output
+//!   stage before the pipeline renders anything. A run whose every frame
+//!   is cached is *served* instead of computed — the cold-vs-warm
+//!   interframe delta is the headline number of `BENCH_io.json`.
+//!
+//! Coherence rules (DESIGN.md "Storage tier"):
+//!
+//! * every entry stores an FNV-1a checksum of its payload at insert and
+//!   is re-verified on every get — a mismatch is counted, the entry
+//!   dropped, and the caller falls through to the authoritative source;
+//! * the tier is stamped with the run's config fingerprint; a run whose
+//!   fingerprint differs (e.g. a checkpoint-resume under a different
+//!   config) flushes both levels before starting;
+//! * elastic rebalance commits flush the block tier and every frame at or
+//!   after the commit step;
+//! * only clean frames (no degradation flags) are ever cached, and
+//!   frame-serving is all-or-nothing per run, so degraded rendering's
+//!   last-known-good state never diverges between cold and warm runs.
+
+use quakeviz_render::{Camera, Rgba, RgbaImage, TransferFunction};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default block-cache capacity when `QUAKEVIZ_CACHE` enables the tier
+/// without sizing it.
+pub const DEFAULT_BLOCKS_MB: usize = 64;
+/// Default frame-cache capacity (frames) under the same condition.
+pub const DEFAULT_FRAMES: usize = 64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// FNV-1a over a byte stream (the repo-wide checksum).
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv1a_words(h: u64, words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = h;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Cache-tier sizing. `blocks_mb == 0` disables the block level,
+/// `frames == 0` the frame level; both zero means the tier is off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Block-cache capacity, mebibytes of decoded field data.
+    pub blocks_mb: usize,
+    /// Frame-cache capacity, number of rendered frames.
+    pub frames: usize,
+}
+
+impl CacheConfig {
+    /// A disabled tier.
+    pub fn off() -> CacheConfig {
+        CacheConfig { blocks_mb: 0, frames: 0 }
+    }
+
+    /// Whether any level is active.
+    pub fn enabled(&self) -> bool {
+        self.blocks_mb > 0 || self.frames > 0
+    }
+
+    /// Parse a `QUAKEVIZ_CACHE` value: empty or `0` disables, `1` enables
+    /// both levels at the defaults, otherwise a `key=value` list over
+    /// `blocks_mb` and `frames` (unnamed levels default on), e.g.
+    /// `blocks_mb=32,frames=16` or `frames=0`.
+    pub fn parse(spec: &str) -> Result<CacheConfig, String> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "0" {
+            return Ok(CacheConfig::off());
+        }
+        let mut cfg = CacheConfig { blocks_mb: DEFAULT_BLOCKS_MB, frames: DEFAULT_FRAMES };
+        if spec == "1" {
+            return Ok(cfg);
+        }
+        for part in spec.split(',') {
+            let part = part.trim();
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("cache spec: expected key=value, got {part:?}"))?;
+            let value: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("cache spec: {key}={value:?} is not a number"))?;
+            match key.trim() {
+                "blocks_mb" => cfg.blocks_mb = value,
+                "frames" => cfg.frames = value,
+                other => return Err(format!("cache spec: unknown key {other:?}")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The `QUAKEVIZ_CACHE` environment fallback (`None` when unset).
+    pub fn from_env() -> Result<Option<CacheConfig>, String> {
+        match std::env::var("QUAKEVIZ_CACHE") {
+            Ok(v) => CacheConfig::parse(&v).map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+/// Key of one decoded block of field data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockKey {
+    pub step: u32,
+    /// Block / fetch-span identity within the step.
+    pub block: u32,
+    /// Octree level the data was fetched at (`u8::MAX` = full resolution).
+    pub level: u8,
+}
+
+/// Checksum of a decoded field buffer.
+pub fn field_checksum(data: &[[f32; 3]]) -> u64 {
+    fnv1a_words(
+        FNV_OFFSET,
+        data.iter().flat_map(|v| v.iter().map(|c| c.to_bits() as u64)).collect::<Vec<_>>(),
+    )
+}
+
+struct BlockEntry {
+    data: Arc<Vec<[f32; 3]>>,
+    checksum: u64,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct BlockInner {
+    capacity: u64,
+    bytes: u64,
+    tick: u64,
+    map: HashMap<BlockKey, BlockEntry>,
+}
+
+/// The per-input-rank block level: byte-bounded LRU over decoded fields.
+pub struct BlockCache {
+    inner: Mutex<BlockInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    rejects: AtomicU64,
+}
+
+impl BlockCache {
+    pub fn new(capacity_bytes: u64) -> BlockCache {
+        BlockCache {
+            inner: Mutex::new(BlockInner {
+                capacity: capacity_bytes,
+                bytes: 0,
+                tick: 0,
+                map: HashMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rejects: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the level holds anything at all (capacity 0 = disabled).
+    pub fn enabled(&self) -> bool {
+        self.inner.lock().unwrap().capacity > 0
+    }
+
+    /// Look up a block; the stored checksum is re-verified before the data
+    /// is served — a mismatch drops the entry and counts as a reject+miss.
+    pub fn get(&self, key: BlockKey) -> Option<Arc<Vec<[f32; 3]>>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let Some(e) = inner.map.get_mut(&key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if field_checksum(&e.data) != e.checksum {
+            let bytes = e.bytes;
+            inner.map.remove(&key);
+            inner.bytes -= bytes;
+            self.rejects.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        e.last_used = tick;
+        let data = Arc::clone(&e.data);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(data)
+    }
+
+    /// Insert a block, evicting least-recently-used entries until the
+    /// capacity bound holds again. Returns the evicted keys in eviction
+    /// order (the recency certificate the property tests check). An entry
+    /// larger than the whole capacity is not stored.
+    pub fn insert(&self, key: BlockKey, data: Arc<Vec<[f32; 3]>>) -> Vec<BlockKey> {
+        let bytes = (data.len() * 12) as u64;
+        let checksum = field_checksum(&data);
+        let mut inner = self.inner.lock().unwrap();
+        if bytes > inner.capacity {
+            return Vec::new();
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        inner.map.insert(key, BlockEntry { data, checksum, bytes, last_used: tick });
+        inner.bytes += bytes;
+        let mut evicted = Vec::new();
+        while inner.bytes > inner.capacity {
+            let lru = *inner
+                .map
+                .iter()
+                .filter(|&(k, _)| *k != key)
+                .min_by_key(|&(_, e)| e.last_used)
+                .expect("over capacity implies an older entry exists")
+                .0;
+            let e = inner.map.remove(&lru).unwrap();
+            inner.bytes -= e.bytes;
+            evicted.push(lru);
+        }
+        self.evictions.fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Drop every entry (elastic commits, fingerprint mismatches).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.map.clear();
+        inner.bytes = 0;
+    }
+
+    /// Resident bytes.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().unwrap().bytes
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Key of one rendered frame: full equality over step, level and the two
+/// content hashes — a stale frame cannot be served for a different
+/// camera/transfer function unless FNV-1a collides on *both* hashes
+/// simultaneously (the fuzz battery in `tests/` drives 4000 perturbations
+/// against this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameKey {
+    pub step: u32,
+    pub level: u8,
+    pub camera_hash: u64,
+    pub tf_hash: u64,
+}
+
+/// Hash every view parameter that affects pixels: eye/target/up vectors,
+/// field of view and the image dimensions, over exact f64 bit patterns.
+pub fn camera_hash(cam: &Camera) -> u64 {
+    fnv1a_words(
+        FNV_OFFSET,
+        [
+            cam.eye.x.to_bits(),
+            cam.eye.y.to_bits(),
+            cam.eye.z.to_bits(),
+            cam.target.x.to_bits(),
+            cam.target.y.to_bits(),
+            cam.target.z.to_bits(),
+            cam.up.x.to_bits(),
+            cam.up.y.to_bits(),
+            cam.up.z.to_bits(),
+            cam.fov_y.to_bits(),
+            cam.width as u64,
+            cam.height as u64,
+        ],
+    )
+}
+
+/// Hash everything else that affects a frame's pixels besides step, level
+/// and camera: the transfer-function control points and the render mode
+/// flags (quantization, lighting, LIC, the dataset's value normalization).
+pub fn tf_hash(
+    tf: &TransferFunction,
+    quantize: bool,
+    lighting: bool,
+    lic: bool,
+    vmag_max: f32,
+) -> u64 {
+    let mut h = fnv1a_words(
+        FNV_OFFSET,
+        [
+            quantize as u64,
+            lighting as u64 | (lic as u64) << 1,
+            vmag_max.to_bits() as u64,
+            tf.points().len() as u64,
+        ],
+    );
+    for &(v, rgba) in tf.points() {
+        h = fnv1a_words(h, [v.to_bits() as u64]);
+        h = fnv1a_words(h, rgba.iter().map(|c| c.to_bits() as u64));
+    }
+    h
+}
+
+fn image_checksum(pixels: &[Rgba]) -> u64 {
+    fnv1a_words(
+        FNV_OFFSET,
+        pixels.iter().flat_map(|p| p.iter().map(|c| c.to_bits() as u64)).collect::<Vec<_>>(),
+    )
+}
+
+struct FrameEntry {
+    width: u32,
+    height: u32,
+    pixels: Arc<Vec<Rgba>>,
+    checksum: u64,
+    last_used: u64,
+}
+
+struct FrameInner {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<FrameKey, FrameEntry>,
+}
+
+/// The rendered-frame level: count-bounded LRU over final frames.
+pub struct FrameCache {
+    inner: Mutex<FrameInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    rejects: AtomicU64,
+}
+
+impl FrameCache {
+    pub fn new(capacity_frames: usize) -> FrameCache {
+        FrameCache {
+            inner: Mutex::new(FrameInner {
+                capacity: capacity_frames,
+                tick: 0,
+                map: HashMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rejects: AtomicU64::new(0),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.inner.lock().unwrap().capacity > 0
+    }
+
+    /// Whether a frame is present, without touching recency or counters
+    /// (the output stage's pre-run warm probe).
+    pub fn contains(&self, key: FrameKey) -> bool {
+        self.inner.lock().unwrap().map.contains_key(&key)
+    }
+
+    /// Serve a frame, checksum-verified like [`BlockCache::get`].
+    pub fn get(&self, key: FrameKey) -> Option<RgbaImage> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let Some(e) = inner.map.get_mut(&key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if image_checksum(&e.pixels) != e.checksum {
+            inner.map.remove(&key);
+            self.rejects.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        e.last_used = tick;
+        let mut img = RgbaImage::new(e.width, e.height);
+        img.pixels_mut().copy_from_slice(&e.pixels);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(img)
+    }
+
+    /// Cache a frame, evicting the least-recently-used past capacity.
+    pub fn insert(&self, key: FrameKey, img: &RgbaImage) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.capacity == 0 {
+            return;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let pixels = Arc::new(img.pixels().to_vec());
+        let checksum = image_checksum(&pixels);
+        inner.map.insert(
+            key,
+            FrameEntry {
+                width: img.width(),
+                height: img.height(),
+                pixels,
+                checksum,
+                last_used: tick,
+            },
+        );
+        while inner.map.len() > inner.capacity {
+            let lru = *inner
+                .map
+                .iter()
+                .filter(|&(k, _)| *k != key)
+                .min_by_key(|&(_, e)| e.last_used)
+                .expect("over capacity implies an older entry exists")
+                .0;
+            inner.map.remove(&lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every frame at or after `step` (elastic commits: routes and
+    /// assignments changed from that step on, so those keys are suspect;
+    /// earlier frames were already delivered under the old epoch).
+    pub fn flush_from_step(&self, step: u32) {
+        self.inner.lock().unwrap().map.retain(|k, _| k.step < step);
+    }
+
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().map.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Counter snapshot of one tier (cumulative since creation; the pipeline
+/// emits per-run deltas by differencing two snapshots).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    pub block_hits: u64,
+    pub block_misses: u64,
+    pub block_evictions: u64,
+    pub block_rejects: u64,
+    pub block_bytes: u64,
+    pub frame_hits: u64,
+    pub frame_misses: u64,
+    pub frame_evictions: u64,
+    pub frame_rejects: u64,
+}
+
+/// Both cache levels plus the fingerprint stamp — the handle shared
+/// between a cold run and the warm runs that follow it.
+pub struct CacheTier {
+    pub blocks: BlockCache,
+    pub frames: FrameCache,
+    stamp: Mutex<Option<u64>>,
+}
+
+impl CacheTier {
+    pub fn new(cfg: CacheConfig) -> Arc<CacheTier> {
+        Arc::new(CacheTier {
+            blocks: BlockCache::new(cfg.blocks_mb as u64 * (1 << 20)),
+            frames: FrameCache::new(cfg.frames),
+            stamp: Mutex::new(None),
+        })
+    }
+
+    /// Stamp the tier with a run's config fingerprint. A differing stamp
+    /// (resume under a changed config, reuse across configs) flushes both
+    /// levels first; returns whether a flush happened.
+    pub fn stamp(&self, fingerprint: u64) -> bool {
+        let mut stamp = self.stamp.lock().unwrap();
+        let flush = stamp.is_some_and(|s| s != fingerprint);
+        if flush {
+            self.blocks.clear();
+            self.frames.clear();
+        }
+        *stamp = Some(fingerprint);
+        flush
+    }
+
+    /// Elastic rebalance commit at `step`: block routes and render
+    /// assignments changed, flush the block level and the affected frames.
+    pub fn flush_for_commit(&self, step: u32) {
+        self.blocks.clear();
+        self.frames.flush_from_step(step);
+    }
+
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            block_hits: self.blocks.hits.load(Ordering::Relaxed),
+            block_misses: self.blocks.misses.load(Ordering::Relaxed),
+            block_evictions: self.blocks.evictions.load(Ordering::Relaxed),
+            block_rejects: self.blocks.rejects.load(Ordering::Relaxed),
+            block_bytes: self.blocks.bytes(),
+            frame_hits: self.frames.hits.load(Ordering::Relaxed),
+            frame_misses: self.frames.misses.load(Ordering::Relaxed),
+            frame_evictions: self.frames.evictions.load(Ordering::Relaxed),
+            frame_rejects: self.frames.rejects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for CacheTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheTier")
+            .field("blocks", &self.blocks.len())
+            .field("block_bytes", &self.blocks.bytes())
+            .field("frames", &self.frames.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(n: usize, seed: f32) -> Arc<Vec<[f32; 3]>> {
+        Arc::new((0..n).map(|i| [seed, i as f32, seed + i as f32]).collect())
+    }
+
+    #[test]
+    fn parse_cache_specs() {
+        assert_eq!(CacheConfig::parse("").unwrap(), CacheConfig::off());
+        assert_eq!(CacheConfig::parse("0").unwrap(), CacheConfig::off());
+        assert_eq!(
+            CacheConfig::parse("1").unwrap(),
+            CacheConfig { blocks_mb: DEFAULT_BLOCKS_MB, frames: DEFAULT_FRAMES }
+        );
+        assert_eq!(
+            CacheConfig::parse("blocks_mb=8,frames=3").unwrap(),
+            CacheConfig { blocks_mb: 8, frames: 3 }
+        );
+        assert_eq!(
+            CacheConfig::parse("frames=0").unwrap(),
+            CacheConfig { blocks_mb: DEFAULT_BLOCKS_MB, frames: 0 }
+        );
+        assert!(CacheConfig::parse("nope=1").unwrap_err().contains("unknown key"));
+        assert!(CacheConfig::parse("frames=abc").unwrap_err().contains("not a number"));
+        assert!(CacheConfig::parse("frames").unwrap_err().contains("key=value"));
+        assert!(!CacheConfig::off().enabled());
+        assert!(CacheConfig { blocks_mb: 0, frames: 1 }.enabled());
+    }
+
+    #[test]
+    fn block_cache_round_trips_and_counts() {
+        let c = BlockCache::new(1 << 20);
+        let k = BlockKey { step: 3, block: 7, level: 2 };
+        assert!(c.get(k).is_none());
+        let data = field(100, 1.0);
+        c.insert(k, Arc::clone(&data));
+        assert_eq!(c.get(k).unwrap(), data);
+        assert_eq!(c.bytes(), 1200);
+        let c2 = c.inner.lock().unwrap().map.len();
+        assert_eq!(c2, 1);
+        assert_eq!(c.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(c.misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn block_cache_evicts_lru_within_capacity() {
+        // capacity for exactly two 1200-byte entries
+        let c = BlockCache::new(2400);
+        let keys: Vec<BlockKey> =
+            (0..3).map(|i| BlockKey { step: i, block: i, level: 0 }).collect();
+        assert!(c.insert(keys[0], field(100, 0.0)).is_empty());
+        assert!(c.insert(keys[1], field(100, 1.0)).is_empty());
+        // touch key 0 so key 1 is the LRU
+        assert!(c.get(keys[0]).is_some());
+        let evicted = c.insert(keys[2], field(100, 2.0));
+        assert_eq!(evicted, vec![keys[1]]);
+        assert!(c.get(keys[0]).is_some() && c.get(keys[2]).is_some());
+        assert!(c.bytes() <= 2400);
+        // an entry bigger than the whole capacity is refused, not stored
+        assert!(c.insert(BlockKey { step: 9, block: 9, level: 9 }, field(300, 9.0)).is_empty());
+        assert!(c.get(BlockKey { step: 9, block: 9, level: 9 }).is_none());
+    }
+
+    #[test]
+    fn corrupted_block_is_rejected_not_served() {
+        let c = BlockCache::new(1 << 20);
+        let k = BlockKey { step: 0, block: 0, level: 0 };
+        c.insert(k, field(10, 1.0));
+        // corrupt the stored checksum to simulate payload drift
+        c.inner.lock().unwrap().map.get_mut(&k).unwrap().checksum ^= 1;
+        assert!(c.get(k).is_none(), "a checksum mismatch must never serve");
+        assert_eq!(c.rejects.load(Ordering::Relaxed), 1);
+        assert!(c.is_empty(), "the poisoned entry must be dropped");
+    }
+
+    #[test]
+    fn frame_cache_serves_exact_key_only() {
+        let fc = FrameCache::new(4);
+        let mut img = RgbaImage::new(2, 2);
+        img.set(1, 1, [0.5, 0.25, 0.125, 1.0]);
+        let k = FrameKey { step: 0, level: 2, camera_hash: 11, tf_hash: 22 };
+        fc.insert(k, &img);
+        assert!(fc.contains(k));
+        assert_eq!(fc.get(k).unwrap(), img);
+        for other in [
+            FrameKey { step: 1, ..k },
+            FrameKey { level: 3, ..k },
+            FrameKey { camera_hash: 12, ..k },
+            FrameKey { tf_hash: 23, ..k },
+        ] {
+            assert!(fc.get(other).is_none(), "{other:?} must not serve {k:?}");
+        }
+        fc.flush_from_step(1);
+        assert!(fc.contains(k));
+        fc.flush_from_step(0);
+        assert!(!fc.contains(k));
+    }
+
+    #[test]
+    fn frame_cache_capacity_bound() {
+        let fc = FrameCache::new(2);
+        let img = RgbaImage::new(1, 1);
+        for step in 0..5u32 {
+            fc.insert(FrameKey { step, level: 0, camera_hash: 0, tf_hash: 0 }, &img);
+        }
+        assert_eq!(fc.len(), 2);
+        assert_eq!(fc.evictions.load(Ordering::Relaxed), 3);
+        // most recent entries survive
+        assert!(fc.contains(FrameKey { step: 4, level: 0, camera_hash: 0, tf_hash: 0 }));
+        assert!(fc.contains(FrameKey { step: 3, level: 0, camera_hash: 0, tf_hash: 0 }));
+    }
+
+    #[test]
+    fn tier_stamp_flushes_on_fingerprint_change() {
+        let tier = CacheTier::new(CacheConfig { blocks_mb: 1, frames: 4 });
+        tier.blocks.insert(BlockKey { step: 0, block: 0, level: 0 }, field(10, 0.0));
+        tier.frames.insert(
+            FrameKey { step: 0, level: 0, camera_hash: 0, tf_hash: 0 },
+            &RgbaImage::new(1, 1),
+        );
+        assert!(!tier.stamp(42), "first stamp must not flush");
+        assert!(!tier.stamp(42), "matching stamp must not flush");
+        assert_eq!(tier.blocks.len(), 1);
+        assert!(tier.stamp(43), "fingerprint change must flush");
+        assert!(tier.blocks.is_empty() && tier.frames.is_empty());
+    }
+
+    #[test]
+    fn commit_flush_clears_blocks_and_later_frames() {
+        let tier = CacheTier::new(CacheConfig { blocks_mb: 1, frames: 8 });
+        let img = RgbaImage::new(1, 1);
+        for step in 0..4u32 {
+            tier.blocks.insert(BlockKey { step, block: 0, level: 0 }, field(4, step as f32));
+            tier.frames.insert(FrameKey { step, level: 0, camera_hash: 0, tf_hash: 0 }, &img);
+        }
+        tier.flush_for_commit(2);
+        assert!(tier.blocks.is_empty());
+        assert_eq!(tier.frames.len(), 2);
+        assert!(tier.frames.contains(FrameKey { step: 1, level: 0, camera_hash: 0, tf_hash: 0 }));
+        assert!(!tier.frames.contains(FrameKey { step: 2, level: 0, camera_hash: 0, tf_hash: 0 }));
+    }
+
+    #[test]
+    fn hashes_depend_on_every_input() {
+        let tf = TransferFunction::seismic();
+        let h = tf_hash(&tf, false, false, false, 1.0);
+        assert_ne!(h, tf_hash(&tf, true, false, false, 1.0));
+        assert_ne!(h, tf_hash(&tf, false, true, false, 1.0));
+        assert_ne!(h, tf_hash(&tf, false, false, true, 1.0));
+        assert_ne!(h, tf_hash(&tf, false, false, false, 2.0));
+        assert_ne!(h, tf_hash(&TransferFunction::grayscale(), false, false, false, 1.0));
+        assert_eq!(h, tf_hash(&TransferFunction::seismic(), false, false, false, 1.0));
+    }
+}

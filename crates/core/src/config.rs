@@ -1,10 +1,12 @@
 //! Pipeline configuration and the builder API.
 
+use crate::cache::{CacheConfig, CacheTier};
 use crate::control::ControlConfig;
 use quakeviz_render::{AdaptivePolicy, Camera, TransferFunction};
 use quakeviz_rt::fault::FaultSpec;
 use quakeviz_rt::wire::{Codec, WireSpec};
 use quakeviz_seismic::Dataset;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Bounded-retry policy for failed or corrupt reads.
@@ -194,6 +196,23 @@ pub struct PipelineConfig {
     /// elastic and static runs produce bit-identical frames, so their
     /// checkpoints are interchangeable.
     pub control: Option<ControlConfig>,
+    /// Two-level cache tier sizing (see [`crate::cache`]). `None` falls
+    /// back to the `QUAKEVIZ_CACHE` environment variable (unset/empty/`0`
+    /// = no caching). Cached data is checksum-verified before every serve,
+    /// so cached runs are bit-identical to cache-off runs; the setting is
+    /// excluded from the checkpoint config fingerprint.
+    pub cache: Option<CacheConfig>,
+    /// An existing cache tier to attach instead of creating a private one
+    /// — the handle a cold run shares with the warm runs that follow it
+    /// (benchmarks, interactive seeking). The tier is stamped with the
+    /// run's config fingerprint and flushed on mismatch.
+    pub cache_tier: Option<Arc<CacheTier>>,
+    /// Shard the dataset's virtual parfs across this many simulated object
+    /// storage targets (per-OST bandwidth, seek and contention queues —
+    /// see [`quakeviz_parfs::ShardModel`]). `0` (the default) keeps the
+    /// flat aggregate cost model. Affects only simulated I/O timing, never
+    /// bytes, so it too stays out of the config fingerprint.
+    pub ost_shards: usize,
 }
 
 impl Default for PipelineConfig {
@@ -229,6 +248,9 @@ impl Default for PipelineConfig {
             resume: false,
             wire: None,
             control: None,
+            cache: None,
+            cache_tier: None,
+            ost_shards: 0,
         }
     }
 }
@@ -443,6 +465,31 @@ impl PipelineBuilder {
     /// (or default 2-step) tick period.
     pub fn elastic_reshape(mut self, on: bool) -> Self {
         self.config.control.get_or_insert_with(|| ControlConfig::every(2)).reshape = on;
+        self
+    }
+
+    /// Size the block cache in mebibytes (see [`PipelineConfig::cache`]).
+    pub fn cache_blocks_mb(mut self, mb: usize) -> Self {
+        self.config.cache.get_or_insert(CacheConfig::off()).blocks_mb = mb;
+        self
+    }
+
+    /// Size the frame cache in frames (see [`PipelineConfig::cache`]).
+    pub fn cache_frames(mut self, n: usize) -> Self {
+        self.config.cache.get_or_insert(CacheConfig::off()).frames = n;
+        self
+    }
+
+    /// Attach an existing cache tier (see [`PipelineConfig::cache_tier`]).
+    pub fn cache_tier(mut self, tier: Arc<CacheTier>) -> Self {
+        self.config.cache_tier = Some(tier);
+        self
+    }
+
+    /// Shard the parfs across `n` simulated OSTs (see
+    /// [`PipelineConfig::ost_shards`]).
+    pub fn ost_shards(mut self, n: usize) -> Self {
+        self.config.ost_shards = n;
         self
     }
 

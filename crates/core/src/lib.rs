@@ -38,6 +38,7 @@
 //!   against the §5 closed forms.
 
 pub mod balance;
+pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod control;
@@ -48,6 +49,9 @@ pub mod pipeline;
 pub mod reader;
 pub mod validate;
 
+pub use cache::{
+    BlockCache, BlockKey, CacheConfig, CacheCounters, CacheTier, FrameCache, FrameKey,
+};
 pub use checkpoint::{CheckpointError, CheckpointManifest, CHECKPOINT_VERSION};
 pub use config::{IoStrategy, PipelineBuilder, PipelineConfig, ReadStrategy, RetryPolicy};
 pub use control::{ControlConfig, ControlPlan};

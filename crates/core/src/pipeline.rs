@@ -15,6 +15,7 @@
 //! (sleeping out the simulated disk time), the wall-clock behaviour of
 //! the paper's Figures 8–9 can be reproduced *physically* at small scale.
 
+use crate::cache::{BlockKey, CacheTier, FrameKey};
 use crate::config::{IoStrategy, PipelineConfig, ReadStrategy};
 use crate::control::{ControlPlan, Controller, EpochState, WindowMeasurement};
 use crate::reader::{
@@ -727,6 +728,21 @@ struct Shared {
     /// Per-block weights the controller balances over — the same workload
     /// model as the static partition (empty without the control plane).
     block_weights: Vec<u64>,
+    /// The run's two-level cache tier (`None` = caching off). Shared with
+    /// other runs when the caller attached one via
+    /// [`PipelineConfig::cache_tier`]; stamped with the config
+    /// fingerprint, so a mismatched reuse flushes before any serve.
+    cache: Option<Arc<CacheTier>>,
+    /// Camera/transfer-function content hashes of the frame-cache key,
+    /// fixed per run.
+    cam_hash: u64,
+    tf_hash: u64,
+    /// Every frame of the run is already in the frame cache: the run is a
+    /// cached *replay* — the output stage serves the stream directly and
+    /// the input/render groups have nothing to do. All-or-nothing by
+    /// construction, so degraded rendering's last-known-good state can
+    /// never diverge between cold and warm runs.
+    warm_all: bool,
 }
 
 /// The deterministic post-failover epoch after a scripted render-rank
@@ -748,6 +764,17 @@ impl Shared {
     /// The fault context for reads of step `t` (`None` without a plan).
     fn fault_ctx(&self, t: usize) -> Option<FaultCtx<'_>> {
         self.faults.as_deref().map(|plan| FaultCtx { plan, retry: self.cfg.retry, step: t as u32 })
+    }
+
+    /// Frame-cache key of step `t` under this run's camera, transfer
+    /// function and octree level.
+    fn frame_key(&self, t: usize) -> FrameKey {
+        FrameKey {
+            step: t as u32,
+            level: self.level,
+            camera_hash: self.cam_hash,
+            tf_hash: self.tf_hash,
+        }
     }
 
     fn deadline(&self) -> Duration {
@@ -1172,6 +1199,60 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         (0, Vec::new(), Vec::new())
     };
 
+    // cache tier: an attached tier (shared across runs) wins; else
+    // explicit sizing; else the QUAKEVIZ_CACHE environment. Deliberately
+    // *not* part of the config fingerprint — cached data is
+    // checksum-verified and bit-identical to a cache-off run, so the
+    // knob can change without invalidating checkpoints.
+    let cache_cfg = match config.cache {
+        Some(c) => Some(c),
+        None => crate::cache::CacheConfig::from_env()
+            .map_err(|e| format!("invalid QUAKEVIZ_CACHE: {e}"))?,
+    };
+    let cache: Option<Arc<CacheTier>> = match (&config.cache_tier, cache_cfg) {
+        (Some(tier), _) => Some(Arc::clone(tier)),
+        (None, Some(c)) if c.enabled() => Some(CacheTier::new(c)),
+        _ => None,
+    };
+    // a tier reused under a different fingerprint flushes both levels
+    // first: checkpoint-resume under changed settings never sees stale
+    // data, and the fault schedule is part of the fingerprint, so runs
+    // with different fault luck never share entries either
+    if let Some(tier) = &cache {
+        tier.stamp(fingerprint);
+    }
+    // shard the dataset's parfs across simulated OSTs when asked (0
+    // leaves the disk's current model alone — flat by default, or
+    // whatever the caller already set up)
+    if config.ost_shards > 0 {
+        dataset.disk().set_shards(config.ost_shards);
+    }
+    let ost_base = dataset.disk().ost_stats();
+    let cache_base = cache.as_ref().map(|t| t.counters()).unwrap_or_default();
+    let cam_h = crate::cache::camera_hash(&camera);
+    let tf_h = crate::cache::tf_hash(
+        &config.transfer,
+        config.quantize,
+        config.lighting,
+        config.lic,
+        dataset.vmag_max(),
+    );
+    // all-or-nothing warm serving: frames come from the cache only when
+    // *every* executed step is present (only clean frames are ever
+    // cached), so a partially-warm run recomputes everything — with
+    // block-cache help — instead of mixing cached and stale-state frames
+    let warm_all = cache.as_ref().is_some_and(|tier| {
+        tier.frames.enabled()
+            && (start_step..steps).all(|t| {
+                tier.frames.contains(FrameKey {
+                    step: t as u32,
+                    level,
+                    camera_hash: cam_h,
+                    tf_hash: tf_h,
+                })
+            })
+    });
+
     // elastic control plane: epoch 0 is the static partition, and the
     // controller's capacity model reuses the same per-block workload
     // weights the static balancer used
@@ -1225,6 +1306,10 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         elastic,
         resume_plans,
         block_weights,
+        cache: cache.clone(),
+        cam_hash: cam_h,
+        tf_hash: tf_h,
+        warm_all,
         cfg: config,
     };
 
@@ -1331,6 +1416,41 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         let m = session.metrics();
         m.counter(&format!("traffic.{}.raw_bytes", w.class.as_str())).add(w.raw_bytes);
         m.counter(&format!("traffic.{}.wire_bytes", w.class.as_str())).add(w.wire_bytes);
+    }
+    // cache-tier counters, emitted as *this run's* deltas (the tier
+    // accumulates across the runs sharing it) plus the resident-bytes
+    // gauge; per-OST counters likewise when the disk is sharded
+    if let Some(tier) = &cache {
+        let c = tier.counters();
+        let m = session.metrics();
+        for (name, v) in [
+            ("cache.block.hits", c.block_hits - cache_base.block_hits),
+            ("cache.block.misses", c.block_misses - cache_base.block_misses),
+            ("cache.block.evictions", c.block_evictions - cache_base.block_evictions),
+            ("cache.block.rejects", c.block_rejects - cache_base.block_rejects),
+            ("cache.block.bytes", c.block_bytes),
+            ("cache.frame.hits", c.frame_hits - cache_base.frame_hits),
+            ("cache.frame.misses", c.frame_misses - cache_base.frame_misses),
+            ("cache.frame.evictions", c.frame_evictions - cache_base.frame_evictions),
+            ("cache.frame.rejects", c.frame_rejects - cache_base.frame_rejects),
+        ] {
+            if v > 0 {
+                m.counter(name).add(v);
+            }
+        }
+    }
+    for (i, st) in shared.disk.ost_stats().iter().enumerate() {
+        let base = ost_base.get(i).copied().unwrap_or_default();
+        let m = session.metrics();
+        for (name, v) in [
+            (format!("parfs.ost{i}.reads"), st.reads - base.reads),
+            (format!("parfs.ost{i}.bytes"), st.bytes - base.bytes),
+            (format!("parfs.ost{i}.peak_queue"), st.peak_queue),
+        ] {
+            if v > 0 {
+                m.counter(&name).add(v);
+            }
+        }
     }
     // per-render-rank utilization: each rank's Render-phase busy time
     // against the per-step makespan (the slowest rank each step), in
@@ -1450,6 +1570,24 @@ fn rank_main(comm: Comm, session: &Arc<Obs>, s: &Shared) -> RankResult {
     comm.barrier();
     let start = Instant::now();
 
+    if s.warm_all {
+        // every frame of the run is already in the frame cache under this
+        // exact (camera, transfer, level) identity: the run is a replay.
+        // Input and render ranks do no work (and so inject no faults,
+        // write no checkpoints, host no control ticks); the output rank
+        // serves frames straight from the cache.
+        return if me < s.n_inputs {
+            RankResult::Input(vec![InputStepTiming::default(); input_plan(me, s).my_steps.len()])
+        } else if me < s.n_inputs + s.n_renderers {
+            RankResult::Render {
+                timings: vec![RenderFrameTiming::default(); s.steps - s.start_step],
+                takeover: None,
+            }
+        } else {
+            output_warm(session, s, start)
+        };
+    }
+
     if me < s.n_inputs {
         RankResult::Input(input_main(&comm, group_comm.as_ref(), session, s))
     } else if me < s.n_inputs + s.n_renderers {
@@ -1459,6 +1597,44 @@ fn rank_main(comm: Comm, session: &Arc<Obs>, s: &Shared) -> RankResult {
     } else {
         output_main(&comm, session, s, start)
     }
+}
+
+/// The output rank's warm-replay loop: every frame was found in the frame
+/// cache at setup, so serve each one directly — same metrics, same
+/// interframe-delay histogram, no pipeline traffic.
+fn output_warm(session: &Arc<Obs>, s: &Shared, start: Instant) -> RankResult {
+    let tier = s.cache.as_ref().expect("warm_all implies a cache tier");
+    let mut frames = Vec::new();
+    let mut done_at = Vec::with_capacity(s.steps);
+    let mut degraded: Vec<Vec<Degradation>> = Vec::with_capacity(s.steps);
+    let m_frames = session.metrics().counter("pipeline.frames");
+    let m_bytes = session.metrics().counter("pipeline.frame_bytes");
+    let m_latency = session.metrics().histogram("pipeline.interframe_us");
+    let mut prev = 0.0f64;
+    for t in s.start_step..s.steps {
+        let _sp = obs::span(Phase::Assemble, t as u32);
+        let (vol, deg) = match tier.frames.get(s.frame_key(t)) {
+            Some(img) => (img, Vec::new()),
+            None => {
+                // the setup probe saw this key, but the entry failed its
+                // serve-time checksum (or was evicted mid-replay): ship a
+                // blank degraded frame rather than wrong pixels
+                eprintln!("quakeviz: step {t}: cached frame lost mid-replay; frame degraded");
+                (RgbaImage::new(s.cfg.width, s.cfg.height), vec![Degradation::CorruptImage])
+            }
+        };
+        degraded.push(deg);
+        let now = start.elapsed().as_secs_f64();
+        m_frames.inc();
+        m_bytes.add((vol.width() * vol.height() * 16) as u64);
+        m_latency.record(((now - prev) * 1e6) as u64);
+        prev = now;
+        done_at.push(now);
+        if s.cfg.keep_frames {
+            frames.push(vol);
+        }
+    }
+    RankResult::Output { frames, done_at, degraded, checkpoints: 0, plans: Vec::new() }
 }
 
 /// Seconds per step spent in `phase`, summed from this thread's recorded
@@ -1546,6 +1722,34 @@ fn input_plan(me: usize, s: &Shared) -> InputPlan {
     InputPlan { my_steps, member, fetch: FetchPlan { ids: my_ids, range: my_range }, my_span }
 }
 
+/// Block-cache identity of a fetch plan: a 32-bit FNV digest of exactly
+/// which nodes it covers (explicit id list or contiguous range), so two
+/// plans share a cache entry iff they fetch the same data.
+fn fetch_identity(plan: &FetchPlan) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |w: u64| {
+        for b in w.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    match (&plan.ids, plan.range) {
+        (Some(ids), _) => {
+            eat(1);
+            eat(ids.len() as u64);
+            for &id in ids.iter() {
+                eat(id as u64);
+            }
+        }
+        (None, Some((a, b))) => {
+            eat(2);
+            eat(a as u64);
+            eat(b as u64);
+        }
+        (None, None) => eat(3),
+    }
+    (h as u32) ^ ((h >> 32) as u32)
+}
+
 /// Dense per-node vectors for the step plus the stats of getting them.
 /// `Err` means the read failed for good (retries exhausted under the
 /// fault plan); nothing is charged to the step's stats.
@@ -1555,6 +1759,27 @@ fn fetch_step(
     t: usize,
     plan: &FetchPlan,
 ) -> Result<(Vec<[f32; 3]>, ReadStats), ReadError> {
+    // collective reads are lock-step across the 2DIP group: one member
+    // skipping on a cache hit would desync the group, so only the
+    // independent read paths consult the block cache
+    let collective = comm_group.is_some()
+        && plan.ids.is_some()
+        && matches!(s.cfg.read, ReadStrategy::CollectiveNoncontiguous { .. });
+    let key = match &s.cache {
+        Some(tier) if tier.blocks.enabled() && !collective => {
+            Some(BlockKey { step: t as u32, block: fetch_identity(plan), level: s.level })
+        }
+        _ => None,
+    };
+    if let Some(key) = key {
+        if let Some(data) = s.cache.as_ref().unwrap().blocks.get(key) {
+            // a checksum-verified hit skips the disk entirely: no
+            // simulated cost, no fault roll (rolls are stateless per
+            // site, so skipping one cannot shift another read's luck),
+            // no injected delay
+            return Ok((data.as_ref().clone(), ReadStats::default()));
+        }
+    }
     let ctx = s.fault_ctx(t);
     let (dense, mut stats) = match (&s.cfg.read, comm_group) {
         (ReadStrategy::CollectiveNoncontiguous { sieve_window }, Some(gc))
@@ -1571,6 +1796,11 @@ fn fetch_step(
             // the injected delay stands in for real disk time: count it
             stats.real_seconds += d;
         }
+    }
+    // only fully successful fetches are cached — a hit can therefore
+    // never mask the recovery path a cache-off run would have taken
+    if let Some(key) = key {
+        s.cache.as_ref().unwrap().blocks.insert(key, Arc::new(dense.clone()));
     }
     Ok((dense, stats))
 }
@@ -1917,6 +2147,12 @@ fn input_ticks(
                 let e = elastic.as_mut().expect("control tick without elastic state");
                 e.apply(&plan);
                 delta.clear();
+                // a committed rebalance reshapes fetch plans from this
+                // step on: conservatively drop cached blocks and any
+                // not-yet-served frames at or past the commit step
+                if let Some(tier) = &s.cache {
+                    tier.flush_for_commit(t as u32);
+                }
             }
         }
     }
@@ -2328,6 +2564,9 @@ fn render_main(
                     let members: Vec<usize> = (s.n_inputs..s.n_inputs + e.active).collect();
                     elastic_comm = comm.group(&members);
                     rx_delta.clear();
+                    if let Some(tier) = &s.cache {
+                        tier.flush_for_commit(t as u32);
+                    }
                 }
             }
         }
@@ -2749,6 +2988,9 @@ fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> R
                             comm.send_with_size(p, TAG_CTLA + t as u64, true, 1);
                         }
                         ctl.commit(&plan);
+                        if let Some(tier) = &s.cache {
+                            tier.flush_for_commit(t as u32);
+                        }
                     }
                 }
             }
@@ -2797,6 +3039,15 @@ fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> R
         if !deg.is_empty() {
             if let Some(plan) = &s.faults {
                 plan.note_degraded_frame(deg.iter().filter(|d| d.block().is_some()).count() as u64);
+            }
+        }
+        // only pristine frames are cached: a degraded frame must be
+        // recomputed next run, when the fault may not recur
+        if deg.is_empty() {
+            if let Some(tier) = &s.cache {
+                if tier.frames.enabled() {
+                    tier.frames.insert(s.frame_key(t), &vol);
+                }
             }
         }
         degraded.push(deg);
@@ -2880,6 +3131,11 @@ mod tests {
         let mut recoded = base.clone();
         recoded.wire = Some(WireSpec::parse("rle,delta,keyframe=3").unwrap());
         assert_eq!(fp(&base), fp(&recoded), "wire codec must not invalidate a checkpoint");
+        // caches and sharding change costs, never decoded values or frames
+        let mut cached = base.clone();
+        cached.cache = Some(crate::cache::CacheConfig { blocks_mb: 8, frames: 8 });
+        cached.ost_shards = 4;
+        assert_eq!(fp(&base), fp(&cached), "cache/shard knobs must not invalidate a checkpoint");
     }
 
     /// Degradation flags order blocks first and frame-level flags last,

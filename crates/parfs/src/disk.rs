@@ -184,6 +184,9 @@ pub struct Disk {
     cost: CostModel,
     /// Streams currently inside a read call (for concurrency charging).
     active_readers: AtomicUsize,
+    /// Optional OST sharding: when set, reads are charged per object
+    /// storage target instead of against the flat aggregate model.
+    shards: RwLock<Option<Arc<crate::shard::Shards>>>,
 }
 
 impl Disk {
@@ -192,12 +195,43 @@ impl Disk {
             files: RwLock::new(HashMap::new()),
             cost,
             active_readers: AtomicUsize::new(0),
+            shards: RwLock::new(None),
         })
     }
 
     /// The disk's cost model.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// Shard the disk across `n` simulated OSTs (`0` restores the flat
+    /// model): stripes map round-robin to targets, each with its own seek
+    /// and `aggregate_bandwidth / n` of bandwidth, contended per OST (see
+    /// [`crate::shard`]). Counters reset on every call.
+    pub fn set_shards(&self, n: usize) {
+        *self.shards.write().unwrap() = if n == 0 {
+            None
+        } else {
+            Some(Arc::new(crate::shard::Shards::new(crate::shard::ShardModel::split(
+                &self.cost, n,
+            ))))
+        };
+    }
+
+    /// The active shard state, if the disk is sharded.
+    pub fn shards(&self) -> Option<Arc<crate::shard::Shards>> {
+        self.shards.read().unwrap().clone()
+    }
+
+    /// Per-OST counters (empty when unsharded).
+    pub fn ost_stats(&self) -> Vec<crate::shard::OstStats> {
+        self.shards().map_or_else(Vec::new, |s| s.stats())
+    }
+
+    /// The request-setup cost one (re-issued) read pays: the per-OST seek
+    /// when sharded, the flat per-call seek otherwise.
+    pub fn seek_latency(&self) -> f64 {
+        self.shards().map_or(self.cost.seek_latency, |s| s.model().ost_seek)
     }
 
     /// Create or replace a file with the given contents.
@@ -265,6 +299,7 @@ impl Disk {
                 });
             }
         }
+        let shards = self.shards();
         let concurrent = self.active_readers.fetch_add(1, Ordering::SeqCst) + 1;
         let total: u64 = extents.iter().map(|&(_, l)| l).sum();
         let mut out = Vec::with_capacity(total as usize);
@@ -272,7 +307,10 @@ impl Disk {
             let (off, len) = (off as usize, len as usize);
             out.extend_from_slice(&data[off..off + len]);
         }
-        let cost = self.cost.read_cost(extents, concurrent);
+        let cost = match &shards {
+            Some(sh) => sh.read_cost(&self.cost, extents),
+            None => self.cost.read_cost(extents, concurrent),
+        };
         self.active_readers.fetch_sub(1, Ordering::SeqCst);
         Ok((out, cost))
     }
@@ -426,6 +464,30 @@ mod tests {
         assert!(disk.remove_file("a"));
         assert!(!disk.remove_file("a"));
         assert_eq!(disk.list_files(), vec!["z".to_string()]);
+    }
+
+    #[test]
+    fn sharded_disk_charges_per_ost_and_counts() {
+        let disk = Disk::new(small_model()); // stripe 100 B, aggregate 4000 B/s
+        disk.write_file("s", (0..200).cycle().take(800).collect());
+        let flat = disk.read_at("s", 0, 400).unwrap();
+        disk.set_shards(4); // each OST: seek 0.01, 1000 B/s
+        assert_eq!(disk.seek_latency(), 0.01);
+        let (data, cost) = disk.read_at("s", 0, 400).unwrap();
+        assert_eq!(data, flat.0, "sharding must not change the bytes");
+        // 4 stripes land on 4 OSTs: each moves 100 B at min(1000, 1000)
+        // plus its own seek and one stripe latency
+        assert!((cost - (0.01 + 0.001 + 0.1)).abs() < 1e-12, "got {cost}");
+        let stats = disk.ost_stats();
+        assert_eq!(stats.len(), 4);
+        for (o, s) in stats.iter().enumerate() {
+            assert_eq!(s.reads, 1, "OST {o}");
+            assert_eq!(s.bytes, 100, "OST {o}");
+        }
+        disk.set_shards(0);
+        assert!(disk.ost_stats().is_empty());
+        let again = disk.read_at("s", 0, 400).unwrap();
+        assert_eq!(again.1, flat.1, "unsharding restores the flat cost");
     }
 
     #[test]

@@ -25,6 +25,8 @@
 
 pub mod disk;
 pub mod mpiio;
+pub mod shard;
 
 pub use disk::{CostModel, Disk, ReadError};
 pub use mpiio::{IndexedBlockType, PFile, ReadOutcome};
+pub use shard::{OstStats, ShardModel, Shards};

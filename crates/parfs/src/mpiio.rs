@@ -180,6 +180,15 @@ impl PFile {
         }
     }
 
+    /// Seek charge for the failed attempts preceding attempt `attempt`:
+    /// an injected [`ReadError`] aborts the request *before* the disk
+    /// charges anything, so each re-issued request must re-pay its own
+    /// request setup or faulted timings under-report recovery cost.
+    #[inline]
+    fn retry_seek_cost(&self, attempt: u32) -> f64 {
+        attempt as f64 * self.disk.seek_latency()
+    }
+
     /// Independent contiguous read (paper §5.3.2).
     pub fn read_contiguous(&self, offset: u64, len: u64) -> Result<ReadOutcome, ReadError> {
         self.read_contiguous_with(offset, len, None, 0)
@@ -200,7 +209,7 @@ impl PFile {
         let (data, cost) = self.disk.read_at(&self.path, offset, len)?;
         Ok(ReadOutcome {
             data,
-            sim_seconds: cost * slow,
+            sim_seconds: cost * slow + self.retry_seek_cost(attempt),
             disk_bytes: len,
             useful_bytes: len,
             requests: 1,
@@ -252,7 +261,7 @@ impl PFile {
         }
         Ok(ReadOutcome {
             data,
-            sim_seconds: cost * slow,
+            sim_seconds: cost * slow + self.retry_seek_cost(attempt),
             disk_bytes,
             useful_bytes: dt.total_bytes(),
             requests: merged.len() as u64,
@@ -638,6 +647,42 @@ mod tests {
         let slow = f.read_contiguous_with(0, 1000, Some(&plan), 0).unwrap();
         assert_eq!(slow.data, clean.data, "slow read must deliver identical data");
         assert!((slow.sim_seconds - clean.sim_seconds * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retries_recharge_seek_latency() {
+        // a read re-issued after CorruptStripe/TransientIo failures must
+        // pay the request setup once per attempt, not once per call
+        let cost = CostModel {
+            seek_latency: 0.25,
+            extent_latency: 0.0,
+            stripe_latency: 0.0,
+            stripe_size: 1 << 20,
+            stream_bandwidth: 1e6,
+            aggregate_bandwidth: 1e6,
+        };
+        let disk = Disk::new(cost);
+        disk.write_file("f", seq_bytes(4000));
+        let f = PFile::open(Arc::clone(&disk), "f").unwrap();
+        let first = f.read_contiguous_with(0, 1000, None, 0).unwrap();
+        let third = f.read_contiguous_with(0, 1000, None, 2).unwrap();
+        assert_eq!(first.data, third.data);
+        assert!(
+            (third.sim_seconds - first.sim_seconds - 2.0 * 0.25).abs() < 1e-12,
+            "two failed attempts must add two seeks: {} vs {}",
+            first.sim_seconds,
+            third.sim_seconds
+        );
+        let dt = IndexedBlockType::from_node_ids(&[1, 50, 200], 4);
+        let a0 = f.read_indexed_with(&dt, 0, None, 0).unwrap();
+        let a1 = f.read_indexed_with(&dt, 0, None, 1).unwrap();
+        assert_eq!(a0.data, a1.data);
+        assert!((a1.sim_seconds - a0.sim_seconds - 0.25).abs() < 1e-12);
+        // sharded disks re-charge the per-OST seek
+        disk.set_shards(4);
+        let s0 = f.read_contiguous_with(0, 1000, None, 0).unwrap();
+        let s2 = f.read_contiguous_with(0, 1000, None, 2).unwrap();
+        assert!((s2.sim_seconds - s0.sim_seconds - 2.0 * disk.seek_latency()).abs() < 1e-12);
     }
 
     #[test]

@@ -24,6 +24,12 @@ impl TransferFunction {
         TransferFunction { points }
     }
 
+    /// The control points (sorted by value) — the function's full
+    /// identity, e.g. for cache keying.
+    pub fn points(&self) -> &[(f32, [f32; 4])] {
+        &self.points
+    }
+
     /// The paper-style seismic map: transparent where quiet, warm and
     /// opaque where shaking is strong.
     pub fn seismic() -> TransferFunction {

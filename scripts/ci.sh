@@ -23,6 +23,13 @@ run_fault_focus() {
             cargo test -q --release --test elastic controller_kill ;;
         elastic-resume)
             cargo test -q --release --test elastic resume_across ;;
+        cache-coherence)
+            cargo test -q --release --test cache_coherence ;;
+        cache-properties)
+            cargo test -q --release --test properties -- \
+                block_cache_lru_matches_shadow_model \
+                stripe_to_ost_mapping_is_exact_and_round_robin_balanced \
+                frame_key_fuzz_never_serves_stale_and_always_hits_identical ;;
         *)
             echo "unknown QUAKEVIZ_FAULT_FOCUS cell: $1" >&2
             exit 2 ;;
@@ -85,7 +92,7 @@ cargo test --workspace -q
 # An externally pinned QUAKEVIZ_TRACE (the CI job matrix) runs just that
 # cell; locally both cells run.
 if [[ -n "${QUAKEVIZ_TRACE+x}" ]]; then
-    echo "==> cargo test --release (QUAKEVIZ_TRACE=${QUAKEVIZ_TRACE} QUAKEVIZ_FAULTS=${QUAKEVIZ_FAULTS:-} QUAKEVIZ_CODEC=${QUAKEVIZ_CODEC:-})"
+    echo "==> cargo test --release (QUAKEVIZ_TRACE=${QUAKEVIZ_TRACE} QUAKEVIZ_FAULTS=${QUAKEVIZ_FAULTS:-} QUAKEVIZ_CODEC=${QUAKEVIZ_CODEC:-} QUAKEVIZ_CACHE=${QUAKEVIZ_CACHE:-})"
     cargo test --workspace -q --release
 else
     for trace in 0 1; do
@@ -127,9 +134,19 @@ if [[ -z "${QUAKEVIZ_FAULTS:-}" && -z "${QUAKEVIZ_TRACE+x}" ]]; then
         echo "==> cargo test --release (QUAKEVIZ_CODEC=${codec})"
         QUAKEVIZ_CODEC="${codec}" QUAKEVIZ_TRACE=0 cargo test --workspace -q --release
     done
+    # Cache cell: the whole release suite must also pass with a blanket
+    # per-run cache tier armed through QUAKEVIZ_CACHE. Every run gets a
+    # fresh tier (no warmth crosses runs without an explicit
+    # .cache_tier), so every differential oracle still demands frames
+    # bit-identical to its cache-off twin — the cell proves the tier is
+    # invisible above the reader. Warm-replay coherence is exercised by
+    # the cache-coherence focus cell, which shares tiers explicitly.
+    echo "==> cargo test --release (QUAKEVIZ_CACHE=1)"
+    QUAKEVIZ_CACHE=1 QUAKEVIZ_TRACE=0 cargo test --workspace -q --release
     # the focus cells CI runs as dedicated jobs, replayed here for parity
     for cell in render-kill-404 render-kill-505 checkpoint-restart \
-        elastic-skew elastic-controller-kill elastic-resume; do
+        elastic-skew elastic-controller-kill elastic-resume \
+        cache-coherence cache-properties; do
         echo "==> fault focus cell ${cell}"
         run_fault_focus "${cell}"
     done

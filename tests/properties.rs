@@ -503,3 +503,274 @@ fn capacity_assignment_is_deterministic_exhaustive_and_greedy_stable() {
         }
     }
 }
+
+// --- block-cache LRU ----------------------------------------------------
+
+/// The block cache against a shadow model: for any interleaving of
+/// inserts and lookups, the resident byte total never exceeds capacity,
+/// hits and misses match the shadow exactly (served data bit-identical),
+/// and every eviction carries its recency certificate — the victims the
+/// cache reports are precisely the shadow's least-recently-used entries,
+/// in LRU order.
+#[test]
+fn block_cache_lru_matches_shadow_model() {
+    use quakeviz::pipeline::{BlockCache, BlockKey};
+    use std::sync::Arc;
+
+    for seed in 0..40u64 {
+        let mut rng = SplitMix64::new(0xCAC4E ^ seed);
+        let capacity = (1 + rng.next_below(40)) * 96; // bytes; blocks are 12 B/node
+        let cache = BlockCache::new(capacity);
+        // shadow: recency-ordered (key, bytes), front = least recent
+        let mut shadow: Vec<(BlockKey, u64)> = Vec::new();
+        let blocks: Vec<Arc<Vec<[f32; 3]>>> = (0..12)
+            .map(|_| {
+                let n = 1 + rng.next_below(24) as usize;
+                Arc::new((0..n).map(|_| [rng.next_f32(), rng.next_f32(), rng.next_f32()]).collect())
+            })
+            .collect();
+        let key_of = |i: u64| BlockKey { step: (i % 6) as u32, block: (i / 6) as u32, level: 0 };
+        for op in 0..400u64 {
+            let i = rng.next_below(12);
+            let key = key_of(i);
+            if rng.next_below(2) == 0 {
+                // lookup: hit iff the shadow holds the key; a hit renews
+                // recency and returns the exact bytes inserted
+                let got = cache.get(key);
+                match shadow.iter().position(|&(k, _)| k == key) {
+                    Some(pos) => {
+                        let data = got.unwrap_or_else(|| {
+                            panic!("seed {seed} op {op}: shadow-resident key missed")
+                        });
+                        assert_eq!(*data, *blocks[i as usize], "seed {seed} op {op}: data mutated");
+                        let e = shadow.remove(pos);
+                        shadow.push(e);
+                    }
+                    None => assert!(got.is_none(), "seed {seed} op {op}: phantom hit"),
+                }
+            } else {
+                let data = Arc::clone(&blocks[i as usize]);
+                let bytes = (data.len() * 12) as u64;
+                let evicted = cache.insert(key, data);
+                if bytes > capacity {
+                    assert!(evicted.is_empty(), "seed {seed} op {op}: oversized entry evicted");
+                } else {
+                    if let Some(pos) = shadow.iter().position(|&(k, _)| k == key) {
+                        shadow.remove(pos);
+                    }
+                    shadow.push((key, bytes));
+                    let mut want = Vec::new();
+                    while shadow.iter().map(|&(_, b)| b).sum::<u64>() > capacity {
+                        want.push(shadow.remove(0).0);
+                    }
+                    assert_eq!(
+                        evicted, want,
+                        "seed {seed} op {op}: eviction order breaks the recency certificate"
+                    );
+                }
+            }
+            assert!(cache.bytes() <= capacity, "seed {seed} op {op}: capacity bound violated");
+            assert_eq!(cache.len(), shadow.len(), "seed {seed} op {op}: entry count diverged");
+            assert_eq!(
+                cache.bytes(),
+                shadow.iter().map(|&(_, b)| b).sum::<u64>(),
+                "seed {seed} op {op}: byte accounting diverged"
+            );
+        }
+    }
+}
+
+// --- stripe -> OST mapping ----------------------------------------------
+
+/// The sharded-parfs layout invariants for random extents over random
+/// topologies: `split_extents` assigns every requested byte to exactly
+/// one OST (no loss, no duplication, each byte on the OST its stripe
+/// round-robins to), and a contiguous whole-file read balances round-
+/// robin — per-OST stripe counts differ by at most one.
+#[test]
+fn stripe_to_ost_mapping_is_exact_and_round_robin_balanced() {
+    use quakeviz::parfs::ShardModel;
+
+    for seed in 0..60u64 {
+        let mut rng = SplitMix64::new(0x0057 ^ seed);
+        let n_osts = 1 + rng.next_below(8) as usize;
+        let stripe = 16 + rng.next_below(240);
+        let m = ShardModel { n_osts, ost_seek: 0.0, ost_bandwidth: 1e6 };
+        let file_len = stripe * (1 + rng.next_below(40));
+        let extents: Vec<(u64, u64)> = (0..1 + rng.next_below(6))
+            .map(|_| {
+                let off = rng.next_below(file_len);
+                (off, 1 + rng.next_below(file_len - off))
+            })
+            .collect();
+        let per_ost = m.split_extents(&extents, stripe);
+        assert_eq!(per_ost.len(), n_osts, "seed {seed}: one bucket per OST");
+        let mut covered: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for (o, sub) in per_ost.iter().enumerate() {
+            for &(off, len) in sub {
+                assert!(len > 0, "seed {seed}: empty sub-extent emitted");
+                assert_eq!(
+                    off / stripe,
+                    (off + len - 1) / stripe,
+                    "seed {seed}: sub-extent crosses a stripe boundary"
+                );
+                for b in off..off + len {
+                    *covered.entry(b).or_default() += 1;
+                    assert_eq!(
+                        m.ost_of_offset(b, stripe),
+                        o,
+                        "seed {seed}: byte {b} landed on the wrong OST"
+                    );
+                }
+            }
+        }
+        for &(off, len) in &extents {
+            for b in off..off + len {
+                assert!(
+                    covered.get(&b).copied().unwrap_or(0) >= 1,
+                    "seed {seed}: byte {b} lost by the split"
+                );
+            }
+        }
+        for (&b, &n) in &covered {
+            let requested = extents.iter().filter(|&&(o, l)| b >= o && b < o + l).count() as u32;
+            assert_eq!(n, requested, "seed {seed}: byte {b} covered {n}x, requested {requested}x");
+        }
+        // whole-file balance: stripes per OST differ by at most one
+        let stripes = file_len / stripe;
+        let whole = m.split_extents(&[(0, stripes * stripe)], stripe);
+        let counts: Vec<usize> = whole.iter().map(Vec::len).collect();
+        let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(
+            hi - lo <= 1,
+            "seed {seed}: round-robin imbalance {counts:?} over {stripes} stripes"
+        );
+    }
+}
+
+// --- frame-cache key fuzz -----------------------------------------------
+
+/// 4000 random camera/transfer-function perturbations against one frame
+/// cache: identical inputs always rehash to the same key and hit their
+/// own frame; inputs differing in any pixel-relevant parameter never
+/// collide into serving another input's (stale) frame.
+#[test]
+fn frame_key_fuzz_never_serves_stale_and_always_hits_identical() {
+    use quakeviz::pipeline::cache::{camera_hash, tf_hash};
+    use quakeviz::pipeline::{FrameCache, FrameKey};
+    use quakeviz::render::{Camera, RgbaImage, TransferFunction};
+    use std::collections::HashMap;
+
+    #[derive(Clone, PartialEq, Debug)]
+    struct Inputs {
+        eye: Vec3,
+        target: Vec3,
+        up: Vec3,
+        fov: f64,
+        w: u32,
+        h: u32,
+        quantize: bool,
+        lighting: bool,
+        lic: bool,
+        vmag: f32,
+        points: Vec<(f32, [f32; 4])>,
+    }
+    impl Inputs {
+        fn base() -> Inputs {
+            Inputs {
+                eye: Vec3 { x: 0.5, y: 0.6, z: -2.5 },
+                target: Vec3 { x: 0.5, y: 0.5, z: 0.5 },
+                up: Vec3 { x: 0.0, y: 1.0, z: 0.0 },
+                fov: 0.7,
+                w: 64,
+                h: 64,
+                quantize: false,
+                lighting: false,
+                lic: false,
+                vmag: 1.0,
+                points: TransferFunction::seismic().points().to_vec(),
+            }
+        }
+        fn key(&self, step: u32) -> FrameKey {
+            let cam = Camera::look_at(self.eye, self.target, self.up, self.fov, self.w, self.h);
+            let tf = TransferFunction::new(self.points.clone());
+            FrameKey {
+                step,
+                level: 0,
+                camera_hash: camera_hash(&cam),
+                tf_hash: tf_hash(&tf, self.quantize, self.lighting, self.lic, self.vmag),
+            }
+        }
+    }
+    /// Perturb one pixel-relevant parameter by a random amount (possibly
+    /// tiny — a single ulp-scale nudge must change the key too).
+    fn perturb(rng: &mut SplitMix64, p: &mut Inputs) {
+        let tiny = 1e-9 * (1.0 + rng.next_f64());
+        match rng.next_below(12) {
+            0 => p.eye.x += tiny,
+            1 => p.eye.y -= tiny,
+            2 => p.target.z += tiny,
+            3 => p.up.x += tiny * 1e-3, // stays far from parallel
+            4 => p.fov += tiny,
+            5 => p.w += 1 + rng.next_below(64) as u32,
+            6 => p.h += 1 + rng.next_below(64) as u32,
+            7 => p.quantize = !p.quantize,
+            8 => p.lighting = !p.lighting,
+            9 => p.lic = !p.lic,
+            10 => p.vmag += tiny as f32 + f32::EPSILON,
+            _ => {
+                let i = rng.next_below(p.points.len() as u64) as usize;
+                p.points[i].1[3] = (p.points[i].1[3] + 1e-6).min(1.0);
+            }
+        }
+    }
+
+    let mut rng = SplitMix64::new(0xF4A3E);
+    let cache = FrameCache::new(8192);
+    // every distinct key maps to the inputs that produced it and the id
+    // of the frame stored under it
+    let mut by_key: HashMap<FrameKey, (Inputs, u32)> = HashMap::new();
+    let mut history: Vec<Inputs> = vec![Inputs::base()];
+    for trial in 0..4000u32 {
+        let inputs = if rng.next_below(8) == 0 {
+            // identical-input leg: replay an earlier draw verbatim
+            history[rng.next_below(history.len() as u64) as usize].clone()
+        } else {
+            // random walk: perturb 1..=3 parameters off a previous draw
+            let mut p = history[rng.next_below(history.len() as u64) as usize].clone();
+            for _ in 0..1 + rng.next_below(3) {
+                perturb(&mut rng, &mut p);
+            }
+            p
+        };
+        let key = inputs.key(trial % 7);
+        assert_eq!(key, inputs.key(trial % 7), "trial {trial}: hashing not deterministic");
+        match by_key.get(&key) {
+            Some((prior, id)) => {
+                // key collision: only legal for byte-identical inputs —
+                // anything else would serve a stale frame
+                assert_eq!(
+                    prior, &inputs,
+                    "trial {trial}: distinct inputs collided onto one frame key"
+                );
+                let img = cache.get(key).expect("trial {trial}: identical inputs must hit");
+                assert_eq!(
+                    img.pixels()[0][0].to_bits(),
+                    f32::from_bits(*id).to_bits(),
+                    "trial {trial}: served a different input's frame"
+                );
+            }
+            None => {
+                assert!(cache.get(key).is_none(), "trial {trial}: hit before any insert");
+                // frame content tagged with the trial id, so a stale
+                // serve is detectable in the pixels
+                let mut img = RgbaImage::new(4, 4);
+                img.pixels_mut()[0][0] = f32::from_bits(trial);
+                cache.insert(key, &img);
+                by_key.insert(key, (inputs.clone(), trial));
+            }
+        }
+        history.push(inputs);
+    }
+    assert!(by_key.len() > 3000, "fuzz degenerated: only {} distinct keys", by_key.len());
+}
