@@ -339,6 +339,7 @@ fn pipeline_run(
     renderers: usize,
     faults: Option<FaultSpec>,
     elastic: Option<usize>,
+    deadline_ms: Option<u64>,
 ) -> BaselineRun {
     let (steps, size, io_delay) = if quick { (4usize, 64u32, 5.0) } else { (8, 128, 25.0) };
     let clean = faults.is_none();
@@ -355,6 +356,9 @@ fn pipeline_run(
     ];
     if let Some(every) = elastic {
         config.push(("elastic", format!("every {every}")));
+    }
+    if let Some(ms) = deadline_ms {
+        config.push(("deadline_ms", ms.to_string()));
     }
     let mut run = BaselineRun::new(name, clean, &config);
 
@@ -374,6 +378,9 @@ fn pipeline_run(
     }
     if let Some(every) = elastic {
         builder = builder.elastic(every);
+    }
+    if let Some(ms) = deadline_ms {
+        builder = builder.delivery_deadline_ms(ms);
     }
     let report = builder.run().expect("baseline pipeline run failed");
     for (k, v) in prof::snapshot() {
@@ -423,23 +430,38 @@ fn pipeline_run(
             "recovery.failovers".into(),
             rec.failover_events + rec.render_failovers + rec.output_failovers,
         );
+        run.counters.insert("recovery.rejoins".into(), rec.rejoins);
+        run.counters.insert("recovery.catchups".into(), rec.catchup_plans + rec.catchup_fields);
     }
     run
 }
 
 /// End-to-end pipeline baselines: the canonical 1DIP and 2DIP
 /// configurations, one deliberately faulted 1DIP run (tagged
-/// `clean: false` so compare refuses to mix it with clean data), and an
+/// `clean: false` so compare refuses to mix it with clean data), an
 /// elastic run with the control plane ticking (its `control.*` counters
-/// record how often the controller found anything to change).
+/// record how often the controller found anything to change), and a
+/// kill+rejoin run whose `interframe_ms` puts a regression gate on the
+/// rejoin overhead — detection, TAG_JOIN handshake, and catch-up all
+/// land between frames, so a rejoin that stops being cheap shows up as
+/// a gated timing jump, not just a counter drift.
 pub fn run_pipeline_area(quick: bool) -> BenchFile {
     let runs = vec![
-        pipeline_run("1dip_r3_i2", quick, IoStrategy::OneDip { input_procs: 2 }, 3, None, None),
+        pipeline_run(
+            "1dip_r3_i2",
+            quick,
+            IoStrategy::OneDip { input_procs: 2 },
+            3,
+            None,
+            None,
+            None,
+        ),
         pipeline_run(
             "2dip_g2x2_r3",
             quick,
             IoStrategy::TwoDip { groups: 2, per_group: 2 },
             3,
+            None,
             None,
             None,
         ),
@@ -453,6 +475,7 @@ pub fn run_pipeline_area(quick: bool) -> BenchFile {
                     .expect("baseline fault spec must parse"),
             ),
             None,
+            None,
         ),
         pipeline_run(
             "1dip_r3_elastic_t2",
@@ -461,6 +484,22 @@ pub fn run_pipeline_area(quick: bool) -> BenchFile {
             3,
             None,
             Some(2),
+            None,
+        ),
+        // render rank 3 dies at step 1 and rejoins at step 3, inside the
+        // quick mode's 4-step window; the bounded delivery deadline is
+        // what turns detection into a fixed, comparable cost
+        pipeline_run(
+            "1dip_rejoin_s1",
+            quick,
+            IoStrategy::OneDip { input_procs: 2 },
+            3,
+            Some(
+                FaultSpec::parse("seed=1,fail_rank=3@1,recover_rank=3@3")
+                    .expect("baseline rejoin spec must parse"),
+            ),
+            None,
+            Some(400),
         ),
     ];
     BenchFile { area: "pipeline".into(), quick, runs }

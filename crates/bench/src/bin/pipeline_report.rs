@@ -18,6 +18,15 @@
 //!                   [--osts N]
 //!   pipeline-report --compare BASELINE.json CURRENT.json
 //!                   [--tolerance R]
+//!   pipeline-report --chaos SEED [topology flags as above]
+//!
+//! `--chaos SEED` generates a randomized-but-valid multi-fault schedule
+//! for the configured topology from the chaos harness
+//! (`quakeviz_rt::chaos`, the same generator `tests/chaos_soak.rs`
+//! pins), arms it as the run's fault plan, and appends a chaos-soak
+//! summary: the composed schedule, the injected-vs-recovered balance,
+//! and the delivered/degraded frame verdict. Mutually exclusive with
+//! `--faults`.
 //!
 //! `--compare` skips the pipeline run entirely and diffs two
 //! `BENCH_*.json` files (see `bench-baseline`): per-metric deltas are
@@ -80,7 +89,7 @@ use quakeviz_bench::baseline::{compare, BenchFile, DEFAULT_TOLERANCE};
 use quakeviz_bench::standard_dataset;
 use quakeviz_core::{CacheConfig, CacheTier, IoStrategy, ModelValidation, PipelineBuilder};
 use quakeviz_rt::obs::{prof, Phase};
-use quakeviz_rt::{FaultSpec, WireSpec};
+use quakeviz_rt::{chaos as rt_chaos, FaultSpec, WireSpec};
 use std::collections::BTreeMap;
 
 /// Diff two BENCH_*.json files; never returns.
@@ -140,6 +149,7 @@ fn main() {
     let mut prefetch = false;
     let mut trace = false;
     let mut faults: Option<FaultSpec> = None;
+    let mut chaos: Option<u64> = None;
     let mut codec: Option<WireSpec> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut checkpoint_every: Option<usize> = None;
@@ -169,6 +179,7 @@ fn main() {
             "--prefetch" => prefetch = true,
             "--trace" => trace = true,
             "--faults" => faults = Some(FaultSpec::parse(&val("--faults")).expect("--faults SPEC")),
+            "--chaos" => chaos = Some(val("--chaos").parse().expect("--chaos SEED")),
             "--codec" => {
                 codec = Some(WireSpec::parse(&val("--codec")).expect("--codec SPEC"));
             }
@@ -205,6 +216,27 @@ fn main() {
     let io = twodip.map_or(IoStrategy::OneDip { input_procs }, |(n, m)| IoStrategy::TwoDip {
         groups: n,
         per_group: m,
+    });
+
+    // --chaos: compose a seeded multi-fault schedule for this topology
+    // and arm it as the fault plan; detection needs a bounded heartbeat
+    // wait, so default the deadline down from the builder's generous one
+    let chaos_schedule = chaos.map(|seed| {
+        if faults.is_some() {
+            eprintln!("--chaos generates its own fault plan; drop --faults");
+            std::process::exit(2);
+        }
+        let n_inputs = match io {
+            IoStrategy::OneDip { input_procs } => input_procs,
+            IoStrategy::TwoDip { groups, per_group } => groups * per_group,
+        };
+        let input_kills =
+            matches!(io, IoStrategy::TwoDip { per_group, .. } if per_group >= 2) && !prefetch;
+        let topo = rt_chaos::ChaosTopology { n_inputs, renderers, steps, input_kills };
+        let schedule = rt_chaos::compose(&rt_chaos::chaos_clauses(seed, &topo));
+        faults = Some(FaultSpec::parse(&schedule).expect("generated chaos schedule must parse"));
+        deadline_ms.get_or_insert(400);
+        schedule
     });
 
     let ds = standard_dataset();
@@ -402,6 +434,9 @@ fn main() {
         println!("  render failovers    {:>6}", rec.render_failovers);
         println!("  output failovers    {:>6}", rec.output_failovers);
         println!("  migrated frames     {:>6}", rec.migrated_frames);
+        println!("  rejoins             {:>6}", rec.rejoins);
+        println!("  catch-up plans      {:>6}", rec.catchup_plans);
+        println!("  catch-up fields     {:>6}", rec.catchup_fields);
         println!(
             "  degraded            {:>6} blocks across {} of {} frames",
             rec.degraded_blocks,
@@ -418,6 +453,37 @@ fn main() {
                 println!("  {t:>5}  {}", cells.join(" "));
             }
         }
+    }
+
+    // Chaos soak verdict: what the generator threw at the run, and how
+    // much of it the recovery machinery absorbed. The run reaching this
+    // point at all is the core claim (no stall, no panic); the balance
+    // line shows whether faults were recovered in place or degraded.
+    if let Some(schedule) = &chaos_schedule {
+        let rec = report.recovery.as_ref().expect("chaos runs arm a fault plan");
+        println!("\nchaos soak (seed {}):", chaos.unwrap());
+        println!("  schedule            {schedule}");
+        println!("  injected events     {:>6}", report.fault_events.len());
+        println!(
+            "  recovery actions    {:>6} (retries {}, failovers {}, rejoins {}, catch-ups {})",
+            rec.read_retries
+                + rec.failover_events
+                + rec.render_failovers
+                + rec.output_failovers
+                + rec.rejoins
+                + rec.catchup_plans
+                + rec.catchup_fields,
+            rec.read_retries,
+            rec.failover_events + rec.render_failovers + rec.output_failovers,
+            rec.rejoins,
+            rec.catchup_plans + rec.catchup_fields
+        );
+        let delivered = report.frame_done.len();
+        let verdict = if delivered == steps { "COMPLETE" } else { "INCOMPLETE" };
+        println!(
+            "  verdict             {verdict} ({delivered}/{steps} frames, {} degraded)",
+            report.degraded_frame_count()
+        );
     }
     if report.checkpoints > 0 || report.resumed_from.is_some() {
         println!("\ncheckpoint/restart:");

@@ -213,6 +213,18 @@ pub struct PipelineConfig {
     /// flat aggregate cost model. Affects only simulated I/O timing, never
     /// bytes, so it too stays out of the config fingerprint.
     pub ost_shards: usize,
+    /// Spare render ranks parked beyond the active prefix: the world is
+    /// sized `renderers + spare_renderers` but epoch 0 assigns work only
+    /// to the first `renderers` ranks. A spare holds no state until a
+    /// scripted `recover_rank` join admits it through the control plane's
+    /// two-phase epoch commit (requires [`PipelineConfig::control`]).
+    pub spare_renderers: usize,
+    /// Heartbeat failure-detection threshold, milliseconds: a rank whose
+    /// liveness beacon is not observed within this window is declared dead
+    /// and failover engages. `None` (the default) reuses
+    /// [`PipelineConfig::deadline_ms`]. A `slow_rank` delay strictly below
+    /// this threshold must never trigger failover (property-tested).
+    pub heartbeat_timeout_ms: Option<u64>,
 }
 
 impl Default for PipelineConfig {
@@ -251,6 +263,8 @@ impl Default for PipelineConfig {
             cache: None,
             cache_tier: None,
             ost_shards: 0,
+            spare_renderers: 0,
+            heartbeat_timeout_ms: None,
         }
     }
 }
@@ -490,6 +504,20 @@ impl PipelineBuilder {
     /// [`PipelineConfig::ost_shards`]).
     pub fn ost_shards(mut self, n: usize) -> Self {
         self.config.ost_shards = n;
+        self
+    }
+
+    /// Park `k` spare render ranks beyond the active prefix (see
+    /// [`PipelineConfig::spare_renderers`]).
+    pub fn spare_renderers(mut self, k: usize) -> Self {
+        self.config.spare_renderers = k;
+        self
+    }
+
+    /// Heartbeat failure-detection threshold in milliseconds (see
+    /// [`PipelineConfig::heartbeat_timeout_ms`]).
+    pub fn heartbeat_timeout_ms(mut self, ms: u64) -> Self {
+        self.config.heartbeat_timeout_ms = Some(ms);
         self
     }
 

@@ -103,6 +103,14 @@ impl EpochState {
         EpochState { epoch: 0, active, assignment, input_width }
     }
 
+    /// Epoch 0 with only the first `active` ranks live: the parked tail
+    /// (spare pool) owns nothing until an admit plan grows the prefix.
+    pub fn with_active(assignment: Vec<Vec<u32>>, active: usize, input_width: usize) -> EpochState {
+        debug_assert!(active <= assignment.len());
+        debug_assert!(assignment[active..].iter().all(Vec::is_empty), "spares own no blocks");
+        EpochState { epoch: 0, active, assignment, input_width }
+    }
+
     /// Apply a committed plan.
     pub fn apply(&mut self, plan: &ControlPlan) {
         self.epoch = plan.epoch;
@@ -309,6 +317,88 @@ impl Controller {
         self.state.apply(plan);
         self.history.push(plan.clone());
     }
+
+    /// Forced re-admission plan for a joiner folding in at `apply_at`:
+    /// grow the active prefix by one when `grow` (a spare-pool join), and
+    /// rebalance every block over the resulting rank set with the
+    /// window's measured rates — ranks without a measurement (the joiner,
+    /// which slept or never ran) count as rate 1. Unlike
+    /// [`Controller::decide`] this always returns a plan: the commit
+    /// itself is the join barrier (delta streams reset to keyframes,
+    /// caches flush), even when the assignment happens to match the
+    /// committed one.
+    pub fn admit_plan(
+        &self,
+        m: &WindowMeasurement,
+        block_weights: &[u64],
+        apply_at: u32,
+        grow: bool,
+    ) -> ControlPlan {
+        let active =
+            if grow { (self.state.active + 1).min(self.n_renderers) } else { self.state.active };
+        let weights: Vec<u64> = (0..active)
+            .map(|r| {
+                self.state
+                    .assignment
+                    .get(r)
+                    .map_or(0, |blocks| blocks.iter().map(|&b| block_weights[b as usize]).sum())
+            })
+            .collect();
+        let busy: Vec<f64> =
+            (0..active).map(|r| m.render_busy.get(r).copied().unwrap_or(0.0)).collect();
+        let rates = quantized_rates(&busy, &weights);
+        let blocks: Vec<(u32, u64)> =
+            (0..block_weights.len()).map(|b| (b as u32, block_weights[b])).collect();
+        let mut assignment = assign_capacity(&blocks, &rates);
+        assignment.resize(self.n_renderers, Vec::new());
+        ControlPlan {
+            epoch: self.state.epoch + 1,
+            apply_at,
+            active,
+            assignment,
+            input_width: self.state.input_width,
+        }
+    }
+}
+
+/// The committed assignment with a scripted-dead rank's blocks spread
+/// over the surviving active ranks: LPT on the dead rank's blocks
+/// (heaviest first, id ascending on ties), survivors keep their own
+/// blocks untouched. Every rank — senders and receivers alike — computes
+/// this overlay from the same committed state and the same shared fault
+/// schedule, so routing agrees with zero traffic. The overlay is
+/// *transient*: it never commits (the committed plan still names the
+/// dead rank), and it ends the tick the rank rejoins.
+pub fn overlay_assignment(
+    assignment: &[Vec<u32>],
+    active: usize,
+    dead: usize,
+    weights: &[u64],
+) -> Vec<Vec<u32>> {
+    let mut out = assignment.to_vec();
+    if dead >= out.len() {
+        return out;
+    }
+    let orphans = std::mem::take(&mut out[dead]);
+    let survivors: Vec<usize> = (0..active.min(out.len())).filter(|&r| r != dead).collect();
+    if survivors.is_empty() {
+        out[dead] = orphans; // nowhere to reroute: keep the plan as committed
+        return out;
+    }
+    let mut load: Vec<u64> =
+        survivors.iter().map(|&r| out[r].iter().map(|&b| weights[b as usize]).sum()).collect();
+    let mut order = orphans;
+    order.sort_by(|&a, &b| weights[b as usize].cmp(&weights[a as usize]).then(a.cmp(&b)));
+    for b in order {
+        let w = weights[b as usize];
+        let i = (0..survivors.len()).min_by_key(|&i| (load[i] + w, i)).unwrap();
+        load[i] += w;
+        out[survivors[i]].push(b);
+    }
+    for blocks in &mut out {
+        blocks.sort_unstable();
+    }
+    out
 }
 
 #[cfg(test)]
@@ -478,6 +568,63 @@ mod tests {
         // width is capped by the configured group size
         let m_huge = WindowMeasurement { send_busy: 100.0, ..m };
         assert_eq!(ctl.decide(&m_huge, &w, 2).unwrap().input_width, 4);
+    }
+
+    #[test]
+    fn admit_plan_grows_the_prefix_and_rebalances() {
+        let w = weights8();
+        // world of 3 render ranks with one parked spare: the epoch-0
+        // assignment carries an empty tail entry and active = 2
+        let spare_world = || {
+            let mut a = initial(2, &w).assignment;
+            a.push(Vec::new());
+            EpochState::with_active(a, 2, 1)
+        };
+        let ctl = Controller::new(ControlConfig::every(2), spare_world(), 1);
+        let m = WindowMeasurement {
+            render_busy: vec![1.0, 1.0],
+            input_busy: 1.0,
+            send_busy: 0.1,
+            steps: 2,
+        };
+        // spare join: active grows 2 → 3 and every rank owns work
+        let plan = ctl.admit_plan(&m, &w, 4, true);
+        assert_eq!(plan.epoch, 1);
+        assert_eq!(plan.apply_at, 4);
+        assert_eq!(plan.active, 3);
+        assert!((0..3).all(|r| !plan.assignment[r].is_empty()), "{:?}", plan.assignment);
+        let all: usize = plan.assignment.iter().map(Vec::len).sum();
+        assert_eq!(all, 8, "every block still owned exactly once");
+        // recovered-member join: membership unchanged, plan still forced
+        let readmit = ctl.admit_plan(&m, &w, 4, false);
+        assert_eq!(readmit.active, 2);
+        assert_eq!(readmit.epoch, 1);
+        // growth saturates at the world's renderer count
+        let mut ctl2 = Controller::new(ControlConfig::every(2), spare_world(), 1);
+        ctl2.commit(&plan);
+        assert_eq!(ctl2.admit_plan(&m, &w, 6, true).active, 3, "cannot grow past the world");
+    }
+
+    #[test]
+    fn overlay_reroutes_only_the_dead_ranks_blocks() {
+        let w = weights8();
+        let assignment = vec![vec![0u32, 1, 2], vec![3, 4, 5], vec![6, 7]];
+        let over = overlay_assignment(&assignment, 3, 1, &w);
+        assert!(over[1].is_empty(), "dead rank must own nothing: {over:?}");
+        let mut all: Vec<u32> = over.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8u32).collect::<Vec<_>>(), "blocks lost: {over:?}");
+        // survivors keep their committed blocks
+        for &b in &assignment[0] {
+            assert!(over[0].contains(&b));
+        }
+        for &b in &assignment[2] {
+            assert!(over[2].contains(&b));
+        }
+        // deterministic
+        assert_eq!(over, overlay_assignment(&assignment, 3, 1, &w));
+        // out-of-range dead rank is a no-op
+        assert_eq!(overlay_assignment(&assignment, 3, 9, &w), assignment);
     }
 
     #[test]

@@ -33,8 +33,8 @@ use quakeviz_render::{
 use quakeviz_rt::obs::{self, Obs, Phase, TraceData};
 use quakeviz_rt::wire::{self, Codec, WireClassStats, WireLedger, WireSpec};
 use quakeviz_rt::{
-    wait_all, Comm, FaultEvent, FaultPlan, FaultSpec, RecoveryStats, SendHandle, TagClass,
-    TrafficEdge, TrafficStats, World,
+    wait_all, Comm, FaultEvent, FaultPlan, FaultSpec, MembershipEvent, RecoveryStats, SendHandle,
+    TagClass, TrafficEdge, TrafficStats, World,
 };
 use quakeviz_seismic::Dataset;
 use std::collections::HashMap;
@@ -61,6 +61,12 @@ const TAG_CTL: u64 = 0x2800_0000_0000;
 /// Plan acks (participants → controller) and the commit broadcast back
 /// (controller → participants); src disambiguates the two directions.
 const TAG_CTLA: u64 = 0x2900_0000_0000;
+/// Rejoin handshake: a recovered (or spare) rank announces itself at its
+/// scripted join step. Non-elastic render/input joiners announce to
+/// their peers (who block on it before folding the rank back in);
+/// elastic joiners announce to the controller, which replies on the same
+/// tag with the plans committed while they were out.
+const TAG_JOIN: u64 = 0x2A00_0000_0000;
 
 /// Map the pipeline's wire tags to traffic-matrix classes (the runtime
 /// classifies its own collective traffic before consulting this).
@@ -69,7 +75,7 @@ fn classify_tag(tag: u64) -> TagClass {
         0x20 => TagClass::BlockData,
         0x21 => TagClass::LicImage,
         0x22 => TagClass::VolumeImage,
-        0x23..=0x29 => TagClass::Recovery,
+        0x23..=0x2a => TagClass::Recovery,
         _ => {
             if (0xc0de_0000..=0xc0de_ffff).contains(&tag) {
                 TagClass::Composite
@@ -355,6 +361,28 @@ fn decode_piece(
     };
     state.insert((src, piece.bid, piece.offset), (t, raw));
     Ingest::Data(payload)
+}
+
+/// Verify and decode one piece on the clean (no-fault-plan) path. No
+/// valid sender produces a failing piece here, but the receiver must not
+/// enforce that with a panic: a corrupt checksum, a stray missing
+/// marker, or an undecodable body comes back as `Err` for the caller to
+/// degrade — the block renders coarser and the run completes.
+fn ingest_clean(
+    codec: Codec,
+    piece: &WirePiece,
+    src: usize,
+    t: u32,
+    state: &mut DeltaMap,
+) -> Result<Payload, &'static str> {
+    if piece_checksum(piece) != piece.checksum {
+        return Err("checksum mismatch");
+    }
+    match decode_piece(codec, piece, src, t, state) {
+        Ingest::Data(p) => Ok(p),
+        Ingest::Missing(_) => Err("missing marker without a fault plan"),
+        Ingest::Reject(why) => Err(why),
+    }
 }
 
 /// An image payload on the wire: `Plain` keeps the zero-copy path for
@@ -750,8 +778,12 @@ struct Shared {
 /// output processor by mirroring the plan — converges on the same
 /// surviving rank set and the same recomputed block partition.
 struct RenderFailover {
-    /// The step from which the scripted rank is dead.
-    step: usize,
+    /// The world rank whose death the plan scripts. The *window* of that
+    /// death — which steps it covers, and whether it recurs after a
+    /// rejoin — is the fault plan's [`FaultPlan::rank_failed`] query, so
+    /// the failover state itself is step-free and reusable across every
+    /// window of the run's single scripted target.
+    rank: usize,
     /// Surviving render-group indices, ascending.
     live: Vec<usize>,
     /// The block partition recomputed over `live.len()` survivors with
@@ -781,9 +813,39 @@ impl Shared {
         Duration::from_millis(self.cfg.deadline_ms)
     }
 
-    /// The render failover epoch in force at step `t`, if any.
+    /// The liveness-detection deadline: how long heartbeat waits (input
+    /// groups, render peers, output supervision) block before declaring a
+    /// silent rank dead. Defaults to the delivery deadline.
+    fn hb_deadline(&self) -> Duration {
+        Duration::from_millis(self.cfg.heartbeat_timeout_ms.unwrap_or(self.cfg.deadline_ms))
+    }
+
+    /// The render failover epoch in force at step `t`, if any. Windowed:
+    /// a scripted `recover_rank` ends the epoch, reverting every derived
+    /// quantity (routing, frame source, checkpoint collection) to the
+    /// full-membership partition from the join step on.
     fn render_epoch(&self, t: usize) -> Option<&RenderFailover> {
-        self.render_failover.as_ref().filter(|f| t >= f.step)
+        self.render_failover
+            .as_ref()
+            .filter(|f| self.faults.as_ref().is_some_and(|p| p.rank_failed(f.rank, t)))
+    }
+
+    /// Under the elastic control plane, the render-group index scripted
+    /// dead at step `t` (windowed). Routing overlays its blocks onto the
+    /// survivors of the committed assignment while the window is open.
+    fn elastic_dead_renderer(&self, t: usize) -> Option<usize> {
+        self.cfg.control?;
+        let p = self.faults.as_ref()?;
+        let rank = p.membership_timeline().first()?.rank();
+        (rank >= self.n_inputs && rank < self.n_inputs + self.n_renderers && p.rank_failed(rank, t))
+            .then(|| rank - self.n_inputs)
+    }
+
+    /// The world rank scripted to rejoin exactly at step `t`, if any —
+    /// the deterministic mirror every peer uses to fold the joiner back
+    /// in at the same boundary.
+    fn rejoin_at(&self, t: usize) -> Option<usize> {
+        self.faults.as_ref().and_then(|p| p.rank_rejoins_at(t))
     }
 
     /// The block partition and surviving render-group indices routing
@@ -860,6 +922,32 @@ pub enum FaultConfigError {
     /// A render-rank death is only survivable with at least two
     /// rendering processors to re-partition the dead rank's blocks over.
     RenderNotSurvivable { rank: usize, step: usize },
+    /// `recover_rank` on the output processor: its supervisor takeover is
+    /// permanent (frame routing cannot hand back mid-run).
+    OutputRankRejoin { rank: usize, step: usize },
+    /// A `recover_rank` with no preceding kill is a spare-pool join and
+    /// needs the elastic control plane plus a configured spare pool.
+    SpareJoinNeedsSparePool { rank: usize, step: usize },
+    /// A spare join must target the first parked rank — the admit plan
+    /// grows the active prefix by one.
+    SpareJoinWrongRank { rank: usize, expected: usize },
+    /// A spare join must be the only membership event of the run; it
+    /// cannot be mixed with scripted kill windows.
+    SpareJoinNotAlone,
+    /// Under the elastic control plane a scripted kill must be a render
+    /// rank: the controller excludes it from ticks and re-admits it.
+    ElasticNonRenderTarget { rank: usize, step: usize },
+    /// The elastic two-phase commit needs every participant back: a kill
+    /// without a matching recovery would exclude the rank forever.
+    ElasticPermanentKill { rank: usize, step: usize },
+    /// Elastic kill windows are only supported under the rebalance-only
+    /// controller: resize/reshape change the communicator sequence while
+    /// the dormant rank cannot mirror it.
+    ElasticKillNeedsRebalanceOnly { rank: usize, step: usize },
+    /// Under the elastic control plane every `recover_rank` step must be
+    /// a controller tick: the joiner's handshake and the re-admission
+    /// commit land at the same boundary.
+    ElasticRecoverOffTick { step: usize, every: usize },
 }
 
 impl std::fmt::Display for FaultConfigError {
@@ -886,6 +974,56 @@ impl std::fmt::Display for FaultConfigError {
                 "fail_rank={rank}@{step} kills a rendering processor: failover \
                  needs at least 2 renderers so survivors can re-partition its \
                  blocks and recompute the SLIC schedule"
+            ),
+            FaultConfigError::OutputRankRejoin { rank, step } => write!(
+                f,
+                "recover_rank={rank}@{step} targets the output processor: its \
+                 render-root supervisor takeover is permanent, output-rank \
+                 rejoin is not supported"
+            ),
+            FaultConfigError::SpareJoinNeedsSparePool { rank, step } => write!(
+                f,
+                "recover_rank={rank}@{step} with no preceding fail_rank is a \
+                 spare-pool join: it needs the elastic control plane \
+                 (PipelineBuilder::elastic) and spare_renderers >= 1"
+            ),
+            FaultConfigError::SpareJoinWrongRank { rank, expected } => write!(
+                f,
+                "spare-pool join rank {rank} is not the first parked rank: the \
+                 admit plan grows the active prefix, so the joiner must be \
+                 world rank {expected}"
+            ),
+            FaultConfigError::SpareJoinNotAlone => write!(
+                f,
+                "a spare-pool join must be the run's only membership event — \
+                 it cannot be combined with scripted fail_rank windows"
+            ),
+            FaultConfigError::ElasticNonRenderTarget { rank, step } => write!(
+                f,
+                "fail_rank={rank}@{step}: under the elastic control plane only \
+                 rendering processors can be scripted dead (the controller \
+                 excludes them from ticks and re-admits them at the rejoin)"
+            ),
+            FaultConfigError::ElasticPermanentKill { rank, step } => write!(
+                f,
+                "the elastic control plane cannot run with a permanently \
+                 scripted rank failure (fail_rank={rank}@{step}): the \
+                 two-phase plan commit needs every participant back — add a \
+                 recover_rank=R@S clause at a later tick step"
+            ),
+            FaultConfigError::ElasticKillNeedsRebalanceOnly { rank, step } => write!(
+                f,
+                "fail_rank={rank}@{step} under an elastic controller with \
+                 resize/reshape enabled: kill windows are only supported with \
+                 the rebalance-only controller (the dormant rank cannot \
+                 mirror active-set regroups)"
+            ),
+            FaultConfigError::ElasticRecoverOffTick { step, every } => write!(
+                f,
+                "recover_rank step {step} is not a controller tick (every \
+                 {every} steps): under the elastic control plane a rejoin must \
+                 land on a tick so the re-admission plan commits at the same \
+                 boundary"
             ),
         }
     }
@@ -921,6 +1059,85 @@ fn validate_fail_rank(
     Ok(())
 }
 
+/// Validate a scripted membership timeline (kills and rejoins) against
+/// the world shape and the control-plane mode. The timeline arrives
+/// normalized (single target, alternating, strictly increasing steps).
+fn validate_membership(
+    config: &PipelineConfig,
+    n_inputs: usize,
+    steps: usize,
+    timeline: &[MembershipEvent],
+) -> Result<(), FaultConfigError> {
+    let Some(first) = timeline.first() else {
+        return Ok(());
+    };
+    let elastic = config.control.as_ref();
+    let output_rank = n_inputs + config.renderers + config.spare_renderers;
+    // a leading recovery is a spare-pool join: the rank never held live
+    // state, so the only thing to validate is the pool itself
+    if let MembershipEvent::Recover { rank, step } = *first {
+        if timeline.len() > 1 {
+            return Err(FaultConfigError::SpareJoinNotAlone);
+        }
+        let Some(ctl) = elastic.filter(|_| config.spare_renderers >= 1) else {
+            return Err(FaultConfigError::SpareJoinNeedsSparePool { rank, step });
+        };
+        let expected = n_inputs + config.renderers;
+        if rank != expected {
+            return Err(FaultConfigError::SpareJoinWrongRank { rank, expected });
+        }
+        if step >= steps {
+            return Err(FaultConfigError::StepOutOfRange { step, steps });
+        }
+        if !ctl.is_tick(step) {
+            return Err(FaultConfigError::ElasticRecoverOffTick { step, every: ctl.every });
+        }
+        return Ok(());
+    }
+    for ev in timeline {
+        match *ev {
+            MembershipEvent::Fail { rank, step } => {
+                validate_fail_rank(config, n_inputs, steps, rank, step)?;
+            }
+            MembershipEvent::Recover { rank, step } => {
+                if rank == output_rank {
+                    return Err(FaultConfigError::OutputRankRejoin { rank, step });
+                }
+                // unlike a kill, a recovery past the run's end is legal:
+                // the dormancy window simply stays open to the end — a
+                // `max_steps`-truncated run checkpoints mid-window and a
+                // resumed run carries the rejoin to its scripted tick
+                if let Some(ctl) = elastic {
+                    if !ctl.is_tick(step) {
+                        return Err(FaultConfigError::ElasticRecoverOffTick {
+                            step,
+                            every: ctl.every,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if let Some(ctl) = elastic {
+        let (rank, step) = (first.rank(), first.step());
+        if rank < n_inputs || rank >= n_inputs + config.renderers {
+            return Err(FaultConfigError::ElasticNonRenderTarget { rank, step });
+        }
+        if config.spare_renderers > 0 {
+            // kill windows and parked spares cannot share the heartbeat
+            // regroup machinery
+            return Err(FaultConfigError::SpareJoinNotAlone);
+        }
+        if ctl.resize || ctl.reshape {
+            return Err(FaultConfigError::ElasticKillNeedsRebalanceOnly { rank, step });
+        }
+        if let Some(MembershipEvent::Fail { rank, step }) = timeline.last() {
+            return Err(FaultConfigError::ElasticPermanentKill { rank: *rank, step: *step });
+        }
+    }
+    Ok(())
+}
+
 /// Resolve the run's fault plan: an explicit [`PipelineConfig::faults`]
 /// spec (validated hard, with a typed [`FaultConfigError`]), else
 /// `QUAKEVIZ_FAULTS` (sanitized: a scripted rank failure an arbitrary
@@ -941,16 +1158,21 @@ fn resolve_faults(
         },
     };
     // the elastic control plane's two-phase commit needs every
-    // participant alive to ack; a blanket env spec's rank kill is
-    // dropped rather than deadlocking the plan broadcast
+    // participant alive to ack; a blanket env spec's membership schedule
+    // is dropped rather than deadlocking the plan broadcast
     if from_env && config.control.is_some() {
         spec.fail_rank = None;
+        spec.rank_timeline.clear();
     }
-    if let Some((rank, step)) = spec.fail_rank {
-        let verdict = validate_fail_rank(config, n_inputs, steps, rank, step);
+    let timeline = spec.membership();
+    if !timeline.is_empty() {
+        let verdict = validate_membership(config, n_inputs, steps, &timeline);
         if from_env {
-            if verdict.is_err() || rank >= n_inputs {
+            // only input-group failover survives the blanket treatment:
+            // render/output kills and rejoins must be requested explicitly
+            if verdict.is_err() || timeline.iter().any(|e| e.rank() >= n_inputs) {
                 spec.fail_rank = None;
+                spec.rank_timeline.clear();
             }
         } else {
             verdict?;
@@ -986,8 +1208,9 @@ fn partition_for(
 /// resumed to the end must agree with the uninterrupted run's checkpoint.
 fn config_fingerprint(config: &PipelineConfig, level: u8, camera: &Camera) -> u64 {
     let desc = format!(
-        "{};{:?};{:?};{}x{};lvl{};blk{};l{}e{}lic{}q{}vb{}af{};{:?};{:?};{};{:?}",
+        "{}+{};{:?};{:?};{}x{};lvl{};blk{};l{}e{}lic{}q{}vb{}af{};{:?};{:?};{};{:?}",
         config.renderers,
+        config.spare_renderers,
         config.io,
         config.read,
         config.width,
@@ -1122,12 +1345,12 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
                     .into());
             }
         }
-        if config.faults.as_ref().is_some_and(|f| f.fail_rank.is_some()) {
-            return Err("elastic control plane cannot run with a scripted rank failure: \
-                 a dead rank would never acknowledge a plan proposal, so no plan could \
-                 ever commit"
-                .into());
-        }
+    }
+    if config.spare_renderers > 0 && config.control.is_none() {
+        return Err("spare rendering processors need the elastic control plane: a \
+             parked spare only joins the run through an admit plan committed at a \
+             controller tick"
+            .into());
     }
 
     let mesh = Arc::clone(dataset.mesh());
@@ -1169,18 +1392,26 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
     let ledger = Arc::new(WireLedger::new());
 
     // precompute the deterministic failover epochs the scripted plan
-    // implies, so every rank mirrors the same post-failure schedule
+    // implies, so every rank mirrors the same post-failure schedule. The
+    // first scripted kill shapes the epoch; `render_epoch` windows it by
+    // the full membership timeline.
+    let total_renderers = config.renderers + config.spare_renderers;
     let mut render_failover = None;
     let mut output_failover_step = None;
-    if let Some((rank, step)) = faults.as_ref().and_then(|p| p.spec().fail_rank) {
-        if rank == n_inputs + config.renderers {
+    let first_fail = faults.as_ref().and_then(|p| {
+        p.membership_timeline().iter().find_map(|e| match *e {
+            MembershipEvent::Fail { rank, step } => Some((rank, step)),
+            _ => None,
+        })
+    });
+    if let Some((rank, step)) = first_fail {
+        if rank == n_inputs + total_renderers {
             output_failover_step = Some(step);
         } else if rank >= n_inputs {
-            let live: Vec<usize> =
-                (0..config.renderers).filter(|&r| n_inputs + r != rank).collect();
+            let live: Vec<usize> = (0..total_renderers).filter(|&r| n_inputs + r != rank).collect();
             let partition =
                 partition_for(&mesh, &blocks, live.len(), &camera, level, config.view_balance);
-            render_failover = Some(RenderFailover { step, live, partition });
+            render_failover = Some(RenderFailover { rank, live, partition });
         }
     }
 
@@ -1190,7 +1421,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
             dataset.disk(),
             &config.checkpoint_path,
             fingerprint,
-            config.renderers,
+            total_renderers,
             mesh.node_count(),
             steps,
         )
@@ -1259,8 +1490,17 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
     let (elastic, block_weights) = match &config.control {
         None => (None, Vec::new()),
         Some(_) => {
-            let assignment: Vec<Vec<u32>> =
-                (0..config.renderers).map(|r| partition.blocks_of(r).to_vec()).collect();
+            // spares sit past the active prefix with empty assignments
+            // until an admit plan grows it
+            let assignment: Vec<Vec<u32>> = (0..total_renderers)
+                .map(|r| {
+                    if r < config.renderers {
+                        partition.blocks_of(r).to_vec()
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
             let input_width = match config.io {
                 IoStrategy::TwoDip { per_group, .. } => per_group,
                 _ => 1,
@@ -1275,7 +1515,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
                     }
                 })
                 .collect();
-            (Some(EpochState::initial(assignment, input_width)), weights)
+            (Some(EpochState::with_active(assignment, config.renderers, input_width)), weights)
         }
     };
 
@@ -1293,7 +1533,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
         level_ids,
         surface,
         n_inputs,
-        n_renderers: config.renderers,
+        n_renderers: total_renderers,
         opacity_unit: extent.max_component() / 64.0,
         faults,
         start_step,
@@ -1390,6 +1630,9 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> Result<Pipelin
                 ("recovery.migrated_frames", rec.migrated_frames),
                 ("recovery.prefetch_fallbacks", rec.prefetch_fallbacks),
                 ("recovery.controller_kills", rec.controller_kills),
+                ("recovery.rejoins", rec.rejoins),
+                ("recovery.catchup_plans", rec.catchup_plans),
+                ("recovery.catchup_fields", rec.catchup_fields),
             ] {
                 if n > 0 {
                     m.counter(name).add(n);
@@ -1882,8 +2125,23 @@ fn pack_batches(
     // state: the active render prefix and its block assignment replace
     // the static routing wholesale.
     let (partition, live) = s.routing(t);
+    // an elastic kill window overlays the dead prefix rank's blocks onto
+    // the committed assignment's survivors, capacity-aware, until the
+    // rejoin tick re-admits it
+    let overlay: Option<Vec<Vec<u32>>> = elastic.and_then(|e| {
+        s.elastic_dead_renderer(t).map(|dr| {
+            crate::control::overlay_assignment(&e.assignment, e.active, dr, &s.block_weights)
+        })
+    });
     let routes: Vec<(usize, &[u32])> = match elastic {
-        Some(e) => (0..e.active).map(|r| (s.n_inputs + r, e.assignment[r].as_slice())).collect(),
+        Some(e) => {
+            let assign: &[Vec<u32>] = overlay.as_deref().unwrap_or(&e.assignment);
+            let dead = s.elastic_dead_renderer(t);
+            (0..e.active)
+                .filter(|&r| Some(r) != dead)
+                .map(|r| (s.n_inputs + r, assign[r].as_slice()))
+                .collect()
+        }
         None => live
             .iter()
             .enumerate()
@@ -2046,7 +2304,7 @@ fn input_main(
 /// failure — and with it the heartbeat/failover protocol — is active.
 fn failover_group(me: usize, s: &Shared) -> Option<Vec<usize>> {
     let plan = s.faults.as_ref()?;
-    let (rank, _) = plan.spec().fail_rank?;
+    let rank = plan.membership_timeline().first()?.rank();
     if rank >= s.n_inputs {
         return None; // render/output kills don't concern the input groups
     }
@@ -2085,16 +2343,39 @@ fn heartbeat_and_slice(
     group: &[usize],
     dead: &mut Vec<usize>,
     t: usize,
+    joining: bool,
 ) -> (Option<(FetchPlan, Option<(NodeId, NodeId)>)>, bool) {
     let me = comm.rank();
     let _sp = obs::span(Phase::Heartbeat, t as u32);
+    // a member we declared dead whose scripted death window has closed
+    // rejoins here: block on its join announcement (it sends at its
+    // first owned live step — this same `t`, since 2DIP group members
+    // share their owned-step schedule), then treat it live again
+    if let Some(p) = &s.faults {
+        dead.retain(|&r| {
+            let rejoined = !p.rank_failed(r, t)
+                && p.membership_timeline().iter().any(
+                    |ev| matches!(*ev, MembershipEvent::Recover { rank, step } if rank == r && step <= t),
+                );
+            if rejoined {
+                let () = comm.recv(r, TAG_JOIN + t as u64);
+            }
+            !rejoined
+        });
+    }
     let peers: Vec<usize> =
         group.iter().copied().filter(|&r| r != me && !dead.contains(&r)).collect();
     for &r in &peers {
         comm.send_with_size(r, TAG_HB + t as u64, (), 8);
     }
     for &r in &peers {
-        if comm.try_recv_for::<()>(r, TAG_HB + t as u64, s.deadline()).is_none() {
+        // a joiner fast-forwarded through its dormancy window, so its
+        // peers may still be steps behind, burning detection timeouts —
+        // its first step back must block, not vote on liveness (the
+        // validated timeline guarantees the peers are alive)
+        if joining {
+            let () = comm.recv(r, TAG_HB + t as u64);
+        } else if comm.try_recv_for::<()>(r, TAG_HB + t as u64, s.hb_deadline()).is_none() {
             dead.push(r);
             if let Some(p) = &s.faults {
                 p.note_failover(r, t);
@@ -2186,11 +2467,37 @@ fn input_main_sync(
         IoStrategy::OneDip { .. } => 1,
     };
     let mut timings = Vec::with_capacity(plan.my_steps.len());
+    let mut was_dead = false;
     for &t in &plan.my_steps {
         // a scripted failure: this rank stops cold, mid-pipeline, with no
-        // farewell — survivors must *detect* it via heartbeat timeouts
+        // farewell — survivors must *detect* it via heartbeat timeouts. A
+        // death *window* (a scripted recovery later) keeps the thread
+        // parked in-loop, skipping every owned step, so the zip alignment
+        // with the group survives the outage.
         if s.faults.as_ref().is_some_and(|p| p.rank_failed(me, t)) {
+            if s.faults.as_ref().is_some_and(|p| p.recovers_later(me, t)) {
+                was_dead = true;
+                timings.push(InputStepTiming::default());
+                continue;
+            }
             break;
+        }
+        // first owned step back: announce on TAG_JOIN so the survivors
+        // fold this rank into the group at the same boundary, and reset
+        // the send-delta state — the first sends back are natural
+        // keyframes, never deltas against pre-death receiver state
+        let joining = std::mem::take(&mut was_dead);
+        if joining {
+            if let Some(g) = &group {
+                for &r in g.iter().filter(|&&r| r != me) {
+                    comm.send_with_size(r, TAG_JOIN + t as u64, (), 8);
+                }
+            }
+            if let Some(p) = &s.faults {
+                p.note_rejoin();
+            }
+            dead.clear();
+            delta.clear();
         }
         // catch up on the epoch clock before this step's routing decisions
         input_ticks(comm, s, &mut elastic, &mut delta, &mut tick_cursor, t);
@@ -2205,7 +2512,7 @@ fn input_main_sync(
             continue;
         }
         let (fetch_override, lead) = match &group {
-            Some(g) => heartbeat_and_slice(comm, s, g, &mut dead, t),
+            Some(g) => heartbeat_and_slice(comm, s, g, &mut dead, t, joining),
             None => {
                 if width < per_group {
                     (Some(member_fetch(s, plan.member, width)), plan.member == 0)
@@ -2389,6 +2696,31 @@ fn write_field_snapshot(s: &Shared, rr: usize, t: usize, field: &NodeField) -> (
     (rr as u32, ck)
 }
 
+/// Best-effort warm start for a rejoining render rank: its own field
+/// snapshot from the latest committed checkpoint, if one exists and
+/// verifies. Any failure — no checkpointing configured, no manifest yet,
+/// checksum or shape mismatch — just means rendering resumes from zeros
+/// until the next data receive refreshes the owned blocks.
+fn catchup_field(s: &Shared, rr: usize) -> Option<Vec<f32>> {
+    use crate::checkpoint::{self, CheckpointManifest};
+    s.cfg.checkpoint_every?;
+    let base = &s.cfg.checkpoint_path;
+    let mpath = checkpoint::manifest_path(base);
+    let (bytes, _) = s.disk.read_full(&mpath).ok()?;
+    let manifest = CheckpointManifest::decode(&bytes, &mpath).ok()?;
+    if manifest.fingerprint != s.fingerprint {
+        return None;
+    }
+    let (_, ck) = manifest.fields.iter().find(|&&(r, _)| r as usize == rr).copied()?;
+    let fpath = checkpoint::field_path(base, manifest.next_step, rr);
+    let (fbytes, _) = s.disk.read_full(&fpath).ok()?;
+    if checkpoint::field_checksum(&fbytes) != ck {
+        return None;
+    }
+    let (_, values) = checkpoint::decode_field(&fbytes, &fpath).ok()?;
+    (values.len() == s.mesh.node_count()).then_some(values)
+}
+
 /// Commit the checkpoint after step `t` at the frame assembler: collect
 /// the live render ranks' acknowledgements (each sent only after its
 /// snapshot hit the file system), write the manifest *last*, then prune
@@ -2489,27 +2821,99 @@ fn render_main(
     let mut rx_delta = DeltaMap::new();
 
     // elastic control-plane state: epoch 0, or a resumed run's replayed
-    // plan history. Every committed plan regroups the active render
-    // prefix — every render rank calls group() in lockstep (non-members
-    // get None back), so the derived communicator ids agree without any
-    // global coordination.
+    // plan history. A committed plan regroups the active render prefix
+    // only when the prefix actually *changes* — every render rank calls
+    // group() in lockstep (non-members get None back), so the derived
+    // communicator ids agree without any global coordination, and a
+    // rank dormant through rebalance-only commits misses no group()
+    // call (which is what makes rejoin possible at all).
     let ctl_rank = s.n_inputs + s.n_renderers;
     let mut epoch_state = s.elastic.clone();
     let mut elastic_comm: Option<Comm> = None;
+    let mut grouped_active = s.n_renderers;
     if let Some(e) = epoch_state.as_mut() {
-        for p in &s.resume_plans {
-            e.apply(p);
+        // a spare world starts with a parked tail: group the initial
+        // active prefix before any plan history
+        if e.active != grouped_active {
             let members: Vec<usize> = (s.n_inputs..s.n_inputs + e.active).collect();
             elastic_comm = comm.group(&members);
+            grouped_active = e.active;
+        }
+        for p in &s.resume_plans {
+            e.apply(p);
+            if e.active != grouped_active {
+                let members: Vec<usize> = (s.n_inputs..s.n_inputs + e.active).collect();
+                elastic_comm = comm.group(&members);
+                grouped_active = e.active;
+            }
         }
     }
 
     let nblocks = s.blocks.len();
     for t in s.start_step..s.steps {
         // a scripted failure: this rank stops cold, mid-pipeline, with no
-        // farewell — survivors must *detect* it via heartbeat timeouts
+        // farewell — survivors must *detect* it via heartbeat timeouts. A
+        // death *window* (a scripted recovery later) keeps the thread
+        // parked in-loop: silent, calling no collectives, until rejoin.
         if s.faults.as_ref().is_some_and(|p| p.rank_failed(me, t)) {
+            if s.faults.as_ref().is_some_and(|p| p.recovers_later(me, t)) {
+                continue;
+            }
             break;
+        }
+        // scheduled rejoin boundary: announce over TAG_JOIN, warm-start
+        // from the latest checkpointed field, and revert to the
+        // full-membership epoch. An elastic joiner (recovered member or
+        // parked spare) announces to the controller and replays the
+        // missed plan history with this step's tick; a non-elastic
+        // joiner announces to its render peers, who block on it.
+        let mut pending_catchup = false;
+        let joining = s.rejoin_at(t) == Some(me);
+        if joining {
+            let _sp = obs::span(Phase::Heartbeat, t as u32);
+            if epoch_state.is_some() {
+                comm.send_with_size(ctl_rank, TAG_JOIN + t as u64, (), 8);
+                pending_catchup = true;
+            } else {
+                for r in (s.n_inputs..s.n_inputs + s.n_renderers).filter(|&r| r != me) {
+                    comm.send_with_size(r, TAG_JOIN + t as u64, (), 8);
+                }
+            }
+            if let Some(p) = &s.faults {
+                p.note_rejoin();
+            }
+            if let Some(values) = catchup_field(s, rr) {
+                field = NodeField::new(values);
+                if let Some(p) = &s.faults {
+                    p.note_catchup_field();
+                }
+            }
+            // receive-delta state resets: the senders keyframe on the
+            // rebuilt full-set routes (their delta keys for this window
+            // differ from the full-partition keys, so the join epoch
+            // starts from natural keyframes either way)
+            rx_delta.clear();
+            live_world = (s.n_inputs..s.n_inputs + s.n_renderers).collect();
+            failover_comm = None;
+            my_virtual = rr;
+            cur_partition = &s.partition;
+        } else if let Some(j) =
+            s.rejoin_at(t).filter(|&j| j != me && j >= s.n_inputs && j < s.n_inputs + s.n_renderers)
+        {
+            // fold the scheduled joiner back in before this step's
+            // heartbeats: non-elastic peers block on its announcement,
+            // elastic peers just mirror the plan (the controller
+            // handshake carries the catch-up)
+            if epoch_state.is_none() {
+                let () = comm.recv(j, TAG_JOIN + t as u64);
+            }
+            if !live_world.contains(&j) {
+                live_world.push(j);
+                live_world.sort_unstable();
+            }
+            failover_comm = None;
+            my_virtual = rr;
+            cur_partition = &s.partition;
         }
         if hb_active {
             let _sp = obs::span(Phase::Heartbeat, t as u32);
@@ -2519,7 +2923,15 @@ fn render_main(
             }
             let mut newly_dead = false;
             for &r in &peers {
-                if comm.try_recv_for::<()>(r, TAG_HBR + t as u64, s.deadline()).is_none() {
+                // a joiner fast-forwarded through its dormancy window,
+                // so its peers may still be steps behind, burning
+                // detection timeouts — its first step back must block,
+                // not vote on liveness (the validated timeline
+                // guarantees the peers are alive)
+                if joining {
+                    let () = comm.recv(r, TAG_HBR + t as u64);
+                } else if comm.try_recv_for::<()>(r, TAG_HBR + t as u64, s.hb_deadline()).is_none()
+                {
                     live_world.retain(|&x| x != r);
                     newly_dead = true;
                     if let Some(p) = &s.faults {
@@ -2527,7 +2939,7 @@ fn render_main(
                     }
                 }
             }
-            if newly_dead {
+            if newly_dead && epoch_state.is_none() {
                 // every survivor reaches this point at the same step with
                 // the same member list: the new communicator ids agree
                 failover_comm = comm.group(&live_world);
@@ -2535,13 +2947,19 @@ fn render_main(
                 my_virtual =
                     f.live.iter().position(|&l| s.n_inputs + l == me).expect("I am a survivor");
                 cur_partition = &f.partition;
+            } else if newly_dead {
+                // elastic kill window: survivors regroup for compositing
+                // but keep the committed assignment (overlaid below) —
+                // the epoch clock, not the static partition, owns routing
+                failover_comm = comm.group(&live_world);
             }
         }
         if s.output_failover_step.is_some() && me == s.n_inputs && !output_dead {
             // output supervision: the render root waits for the output
             // processor's heartbeat and assumes assembly on silence
             let _sp = obs::span(Phase::Heartbeat, t as u32);
-            if comm.try_recv_for::<u64>(output_rank, TAG_HBO + t as u64, s.deadline()).is_none() {
+            if comm.try_recv_for::<u64>(output_rank, TAG_HBO + t as u64, s.hb_deadline()).is_none()
+            {
                 output_dead = true;
                 if let Some(p) = &s.faults {
                     p.note_output_failover(output_rank, t);
@@ -2554,6 +2972,21 @@ fn render_main(
         // the senders' forced keyframes on the (possibly new) routes.
         if s.control_tick(t) {
             let _sp = obs::span(Phase::Control, t as u32);
+            if std::mem::take(&mut pending_catchup) {
+                // the controller's reply to this rank's TAG_JOIN: every
+                // plan committed during the death window, replayed before
+                // the tick so the re-admission proposal applies to the
+                // same epoch everywhere (rebalance-only is guaranteed by
+                // validation, so no group() call was missed)
+                let missed: Vec<ControlPlan> = comm.recv(ctl_rank, TAG_JOIN + t as u64);
+                let e = epoch_state.as_mut().expect("rejoin catch-up without elastic state");
+                for p in &missed {
+                    e.apply(p);
+                }
+                if let Some(p) = &s.faults {
+                    p.note_catchup_plans(missed.len() as u64);
+                }
+            }
             let proposal: Option<ControlPlan> = comm.recv(ctl_rank, TAG_CTL + t as u64);
             if let Some(plan) = proposal {
                 comm.send_with_size(ctl_rank, TAG_CTLA + t as u64, (), 8);
@@ -2561,8 +2994,11 @@ fn render_main(
                 if committed {
                     let e = epoch_state.as_mut().expect("control tick without elastic state");
                     e.apply(&plan);
-                    let members: Vec<usize> = (s.n_inputs..s.n_inputs + e.active).collect();
-                    elastic_comm = comm.group(&members);
+                    if e.active != grouped_active {
+                        let members: Vec<usize> = (s.n_inputs..s.n_inputs + e.active).collect();
+                        elastic_comm = comm.group(&members);
+                        grouped_active = e.active;
+                    }
                     rx_delta.clear();
                     if let Some(tier) = &s.cache {
                         tier.flush_for_commit(t as u32);
@@ -2582,8 +3018,16 @@ fn render_main(
             continue;
         }
         let active = elastic_comm.as_ref().or(failover_comm.as_ref()).unwrap_or(render_comm);
+        // an elastic kill window overlays the dead rank's blocks onto the
+        // committed assignment's survivors — the same overlay the input
+        // side routes by — until the rejoin tick re-admits it
+        let overlay: Option<Vec<Vec<u32>>> = epoch_state.as_ref().and_then(|e| {
+            s.elastic_dead_renderer(t).map(|dr| {
+                crate::control::overlay_assignment(&e.assignment, e.active, dr, &s.block_weights)
+            })
+        });
         let my_blocks: &[u32] = match epoch_state.as_ref() {
-            Some(e) => &e.assignment[rr],
+            Some(e) => overlay.as_ref().map_or(e.assignment[rr].as_slice(), |o| o[rr].as_slice()),
             None => cur_partition.blocks_of(my_virtual),
         };
 
@@ -2613,28 +3057,26 @@ fn render_main(
                     let t0 = Instant::now();
                     let _dec_sp = obs::auto_span(Phase::Decode, t as u32);
                     for piece in batch {
-                        assert_eq!(
-                            piece_checksum(&piece),
-                            piece.checksum,
-                            "block data corrupted in transit without a fault plan"
-                        );
-                        // every clean-path piece decodes: the sender only
-                        // deltas against payloads this receiver ingested
-                        let payload =
-                            match decode_piece(codec, &piece, src, t as u32, &mut rx_delta) {
-                                Ingest::Data(p) => p,
-                                Ingest::Missing(_) => {
-                                    unreachable!("missing block data without a fault plan")
+                        match ingest_clean(codec, &piece, src, t as u32, &mut rx_delta) {
+                            Ok(payload) => {
+                                let ids = &s.ids_per_block[piece.bid as usize];
+                                for k in 0..payload.len() {
+                                    field.set(
+                                        ids[piece.offset as usize + k],
+                                        payload.get(k, s.vmag_max),
+                                    );
                                 }
-                                Ingest::Reject(why) => {
-                                    unreachable!(
-                                        "undecodable block data without a fault plan: {why}"
-                                    )
+                            }
+                            Err(why) => {
+                                // a piece no valid sender produces: count
+                                // it and degrade the block rather than
+                                // aborting the whole run
+                                session.metrics().counter("recovery.clean_path_rejects").inc();
+                                eprintln!("rank {me}: clean-path ingest reject at step {t}: {why}");
+                                if let Err(i) = degraded.binary_search(&piece.bid) {
+                                    degraded.insert(i, piece.bid);
                                 }
-                            };
-                        let ids = &s.ids_per_block[piece.bid as usize];
-                        for k in 0..payload.len() {
-                            field.set(ids[piece.offset as usize + k], payload.get(k, s.vmag_max));
+                            }
                         }
                     }
                     s.ledger.record_decode(TagClass::BlockData, t0.elapsed().as_nanos() as u64);
@@ -2920,7 +3362,7 @@ fn measure_window(session: &Arc<Obs>, s: &Shared, lo: usize, hi: usize) -> Windo
 }
 
 fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> RankResult {
-    let me = s.n_inputs + s.cfg.renderers;
+    let me = s.n_inputs + s.n_renderers;
     let mut frames = Vec::new();
     let mut done_at = Vec::with_capacity(s.steps);
     let mut degraded: Vec<Vec<Degradation>> = Vec::with_capacity(s.steps);
@@ -2971,20 +3413,57 @@ fn output_main(comm: &Comm, session: &Arc<Obs>, s: &Shared, start: Instant) -> R
                     let _sp = obs::span(Phase::Control, t as u32);
                     let lo = t.saturating_sub(ctl.cfg.every).max(s.start_step);
                     let m = measure_window(session, s, lo, t);
-                    let proposal = ctl.decide(&m, &s.block_weights, t as u32);
+                    // a rejoin scheduled at this tick: consume the
+                    // joiner's announcement, reply with the plans it
+                    // missed, and force a capacity-aware re-admission
+                    // plan (grown by one for a spare-pool join) instead
+                    // of the free decision
+                    let proposal = if let Some(j) = s.rejoin_at(t) {
+                        let () = comm.recv(j, TAG_JOIN + t as u64);
+                        let since = s
+                            .faults
+                            .as_ref()
+                            .and_then(|p| {
+                                p.membership_timeline().iter().rev().find_map(|ev| match *ev {
+                                    MembershipEvent::Fail { step, .. } if step < t => Some(step),
+                                    _ => None,
+                                })
+                            })
+                            .unwrap_or(usize::MAX); // spare join: missed nothing
+                                                    // a resumed joiner already replayed the
+                                                    // checkpointed history — only ship plans it
+                                                    // could not have seen
+                        let lo = since.max(s.start_step);
+                        let missed: Vec<ControlPlan> = ctl
+                            .history
+                            .iter()
+                            .filter(|c| (c.apply_at as usize) >= lo && (c.apply_at as usize) < t)
+                            .cloned()
+                            .collect();
+                        comm.send_with_size(j, TAG_JOIN + t as u64, missed, 64);
+                        let grow = s.faults.as_ref().is_some_and(|p| p.spare_join().is_some());
+                        Some(ctl.admit_plan(&m, &s.block_weights, t as u32, grow))
+                    } else {
+                        ctl.decide(&m, &s.block_weights, t as u32)
+                    };
                     session.metrics().counter("control.ticks").inc();
-                    let participants = 0..s.n_inputs + s.n_renderers;
-                    for p in participants.clone() {
+                    // participants exclude ranks scripted dead at this
+                    // tick: a dormant rank neither acks nor applies — it
+                    // catches up through the join handshake instead
+                    let participants: Vec<usize> = (0..s.n_inputs + s.n_renderers)
+                        .filter(|&p| !s.faults.as_ref().is_some_and(|f| f.rank_failed(p, t)))
+                        .collect();
+                    for &p in &participants {
                         comm.send_with_size(p, TAG_CTL + t as u64, proposal.clone(), 64);
                     }
                     if let Some(plan) = proposal {
                         // two-phase commit: every participant acks the
                         // proposal before anyone is told to apply it — a
                         // plan that fails to ack commits nowhere
-                        for p in participants.clone() {
+                        for &p in &participants {
                             comm.recv::<()>(p, TAG_CTLA + t as u64);
                         }
-                        for p in participants {
+                        for &p in &participants {
                             comm.send_with_size(p, TAG_CTLA + t as u64, true, 1);
                         }
                         ctl.commit(&plan);
@@ -3419,5 +3898,106 @@ mod tests {
             .run()
             .expect("pipeline");
         assert_eq!(report.frames.len(), 4);
+    }
+
+    /// A well-formed piece round-trips through the clean receive path.
+    #[test]
+    fn ingest_clean_accepts_a_valid_piece() {
+        let spec = WireSpec::parse("rle").unwrap();
+        let payload = Payload::F32(vec![0.25, 0.5, 0.75, 1.0]);
+        let mut tx = DeltaMap::new();
+        let piece = pack_piece(
+            &spec,
+            spec.codec_for(TagClass::BlockData),
+            (3, 7, 0),
+            &payload,
+            1,
+            &mut tx,
+            true,
+        );
+        let mut rx = DeltaMap::new();
+        let got = ingest_clean(spec.codec_for(TagClass::BlockData), &piece, 0, 1, &mut rx)
+            .expect("valid piece ingests");
+        assert_eq!(got.raw_bytes(), payload.raw_bytes());
+    }
+
+    /// Regression: a corrupt body on the *clean* path (no fault plan) used
+    /// to trip the receive-side `expect` — it must come back as a typed
+    /// rejection the caller degrades on, never a panic.
+    #[test]
+    fn ingest_clean_rejects_corruption_instead_of_panicking() {
+        let spec = WireSpec::parse("rle").unwrap();
+        let payload = Payload::F32(vec![0.25, 0.5, 0.75, 1.0]);
+        let mut tx = DeltaMap::new();
+        let mut piece = pack_piece(
+            &spec,
+            spec.codec_for(TagClass::BlockData),
+            (3, 7, 0),
+            &payload,
+            1,
+            &mut tx,
+            true,
+        );
+        piece.body[0] ^= 0x40;
+        let mut rx = DeltaMap::new();
+        let err =
+            ingest_clean(spec.codec_for(TagClass::BlockData), &piece, 0, 1, &mut rx).unwrap_err();
+        assert_eq!(err, "checksum mismatch");
+        assert!(rx.is_empty(), "a rejected piece must not advance receiver delta state");
+    }
+
+    /// Regression: a missing marker is fault-plan bookkeeping — arriving
+    /// without a plan it is rejected, not ingested and not a panic.
+    #[test]
+    fn ingest_clean_rejects_stray_missing_marker() {
+        let spec = WireSpec::parse("raw").unwrap();
+        let mut tx = DeltaMap::new();
+        let piece = pack_piece(
+            &spec,
+            spec.codec_for(TagClass::BlockData),
+            (3, 7, 0),
+            &Payload::Missing(16),
+            1,
+            &mut tx,
+            true,
+        );
+        let mut rx = DeltaMap::new();
+        let err =
+            ingest_clean(spec.codec_for(TagClass::BlockData), &piece, 0, 1, &mut rx).unwrap_err();
+        assert_eq!(err, "missing marker without a fault plan");
+    }
+
+    /// Regression: a delta piece whose base the receiver never decoded
+    /// (e.g. state cleared at a rejoin boundary) is a typed rejection.
+    #[test]
+    fn ingest_clean_rejects_delta_with_unavailable_base() {
+        let spec = WireSpec::parse("rle,delta,keyframe=4").unwrap();
+        let payload = Payload::F32(vec![0.25, 0.5, 0.75, 1.0]);
+        let mut tx = DeltaMap::new();
+        // step 1 primes the sender lane, step 2 emits a true delta piece
+        let _ = pack_piece(
+            &spec,
+            spec.codec_for(TagClass::BlockData),
+            (3, 7, 0),
+            &payload,
+            1,
+            &mut tx,
+            true,
+        );
+        let next = Payload::F32(vec![0.5, 0.5, 0.75, 1.5]);
+        let piece = pack_piece(
+            &spec,
+            spec.codec_for(TagClass::BlockData),
+            (3, 7, 0),
+            &next,
+            2,
+            &mut tx,
+            true,
+        );
+        assert_ne!(piece.base_step, KEYFRAME, "step 2 must actually delta");
+        let mut rx = DeltaMap::new();
+        let err =
+            ingest_clean(spec.codec_for(TagClass::BlockData), &piece, 0, 2, &mut rx).unwrap_err();
+        assert_eq!(err, "delta base unavailable");
     }
 }

@@ -17,6 +17,13 @@
 //! send_drop=0.02,send_delay=0.05,delay_ms=10,wire_corrupt=0.01,fail_rank=1@2
 //! ```
 //!
+//! Rank death need not be permanent: `recover_rank=R@S` is the dual of
+//! `fail_rank` — the dead rank rejoins the run at step `S`. Repeated
+//! `fail_rank`/`recover_rank` clauses for one rank form a *membership
+//! timeline* (alternating fail/recover at strictly increasing steps), and
+//! a `recover_rank` with no preceding `fail_rank` scripts a spare-pool
+//! join: a rank that never held state announces itself at `S`.
+//!
 //! Injection happens at two layers: the virtual parallel file system
 //! (`quakeviz-parfs`) consults [`FaultPlan::read_fault`] per read attempt,
 //! and the communication runtime ([`crate::Comm`]) consults
@@ -53,9 +60,19 @@ pub struct FaultSpec {
     /// Probability a lossy send's payload is corrupted in flight (one bit
     /// flip, caught by the receiver's per-piece checksum).
     pub wire_corrupt: f64,
-    /// `(rank, step)`: world `rank` permanently fails at `step` — it stops
-    /// participating and its 2DIP group reassigns its slice to survivors.
+    /// `(rank, step)`: world `rank` fails at `step` — it stops
+    /// participating and its group reassigns its work to survivors. This
+    /// is the *first* scripted kill; the full fail/recover history lives
+    /// in [`FaultSpec::rank_timeline`]. Without a matching `recover_rank`
+    /// the death is permanent.
     pub fail_rank: Option<(usize, usize)>,
+    /// The scripted membership timeline of the run's single fail/recover
+    /// target rank, sorted by step: alternating [`MembershipEvent::Fail`]
+    /// / [`MembershipEvent::Recover`] entries at strictly increasing
+    /// steps. Empty when no membership fault is scripted (a bare
+    /// `fail_rank` set directly on the struct still works — queries fall
+    /// back to it).
+    pub rank_timeline: Vec<MembershipEvent>,
     /// Step at which the elastic controller (hosted on the output rank)
     /// permanently stops issuing rebalance plans. The schedule is shared
     /// state, so every rank mirrors the kill deterministically: control
@@ -72,6 +89,42 @@ pub struct FaultSpec {
     /// serves the remaining steps synchronously, counted per step as
     /// `recovery.prefetch_fallbacks`; a no-op on the synchronous runtime.
     pub fail_prefetch: Option<usize>,
+}
+
+/// Parse a `rank@step` value for `key`.
+fn rank_at_step(key: &str, value: &str) -> Result<(usize, usize), String> {
+    let (r, t) = value
+        .split_once('@')
+        .ok_or_else(|| format!("fault spec {key}: want rank@step, got {value:?}"))?;
+    let rank = r.parse().map_err(|_| format!("fault spec {key}: bad rank {r:?}"))?;
+    let step = t.parse().map_err(|_| format!("fault spec {key}: bad step {t:?}"))?;
+    Ok((rank, step))
+}
+
+/// One scripted membership event: the target rank leaves or rejoins the
+/// run at a step boundary. Parsed from `fail_rank=R@S` / `recover_rank=R@S`
+/// clauses; see [`FaultSpec::rank_timeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipEvent {
+    /// Rank `rank` goes silent from step `step` on.
+    Fail { rank: usize, step: usize },
+    /// Rank `rank` rejoins at step `step` (a spare-pool join when no
+    /// `Fail` precedes it).
+    Recover { rank: usize, step: usize },
+}
+
+impl MembershipEvent {
+    pub fn rank(self) -> usize {
+        match self {
+            MembershipEvent::Fail { rank, .. } | MembershipEvent::Recover { rank, .. } => rank,
+        }
+    }
+
+    pub fn step(self) -> usize {
+        match self {
+            MembershipEvent::Fail { step, .. } | MembershipEvent::Recover { step, .. } => step,
+        }
+    }
 }
 
 impl FaultSpec {
@@ -117,14 +170,12 @@ impl FaultSpec {
                 }
                 "wire_corrupt" => spec.wire_corrupt = prob(value)?,
                 "fail_rank" => {
-                    let (r, t) = value.split_once('@').ok_or_else(|| {
-                        format!("fault spec fail_rank: want rank@step, got {value:?}")
-                    })?;
-                    let rank =
-                        r.parse().map_err(|_| format!("fault spec fail_rank: bad rank {r:?}"))?;
-                    let step =
-                        t.parse().map_err(|_| format!("fault spec fail_rank: bad step {t:?}"))?;
-                    spec.fail_rank = Some((rank, step));
+                    let (rank, step) = rank_at_step("fail_rank", value)?;
+                    spec.rank_timeline.push(MembershipEvent::Fail { rank, step });
+                }
+                "recover_rank" => {
+                    let (rank, step) = rank_at_step("recover_rank", value)?;
+                    spec.rank_timeline.push(MembershipEvent::Recover { rank, step });
                 }
                 "fail_controller" => {
                     let step = value
@@ -154,7 +205,76 @@ impl FaultSpec {
                 _ => return Err(format!("fault spec: unknown key {key:?}")),
             }
         }
+        spec.finish_timeline()?;
         Ok(spec)
+    }
+
+    /// Sort and validate the membership timeline: one target rank,
+    /// strictly increasing steps, alternating fail/recover (a leading
+    /// recover is a spare-pool join). Mirrors the first kill into the
+    /// compatibility field [`FaultSpec::fail_rank`].
+    fn finish_timeline(&mut self) -> Result<(), String> {
+        if self.rank_timeline.is_empty() {
+            return Ok(());
+        }
+        self.rank_timeline.sort_by_key(|e| e.step());
+        let target = self.rank_timeline[0].rank();
+        let mut dead = false;
+        let mut prev: Option<usize> = None;
+        for (i, ev) in self.rank_timeline.iter().enumerate() {
+            if ev.rank() != target {
+                return Err(format!(
+                    "fault spec: fail_rank/recover_rank timeline supports a single target \
+                     rank (got ranks {target} and {})",
+                    ev.rank()
+                ));
+            }
+            if prev.is_some_and(|p| ev.step() <= p) {
+                return Err(format!(
+                    "fault spec: membership events of rank {target} must have strictly \
+                     increasing steps (step {} repeats or regresses)",
+                    ev.step()
+                ));
+            }
+            prev = Some(ev.step());
+            match ev {
+                MembershipEvent::Fail { step, .. } => {
+                    if dead {
+                        return Err(format!(
+                            "fault spec: fail_rank={target}@{step} but the rank is already \
+                             dead — insert a recover_rank first"
+                        ));
+                    }
+                    dead = true;
+                }
+                MembershipEvent::Recover { step, .. } => {
+                    if !dead && i > 0 {
+                        return Err(format!(
+                            "fault spec: recover_rank={target}@{step} but the rank is \
+                             already alive"
+                        ));
+                    }
+                    dead = false;
+                }
+            }
+        }
+        self.fail_rank = self.rank_timeline.iter().find_map(|e| match *e {
+            MembershipEvent::Fail { rank, step } => Some((rank, step)),
+            MembershipEvent::Recover { .. } => None,
+        });
+        Ok(())
+    }
+
+    /// The effective membership timeline: the explicit one, or the bare
+    /// compatibility `fail_rank` as a single permanent kill.
+    pub fn membership(&self) -> Vec<MembershipEvent> {
+        if !self.rank_timeline.is_empty() {
+            return self.rank_timeline.clone();
+        }
+        self.fail_rank
+            .map(|(rank, step)| MembershipEvent::Fail { rank, step })
+            .into_iter()
+            .collect()
     }
 
     /// The spec from `QUAKEVIZ_FAULTS`; `None` when unset, empty or `0`.
@@ -290,6 +410,16 @@ pub struct RecoveryStats {
     /// Scripted elastic-controller kills observed (at most 1): the
     /// pipeline froze on its last committed epoch from that step on.
     pub controller_kills: u64,
+    /// Ranks folded back into the run over the `TAG_JOIN` handshake
+    /// (recovered dead ranks and spare-pool joins alike), one count per
+    /// completed join announcement.
+    pub rejoins: u64,
+    /// Committed control plans a joiner replayed from the controller's
+    /// history to catch up on epochs it slept through.
+    pub catchup_plans: u64,
+    /// Checkpointed field snapshots a joiner restored from parfs on
+    /// rejoin (warm-start; at most one per rejoin).
+    pub catchup_fields: u64,
 }
 
 // distinct salts per decision kind so e.g. transient and corrupt rolls at
@@ -307,6 +437,9 @@ const SALT_BIT: u64 = 0x6269_7470_6963_6b31;
 /// ranks of a pipeline run.
 pub struct FaultPlan {
     spec: FaultSpec,
+    /// Normalized membership timeline (see [`FaultSpec::membership`]),
+    /// computed once so per-step queries never allocate.
+    timeline: Vec<MembershipEvent>,
     events: Mutex<Vec<FaultEvent>>,
     counts: [AtomicU64; FaultKind::COUNT],
     read_retries: AtomicU64,
@@ -322,11 +455,15 @@ pub struct FaultPlan {
     migrated_frames: AtomicU64,
     prefetch_fallbacks: AtomicU64,
     controller_kills: AtomicU64,
+    rejoins: AtomicU64,
+    catchup_plans: AtomicU64,
+    catchup_fields: AtomicU64,
 }
 
 impl FaultPlan {
     pub fn new(spec: FaultSpec) -> Arc<FaultPlan> {
         Arc::new(FaultPlan {
+            timeline: spec.membership(),
             spec,
             events: Mutex::new(Vec::new()),
             counts: [const { AtomicU64::new(0) }; FaultKind::COUNT],
@@ -343,6 +480,9 @@ impl FaultPlan {
             migrated_frames: AtomicU64::new(0),
             prefetch_fallbacks: AtomicU64::new(0),
             controller_kills: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+            catchup_plans: AtomicU64::new(0),
+            catchup_fields: AtomicU64::new(0),
         })
     }
 
@@ -456,10 +596,54 @@ impl FaultPlan {
         None
     }
 
-    /// Whether world rank `rank` is scripted dead at `step` (death is
-    /// permanent: failed from its fail step onwards).
+    /// Whether world rank `rank` is scripted dead at `step`: the last
+    /// membership event at or before `step` is a kill. A bare `fail_rank`
+    /// with no recovery keeps the original permanent-death semantics.
     pub fn rank_failed(&self, rank: usize, step: usize) -> bool {
-        matches!(self.spec.fail_rank, Some((r, s)) if r == rank && step >= s)
+        let mut dead = false;
+        for ev in &self.timeline {
+            if ev.rank() == rank && ev.step() <= step {
+                dead = matches!(ev, MembershipEvent::Fail { .. });
+            }
+        }
+        dead
+    }
+
+    /// The normalized membership timeline of the scripted target rank.
+    pub fn membership_timeline(&self) -> &[MembershipEvent] {
+        &self.timeline
+    }
+
+    /// Whether the timeline schedules `rank` to rejoin strictly after
+    /// `step` — a death at `step` is a dormancy window, not a permanent
+    /// exit, exactly when this holds.
+    pub fn recovers_later(&self, rank: usize, step: usize) -> bool {
+        self.timeline
+            .iter()
+            .any(|ev| matches!(*ev, MembershipEvent::Recover { rank: r, step: s } if r == rank && s > step))
+    }
+
+    /// The world rank with a scripted `recover_rank` event exactly at
+    /// `step`, if any — the step every peer folds the joiner back in.
+    pub fn rank_rejoins_at(&self, step: usize) -> Option<usize> {
+        self.timeline.iter().find_map(|ev| match *ev {
+            MembershipEvent::Recover { rank, step: s } if s == step => Some(rank),
+            _ => None,
+        })
+    }
+
+    /// Whether the timeline scripts any rejoin at all.
+    pub fn has_rejoin(&self) -> bool {
+        self.timeline.iter().any(|ev| matches!(ev, MembershipEvent::Recover { .. }))
+    }
+
+    /// The scripted spare-pool join `(rank, step)`: a `recover_rank` with
+    /// no preceding `fail_rank` — the rank never held live state.
+    pub fn spare_join(&self) -> Option<(usize, usize)> {
+        match self.timeline.first() {
+            Some(&MembershipEvent::Recover { rank, step }) => Some((rank, step)),
+            _ => None,
+        }
     }
 
     /// Whether the elastic controller is scripted dead at `step` (the
@@ -547,6 +731,22 @@ impl FaultPlan {
         self.log(FaultKind::RankFail, format!("controller dead at step {step}"), 0);
     }
 
+    /// Record a joiner folded back into the run (one count per peer that
+    /// processed its `TAG_JOIN`).
+    pub fn note_rejoin(&self) {
+        self.rejoins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` committed plans a joiner replayed from history.
+    pub fn note_catchup_plans(&self, n: u64) {
+        self.catchup_plans.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one checkpointed field snapshot restored on rejoin.
+    pub fn note_catchup_field(&self) {
+        self.catchup_fields.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of the recovery counters.
     pub fn recovery(&self) -> RecoveryStats {
         RecoveryStats {
@@ -563,6 +763,9 @@ impl FaultPlan {
             migrated_frames: self.migrated_frames.load(Ordering::Relaxed),
             prefetch_fallbacks: self.prefetch_fallbacks.load(Ordering::Relaxed),
             controller_kills: self.controller_kills.load(Ordering::Relaxed),
+            rejoins: self.rejoins.load(Ordering::Relaxed),
+            catchup_plans: self.catchup_plans.load(Ordering::Relaxed),
+            catchup_fields: self.catchup_fields.load(Ordering::Relaxed),
         }
     }
 
@@ -683,13 +886,69 @@ mod tests {
     }
 
     #[test]
-    fn rank_failure_is_permanent_from_its_step() {
+    fn rank_failure_is_permanent_without_recovery() {
         let plan = FaultPlan::new(FaultSpec::parse("fail_rank=2@3").unwrap());
         assert!(!plan.rank_failed(2, 0));
         assert!(!plan.rank_failed(2, 2));
         assert!(plan.rank_failed(2, 3));
         assert!(plan.rank_failed(2, 100));
         assert!(!plan.rank_failed(1, 100));
+        assert!(!plan.has_rejoin());
+        // a bare struct-literal fail_rank (no parsed timeline) behaves
+        // identically — the compatibility fallback
+        let bare = FaultPlan::new(FaultSpec { fail_rank: Some((2, 3)), ..FaultSpec::default() });
+        assert!(!bare.rank_failed(2, 2));
+        assert!(bare.rank_failed(2, 3));
+        assert!(bare.rank_failed(2, 100));
+    }
+
+    #[test]
+    fn recovery_opens_and_closes_death_windows() {
+        let plan = FaultPlan::new(FaultSpec::parse("fail_rank=2@3,recover_rank=2@6").unwrap());
+        assert!(!plan.rank_failed(2, 2));
+        assert!(plan.rank_failed(2, 3));
+        assert!(plan.rank_failed(2, 5));
+        assert!(!plan.rank_failed(2, 6));
+        assert!(!plan.rank_failed(2, 100));
+        assert_eq!(plan.rank_rejoins_at(6), Some(2));
+        assert_eq!(plan.rank_rejoins_at(5), None);
+        assert!(plan.has_rejoin());
+        assert_eq!(plan.spare_join(), None);
+        // kill → recover → kill again: the second window is permanent
+        let plan = FaultPlan::new(
+            FaultSpec::parse("fail_rank=2@3,recover_rank=2@6,fail_rank=2@9").unwrap(),
+        );
+        assert!(plan.rank_failed(2, 4));
+        assert!(!plan.rank_failed(2, 7));
+        assert!(plan.rank_failed(2, 9));
+        assert!(plan.rank_failed(2, 50));
+        // the compatibility field carries the *first* kill
+        assert_eq!(plan.spec().fail_rank, Some((2, 3)));
+    }
+
+    #[test]
+    fn leading_recover_is_a_spare_join() {
+        let plan = FaultPlan::new(FaultSpec::parse("recover_rank=4@5").unwrap());
+        assert_eq!(plan.spare_join(), Some((4, 5)));
+        assert_eq!(plan.spec().fail_rank, None);
+        assert!(!plan.rank_failed(4, 0));
+        assert!(!plan.rank_failed(4, 10));
+        assert_eq!(plan.rank_rejoins_at(5), Some(4));
+    }
+
+    #[test]
+    fn timeline_validation_rejects_inconsistent_schedules() {
+        // two kills with no recovery between
+        assert!(FaultSpec::parse("fail_rank=2@3,fail_rank=2@5").is_err());
+        // recover while alive (not a leading spare join)
+        assert!(FaultSpec::parse("fail_rank=2@3,recover_rank=2@6,recover_rank=2@8").is_err());
+        // two different target ranks
+        assert!(FaultSpec::parse("fail_rank=2@3,recover_rank=3@6").is_err());
+        // non-increasing steps
+        assert!(FaultSpec::parse("fail_rank=2@3,recover_rank=2@3").is_err());
+        // garbage values
+        assert!(FaultSpec::parse("recover_rank=3").is_err());
+        assert!(FaultSpec::parse("recover_rank=a@3").is_err());
     }
 
     #[test]

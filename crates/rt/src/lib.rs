@@ -38,6 +38,7 @@
 //! assert_eq!(sums.len(), 4);
 //! ```
 
+pub mod chaos;
 pub mod comm;
 pub mod fault;
 pub mod obs;
@@ -47,6 +48,9 @@ pub mod stats;
 pub mod wire;
 
 pub use comm::{wait_all, Comm, RecvTimeout, SendHandle, World};
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, ReadFault, RecoveryStats, SendFault};
+pub use fault::{
+    FaultEvent, FaultKind, FaultPlan, FaultSpec, MembershipEvent, ReadFault, RecoveryStats,
+    SendFault,
+};
 pub use stats::{TagClass, TrafficEdge, TrafficStats};
 pub use wire::{Codec, WireClassStats, WireLedger, WireSpec};

@@ -30,6 +30,19 @@ run_fault_focus() {
                 block_cache_lru_matches_shadow_model \
                 stripe_to_ost_mapping_is_exact_and_round_robin_balanced \
                 frame_key_fuzz_never_serves_stale_and_always_hits_identical ;;
+        rejoin-render)
+            cargo test -q --release --test fault_injection -- \
+                render_rank_rejoin_and_rekill_keep_frames_bit_identical \
+                input_rank_rejoin_keeps_frames_bit_identical \
+                slow_ranks_below_heartbeat_deadline_never_false_positive ;;
+        rejoin-elastic)
+            cargo test -q --release --test elastic -- \
+                windowed_rejoin_readmits_through_the_tick \
+                rejoin_across_checkpoint_resume_splices_bit_identical ;;
+        rejoin-spare)
+            cargo test -q --release --test elastic spare_pool_join ;;
+        chaos-soak)
+            cargo test -q --release --test chaos_soak ;;
         *)
             echo "unknown QUAKEVIZ_FAULT_FOCUS cell: $1" >&2
             exit 2 ;;
@@ -146,6 +159,7 @@ if [[ -z "${QUAKEVIZ_FAULTS:-}" && -z "${QUAKEVIZ_TRACE+x}" ]]; then
     # the focus cells CI runs as dedicated jobs, replayed here for parity
     for cell in render-kill-404 render-kill-505 checkpoint-restart \
         elastic-skew elastic-controller-kill elastic-resume \
+        rejoin-render rejoin-elastic rejoin-spare chaos-soak \
         cache-coherence cache-properties; do
         echo "==> fault focus cell ${cell}"
         run_fault_focus "${cell}"

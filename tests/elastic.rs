@@ -150,6 +150,109 @@ fn resume_across_epoch_change_replays_plan_history() {
     }
 }
 
+/// Tentpole: a render rank dies mid-run and rejoins at a controller
+/// tick. The controller folds it back in with a forced re-admission
+/// plan committed through the same two-phase tick, the joiner catches
+/// up on the epochs it slept through, and every frame — before, during,
+/// and after the dormancy window — stays bit-identical to the static
+/// oracle. The last committed plan must hand blocks back to the joiner.
+#[test]
+fn windowed_rejoin_readmits_through_the_tick() {
+    let ds = dataset();
+    let oracle = builder(&ds).run().expect("static oracle");
+    // world: [0,1 inputs | 2,3,4 renderers | 5 output] — renderer 3 is
+    // dormant over [2,4); step 4 is a controller tick (every=2)
+    let rejoined = builder(&ds)
+        .elastic(2)
+        .faults(FaultSpec::parse("seed=11,fail_rank=3@2,recover_rank=3@4").unwrap())
+        .delivery_deadline_ms(500)
+        .run()
+        .expect("elastic rejoin pipeline");
+    assert_frames_identical(&oracle, &rejoined);
+    assert_plans_wellformed(&rejoined.control_plans, 3, 1);
+    let rec = rejoined.recovery.expect("fault plan must report recovery stats");
+    assert_eq!(rec.rejoins, 1, "the joiner must announce exactly once");
+    let admit = rejoined
+        .control_plans
+        .iter()
+        .find(|p| p.apply_at == 4)
+        .expect("the join tick must commit a re-admission plan");
+    assert!(
+        admit.assignment.iter().all(|blocks| !blocks.is_empty()),
+        "the re-admission plan must return to the full render set: {:?}",
+        admit.assignment.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    assert_eq!(admit.active, 3, "re-admission must keep the full active prefix");
+}
+
+/// Spare-pool recovery: a parked spare renderer joins at a tick with no
+/// preceding failure. The admit plan grows the active prefix by one,
+/// blocks are re-balanced onto the grown set, and the frames stay
+/// bit-identical to the static oracle without the spare.
+#[test]
+fn spare_pool_join_grows_the_active_prefix() {
+    let ds = dataset();
+    let base = |ds: &Dataset| {
+        PipelineBuilder::new(ds)
+            .renderers(2)
+            .io_strategy(IoStrategy::OneDip { input_procs: 2 })
+            .image_size(48, 48)
+    };
+    let oracle = base(&ds).run().expect("static oracle");
+    // world: [0,1 inputs | 2,3 renderers | 4 spare | 5 output] — the
+    // spare (world rank 4) joins at tick 4
+    let grown = base(&ds)
+        .spare_renderers(1)
+        .elastic(2)
+        .faults(FaultSpec::parse("seed=11,recover_rank=4@4").unwrap())
+        .delivery_deadline_ms(500)
+        .run()
+        .expect("spare-pool join pipeline");
+    assert_frames_identical(&oracle, &grown);
+    let rec = grown.recovery.expect("fault plan must report recovery stats");
+    assert_eq!(rec.rejoins, 1, "the spare must announce exactly once");
+    let admit = grown
+        .control_plans
+        .iter()
+        .find(|p| p.apply_at == 4)
+        .expect("the join tick must commit a growth plan");
+    assert_eq!(admit.active, 3, "the admit plan must grow the active prefix by one");
+    assert!(!admit.assignment[2].is_empty(), "the joined spare must own blocks");
+    let last = grown.control_plans.last().unwrap();
+    assert_eq!(last.active, 3, "the run must end on the grown active prefix");
+}
+
+/// Rejoin spliced across checkpoint/restart: the run is killed while the
+/// rank is dormant, the resumed run re-detects the dormancy from its
+/// heartbeats, and the rejoin lands at its scripted tick — the spliced
+/// frame sequence stays bit-identical to the uninterrupted oracle.
+#[test]
+fn rejoin_across_checkpoint_resume_splices_bit_identical() {
+    let ds = dataset();
+    let oracle = builder(&ds).run().expect("static oracle");
+    let with_rejoin = |b: PipelineBuilder| {
+        b.elastic(2)
+            .faults(FaultSpec::parse("seed=11,fail_rank=3@2,recover_rank=3@6").unwrap())
+            .delivery_deadline_ms(500)
+            .checkpoint_every(4)
+            .checkpoint_path("ckpt-rejoin")
+    };
+    // the kill: steps 0..4 run — the dormancy window [2,6) is open when
+    // the checkpoint after step 3 commits
+    let killed = with_rejoin(builder(&ds)).max_steps(4).run().expect("killed pipeline");
+    assert_eq!(killed.checkpoints, 1);
+    let resumed = with_rejoin(builder(&ds)).resume(true).run().expect("resumed pipeline");
+    assert_eq!(resumed.resumed_from, Some(4));
+    let rec = resumed.recovery.expect("fault plan must report recovery stats");
+    assert_eq!(rec.rejoins, 1, "the rejoin must land in the resumed run");
+    assert_eq!(killed.frames.len() + resumed.frames.len(), oracle.frames.len());
+    for (t, (f, g)) in
+        oracle.frames.iter().zip(killed.frames.iter().chain(&resumed.frames)).enumerate()
+    {
+        assert_eq!(f.pixels(), g.pixels(), "frame {t} differs from the static oracle");
+    }
+}
+
 /// Resize + reshape smoke over 2DIP: whatever the controller decides
 /// from live measurements — shrinking the render prefix, narrowing the
 /// input width, growing either back — the frames must stay bit-identical

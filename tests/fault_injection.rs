@@ -300,6 +300,164 @@ fn pinned_seed_render_kill_505() {
     assert_eq!(report.frames.len(), ds.steps());
 }
 
+/// Rank rejoin through the `TAG_JOIN` handshake, twice over: a render
+/// rank is killed, recovers, and is killed again. Inside each dormancy
+/// window frames must match the survivor-set oracle; outside them —
+/// including after the rejoin — frames must match the full-set oracle
+/// bit-for-bit, with the rejoin counters proving both handshakes ran.
+#[test]
+fn render_rank_rejoin_and_rekill_keep_frames_bit_identical() {
+    let ds = SimulationBuilder::new().resolution(16).steps(8).run_to_dataset().unwrap();
+    let io = IoStrategy::OneDip { input_procs: 2 };
+    let clean3 = builder(&ds, io).renderers(3).run().expect("clean 3-renderer pipeline");
+    let clean2 = builder(&ds, io).renderers(2).run().expect("clean 2-renderer pipeline");
+    // world: [0,1 inputs | 2,3,4 renderers | 5 output] — renderer 3 is
+    // dead over [2,4) and again over [6,8)
+    let spec = "seed=1,fail_rank=3@2,recover_rank=3@4,fail_rank=3@6";
+    let faulted = builder(&ds, io)
+        .renderers(3)
+        .faults(FaultSpec::parse(spec).unwrap())
+        .delivery_deadline_ms(500)
+        .run()
+        .expect("pipeline must survive kill, rejoin, and re-kill");
+    let rec = faulted.recovery.expect("fault plan active");
+    assert!(rec.render_failovers >= 2, "both kill windows must be detected");
+    assert_eq!(rec.rejoins, 1, "exactly one rejoin handshake must complete");
+    assert_eq!(faulted.degraded_frame_count(), 0, "rejoin is full recovery");
+    assert_eq!(faulted.frames.len(), ds.steps(), "cadence must never stall");
+    for t in 0..ds.steps() {
+        let dead = (2..4).contains(&t) || t >= 6;
+        let oracle = if dead { &clean2 } else { &clean3 };
+        assert_eq!(
+            faulted.frames[t].pixels(),
+            oracle.frames[t].pixels(),
+            "frame {t} must be bit-identical to the clean run over the same live set"
+        );
+    }
+}
+
+/// Input-rank rejoin inside a 2DIP group: the survivors carry the dead
+/// rank's slice through the window, the joiner announces itself on its
+/// first live step, and the peers fold it back in — every frame stays
+/// bit-identical to the clean run, before, during, and after.
+#[test]
+fn input_rank_rejoin_keeps_frames_bit_identical() {
+    let ds = dataset();
+    let io = IoStrategy::TwoDip { groups: 1, per_group: 3 };
+    let clean = builder(&ds, io).run().expect("clean pipeline");
+    let faulted = builder(&ds, io)
+        .faults(FaultSpec::parse("seed=1,fail_rank=1@1,recover_rank=1@3").unwrap())
+        .delivery_deadline_ms(400)
+        .run()
+        .expect("pipeline must survive an input-rank dormancy window");
+    let rec = faulted.recovery.expect("fault plan active");
+    assert!(rec.failover_events >= 1, "the group must have detected the death");
+    assert_eq!(rec.rejoins, 1, "the joiner must announce exactly once");
+    assert_eq!(
+        faulted.degraded_frame_count(),
+        0,
+        "input rejoin is full recovery: {:?} rec={rec:?}",
+        faulted.degraded
+    );
+    assert_all_frames_identical(&clean, &faulted, "input rank rejoin");
+}
+
+/// Property: a slow-but-alive rank under a generous
+/// `heartbeat_timeout_ms` is never declared dead. Across a range of
+/// scripted slowdowns on a surviving renderer — with a real kill on
+/// another renderer to keep the detection machinery hot — every death
+/// declaration names exactly the scripted rank, the failover counters
+/// match the slowdown-free run, and the frames stay bit-identical.
+#[test]
+fn slow_ranks_below_heartbeat_deadline_never_false_positive() {
+    let ds = dataset();
+    let io = IoStrategy::OneDip { input_procs: 2 };
+    // world: [0,1 inputs | 2,3,4 renderers | 5 output] — rank 3 dies at
+    // step 2, rank 4 survives but runs slower each round
+    let run = |spec: &str| {
+        builder(&ds, io)
+            .renderers(3)
+            .faults(FaultSpec::parse(spec).unwrap())
+            .delivery_deadline_ms(400)
+            .heartbeat_timeout_ms(2000)
+            .run()
+            .expect("pipeline must survive the schedule")
+    };
+    let baseline = run("seed=1,fail_rank=3@2");
+    let base_rec = baseline.recovery.expect("fault plan active");
+    for factor in [2, 4, 8] {
+        let slowed = run(&format!("seed=1,fail_rank=3@2,slow_rank=4@{factor}"));
+        let rec = slowed.recovery.expect("fault plan active");
+        assert_eq!(
+            rec.render_failovers, base_rec.render_failovers,
+            "slow factor {factor}: only the scripted death may be detected"
+        );
+        assert_eq!(rec.failover_events, base_rec.failover_events, "slow factor {factor}");
+        for ev in slowed.fault_events.iter().filter(|e| e.site.contains("dead at step")) {
+            assert!(
+                ev.site.contains("rank 3 dead"),
+                "slow factor {factor}: false-positive declaration: {}",
+                ev.site
+            );
+        }
+        assert_eq!(slowed.degraded_frame_count(), 0, "slow factor {factor}");
+        assert_all_frames_identical(&baseline, &slowed, "slow rank below deadline");
+    }
+}
+
+/// `recover_rank=R@S` schedules are validated against the world shape
+/// and the control plane at plan-build time, exactly like `fail_rank`.
+#[test]
+fn recover_rank_validation_rejects_impossible_schedules() {
+    let ds = dataset();
+    let io = IoStrategy::OneDip { input_procs: 2 };
+    let expect_err = |b: PipelineBuilder| match b.run() {
+        Err(e) => e,
+        Ok(_) => panic!("impossible recover_rank schedule must be rejected"),
+    };
+    // output-rank rejoin is unsupported: supervisor takeover is permanent
+    let err = expect_err(
+        builder(&ds, io).faults(FaultSpec::parse("seed=1,fail_rank=4@1,recover_rank=4@3").unwrap()),
+    );
+    assert!(err.contains("output-rank rejoin is not supported"), "unexpected error: {err}");
+    // a bare recover_rank is a spare-pool join and needs a spare pool
+    let err = expect_err(builder(&ds, io).faults(FaultSpec::parse("recover_rank=3@2").unwrap()));
+    assert!(err.contains("spare-pool join"), "unexpected error: {err}");
+    // elastic: the rejoin step must land on a controller tick
+    let err = expect_err(
+        builder(&ds, io)
+            .renderers(3)
+            .elastic(2)
+            .faults(FaultSpec::parse("seed=1,fail_rank=3@1,recover_rank=3@3").unwrap()),
+    );
+    assert!(err.contains("not a controller tick"), "unexpected error: {err}");
+    // elastic: a kill without a recovery would exclude the rank forever
+    let err = expect_err(
+        builder(&ds, io)
+            .renderers(3)
+            .elastic(2)
+            .faults(FaultSpec::parse("seed=1,fail_rank=3@1").unwrap()),
+    );
+    assert!(err.contains("scripted rank failure"), "unexpected error: {err}");
+    // elastic kill windows need the rebalance-only controller
+    let err = expect_err(
+        builder(&ds, io)
+            .renderers(3)
+            .elastic(2)
+            .elastic_resize(true)
+            .faults(FaultSpec::parse("seed=1,fail_rank=3@1,recover_rank=3@2").unwrap()),
+    );
+    assert!(err.contains("rebalance-only"), "unexpected error: {err}");
+    // a spare join must target the first parked rank
+    let err = expect_err(
+        builder(&ds, io)
+            .spare_renderers(1)
+            .elastic(2)
+            .faults(FaultSpec::parse("recover_rank=3@2").unwrap()),
+    );
+    assert!(err.contains("first parked rank"), "unexpected error: {err}");
+}
+
 /// `fail_rank=R@S` is validated against the actual world shape at
 /// plan-build time: impossible schedules fail fast with a typed error
 /// instead of silently never firing.
